@@ -1,0 +1,393 @@
+//! Baseline scheduling policies from Experiment Two (§5.2): First-Come,
+//! First-Served (non-preemptive) and Earliest Deadline First (preemptive),
+//! both using a first-fit placement strategy.
+//!
+//! Each policy is a pure function from the current cluster view to a
+//! target [`Placement`]; the simulator diffs targets against the current
+//! placement and charges virtualization costs for the resulting actions.
+//! Placed jobs always run at their maximum speed with that full speed
+//! reserved on the node (the conventional reservation-based operation of
+//! commercial job schedulers the paper compares against).
+
+use std::collections::BTreeMap;
+
+use dynaplace_model::ids::{AppId, NodeId};
+use dynaplace_model::placement::Placement;
+use dynaplace_model::units::{CpuSpeed, Memory, SimTime};
+
+/// A scheduler-facing view of one live (incomplete) job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineJob {
+    /// The job's application id.
+    pub app: AppId,
+    /// Submission time (FCFS order).
+    pub arrival: SimTime,
+    /// Completion deadline (EDF order).
+    pub deadline: SimTime,
+    /// Memory the job pins while placed.
+    pub memory: Memory,
+    /// Speed the job runs at (and reserves) while placed.
+    pub max_speed: CpuSpeed,
+    /// Node currently hosting the job, if it is running.
+    pub current_node: Option<NodeId>,
+}
+
+/// Free capacity view of one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCapacity {
+    /// The node's id.
+    pub node: NodeId,
+    /// Total CPU capacity available to jobs.
+    pub cpu: CpuSpeed,
+    /// Total memory available to jobs.
+    pub memory: Memory,
+}
+
+#[derive(Debug, Clone)]
+struct Free {
+    cpu: CpuSpeed,
+    memory: Memory,
+}
+
+fn free_map(nodes: &[NodeCapacity]) -> BTreeMap<NodeId, Free> {
+    nodes
+        .iter()
+        .map(|n| {
+            (
+                n.node,
+                Free {
+                    cpu: n.cpu,
+                    memory: n.memory,
+                },
+            )
+        })
+        .collect()
+}
+
+fn fits(free: &Free, job: &BaselineJob) -> bool {
+    free.cpu >= job.max_speed && free.memory >= job.memory
+}
+
+fn reserve(free: &mut Free, job: &BaselineJob) {
+    free.cpu -= job.max_speed;
+    free.memory -= job.memory;
+}
+
+/// First-Come, First-Served with first-fit placement and no preemption.
+///
+/// Running jobs keep their nodes unconditionally. Queued jobs are
+/// considered in arrival order; each is placed on the first node (in id
+/// order) with enough free memory and CPU to run it at full speed. The
+/// queue head blocks: once a job does not fit anywhere, no later job is
+/// started (strict FCFS, no backfilling).
+///
+/// ```
+/// use dynaplace_batch::baselines::{fcfs_schedule, BaselineJob, NodeCapacity};
+/// use dynaplace_model::prelude::*;
+///
+/// let nodes = [NodeCapacity {
+///     node: NodeId::new(0),
+///     cpu: CpuSpeed::from_mhz(1_000.0),
+///     memory: Memory::from_mb(2_000.0),
+/// }];
+/// let job = BaselineJob {
+///     app: AppId::new(0),
+///     arrival: SimTime::ZERO,
+///     deadline: SimTime::from_secs(100.0),
+///     memory: Memory::from_mb(750.0),
+///     max_speed: CpuSpeed::from_mhz(500.0),
+///     current_node: None,
+/// };
+/// let placement = fcfs_schedule(&nodes, &[job]);
+/// assert_eq!(placement.count(AppId::new(0), NodeId::new(0)), 1);
+/// ```
+pub fn fcfs_schedule(nodes: &[NodeCapacity], jobs: &[BaselineJob]) -> Placement {
+    let mut free = free_map(nodes);
+    let mut placement = Placement::new();
+
+    // Running jobs keep their nodes (non-preemptive).
+    for job in jobs.iter().filter(|j| j.current_node.is_some()) {
+        let node = job.current_node.expect("filtered on is_some");
+        if let Some(f) = free.get_mut(&node) {
+            reserve(f, job);
+        }
+        placement.place(job.app, node);
+    }
+
+    // Queue in arrival order; head blocks.
+    let mut queue: Vec<&BaselineJob> = jobs.iter().filter(|j| j.current_node.is_none()).collect();
+    queue.sort_by(|a, b| {
+        a.arrival
+            .partial_cmp(&b.arrival)
+            .expect("arrival times are not NaN")
+            .then_with(|| a.app.cmp(&b.app))
+    });
+    for job in queue {
+        let target = free
+            .iter()
+            .find(|(_, f)| fits(f, job))
+            .map(|(&node, _)| node);
+        match target {
+            Some(node) => {
+                reserve(free.get_mut(&node).expect("node exists"), job);
+                placement.place(job.app, node);
+            }
+            None => break, // strict FCFS: the head blocks everything behind it
+        }
+    }
+    placement
+}
+
+/// Earliest Deadline First with preemption and first-fit placement.
+///
+/// Running jobs keep their nodes by default (no gratuitous movement). A
+/// waiting job is placed on the first node with genuinely free room; if
+/// none exists, it preempts running jobs with *later* deadlines —
+/// choosing the node where evicting the fewest latest-deadline victims
+/// makes space. Evicted victims re-enter the waiting set (and may land
+/// on another node, i.e. migrate) or stay suspended when nothing fits.
+pub fn edf_schedule(nodes: &[NodeCapacity], jobs: &[BaselineJob]) -> Placement {
+    let mut free = free_map(nodes);
+    let mut placement = Placement::new();
+
+    // Charge every running job on its current node up front.
+    #[derive(Clone)]
+    struct Resident<'a> {
+        job: &'a BaselineJob,
+        node: NodeId,
+    }
+    let mut residents: Vec<Resident<'_>> = Vec::new();
+    for job in jobs {
+        if let Some(node) = job.current_node {
+            if let Some(f) = free.get_mut(&node) {
+                reserve(f, job);
+                placement.place(job.app, node);
+                residents.push(Resident { job, node });
+            }
+        }
+    }
+
+    // Waiting set (queued jobs), earliest deadline first.
+    let mut waiting: Vec<&BaselineJob> = jobs.iter().filter(|j| j.current_node.is_none()).collect();
+    waiting.sort_by(|a, b| {
+        a.deadline
+            .partial_cmp(&b.deadline)
+            .expect("deadlines are not NaN")
+            .then_with(|| a.app.cmp(&b.app))
+    });
+    let mut waiting: std::collections::VecDeque<&BaselineJob> = waiting.into();
+
+    while let Some(job) = waiting.pop_front() {
+        // First fit on genuinely free room.
+        if let Some(node) = free
+            .iter()
+            .find(|(_, f)| fits(f, job))
+            .map(|(&node, _)| node)
+        {
+            reserve(free.get_mut(&node).expect("node exists"), job);
+            placement.place(job.app, node);
+            continue;
+        }
+        // Preemption: on each node, count how many latest-deadline
+        // victims (strictly later than ours) must go to make room.
+        let mut best: Option<(NodeId, Vec<usize>)> = None;
+        for &NodeCapacity { node, .. } in nodes {
+            let mut candidates: Vec<usize> = residents
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.node == node && r.job.deadline > job.deadline)
+                .map(|(i, _)| i)
+                .collect();
+            // Latest deadlines first.
+            candidates.sort_by(|&a, &b| {
+                residents[b]
+                    .job
+                    .deadline
+                    .partial_cmp(&residents[a].job.deadline)
+                    .expect("deadlines are not NaN")
+                    .then_with(|| residents[b].job.app.cmp(&residents[a].job.app))
+            });
+            let base = free.get(&node).expect("node exists").clone();
+            let mut trial = base;
+            let mut evict = Vec::new();
+            for &i in &candidates {
+                if fits(&trial, job) {
+                    break;
+                }
+                trial.cpu += residents[i].job.max_speed;
+                trial.memory += residents[i].job.memory;
+                evict.push(i);
+            }
+            if fits(&trial, job) {
+                let better = match &best {
+                    None => true,
+                    Some((_, evicted)) => evict.len() < evicted.len(),
+                };
+                if better {
+                    best = Some((node, evict));
+                }
+            }
+        }
+        let Some((node, evicted)) = best else {
+            continue; // fits nowhere even with preemption: stays queued
+        };
+        // Evict victims (latest-deadline first), re-queue them in
+        // deadline order, then place the urgent job.
+        let mut evicted_jobs: Vec<&BaselineJob> = Vec::new();
+        for &i in &evicted {
+            let victim = &residents[i];
+            let f = free.get_mut(&victim.node).expect("node exists");
+            f.cpu += victim.job.max_speed;
+            f.memory += victim.job.memory;
+            placement
+                .remove(victim.job.app, victim.node)
+                .expect("victim was placed");
+            evicted_jobs.push(victim.job);
+        }
+        // Remove from residents (descending index order keeps indexes valid).
+        let mut to_remove = evicted;
+        to_remove.sort_unstable_by(|a, b| b.cmp(a));
+        for i in to_remove {
+            residents.swap_remove(i);
+        }
+        reserve(free.get_mut(&node).expect("node exists"), job);
+        placement.place(job.app, node);
+        for victim in evicted_jobs {
+            let pos = waiting
+                .iter()
+                .position(|w| {
+                    (w.deadline, w.app) > (victim.deadline, victim.app)
+                })
+                .unwrap_or(waiting.len());
+            waiting.insert(pos, victim);
+        }
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32, cpu: f64, mem: f64) -> NodeCapacity {
+        NodeCapacity {
+            node: NodeId::new(i),
+            cpu: CpuSpeed::from_mhz(cpu),
+            memory: Memory::from_mb(mem),
+        }
+    }
+
+    fn job(i: u32, arrival: f64, deadline: f64, node: Option<u32>) -> BaselineJob {
+        BaselineJob {
+            app: AppId::new(i),
+            arrival: SimTime::from_secs(arrival),
+            deadline: SimTime::from_secs(deadline),
+            memory: Memory::from_mb(750.0),
+            max_speed: CpuSpeed::from_mhz(500.0),
+            current_node: node.map(NodeId::new),
+        }
+    }
+
+    #[test]
+    fn fcfs_places_in_arrival_order() {
+        let nodes = [node(0, 1_000.0, 2_000.0)];
+        // Two fit (memory 2×750 ≤ 2000, cpu 2×500 ≤ 1000); third queues.
+        let jobs = [job(2, 3.0, 99.0, None), job(0, 1.0, 99.0, None), job(1, 2.0, 99.0, None)];
+        let p = fcfs_schedule(&nodes, &jobs);
+        assert_eq!(p.count(AppId::new(0), NodeId::new(0)), 1);
+        assert_eq!(p.count(AppId::new(1), NodeId::new(0)), 1);
+        assert!(!p.is_placed(AppId::new(2)));
+    }
+
+    #[test]
+    fn fcfs_never_preempts() {
+        let nodes = [node(0, 1_000.0, 2_000.0)];
+        // Running job with late deadline stays; urgent new job waits.
+        let jobs = [
+            job(0, 0.0, 1_000.0, Some(0)),
+            job(1, 0.0, 900.0, Some(0)),
+            job(2, 5.0, 10.0, None),
+        ];
+        let p = fcfs_schedule(&nodes, &jobs);
+        assert!(p.is_placed(AppId::new(0)));
+        assert!(p.is_placed(AppId::new(1)));
+        assert!(!p.is_placed(AppId::new(2)));
+    }
+
+    #[test]
+    fn fcfs_head_blocks_queue() {
+        // Head needs more memory than any node has free; a smaller job
+        // behind it must NOT jump the queue.
+        let nodes = [node(0, 1_000.0, 2_000.0)];
+        let mut big = job(0, 1.0, 99.0, None);
+        big.memory = Memory::from_mb(3_000.0);
+        let small = job(1, 2.0, 99.0, None);
+        let p = fcfs_schedule(&nodes, &[big, small]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fcfs_first_fit_scans_nodes_in_order() {
+        let nodes = [node(0, 400.0, 500.0), node(1, 1_000.0, 2_000.0)];
+        // Doesn't fit node0 (cpu 400 < 500): goes to node1.
+        let p = fcfs_schedule(&nodes, &[job(0, 0.0, 99.0, None)]);
+        assert_eq!(p.count(AppId::new(0), NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn edf_preempts_later_deadline() {
+        let nodes = [node(0, 1_000.0, 2_000.0)];
+        // Two running jobs with late deadlines; two urgent arrivals.
+        let jobs = [
+            job(0, 0.0, 1_000.0, Some(0)),
+            job(1, 0.0, 900.0, Some(0)),
+            job(2, 5.0, 10.0, None),
+            job(3, 5.0, 20.0, None),
+        ];
+        let p = edf_schedule(&nodes, &jobs);
+        // Urgent jobs take the node; the latest deadline (app0) is out.
+        assert!(p.is_placed(AppId::new(2)));
+        assert!(p.is_placed(AppId::new(3)));
+        assert!(!p.is_placed(AppId::new(0)));
+        assert!(!p.is_placed(AppId::new(1)));
+    }
+
+    #[test]
+    fn edf_prefers_current_node() {
+        let nodes = [node(0, 1_000.0, 2_000.0), node(1, 1_000.0, 2_000.0)];
+        // Job running on node1 should stay there even though node0 also
+        // fits (first-fit would otherwise move it).
+        let jobs = [job(0, 0.0, 50.0, Some(1))];
+        let p = edf_schedule(&nodes, &jobs);
+        assert_eq!(p.count(AppId::new(0), NodeId::new(1)), 1);
+        assert_eq!(p.count(AppId::new(0), NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn edf_is_deadline_ordered_not_arrival_ordered() {
+        let nodes = [node(0, 1_000.0, 2_000.0)];
+        // Three queued jobs; only two fit. Earliest deadlines win even
+        // though they arrived last.
+        let jobs = [
+            job(0, 0.0, 1_000.0, None),
+            job(1, 1.0, 10.0, None),
+            job(2, 2.0, 20.0, None),
+        ];
+        let p = edf_schedule(&nodes, &jobs);
+        assert!(p.is_placed(AppId::new(1)));
+        assert!(p.is_placed(AppId::new(2)));
+        assert!(!p.is_placed(AppId::new(0)));
+    }
+
+    #[test]
+    fn both_policies_respect_capacity() {
+        let nodes = [node(0, 1_000.0, 2_000.0), node(1, 1_000.0, 2_000.0)];
+        let jobs: Vec<BaselineJob> = (0..10).map(|i| job(i, i as f64, 100.0, None)).collect();
+        for p in [fcfs_schedule(&nodes, &jobs), edf_schedule(&nodes, &jobs)] {
+            for n in [NodeId::new(0), NodeId::new(1)] {
+                let count: u32 = p.apps_on(n).map(|(_, c)| c).sum();
+                assert!(count <= 2, "memory allows at most 2 jobs per node");
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Criterion benches for the placement controller's hot paths.
+//!
+//! The paper reports ≈1.5 s per control cycle for the Experiment One
+//! system (25 nodes, hundreds of jobs) on a 3.2 GHz Xeon;
+//! `placement_cycle` measures the same computation here.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dynaplace_apc::optimizer::{place, ApcConfig};
+use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
+use dynaplace_apc::{distribute, score_placement};
+use dynaplace_batch::hypothetical::{HypotheticalRpf, JobSnapshot};
+use dynaplace_batch::job::JobProfile;
+use dynaplace_model::prelude::*;
+use dynaplace_rpf::goal::CompletionGoal;
+use dynaplace_sim::scenario::experiment_one_cluster;
+
+struct World {
+    cluster: Cluster,
+    apps: AppSet,
+    workloads: BTreeMap<AppId, WorkloadModel>,
+    current: Placement,
+}
+
+/// Builds an Experiment One-like state: `jobs` identical jobs, the first
+/// `running` of them already placed three-per-node.
+fn exp1_world(jobs: usize, running: usize) -> World {
+    let cluster = experiment_one_cluster();
+    let mut apps = AppSet::new();
+    let mut workloads = BTreeMap::new();
+    let mut current = Placement::new();
+    let profile = Arc::new(JobProfile::single_stage(
+        Work::from_mcycles(68_640_000.0),
+        CpuSpeed::from_mhz(3_900.0),
+        Memory::from_mb(4_320.0),
+    ));
+    let cycle = SimDuration::from_secs(600.0);
+    for i in 0..jobs {
+        let app = apps.add(ApplicationSpec::batch(
+            Memory::from_mb(4_320.0),
+            CpuSpeed::from_mhz(3_900.0),
+        ));
+        let arrival = SimTime::from_secs(i as f64 * 260.0);
+        let goal = CompletionGoal::from_goal_factor(
+            arrival,
+            profile.min_execution_time(),
+            2.7,
+        );
+        let placed = i < running;
+        // Stagger progress so jobs are not identical at decision time.
+        let consumed = if placed {
+            Work::from_mcycles(1_000_000.0 * (i % 17) as f64)
+        } else {
+            Work::ZERO
+        };
+        let snap = JobSnapshot::new(
+            app,
+            goal,
+            Arc::clone(&profile),
+            consumed,
+            if placed { SimDuration::ZERO } else { cycle },
+        );
+        workloads.insert(app, WorkloadModel::Batch(snap));
+        if placed {
+            current.place(app, NodeId::new((i % 25) as u32));
+        }
+    }
+    World {
+        cluster,
+        apps,
+        workloads,
+        current,
+    }
+}
+
+fn problem(world: &World) -> PlacementProblem<'_> {
+    PlacementProblem {
+        cluster: &world.cluster,
+        apps: &world.apps,
+        workloads: world.workloads.clone(),
+        current: &world.current,
+        now: SimTime::from_secs(100_000.0),
+        cycle: SimDuration::from_secs(600.0),
+    }
+}
+
+fn bench_placement_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_cycle");
+    group.sample_size(20);
+    for &(jobs, running) in &[(75usize, 75usize), (150, 75), (300, 75)] {
+        let world = exp1_world(jobs, running);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{jobs}jobs")),
+            &world,
+            |b, world| {
+                let config = ApcConfig::default();
+                b.iter(|| place(&problem(world), &config));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_score_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_placement");
+    for &jobs in &[75usize, 300] {
+        let world = exp1_world(jobs, 75);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{jobs}jobs")),
+            &world,
+            |b, world| {
+                let p = problem(world);
+                b.iter(|| score_placement(&p, &world.current));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_load_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_distribution");
+    for &jobs in &[75usize, 300] {
+        let world = exp1_world(jobs, 75);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{jobs}jobs")),
+            &world,
+            |b, world| {
+                let p = problem(world);
+                b.iter(|| distribute(&p, &world.current));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hypothetical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypothetical_rpf");
+    for &jobs in &[75usize, 300, 800] {
+        let world = exp1_world(jobs, 75);
+        let snaps: Vec<JobSnapshot> = world
+            .workloads
+            .values()
+            .filter_map(|m| m.as_batch().cloned())
+            .collect();
+        let now = SimTime::from_secs(100_000.0);
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{jobs}jobs")),
+            &snaps,
+            |b, snaps| b.iter(|| HypotheticalRpf::new(now, snaps)),
+        );
+        let hypo = HypotheticalRpf::new(now, &snaps);
+        group.bench_with_input(
+            BenchmarkId::new("query", format!("{jobs}jobs")),
+            &hypo,
+            |b, hypo| b.iter(|| hypo.performances(CpuSpeed::from_mhz(250_000.0))),
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: the paper-narrative configuration (coarser start threshold)
+/// against the default, on the same decision problem.
+fn bench_config_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("config_ablation");
+    group.sample_size(20);
+    let world = exp1_world(150, 75);
+    for (name, config) in [
+        ("default", ApcConfig::default()),
+        ("paper_narrative", ApcConfig::paper_narrative()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| place(&problem(&world), config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement_cycle,
+    bench_score_placement,
+    bench_load_distribution,
+    bench_hypothetical,
+    bench_config_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Regenerates Figure 2 (Experiment One): the average hypothetical
+//! relative performance over time and the actual relative performance
+//! achieved at completion time, for 800 identical jobs on 25 nodes.
+//!
+//! Shape targets (paper §5.1): a plateau at u ≈ 0.63 while no queuing
+//! occurs, dips when jobs queue, the completion-time curve tracking the
+//! hypothetical curve shifted by roughly the execution time (~18,000 s),
+//! and **zero** suspends/migrations.
+//!
+//! Environment knobs: `EXP1_JOBS` (default 800), `EXP1_SEED` (42).
+
+use dynaplace_bench::{ascii_plot, ascii_table, write_csv};
+use dynaplace_sim::engine::SimConfig;
+use dynaplace_sim::scenario::experiment_one;
+
+fn main() {
+    let jobs: usize = std::env::var("EXP1_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let seed: u64 = std::env::var("EXP1_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    eprintln!("running Experiment One: {jobs} jobs, seed {seed}...");
+    let started = std::time::Instant::now();
+    let metrics = experiment_one(seed, jobs, 260.0, SimConfig::apc_default()).run();
+    eprintln!("simulated in {:.1?}", started.elapsed());
+
+    // Series 1: hypothetical relative performance over time.
+    let hypo_rows: Vec<Vec<String>> = metrics
+        .samples
+        .iter()
+        .filter_map(|s| {
+            s.batch_hypothetical_rp.map(|u| {
+                vec![
+                    format!("{:.0}", s.time.as_secs()),
+                    format!("{:.4}", u.value()),
+                    format!("{}", s.running_jobs),
+                    format!("{}", s.waiting_jobs),
+                ]
+            })
+        })
+        .collect();
+    write_csv(
+        "fig2_hypothetical",
+        &["time_s", "mean_hypothetical_u", "running", "waiting"],
+        &hypo_rows,
+    );
+
+    // Series 2: actual relative performance at completion time.
+    let actual_rows: Vec<Vec<String>> = metrics
+        .completions
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.0}", c.completion.as_secs()),
+                format!("{:.4}", c.rp.value()),
+            ]
+        })
+        .collect();
+    let path = write_csv(
+        "fig2_actual",
+        &["completion_time_s", "actual_u"],
+        &actual_rows,
+    );
+
+    // Shape checks.
+    let plateau = metrics
+        .samples
+        .iter()
+        .filter_map(|s| s.batch_hypothetical_rp)
+        .map(|u| u.value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let dip = metrics
+        .samples
+        .iter()
+        .filter_map(|s| s.batch_hypothetical_rp)
+        .map(|u| u.value())
+        .fold(f64::INFINITY, f64::min);
+    let summary = vec![
+        vec!["completions".into(), format!("{}", metrics.completions.len())],
+        vec![
+            "deadline met".into(),
+            format!("{:.1}%", metrics.deadline_met_ratio().unwrap_or(0.0) * 100.0),
+        ],
+        vec!["plateau u (max)".into(), format!("{plateau:.4}")],
+        vec!["min u over run".into(), format!("{dip:.4}")],
+        vec!["suspends".into(), format!("{}", metrics.changes.suspends)],
+        vec!["migrations".into(), format!("{}", metrics.changes.migrations)],
+        vec![
+            "mean placement compute [s]".into(),
+            format!("{:.4}", metrics.mean_placement_compute_secs().unwrap_or(0.0)),
+        ],
+    ];
+    // ASCII rendition of the figure itself.
+    let hypo_series: Vec<(f64, f64)> = metrics
+        .samples
+        .iter()
+        .filter_map(|s| s.batch_hypothetical_rp.map(|u| (s.time.as_secs(), u.value())))
+        .collect();
+    let actual_series: Vec<(f64, f64)> = metrics
+        .completions
+        .iter()
+        .map(|c| (c.completion.as_secs(), c.rp.value()))
+        .collect();
+    println!("Figure 2 — relative performance over time");
+    println!(
+        "{}",
+        ascii_plot(
+            &[
+                ("hypothetical (mean)", &hypo_series),
+                ("actual at completion", &actual_series),
+            ],
+            90,
+            16,
+        )
+    );
+    println!("Figure 2 — Experiment One summary");
+    println!("{}", ascii_table(&["metric", "value"], &summary));
+
+    assert!(
+        (plateau - 0.6296).abs() < 0.01,
+        "plateau should be ≈0.63 (1 − 17,600/47,520)"
+    );
+    assert_eq!(metrics.changes.suspends, 0, "paper: no suspends in Exp. 1");
+    assert_eq!(metrics.changes.migrations, 0, "paper: no migrations in Exp. 1");
+    println!("shape checks: plateau ≈ 0.63 ✓  no suspends/migrations ✓");
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,66 @@
+//! Regenerates Figure 3 (Experiment Two): percentage of jobs that met
+//! their deadline vs. mean inter-arrival time, for FCFS, EDF, and APC.
+//!
+//! Shape targets (paper §5.2): all three ≈100% for inter-arrival
+//! ≥ 150 s; FCFS collapses at ≤ 100 s (≈40% at 50 s); EDF and APC stay
+//! comparable, EDF slightly ahead at 50 s.
+//!
+//! Environment knobs: `EXP2_JOBS` (default 800), `EXP2_SEED` (42).
+
+use dynaplace_bench::{ascii_table, run_experiment_two_sweep, write_csv, EXP2_INTER_ARRIVALS};
+
+fn main() {
+    let jobs: usize = std::env::var("EXP2_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let seed: u64 = std::env::var("EXP2_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let runs = run_experiment_two_sweep(seed, jobs);
+
+    let mut rows = Vec::new();
+    for &ia in &EXP2_INTER_ARRIVALS {
+        let mut row = vec![format!("{ia:.0}")];
+        for scheduler in ["FCFS", "EDF", "APC"] {
+            let run = dynaplace_bench::exp2::find_run(&runs, scheduler, ia);
+            let met = run.metrics.deadline_met_ratio().unwrap_or(0.0);
+            row.push(format!("{:.1}", met * 100.0));
+        }
+        rows.push(row);
+    }
+    let headers = ["inter_arrival_s", "FCFS_met_pct", "EDF_met_pct", "APC_met_pct"];
+    let path = write_csv("fig3", &headers, &rows);
+    println!("Figure 3 — % of jobs that met the deadline");
+    println!("{}", ascii_table(&headers, &rows));
+
+    // Shape checks.
+    let met = |s: &str, ia: f64| {
+        dynaplace_bench::exp2::find_run(&runs, s, ia)
+            .metrics
+            .deadline_met_ratio()
+            .unwrap_or(0.0)
+    };
+    for s in ["FCFS", "EDF", "APC"] {
+        assert!(
+            met(s, 400.0) > 0.95,
+            "{s} must be ≈100% when underloaded"
+        );
+    }
+    assert!(
+        met("FCFS", 50.0) < met("EDF", 50.0) - 0.1,
+        "FCFS must collapse under heavy load"
+    );
+    assert!(
+        met("FCFS", 50.0) < met("APC", 50.0) - 0.1,
+        "APC must beat FCFS under heavy load"
+    );
+    assert!(
+        (met("EDF", 50.0) - met("APC", 50.0)).abs() < 0.25,
+        "EDF and APC stay comparable"
+    );
+    println!("shape checks: underload parity ✓  FCFS collapse ✓  EDF ≈ APC ✓");
+    println!("written to {}", path.display());
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 4 (Experiment Two): number of placement changes
+//! (jobs migrated, suspended, and moved and resumed) vs. inter-arrival
+//! time, for FCFS, EDF, and APC.
+//!
+//! Shape targets (paper §5.2): FCFS is always 0 (non-preemptive); EDF
+//! makes considerably more changes than APC once the inter-arrival time
+//! is ≤ 150 s (EDF ≈ 1,200 at 50 s in the paper's scale).
+
+use dynaplace_bench::{ascii_table, run_experiment_two_sweep, write_csv, EXP2_INTER_ARRIVALS};
+
+fn main() {
+    let jobs: usize = std::env::var("EXP2_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let seed: u64 = std::env::var("EXP2_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let runs = run_experiment_two_sweep(seed, jobs);
+
+    let mut rows = Vec::new();
+    for &ia in &EXP2_INTER_ARRIVALS {
+        let mut row = vec![format!("{ia:.0}")];
+        for scheduler in ["FCFS", "EDF", "APC"] {
+            let run = dynaplace_bench::exp2::find_run(&runs, scheduler, ia);
+            row.push(format!("{}", run.metrics.changes.disruptive_total()));
+        }
+        rows.push(row);
+    }
+    let headers = [
+        "inter_arrival_s",
+        "FCFS_changes",
+        "EDF_changes",
+        "APC_changes",
+    ];
+    let path = write_csv("fig4", &headers, &rows);
+    println!("Figure 4 — number of placement changes (suspend/resume/migrate)");
+    println!("{}", ascii_table(&headers, &rows));
+
+    let changes = |s: &str, ia: f64| {
+        dynaplace_bench::exp2::find_run(&runs, s, ia)
+            .metrics
+            .changes
+            .disruptive_total()
+    };
+    for &ia in &EXP2_INTER_ARRIVALS {
+        assert_eq!(changes("FCFS", ia), 0, "FCFS never preempts");
+    }
+    assert!(
+        changes("EDF", 50.0) > 2 * changes("APC", 50.0),
+        "EDF must make considerably more changes than APC under load: {} vs {}",
+        changes("EDF", 50.0),
+        changes("APC", 50.0)
+    );
+    println!("shape checks: FCFS = 0 ✓  EDF ≫ APC at 50 s ✓");
+    println!("written to {}", path.display());
+}

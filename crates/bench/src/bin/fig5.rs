@@ -1,0 +1,136 @@
+//! Regenerates Figure 5 (Experiment Two): the distribution of signed
+//! distance to the deadline at job completion, per relative goal factor
+//! (1.3 / 2.5 / 4.0), for inter-arrival times of 200 s and 50 s.
+//!
+//! Shape targets (paper §5.2): at 200 s all three algorithms keep the
+//! distances positive and clustered; at 50 s the distributions spread
+//! out and APC's points cluster more tightly than EDF's (fairness:
+//! equalized satisfaction), most visibly for factor 1.3.
+
+use dynaplace_bench::{ascii_table, run_experiment_two_sweep, write_csv};
+use dynaplace_sim::metrics::RunMetrics;
+
+const FACTORS: [f64; 3] = [1.3, 2.5, 4.0];
+const IAS: [f64; 2] = [200.0, 50.0];
+
+fn spread_stats(metrics: &RunMetrics, factor: f64) -> Option<(f64, f64, f64, usize)> {
+    let distances: Vec<f64> = metrics
+        .completions_with_factor(factor)
+        .map(|c| c.distance.as_secs())
+        .collect();
+    if distances.is_empty() {
+        return None;
+    }
+    let n = distances.len();
+    let mean = distances.iter().sum::<f64>() / n as f64;
+    let var = distances.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+    let min = distances.iter().copied().fold(f64::INFINITY, f64::min);
+    Some((mean, var.sqrt(), min, n))
+}
+
+fn main() {
+    let jobs: usize = std::env::var("EXP2_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let seed: u64 = std::env::var("EXP2_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let runs = run_experiment_two_sweep(seed, jobs);
+
+    // Raw scatter: one row per completion.
+    let mut scatter = Vec::new();
+    for &ia in &IAS {
+        for scheduler in ["FCFS", "EDF", "APC"] {
+            let run = dynaplace_bench::exp2::find_run(&runs, scheduler, ia);
+            for c in &run.metrics.completions {
+                scatter.push(vec![
+                    format!("{ia:.0}"),
+                    scheduler.to_string(),
+                    format!("{:.1}", c.goal_factor),
+                    format!("{:.0}", c.distance.as_secs()),
+                ]);
+            }
+        }
+    }
+    write_csv(
+        "fig5_scatter",
+        &["inter_arrival_s", "scheduler", "goal_factor", "distance_s"],
+        &scatter,
+    );
+
+    // Summary statistics per (ia, scheduler, factor).
+    let headers = [
+        "inter_arrival_s",
+        "scheduler",
+        "goal_factor",
+        "n",
+        "mean_distance_s",
+        "stddev_s",
+        "min_distance_s",
+    ];
+    let mut rows = Vec::new();
+    for &ia in &IAS {
+        for scheduler in ["FCFS", "EDF", "APC"] {
+            let run = dynaplace_bench::exp2::find_run(&runs, scheduler, ia);
+            for &factor in &FACTORS {
+                if let Some((mean, sd, min, n)) = spread_stats(&run.metrics, factor) {
+                    rows.push(vec![
+                        format!("{ia:.0}"),
+                        scheduler.to_string(),
+                        format!("{factor:.1}"),
+                        format!("{n}"),
+                        format!("{mean:.0}"),
+                        format!("{sd:.0}"),
+                        format!("{min:.0}"),
+                    ]);
+                }
+            }
+        }
+    }
+    let path = write_csv("fig5_summary", &headers, &rows);
+    println!("Figure 5 — distance to the deadline at completion");
+    println!("{}", ascii_table(&headers, &rows));
+
+    // Shape checks. At 200 s every algorithm keeps every class early
+    // (positive mean distance) and clustered, as in the paper's (a).
+    for scheduler in ["FCFS", "EDF", "APC"] {
+        let run = dynaplace_bench::exp2::find_run(&runs, scheduler, 200.0);
+        for &factor in &FACTORS {
+            let (mean, _, min, _) = spread_stats(&run.metrics, factor).expect("jobs exist");
+            assert!(
+                mean > 0.0 && min > -1_000.0,
+                "{scheduler}@200s factor {factor}: mean {mean:.0}, min {min:.0}"
+            );
+        }
+    }
+    // At 50 s, FCFS's distances blow far negative while APC bounds the
+    // damage (fairness spreads lateness thin); EDF's spread depends on
+    // how saturated the regime is — in ours it meets everything, in the
+    // paper's it missed ~40%, so the APC-vs-EDF tightness comparison is
+    // reported but not asserted (see EXPERIMENTS.md).
+    let stat = |scheduler: &str, factor: f64| {
+        let run = dynaplace_bench::exp2::find_run(&runs, scheduler, 50.0);
+        spread_stats(&run.metrics, factor).expect("jobs exist")
+    };
+    let (_, _, fcfs_min, _) = stat("FCFS", 1.3);
+    let (_, _, apc_min, _) = stat("APC", 1.3);
+    assert!(
+        apc_min > fcfs_min,
+        "APC must bound factor-1.3 lateness better than FCFS ({apc_min:.0} vs {fcfs_min:.0})"
+    );
+    let (_, apc_sd, _, _) = stat("APC", 1.3);
+    let (_, edf_sd, _, _) = stat("EDF", 1.3);
+    let (_, fcfs_sd, _, _) = stat("FCFS", 1.3);
+    println!(
+        "factor 1.3 @ 50 s stddev: APC {apc_sd:.0}s, EDF {edf_sd:.0}s, FCFS {fcfs_sd:.0}s"
+    );
+    assert!(
+        apc_sd < fcfs_sd,
+        "APC must cluster tighter than FCFS under load"
+    );
+    println!("shape checks: clustered at 200 s ✓  APC bounds lateness vs FCFS at 50 s ✓");
+    println!("written to {}", path.display());
+}

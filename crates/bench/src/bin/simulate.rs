@@ -1,0 +1,80 @@
+//! Run a declarative scenario: `simulate <scenario.json> [out.json]`.
+//!
+//! Reads a [`dynaplace_sim::spec::ScenarioSpec`], runs it, prints a
+//! summary, and (optionally) writes the full metrics as JSON. Sample
+//! scenarios live under `scenarios/` in the repository root.
+
+use std::process::ExitCode;
+
+use dynaplace_bench::ascii_table;
+use dynaplace_sim::spec::ScenarioSpec;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: simulate <scenario.json> [metrics-out.json]");
+        return ExitCode::FAILURE;
+    };
+    let out = args.next();
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec: ScenarioSpec = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid scenario {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let metrics = spec.build().run();
+    let elapsed = started.elapsed();
+
+    let rows = vec![
+        vec!["jobs completed".into(), format!("{}", metrics.completions.len())],
+        vec![
+            "deadlines met".into(),
+            metrics
+                .deadline_met_ratio()
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "n/a".into()),
+        ],
+        vec![
+            "mean completion u".into(),
+            metrics
+                .mean_completion_rp()
+                .map(|u| format!("{:+.3}", u.value()))
+                .unwrap_or_else(|| "n/a".into()),
+        ],
+        vec!["starts".into(), format!("{}", metrics.changes.starts)],
+        vec!["suspends".into(), format!("{}", metrics.changes.suspends)],
+        vec!["resumes".into(), format!("{}", metrics.changes.resumes)],
+        vec!["migrations".into(), format!("{}", metrics.changes.migrations)],
+        vec!["samples".into(), format!("{}", metrics.samples.len())],
+        vec!["wall clock".into(), format!("{elapsed:.2?}")],
+    ];
+    println!("{}", ascii_table(&["metric", "value"], &rows));
+
+    if let Some(out) = out {
+        match serde_json::to_string_pretty(&metrics) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&out, json) {
+                    eprintln!("cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics written to {out}");
+            }
+            Err(e) => {
+                eprintln!("cannot serialize metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

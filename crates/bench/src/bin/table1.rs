@@ -1,0 +1,50 @@
+//! Regenerates Table 1: the §4.3 illustrative example's job properties.
+
+use dynaplace_bench::{ascii_table, write_csv};
+
+fn main() {
+    let headers = [
+        "job",
+        "start_time_s",
+        "max_speed_mhz",
+        "memory_mb",
+        "work_mcycles",
+        "min_exec_s",
+        "goal_factor_s1",
+        "goal_factor_s2",
+        "relative_goal_s1",
+        "relative_goal_s2",
+        "deadline_s1",
+        "deadline_s2",
+    ];
+    // J1/J2/J3 exactly as §4.3 Table 1; S1 and S2 differ only in J2.
+    let rows = vec![
+        row("J1", 0.0, 1_000.0, 750.0, 4_000.0, 5.0, 5.0),
+        row("J2", 1.0, 500.0, 750.0, 2_000.0, 4.0, 3.0),
+        row("J3", 2.0, 500.0, 750.0, 4_000.0, 1.0, 1.0),
+    ];
+    let path = write_csv("table1", &headers, &rows);
+    println!("Table 1 — Hypothetical Relative Performance Example: System Properties");
+    println!("{}", ascii_table(&headers, &rows));
+    println!("written to {}", path.display());
+}
+
+fn row(name: &str, start: f64, speed: f64, mem: f64, work: f64, f1: f64, f2: f64) -> Vec<String> {
+    let min_exec = work / speed;
+    let rel1 = f1 * min_exec;
+    let rel2 = f2 * min_exec;
+    vec![
+        name.to_string(),
+        format!("{start}"),
+        format!("{speed}"),
+        format!("{mem}"),
+        format!("{work}"),
+        format!("{min_exec}"),
+        format!("{f1}"),
+        format!("{f2}"),
+        format!("{rel1}"),
+        format!("{rel2}"),
+        format!("{}", start + rel1),
+        format!("{}", start + rel2),
+    ]
+}

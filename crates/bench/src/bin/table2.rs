@@ -1,0 +1,50 @@
+//! Regenerates Table 2: Experiment One's job properties, derived from the
+//! actual scenario builder so the table can never drift from the code.
+
+use dynaplace_bench::{ascii_table, write_csv};
+use dynaplace_model::ids::AppId;
+use dynaplace_model::units::SimTime;
+use dynaplace_sim::scenario::experiment_one_job;
+
+fn main() {
+    let spec = experiment_one_job(AppId::new(0), SimTime::ZERO);
+    let profile = spec.profile();
+    let stage = &profile.stages()[0];
+    let min_exec = profile.min_execution_time();
+    let rel_goal = spec.goal().relative_goal();
+    let headers = ["property", "value"];
+    let rows = vec![
+        vec![
+            "Maximum speed [MHz]".to_string(),
+            format!("{:.0} (1 CPU)", stage.max_speed().as_mhz()),
+        ],
+        vec![
+            "Memory requirement [MB]".to_string(),
+            format!("{:.0}", stage.memory().as_mb()),
+        ],
+        vec![
+            "Work [Mcycles]".to_string(),
+            format!("{:.0}", profile.total_work().as_mcycles()),
+        ],
+        vec![
+            "Minimum execution time [s]".to_string(),
+            format!("{:.0}", min_exec.as_secs()),
+        ],
+        vec![
+            "Relative goal factor".to_string(),
+            format!("{:.1}", rel_goal.as_secs() / min_exec.as_secs()),
+        ],
+        vec![
+            "Relative goal [s]".to_string(),
+            format!("{:.0}", rel_goal.as_secs()),
+        ],
+    ];
+    let path = write_csv("table2", &headers, &rows);
+    println!("Table 2 — Properties of Experiment One");
+    println!("{}", ascii_table(&headers, &rows));
+    // Shape checks against the paper's stated values.
+    assert_eq!(min_exec.as_secs().round(), 17_600.0);
+    assert_eq!(rel_goal.as_secs().round(), 47_520.0);
+    println!("checks: min exec 17,600 s ✓  relative goal 47,520 s ✓");
+    println!("written to {}", path.display());
+}

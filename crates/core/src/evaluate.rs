@@ -1,0 +1,127 @@
+//! Scoring a candidate placement: load distribution plus the combined
+//! satisfaction vector over transactional and batch applications.
+
+use dynaplace_batch::hypothetical::{evaluate_batch_placement, JobSnapshot};
+use dynaplace_model::load::LoadDistribution;
+use dynaplace_model::placement::Placement;
+use dynaplace_model::units::CpuSpeed;
+use dynaplace_rpf::model::PerformanceModel;
+use dynaplace_rpf::satisfaction::SatisfactionVector;
+use dynaplace_rpf::value::Rp;
+
+use crate::load::distribute;
+use crate::problem::{PlacementProblem, WorkloadModel};
+
+/// A fully scored candidate placement.
+#[derive(Debug, Clone)]
+pub struct PlacementScore {
+    /// The max-min fair load distribution for the candidate.
+    pub load: LoadDistribution,
+    /// Every live application's (predicted) relative performance, sorted
+    /// worst-first.
+    pub satisfaction: SatisfactionVector,
+}
+
+impl PlacementScore {
+    /// The lowest relative performance in the system (the primary
+    /// max-min objective).
+    pub fn worst(&self) -> Option<Rp> {
+        self.satisfaction.worst().map(|(_, u)| u)
+    }
+}
+
+/// Scores `placement` for `problem`: distributes load max-min fairly,
+/// reads transactional performance from the queueing models, and
+/// evaluates the batch workload one cycle ahead through the hypothetical
+/// relative performance function (§4.2).
+///
+/// Returns `None` when the placement is infeasible (minimum speeds cannot
+/// be routed).
+pub fn score_placement(
+    problem: &PlacementProblem<'_>,
+    placement: &Placement,
+) -> Option<PlacementScore> {
+    let load = distribute(problem, placement)?;
+
+    let mut entries: Vec<_> = Vec::with_capacity(problem.live_count());
+    let mut batch: Vec<(JobSnapshot, CpuSpeed)> = Vec::new();
+    for (&app, model) in &problem.workloads {
+        match model {
+            WorkloadModel::Transactional(m) => {
+                entries.push((app, m.performance(load.app_total(app))));
+            }
+            WorkloadModel::Batch(snap) => {
+                batch.push((snap.clone(), load.app_total(app)));
+            }
+        }
+    }
+    if !batch.is_empty() {
+        let eval = evaluate_batch_placement(problem.now, problem.cycle, &batch);
+        entries.extend(eval.performances);
+    }
+    Some(PlacementScore {
+        load,
+        satisfaction: SatisfactionVector::from_entries(entries),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use dynaplace_batch::job::JobProfile;
+    use dynaplace_model::app::ApplicationSpec;
+    use dynaplace_model::cluster::{AppSet, Cluster};
+    use dynaplace_model::ids::AppId;
+    use dynaplace_model::node::NodeSpec;
+    use dynaplace_model::units::{Memory, SimDuration, SimTime, Work};
+    use dynaplace_rpf::goal::CompletionGoal;
+
+    fn mhz(x: f64) -> CpuSpeed {
+        CpuSpeed::from_mhz(x)
+    }
+
+    #[test]
+    fn scores_cover_placed_and_queued_jobs() {
+        let mut cluster = Cluster::new();
+        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(2_000.0)));
+        let mut apps = AppSet::new();
+        let running = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
+        let queued = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(500.0)));
+        let mut placement = Placement::new();
+        placement.place(running, n0);
+
+        let snap = |app: AppId, work: f64, speed: f64, deadline: f64, delay: f64| {
+            WorkloadModel::Batch(JobSnapshot::new(
+                app,
+                CompletionGoal::new(SimTime::ZERO, SimTime::from_secs(deadline)),
+                Arc::new(JobProfile::single_stage(
+                    Work::from_mcycles(work),
+                    mhz(speed),
+                    Memory::from_mb(750.0),
+                )),
+                Work::ZERO,
+                SimDuration::from_secs(delay),
+            ))
+        };
+        let mut workloads = BTreeMap::new();
+        workloads.insert(running, snap(running, 4_000.0, 1_000.0, 20.0, 0.0));
+        workloads.insert(queued, snap(queued, 2_000.0, 500.0, 17.0, 1.0));
+        let problem = PlacementProblem {
+            cluster: &cluster,
+            apps: &apps,
+            workloads,
+            current: &placement,
+            now: SimTime::ZERO,
+            cycle: SimDuration::from_secs(1.0),
+        };
+        let score = score_placement(&problem, &placement).unwrap();
+        assert_eq!(score.satisfaction.len(), 2);
+        // The running job holds the whole node.
+        assert!(score.load.app_total(running).approx_eq(mhz(1_000.0), 1.0));
+        assert_eq!(score.load.app_total(queued), CpuSpeed::ZERO);
+        assert!(score.worst().is_some());
+    }
+}

@@ -1,0 +1,88 @@
+//! The Application Placement Controller (APC): dynamic placement of mixed
+//! transactional and batch workloads with max-min fairness over relative
+//! performance.
+//!
+//! This crate is the paper's primary contribution ("Enabling Resource
+//! Sharing between Transactional and Batch Workloads Using Dynamic
+//! Application Placement", Middleware 2008). Each control cycle it takes a
+//! [`problem::PlacementProblem`] — cluster, live applications with their
+//! performance models, and the placement currently in effect — and
+//! produces a [`optimizer::PlacementOutcome`]: a new placement, its
+//! max-min fair load distribution, and the control actions (start /
+//! stop / migrate) to realize it.
+//!
+//! The moving parts:
+//!
+//! - [`problem`] — the per-cycle input, pairing each application with a
+//!   [`problem::WorkloadModel`] (queueing model for web applications,
+//!   batch job snapshot for long-running jobs);
+//! - [`load`] — lexicographic max-min water-filling of CPU over a fixed
+//!   placement, with max-flow routability checks;
+//! - [`evaluate`] — candidate scoring: load distribution + one-cycle-ahead
+//!   batch evaluation through the hypothetical relative performance;
+//! - [`optimizer`] — the three-nested-loop search with change rationing.
+//!
+//! # Example
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use std::sync::Arc;
+//!
+//! use dynaplace_apc::optimizer::{place, ApcConfig};
+//! use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
+//! use dynaplace_batch::hypothetical::JobSnapshot;
+//! use dynaplace_batch::job::JobProfile;
+//! use dynaplace_model::prelude::*;
+//! use dynaplace_rpf::goal::CompletionGoal;
+//!
+//! // One node, one queued job: the controller starts it.
+//! let mut cluster = Cluster::new();
+//! let n0 = cluster.add_node(NodeSpec::new(
+//!     CpuSpeed::from_mhz(1_000.0),
+//!     Memory::from_mb(2_000.0),
+//! ));
+//! let mut apps = AppSet::new();
+//! let j1 = apps.add(ApplicationSpec::batch(
+//!     Memory::from_mb(750.0),
+//!     CpuSpeed::from_mhz(1_000.0),
+//! ));
+//! let current = Placement::new();
+//! let mut workloads = BTreeMap::new();
+//! workloads.insert(
+//!     j1,
+//!     WorkloadModel::Batch(JobSnapshot::new(
+//!         j1,
+//!         CompletionGoal::new(SimTime::ZERO, SimTime::from_secs(20.0)),
+//!         Arc::new(JobProfile::single_stage(
+//!             Work::from_mcycles(4_000.0),
+//!             CpuSpeed::from_mhz(1_000.0),
+//!             Memory::from_mb(750.0),
+//!         )),
+//!         Work::ZERO,
+//!         SimDuration::from_secs(1.0),
+//!     )),
+//! );
+//! let problem = PlacementProblem {
+//!     cluster: &cluster,
+//!     apps: &apps,
+//!     workloads,
+//!     current: &current,
+//!     now: SimTime::ZERO,
+//!     cycle: SimDuration::from_secs(1.0),
+//! };
+//! let outcome = place(&problem, &ApcConfig::default());
+//! assert_eq!(outcome.placement.count(j1, n0), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod load;
+pub mod optimizer;
+pub mod problem;
+
+pub use evaluate::{score_placement, PlacementScore};
+pub use load::distribute;
+pub use optimizer::{fill_only, place, ApcConfig, Objective, OptimizerStats, PlacementOutcome};
+pub use problem::{PlacementProblem, WorkloadModel};

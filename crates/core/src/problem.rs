@@ -1,0 +1,126 @@
+//! The input to one control cycle of the placement controller.
+
+use std::collections::BTreeMap;
+
+use dynaplace_batch::hypothetical::JobSnapshot;
+use dynaplace_model::cluster::{AppSet, Cluster};
+use dynaplace_model::ids::{AppId, NodeId};
+use dynaplace_model::placement::Placement;
+use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime};
+use dynaplace_txn::model::TxnPerformanceModel;
+
+/// The workload-specific performance model of one live application.
+#[derive(Debug, Clone)]
+pub enum WorkloadModel {
+    /// A transactional application scored by the queueing model (§3.3).
+    Transactional(TxnPerformanceModel),
+    /// A batch job scored through the hypothetical relative performance
+    /// of the whole batch workload (§4.2).
+    Batch(JobSnapshot),
+}
+
+impl WorkloadModel {
+    /// Whether this is a batch job.
+    pub fn is_batch(&self) -> bool {
+        matches!(self, WorkloadModel::Batch(_))
+    }
+
+    /// The batch snapshot, if this is a batch job.
+    pub fn as_batch(&self) -> Option<&JobSnapshot> {
+        match self {
+            WorkloadModel::Batch(snap) => Some(snap),
+            WorkloadModel::Transactional(_) => None,
+        }
+    }
+
+    /// The transactional model, if this is a transactional application.
+    pub fn as_transactional(&self) -> Option<&TxnPerformanceModel> {
+        match self {
+            WorkloadModel::Transactional(m) => Some(m),
+            WorkloadModel::Batch(_) => None,
+        }
+    }
+}
+
+/// Everything the placement controller needs for one control cycle:
+/// the cluster, the registry of application specs, the live applications
+/// with their performance models, the current placement, and the cycle
+/// timing.
+///
+/// Applications present in `apps` but absent from `workloads` (e.g.
+/// completed jobs) are ignored; the current placement must only place
+/// live applications.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem<'a> {
+    /// The set of physical machines.
+    pub cluster: &'a Cluster,
+    /// Static application specs (memory, instance limits, constraints).
+    pub apps: &'a AppSet,
+    /// Per-application performance models; the key set defines which
+    /// applications are live this cycle.
+    pub workloads: BTreeMap<AppId, WorkloadModel>,
+    /// The placement currently in effect.
+    pub current: &'a Placement,
+    /// The instant the cycle starts at.
+    pub now: SimTime,
+    /// The control cycle length `T`.
+    pub cycle: SimDuration,
+}
+
+impl<'a> PlacementProblem<'a> {
+    /// Live application ids, in id order.
+    pub fn live_apps(&self) -> impl Iterator<Item = AppId> + '_ {
+        self.workloads.keys().copied()
+    }
+
+    /// Number of live applications.
+    pub fn live_count(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// The memory one instance of `app` pins right now (the job's current
+    /// stage for batch, the static spec otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is not live or not registered.
+    pub fn effective_memory(&self, app: AppId) -> Memory {
+        match &self.workloads[&app] {
+            WorkloadModel::Batch(snap) => snap
+                .profile()
+                .stage_at(snap.consumed())
+                .map(|(s, _)| s.memory())
+                .unwrap_or(Memory::ZERO),
+            WorkloadModel::Transactional(_) => self
+                .apps
+                .get(app)
+                .expect("live app is registered")
+                .memory_per_instance(),
+        }
+    }
+
+    /// Per-instance speed bounds of `app` right now: the job's current
+    /// stage bounds for batch, `[0, spec max]` for transactional.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is not live or not registered.
+    pub fn effective_speed_bounds(&self, app: AppId) -> (CpuSpeed, CpuSpeed) {
+        match &self.workloads[&app] {
+            WorkloadModel::Batch(snap) => (snap.min_speed(), snap.max_speed()),
+            WorkloadModel::Transactional(_) => {
+                let spec = self.apps.get(app).expect("live app is registered");
+                (CpuSpeed::ZERO, spec.max_instance_speed())
+            }
+        }
+    }
+
+    /// Whether `app` may be placed on `node` per its static constraints
+    /// (pinning; anti-affinity is checked against a concrete placement).
+    pub fn allows_node(&self, app: AppId, node: NodeId) -> bool {
+        self.apps
+            .get(app)
+            .map(|s| s.allows_node(node))
+            .unwrap_or(false)
+    }
+}

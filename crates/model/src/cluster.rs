@@ -1,0 +1,213 @@
+//! Registries of nodes and applications.
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::ApplicationSpec;
+use crate::error::ModelError;
+use crate::ids::{AppId, NodeId};
+use crate::node::NodeSpec;
+use crate::units::{CpuSpeed, Memory};
+
+/// The set of physical machines under management.
+///
+/// Nodes receive dense [`NodeId`]s in registration order.
+///
+/// ```
+/// use dynaplace_model::cluster::Cluster;
+/// use dynaplace_model::node::NodeSpec;
+/// use dynaplace_model::units::{CpuSpeed, Memory};
+///
+/// let mut cluster = Cluster::new();
+/// for _ in 0..25 {
+///     cluster.add_node(NodeSpec::new(
+///         CpuSpeed::from_mhz(15_600.0),
+///         Memory::from_mb(16_384.0),
+///     ));
+/// }
+/// assert_eq!(cluster.len(), 25);
+/// assert_eq!(cluster.total_cpu(), CpuSpeed::from_mhz(390_000.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    nodes: Vec<NodeSpec>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cluster of `count` identical nodes.
+    pub fn homogeneous(count: usize, spec: NodeSpec) -> Self {
+        Self {
+            nodes: vec![spec; count],
+        }
+    }
+
+    /// Registers a node and returns its id.
+    pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(spec);
+        id
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownNode`] if the id is not registered.
+    pub fn node(&self, id: NodeId) -> Result<&NodeSpec, ModelError> {
+        self.nodes.get(id.index()).ok_or(ModelError::UnknownNode(id))
+    }
+
+    /// Returns whether the node id is registered.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over `(id, spec)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeSpec)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i as u32), n))
+    }
+
+    /// All node ids in order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId::new(i as u32))
+    }
+
+    /// Aggregate CPU capacity of the cluster.
+    pub fn total_cpu(&self) -> CpuSpeed {
+        self.nodes.iter().map(NodeSpec::cpu_capacity).sum()
+    }
+
+    /// Aggregate memory capacity of the cluster.
+    pub fn total_memory(&self) -> Memory {
+        self.nodes.iter().map(NodeSpec::memory_capacity).sum()
+    }
+}
+
+/// The set of applications known to the placement controller.
+///
+/// Applications receive dense [`AppId`]s in registration order. Completed
+/// jobs stay registered (their ids remain valid in historical records) but
+/// are excluded from placement by the caller.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppSet {
+    apps: Vec<ApplicationSpec>,
+}
+
+impl AppSet {
+    /// Creates an empty application set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an application and returns its id.
+    pub fn add(&mut self, spec: ApplicationSpec) -> AppId {
+        let id = AppId::new(self.apps.len() as u32);
+        self.apps.push(spec);
+        id
+    }
+
+    /// Looks up an application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownApp`] if the id is not registered.
+    pub fn get(&self, id: AppId) -> Result<&ApplicationSpec, ModelError> {
+        self.apps.get(id.index()).ok_or(ModelError::UnknownApp(id))
+    }
+
+    /// Returns whether the application id is registered.
+    pub fn contains(&self, id: AppId) -> bool {
+        id.index() < self.apps.len()
+    }
+
+    /// Number of registered applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether no applications are registered.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Iterates over `(id, spec)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AppId, &ApplicationSpec)> {
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AppId::new(i as u32), a))
+    }
+
+    /// All application ids in order.
+    pub fn app_ids(&self) -> impl Iterator<Item = AppId> + '_ {
+        (0..self.apps.len()).map(|i| AppId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeSpec {
+        NodeSpec::new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+    }
+
+    #[test]
+    fn dense_ids_in_registration_order() {
+        let mut cluster = Cluster::new();
+        let a = cluster.add_node(node());
+        let b = cluster.add_node(node());
+        assert_eq!(a, NodeId::new(0));
+        assert_eq!(b, NodeId::new(1));
+        assert!(cluster.contains(b));
+        assert!(!cluster.contains(NodeId::new(2)));
+        assert!(cluster.node(NodeId::new(2)).is_err());
+    }
+
+    #[test]
+    fn homogeneous_builds_identical_nodes() {
+        let cluster = Cluster::homogeneous(4, node());
+        assert_eq!(cluster.len(), 4);
+        assert_eq!(cluster.total_cpu(), CpuSpeed::from_mhz(4_000.0));
+        assert_eq!(cluster.total_memory(), Memory::from_mb(8_000.0));
+        assert_eq!(cluster.node_ids().count(), 4);
+    }
+
+    #[test]
+    fn empty_cluster() {
+        let cluster = Cluster::new();
+        assert!(cluster.is_empty());
+        assert_eq!(cluster.total_cpu(), CpuSpeed::ZERO);
+    }
+
+    #[test]
+    fn app_set_round_trips() {
+        let mut apps = AppSet::new();
+        let id = apps.add(ApplicationSpec::batch(
+            Memory::from_mb(750.0),
+            CpuSpeed::from_mhz(500.0),
+        ));
+        assert_eq!(id, AppId::new(0));
+        assert_eq!(apps.get(id).unwrap().memory_per_instance(), Memory::from_mb(750.0));
+        assert!(apps.get(AppId::new(1)).is_err());
+        assert_eq!(apps.iter().count(), 1);
+        assert!(!apps.is_empty());
+    }
+}

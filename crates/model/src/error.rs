@@ -1,0 +1,96 @@
+//! Error types for model-level invariant violations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{AppId, NodeId};
+
+/// Violation of a cluster-model invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ModelError {
+    /// The referenced node is not registered in the cluster.
+    UnknownNode(NodeId),
+    /// The referenced application is not registered.
+    UnknownApp(AppId),
+    /// Attempted to remove an instance that is not placed.
+    InstanceNotPlaced { app: AppId, node: NodeId },
+    /// Placing the instance would exceed the node's memory capacity.
+    MemoryExceeded { node: NodeId },
+    /// The load distribution would exceed the node's CPU capacity.
+    CpuExceeded { node: NodeId },
+    /// The application already runs its maximum number of instances.
+    MaxInstancesExceeded { app: AppId },
+    /// The application is pinned elsewhere and may not run on this node.
+    PinningViolated { app: AppId, node: NodeId },
+    /// An anti-affinity constraint forbids collocating these applications.
+    AntiAffinityViolated { app: AppId, other: AppId, node: NodeId },
+    /// Load was assigned to an application on a node where it has no
+    /// instance.
+    LoadWithoutInstance { app: AppId, node: NodeId },
+    /// An instance was assigned less than its minimum speed or more than
+    /// its maximum speed.
+    SpeedOutOfBounds { app: AppId, node: NodeId },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ModelError::UnknownApp(a) => write!(f, "unknown application {a}"),
+            ModelError::InstanceNotPlaced { app, node } => {
+                write!(f, "{app} has no instance on {node}")
+            }
+            ModelError::MemoryExceeded { node } => {
+                write!(f, "memory capacity exceeded on {node}")
+            }
+            ModelError::CpuExceeded { node } => {
+                write!(f, "cpu capacity exceeded on {node}")
+            }
+            ModelError::MaxInstancesExceeded { app } => {
+                write!(f, "{app} already runs its maximum number of instances")
+            }
+            ModelError::PinningViolated { app, node } => {
+                write!(f, "{app} is pinned away from {node}")
+            }
+            ModelError::AntiAffinityViolated { app, other, node } => {
+                write!(f, "{app} may not share {node} with {other}")
+            }
+            ModelError::LoadWithoutInstance { app, node } => {
+                write!(f, "load assigned to {app} on {node} where it has no instance")
+            }
+            ModelError::SpeedOutOfBounds { app, node } => {
+                write!(f, "speed assigned to {app} on {node} is outside its instance bounds")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        let samples = [
+            ModelError::UnknownNode(NodeId::new(1)),
+            ModelError::UnknownApp(AppId::new(2)),
+            ModelError::MemoryExceeded { node: NodeId::new(0) },
+            ModelError::MaxInstancesExceeded { app: AppId::new(3) },
+        ];
+        for err in samples {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,78 @@
+//! Cluster model for dynamic application placement.
+//!
+//! This crate defines the vocabulary shared by the whole `dynaplace`
+//! workspace, mirroring §3.2 of *Carrera et al., "Enabling Resource Sharing
+//! between Transactional and Batch Workloads Using Dynamic Application
+//! Placement" (Middleware 2008)*:
+//!
+//! - typed physical [`units`] (MHz, MB, megacycles, seconds),
+//! - [`NodeId`]/[`AppId`] identifiers and registries ([`Cluster`],
+//!   [`AppSet`]),
+//! - the placement matrix [`Placement`] (instances per node) and load
+//!   distribution matrix [`LoadDistribution`] (CPU per application per
+//!   node), with full constraint validation,
+//! - placement [`delta`]s describing control actions (start / stop /
+//!   migrate).
+//!
+//! # Example
+//!
+//! ```
+//! use dynaplace_model::prelude::*;
+//!
+//! // A node with one 1 GHz CPU and 2 GB of memory (the §4.3 example node).
+//! let mut cluster = Cluster::new();
+//! let n0 = cluster.add_node(NodeSpec::new(
+//!     CpuSpeed::from_mhz(1_000.0),
+//!     Memory::from_mb(2_000.0),
+//! ));
+//!
+//! let mut apps = AppSet::new();
+//! let j1 = apps.add(
+//!     ApplicationSpec::batch(Memory::from_mb(750.0), CpuSpeed::from_mhz(1_000.0))
+//!         .with_name("J1"),
+//! );
+//!
+//! let mut placement = Placement::new();
+//! placement.checked_place(j1, n0, &cluster, &apps)?;
+//!
+//! let mut load = LoadDistribution::new();
+//! load.set(j1, n0, CpuSpeed::from_mhz(1_000.0));
+//! load.validate(&placement, &cluster, &apps)?;
+//! # Ok::<(), dynaplace_model::error::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod cluster;
+pub mod delta;
+pub mod error;
+pub mod ids;
+pub mod load;
+pub mod node;
+pub mod placement;
+pub mod units;
+
+pub use app::{AntiAffinityGroup, ApplicationSpec, WorkloadKind};
+pub use cluster::{AppSet, Cluster};
+pub use delta::{diff_placements, PlacementAction};
+pub use error::ModelError;
+pub use ids::{AppId, NodeId};
+pub use load::LoadDistribution;
+pub use node::NodeSpec;
+pub use placement::Placement;
+pub use units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::app::{AntiAffinityGroup, ApplicationSpec, WorkloadKind};
+    pub use crate::cluster::{AppSet, Cluster};
+    pub use crate::delta::PlacementAction;
+    pub use crate::error::ModelError;
+    pub use crate::ids::{AppId, NodeId};
+    pub use crate::load::LoadDistribution;
+    pub use crate::node::NodeSpec;
+    pub use crate::placement::Placement;
+    pub use crate::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
+}

@@ -1,0 +1,99 @@
+//! Physical machine descriptors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{CpuSpeed, Memory};
+
+/// Static description of a physical machine: its CPU capacity (the sum of
+/// all its cores' speeds, in MHz) and its memory capacity.
+///
+/// The paper's Experiment One uses nodes with four 3.9 GHz processors and
+/// 16 GB of RAM:
+///
+/// ```
+/// use dynaplace_model::node::NodeSpec;
+/// use dynaplace_model::units::{CpuSpeed, Memory};
+///
+/// let node = NodeSpec::new(CpuSpeed::from_mhz(4.0 * 3_900.0), Memory::from_mb(16_384.0));
+/// assert_eq!(node.cpu_capacity(), CpuSpeed::from_mhz(15_600.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    name: Option<String>,
+    cpu: CpuSpeed,
+    memory: Memory,
+}
+
+impl NodeSpec {
+    /// Creates a node with the given total CPU speed and memory capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is negative.
+    pub fn new(cpu: CpuSpeed, memory: Memory) -> Self {
+        assert!(cpu.as_mhz() >= 0.0, "cpu capacity must be non-negative");
+        assert!(memory.as_mb() >= 0.0, "memory capacity must be non-negative");
+        Self {
+            name: None,
+            cpu,
+            memory,
+        }
+    }
+
+    /// Attaches a human-readable name (used only in diagnostics).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Total CPU speed of the node.
+    #[inline]
+    pub fn cpu_capacity(&self) -> CpuSpeed {
+        self.cpu
+    }
+
+    /// Total memory of the node.
+    #[inline]
+    pub fn memory_capacity(&self) -> Memory {
+        self.memory
+    }
+
+    /// The diagnostic name, if one was set.
+    #[inline]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+impl fmt::Display for NodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n} ({}, {})", self.cpu, self.memory),
+            None => write!(f, "node ({}, {})", self.cpu, self.memory),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_and_reads_back() {
+        let n = NodeSpec::new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+            .with_name("example");
+        assert_eq!(n.cpu_capacity(), CpuSpeed::from_mhz(1_000.0));
+        assert_eq!(n.memory_capacity(), Memory::from_mb(2_000.0));
+        assert_eq!(n.name(), Some("example"));
+        assert!(n.to_string().contains("example"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu capacity must be non-negative")]
+    fn rejects_negative_cpu() {
+        let _ = NodeSpec::new(CpuSpeed::from_mhz(-1.0), Memory::ZERO);
+    }
+}

@@ -1,0 +1,33 @@
+//! Relative performance functions (RPFs) and the fairness objective.
+//!
+//! An RPF measures an application's performance *relative to its goal*
+//! (§3.2 of the paper): 0 means the goal is exactly met, positive values
+//! exceed it, negative values violate it. Because every workload — web
+//! application or batch job — is scored on the same scale, the placement
+//! controller can trade resources between them fairly.
+//!
+//! This crate provides:
+//!
+//! - [`value::Rp`] — the clamped, totally ordered performance value,
+//! - [`goal`] — response-time and completion-time goals and their linear
+//!   RPFs (eqs. 1 and 2),
+//! - [`model::PerformanceModel`] — performance as a function of allocated
+//!   CPU, with the two queries the placement algorithm needs, and
+//!   [`model::SampledRpf`], the piecewise-linear materialization,
+//! - [`satisfaction::SatisfactionVector`] — the ordered per-application
+//!   performance vector and the paper's extended max-min comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod goal;
+pub mod model;
+pub mod satisfaction;
+pub mod utility;
+pub mod value;
+
+pub use goal::{CompletionGoal, ResponseTimeGoal};
+pub use model::{PerformanceModel, SampledRpf};
+pub use satisfaction::{SatisfactionVector, DEFAULT_EPSILON};
+pub use utility::{SatisfactionCurve, UtilityModel};
+pub use value::{Rp, RP_CEIL, RP_FLOOR};

@@ -1,0 +1,234 @@
+//! The `PerformanceModel` abstraction: relative performance as a function
+//! of allocated CPU power.
+//!
+//! The placement algorithm asks two questions of every application
+//! (§3.2):
+//!
+//! 1. *What relative performance does the application achieve under a
+//!    given CPU allocation?* — [`PerformanceModel::performance`]
+//! 2. *How much CPU must it receive to achieve a target relative
+//!    performance?* — [`PerformanceModel::demand`]
+
+use dynaplace_model::units::CpuSpeed;
+use dynaplace_solver::piecewise::{PiecewiseError, PiecewiseLinear};
+
+use crate::value::Rp;
+
+/// Relative performance as a monotone non-decreasing function of the
+/// aggregate CPU speed ω allocated to the application.
+pub trait PerformanceModel {
+    /// Relative performance achieved with aggregate allocation `omega`.
+    ///
+    /// Must be non-decreasing in `omega`.
+    fn performance(&self, omega: CpuSpeed) -> Rp;
+
+    /// The smallest aggregate allocation achieving relative performance
+    /// `u`, clamped to [`PerformanceModel::max_useful_demand`] when `u`
+    /// exceeds [`PerformanceModel::max_performance`].
+    fn demand(&self, u: Rp) -> CpuSpeed;
+
+    /// The highest achievable relative performance (the paper's
+    /// `u_max_m`): allocating more CPU than
+    /// [`PerformanceModel::max_useful_demand`] does not raise performance
+    /// beyond this.
+    fn max_performance(&self) -> Rp;
+
+    /// The allocation at which performance saturates.
+    fn max_useful_demand(&self) -> CpuSpeed {
+        self.demand(self.max_performance())
+    }
+}
+
+impl<M: PerformanceModel + ?Sized> PerformanceModel for &M {
+    fn performance(&self, omega: CpuSpeed) -> Rp {
+        (**self).performance(omega)
+    }
+    fn demand(&self, u: Rp) -> CpuSpeed {
+        (**self).demand(u)
+    }
+    fn max_performance(&self) -> Rp {
+        (**self).max_performance()
+    }
+    fn max_useful_demand(&self) -> CpuSpeed {
+        (**self).max_useful_demand()
+    }
+}
+
+impl<M: PerformanceModel + ?Sized> PerformanceModel for Box<M> {
+    fn performance(&self, omega: CpuSpeed) -> Rp {
+        (**self).performance(omega)
+    }
+    fn demand(&self, u: Rp) -> CpuSpeed {
+        (**self).demand(u)
+    }
+    fn max_performance(&self) -> Rp {
+        (**self).max_performance()
+    }
+    fn max_useful_demand(&self) -> CpuSpeed {
+        (**self).max_useful_demand()
+    }
+}
+
+/// A performance model materialized from `(ω, u)` samples, interpolated
+/// piecewise-linearly in both directions.
+///
+/// This is the concrete representation the placement controller works
+/// with: workload-specific models (queueing theory for transactional
+/// applications, the hypothetical relative performance for batch jobs)
+/// are sampled into a `SampledRpf` once per control cycle.
+///
+/// ```
+/// use dynaplace_model::units::CpuSpeed;
+/// use dynaplace_rpf::model::{PerformanceModel, SampledRpf};
+/// use dynaplace_rpf::value::Rp;
+///
+/// let rpf = SampledRpf::from_samples(vec![
+///     (CpuSpeed::ZERO, Rp::new(-1.0)),
+///     (CpuSpeed::from_mhz(1_000.0), Rp::new(0.5)),
+/// ])?;
+/// assert_eq!(rpf.performance(CpuSpeed::from_mhz(500.0)), Rp::new(-0.25));
+/// assert_eq!(rpf.demand(Rp::new(0.5)), CpuSpeed::from_mhz(1_000.0));
+/// assert_eq!(rpf.max_performance(), Rp::new(0.5));
+/// # Ok::<(), dynaplace_solver::piecewise::PiecewiseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledRpf {
+    curve: PiecewiseLinear,
+}
+
+impl SampledRpf {
+    /// Builds the model from `(allocation, performance)` samples with
+    /// strictly increasing allocations and non-decreasing performance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiecewiseError`] if fewer than two samples are given or
+    /// allocations are not strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the performance values are decreasing (the model must be
+    /// monotone).
+    pub fn from_samples(samples: Vec<(CpuSpeed, Rp)>) -> Result<Self, PiecewiseError> {
+        let pts: Vec<(f64, f64)> = samples
+            .into_iter()
+            .map(|(omega, u)| (omega.as_mhz(), u.value()))
+            .collect();
+        let curve = PiecewiseLinear::new(pts)?;
+        assert!(
+            curve.is_non_decreasing(),
+            "performance must be non-decreasing in allocation"
+        );
+        Ok(Self { curve })
+    }
+
+    /// The underlying sample points as `(allocation, performance)`.
+    pub fn samples(&self) -> impl Iterator<Item = (CpuSpeed, Rp)> + '_ {
+        self.curve
+            .points()
+            .iter()
+            .map(|&(x, y)| (CpuSpeed::from_mhz(x), Rp::new(y)))
+    }
+}
+
+impl PerformanceModel for SampledRpf {
+    fn performance(&self, omega: CpuSpeed) -> Rp {
+        Rp::new(self.curve.eval(omega.as_mhz()))
+    }
+
+    fn demand(&self, u: Rp) -> CpuSpeed {
+        CpuSpeed::from_mhz(self.curve.inverse(u.value()))
+    }
+
+    fn max_performance(&self) -> Rp {
+        Rp::new(self.curve.eval(self.curve.x_max()))
+    }
+
+    fn max_useful_demand(&self) -> CpuSpeed {
+        // The earliest allocation achieving max performance (left edge of
+        // the saturated plateau), not the largest sampled allocation.
+        self.demand(self.max_performance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mhz(m: f64) -> CpuSpeed {
+        CpuSpeed::from_mhz(m)
+    }
+
+    fn saturating_model() -> SampledRpf {
+        SampledRpf::from_samples(vec![
+            (CpuSpeed::ZERO, Rp::new(-2.0)),
+            (mhz(100.0), Rp::new(0.0)),
+            (mhz(200.0), Rp::new(0.66)),
+            (mhz(400.0), Rp::new(0.66)), // saturated plateau
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn performance_interpolates() {
+        let m = saturating_model();
+        assert_eq!(m.performance(mhz(50.0)), Rp::new(-1.0));
+        assert_eq!(m.performance(mhz(100.0)), Rp::GOAL);
+        assert_eq!(m.performance(mhz(300.0)), Rp::new(0.66));
+    }
+
+    #[test]
+    fn performance_clamps_outside_samples() {
+        let m = saturating_model();
+        assert_eq!(m.performance(mhz(1e9)), Rp::new(0.66));
+        assert_eq!(m.performance(CpuSpeed::ZERO), Rp::new(-2.0));
+    }
+
+    #[test]
+    fn demand_is_leftmost_inverse() {
+        let m = saturating_model();
+        assert_eq!(m.demand(Rp::GOAL), mhz(100.0));
+        // Saturated value: demand is the left edge of the plateau.
+        assert_eq!(m.demand(Rp::new(0.66)), mhz(200.0));
+        assert_eq!(m.max_useful_demand(), mhz(200.0));
+    }
+
+    #[test]
+    fn demand_beyond_max_clamps() {
+        let m = saturating_model();
+        assert_eq!(m.demand(Rp::new(0.99)), mhz(400.0).min(m.demand(Rp::MAX)));
+        assert_eq!(m.max_performance(), Rp::new(0.66));
+    }
+
+    #[test]
+    fn round_trip_within_active_region() {
+        let m = saturating_model();
+        for omega in [10.0, 60.0, 150.0, 199.0] {
+            let u = m.performance(mhz(omega));
+            let back = m.demand(u);
+            assert!(
+                (back.as_mhz() - omega).abs() < 1e-6,
+                "round trip failed at {omega} MHz: got {back:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_samples_rejected() {
+        let _ = SampledRpf::from_samples(vec![
+            (CpuSpeed::ZERO, Rp::new(0.5)),
+            (mhz(100.0), Rp::new(0.1)),
+        ]);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let m: Box<dyn PerformanceModel> = Box::new(saturating_model());
+        assert_eq!(m.performance(mhz(100.0)), Rp::GOAL);
+        assert_eq!(m.max_performance(), Rp::new(0.66));
+        // And through a reference.
+        let by_ref: &dyn PerformanceModel = &*m;
+        assert_eq!(by_ref.demand(Rp::GOAL), mhz(100.0));
+    }
+}

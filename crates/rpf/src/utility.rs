@@ -1,0 +1,160 @@
+//! Transforming relative performance into business utility.
+//!
+//! The paper is careful to distinguish RPFs from utility functions (§2):
+//! an RPF is *merely a measure of relative distance from the goal*, while
+//! a utility function models user satisfaction or business value. "If
+//! such a satisfaction model exists, it may be used to transform an RPF
+//! into a utility function." This module provides that transformation:
+//! a monotone satisfaction curve composed over any [`PerformanceModel`].
+
+use dynaplace_model::units::CpuSpeed;
+use dynaplace_solver::piecewise::{PiecewiseError, PiecewiseLinear};
+
+use crate::model::PerformanceModel;
+use crate::value::Rp;
+
+/// A monotone non-decreasing map from relative performance to business
+/// utility, represented piecewise-linearly.
+///
+/// ```
+/// use dynaplace_rpf::utility::SatisfactionCurve;
+/// use dynaplace_rpf::value::Rp;
+///
+/// // A step-ish SLA curve: heavy penalty below goal, bonus above.
+/// let curve = SatisfactionCurve::new(vec![
+///     (-1.0, -100.0), // severe violation: large penalty
+///     (0.0, 0.0),     // exactly on goal: neutral
+///     (0.5, 10.0),    // overachievement is worth a little
+///     (1.0, 12.0),    // ...with diminishing returns
+/// ])?;
+/// assert_eq!(curve.utility(Rp::GOAL), 0.0);
+/// assert_eq!(curve.utility(Rp::new(-0.5)), -50.0);
+/// assert_eq!(curve.utility(Rp::new(0.75)), 11.0);
+/// # Ok::<(), dynaplace_solver::piecewise::PiecewiseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatisfactionCurve {
+    curve: PiecewiseLinear,
+}
+
+impl SatisfactionCurve {
+    /// Builds the curve from `(relative performance, utility)` samples
+    /// with strictly increasing performance values and non-decreasing
+    /// utility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiecewiseError`] for fewer than two points or
+    /// non-increasing x coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the utilities decrease (satisfaction must be monotone
+    /// in performance).
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, PiecewiseError> {
+        let curve = PiecewiseLinear::new(points)?;
+        assert!(
+            curve.is_non_decreasing(),
+            "satisfaction must be non-decreasing in relative performance"
+        );
+        Ok(Self { curve })
+    }
+
+    /// The linear identity: utility ≡ relative performance (the implicit
+    /// model used when no satisfaction data exists).
+    pub fn identity() -> Self {
+        Self::new(vec![
+            (crate::value::RP_FLOOR, crate::value::RP_FLOOR),
+            (crate::value::RP_CEIL, crate::value::RP_CEIL),
+        ])
+        .expect("identity curve is well-formed")
+    }
+
+    /// Business utility of a relative performance value.
+    pub fn utility(&self, u: Rp) -> f64 {
+        self.curve.eval(u.value())
+    }
+}
+
+/// A [`PerformanceModel`] re-scored through a [`SatisfactionCurve`]:
+/// utility as a function of allocated CPU. Useful for comparing the
+/// paper's fairness objective against utility-maximizing placement (the
+/// approach of Wang et al. \[17\] discussed in §2).
+#[derive(Debug, Clone)]
+pub struct UtilityModel<M> {
+    inner: M,
+    curve: SatisfactionCurve,
+}
+
+impl<M: PerformanceModel> UtilityModel<M> {
+    /// Wraps a performance model with a satisfaction curve.
+    pub fn new(inner: M, curve: SatisfactionCurve) -> Self {
+        Self { inner, curve }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Utility achieved under aggregate allocation `omega`.
+    pub fn utility(&self, omega: CpuSpeed) -> f64 {
+        self.curve.utility(self.inner.performance(omega))
+    }
+
+    /// The maximum achievable utility.
+    pub fn max_utility(&self) -> f64 {
+        self.curve.utility(self.inner.max_performance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SampledRpf;
+
+    fn model() -> SampledRpf {
+        SampledRpf::from_samples(vec![
+            (CpuSpeed::ZERO, Rp::new(-1.0)),
+            (CpuSpeed::from_mhz(100.0), Rp::new(0.0)),
+            (CpuSpeed::from_mhz(200.0), Rp::new(0.5)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let c = SatisfactionCurve::identity();
+        for u in [-5.0, -1.0, 0.0, 0.5, 1.0] {
+            assert!((c.utility(Rp::new(u)) - u).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn asymmetric_penalties() {
+        // Violations cost 10x what overachievement earns.
+        let c = SatisfactionCurve::new(vec![(-1.0, -10.0), (0.0, 0.0), (1.0, 1.0)]).unwrap();
+        assert_eq!(c.utility(Rp::new(-0.5)), -5.0);
+        assert_eq!(c.utility(Rp::new(0.5)), 0.5);
+    }
+
+    #[test]
+    fn utility_model_composes() {
+        let m = UtilityModel::new(
+            model(),
+            SatisfactionCurve::new(vec![(-1.0, -100.0), (0.0, 0.0), (0.5, 5.0)]).unwrap(),
+        );
+        assert_eq!(m.utility(CpuSpeed::ZERO), -100.0);
+        assert_eq!(m.utility(CpuSpeed::from_mhz(100.0)), 0.0);
+        assert_eq!(m.utility(CpuSpeed::from_mhz(200.0)), 5.0);
+        assert_eq!(m.max_utility(), 5.0);
+        // Monotone because both parts are monotone.
+        assert!(m.utility(CpuSpeed::from_mhz(150.0)) > m.utility(CpuSpeed::from_mhz(50.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_satisfaction_rejected() {
+        let _ = SatisfactionCurve::new(vec![(0.0, 1.0), (1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The relative performance value type.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Lower clamp for relative performance values.
+///
+/// The paper samples the hypothetical relative performance function from
+/// `u₁ = −∞`; a finite floor keeps the arithmetic well-behaved while still
+/// representing "hopelessly late". A job at the floor contributes almost
+/// no CPU demand at the bottom sampling row, matching the fluid model's
+/// intent. See DESIGN.md §6.
+pub const RP_FLOOR: f64 = -10.0;
+
+/// Upper bound for relative performance: a job that completes instantly at
+/// its desired start time achieves exactly 1.
+pub const RP_CEIL: f64 = 1.0;
+
+/// A relative performance value (the paper's `u`): 0 when the goal is
+/// exactly met, positive when exceeded, negative when violated.
+///
+/// Values are clamped into `[RP_FLOOR, RP_CEIL]` and are never NaN, which
+/// makes `Rp` totally ordered ([`Ord`]).
+///
+/// ```
+/// use dynaplace_rpf::value::Rp;
+///
+/// let on_goal = Rp::new(0.0);
+/// let ahead = Rp::new(0.63);
+/// let late = Rp::new(-0.15);
+/// assert!(late < on_goal && on_goal < ahead);
+/// assert_eq!(Rp::new(55.0), Rp::MAX); // clamped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Rp(f64);
+
+impl Rp {
+    /// Exactly meeting the goal.
+    pub const GOAL: Self = Self(0.0);
+    /// The lower clamp ([`RP_FLOOR`]).
+    pub const MIN: Self = Self(RP_FLOOR);
+    /// The upper clamp ([`RP_CEIL`]).
+    pub const MAX: Self = Self(RP_CEIL);
+
+    /// Creates a relative performance value, clamping into
+    /// `[RP_FLOOR, RP_CEIL]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "relative performance must not be NaN");
+        Self(value.clamp(RP_FLOOR, RP_CEIL))
+    }
+
+    /// The underlying value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the goal is met or exceeded (`u >= 0`).
+    #[inline]
+    pub fn meets_goal(self) -> bool {
+        self.0 >= 0.0
+    }
+
+    /// The smaller of two values.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two values.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when the two values differ by at most `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl Eq for Rp {}
+
+impl PartialOrd for Rp {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rp {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Clamped, never NaN: total_cmp agrees with numeric order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Rp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u={:+.3}", self.0)
+    }
+}
+
+impl From<Rp> for f64 {
+    #[inline]
+    fn from(rp: Rp) -> f64 {
+        rp.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Rp::new(2.0), Rp::MAX);
+        assert_eq!(Rp::new(-99.0), Rp::MIN);
+        assert_eq!(Rp::new(0.5).value(), 0.5);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![Rp::new(0.3), Rp::new(-0.4), Rp::new(1.0), Rp::GOAL];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Rp::new(-0.4), Rp::GOAL, Rp::new(0.3), Rp::new(1.0)]
+        );
+    }
+
+    #[test]
+    fn goal_semantics() {
+        assert!(Rp::GOAL.meets_goal());
+        assert!(Rp::new(0.1).meets_goal());
+        assert!(!Rp::new(-0.001).meets_goal());
+    }
+
+    #[test]
+    fn min_max_and_approx() {
+        assert_eq!(Rp::new(0.2).min(Rp::new(0.5)), Rp::new(0.2));
+        assert_eq!(Rp::new(0.2).max(Rp::new(0.5)), Rp::new(0.5));
+        assert!(Rp::new(0.2).approx_eq(Rp::new(0.2000001), 1e-5));
+        assert!(!Rp::new(0.2).approx_eq(Rp::new(0.3), 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_rejected() {
+        let _ = Rp::new(f64::NAN);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rp::new(0.63).to_string(), "u=+0.630");
+        assert_eq!(Rp::new(-0.15).to_string(), "u=-0.150");
+    }
+}

@@ -1,0 +1,1151 @@
+//! The discrete-event cluster simulator.
+//!
+//! Reproduces the evaluation vehicle of §5: a virtualized cluster on
+//! which batch jobs and transactional applications are placed by either
+//! the paper's placement controller (APC) or one of the baseline
+//! schedulers (FCFS, EDF), with VM control operations charged according
+//! to the measured cost model.
+//!
+//! The simulation is event-driven and fully deterministic: job arrivals,
+//! projected job completions, and periodic control cycles are the only
+//! event sources, and all state lives in ordered maps.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dynaplace_apc::optimizer::{fill_only, place, ApcConfig, PlacementOutcome};
+use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
+use dynaplace_batch::baselines::{edf_schedule, fcfs_schedule, BaselineJob, NodeCapacity};
+use dynaplace_batch::class_profiler::JobClassProfiler;
+use dynaplace_batch::hypothetical::{HypotheticalRpf, JobSnapshot};
+use dynaplace_batch::job::JobSpec;
+use dynaplace_batch::state::{JobState, JobStatus};
+use dynaplace_model::app::ApplicationSpec;
+use dynaplace_model::cluster::{AppSet, Cluster};
+use dynaplace_model::delta::PlacementAction;
+use dynaplace_model::ids::{AppId, NodeId};
+use dynaplace_model::load::LoadDistribution;
+use dynaplace_model::placement::Placement;
+use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
+use dynaplace_rpf::goal::ResponseTimeGoal;
+use dynaplace_rpf::value::Rp;
+use dynaplace_txn::model::{TxnPerformanceModel, TxnWorkload};
+use dynaplace_txn::router::RequestRouter;
+use dynaplace_txn::workload::ArrivalPattern;
+
+use crate::costs::{VmCostModel, VmOperation};
+use crate::events::{EventKind, EventQueue};
+use crate::metrics::{CompletionRecord, CycleSample, RunMetrics};
+
+/// Work remaining below this is considered complete (floating point
+/// slack, in megacycles).
+const COMPLETION_EPS: f64 = 1e-6;
+
+/// Which decision maker drives the cluster.
+#[derive(Debug, Clone)]
+pub enum SchedulerKind {
+    /// The paper's placement controller, running a full optimization
+    /// every control cycle. When `advice_between_cycles` is set, job
+    /// arrivals and completions additionally trigger a non-disruptive
+    /// fill pass (§3.1: the scheduler consults the controller on where
+    /// and *when* a job should run).
+    Apc {
+        /// Optimizer tunables.
+        config: ApcConfig,
+        /// Run a start-only advice pass on arrivals/completions.
+        advice_between_cycles: bool,
+    },
+    /// First-Come, First-Served (non-preemptive, first fit).
+    Fcfs,
+    /// Earliest Deadline First (preemptive, first fit).
+    Edf,
+}
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Control cycle length `T` (also the metric sampling period).
+    pub cycle: SimDuration,
+    /// Hard stop; when `None` the simulation runs until every job has
+    /// completed.
+    pub horizon: Option<SimDuration>,
+    /// VM operation cost model.
+    pub costs: VmCostModel,
+    /// The decision maker.
+    pub scheduler: SchedulerKind,
+    /// Nodes batch jobs may use under the baseline schedulers; `None`
+    /// means all nodes. (The APC path uses per-application pinning
+    /// instead.)
+    pub batch_nodes: Option<Vec<NodeId>>,
+    /// When set, transactional applications are not managed by the
+    /// scheduler: each receives a fixed allocation equal to
+    /// `min(its saturation allocation, the capacity of these nodes)` —
+    /// the paper's static partitioning baseline (Experiment Three).
+    pub static_txn_nodes: Option<Vec<NodeId>>,
+    /// Estimation errors injected into what the *controller* sees (the
+    /// simulated truth is unaffected). Models imperfect job workload
+    /// profilers and CPU-demand estimators (§3.1).
+    pub noise: EstimationNoise,
+    /// On-the-fly profile generation (the paper's future work): when
+    /// set, jobs tagged with a class whose history has at least three
+    /// completions are presented to the controller with the *estimated*
+    /// class-mean work instead of their true profile.
+    pub profile_from_history: bool,
+    /// Scripted permanent node failures: at each offset from the start
+    /// of the run, the node's capacity drops to zero, instances on it
+    /// are evicted (jobs suspended, losing no completed work), and the
+    /// scheduler re-places the survivors.
+    pub node_failures: Vec<(SimDuration, NodeId)>,
+    /// Close the work-profiler loop (§3.1): instead of the configured
+    /// per-request demand, the controller uses an online regression
+    /// estimate from (throughput, CPU-used) observations taken each
+    /// control cycle — with a small deterministic measurement error so
+    /// the estimator actually works for its living.
+    pub estimate_txn_demand: bool,
+}
+
+/// Relative estimation errors presented to the placement controller.
+///
+/// Each job gets a deterministic bias in `[-job_work, +job_work]`
+/// (derived from its id), applied to the *remaining work* the controller
+/// sees; the transactional arrival rate is scaled by `1 + txn_rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EstimationNoise {
+    /// Maximum relative error on each job's remaining work (0.2 = ±20%).
+    pub job_work: f64,
+    /// Relative error on transactional arrival rates (may be negative).
+    pub txn_rate: f64,
+}
+
+impl EstimationNoise {
+    /// No estimation error (the default).
+    pub const NONE: Self = Self {
+        job_work: 0.0,
+        txn_rate: 0.0,
+    };
+
+    /// Deterministic per-job bias factor in `[1 - job_work, 1 + job_work]`.
+    fn work_factor(&self, app: AppId) -> f64 {
+        if self.job_work == 0.0 {
+            return 1.0;
+        }
+        // Knuth multiplicative hash → uniform-ish in [-1, 1].
+        let h = (app.index() as u64).wrapping_mul(2_654_435_761) % 10_000;
+        let unit = (h as f64) / 5_000.0 - 1.0;
+        1.0 + self.job_work * unit
+    }
+}
+
+impl SimConfig {
+    /// A configuration with the paper's defaults: 600 s control cycle,
+    /// measured VM costs, APC scheduling with between-cycle advice.
+    pub fn apc_default() -> Self {
+        Self {
+            cycle: SimDuration::from_secs(600.0),
+            horizon: None,
+            costs: VmCostModel::default(),
+            scheduler: SchedulerKind::Apc {
+                config: ApcConfig::default(),
+                advice_between_cycles: true,
+            },
+            batch_nodes: None,
+            static_txn_nodes: None,
+            noise: EstimationNoise::NONE,
+            profile_from_history: false,
+            node_failures: Vec::new(),
+            estimate_txn_demand: false,
+        }
+    }
+
+    /// Same timing/costs but FCFS scheduling.
+    pub fn fcfs_default() -> Self {
+        Self {
+            scheduler: SchedulerKind::Fcfs,
+            ..Self::apc_default()
+        }
+    }
+
+    /// Same timing/costs but EDF scheduling.
+    pub fn edf_default() -> Self {
+        Self {
+            scheduler: SchedulerKind::Edf,
+            ..Self::apc_default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    spec: JobSpec,
+    profile: Arc<dynaplace_batch::job::JobProfile>,
+    state: JobState,
+    node: Option<NodeId>,
+    allocation: CpuSpeed,
+    /// Progress is frozen until this instant (VM operation in flight).
+    transition_until: SimTime,
+    /// Invalidates stale completion events.
+    generation: u64,
+    arrived: bool,
+    ever_started: bool,
+    /// Concurrent task instances (1 for ordinary jobs).
+    parallelism: u32,
+}
+
+impl Job {
+    fn is_live(&self) -> bool {
+        self.arrived && self.state.status().is_live()
+    }
+
+    fn is_running(&self) -> bool {
+        self.arrived && self.state.status() == JobStatus::Running
+    }
+}
+
+/// A managed transactional application.
+struct TxnApp {
+    demand_per_request: f64,
+    floor: SimDuration,
+    goal: ResponseTimeGoal,
+    pattern: Box<dyn ArrivalPattern + Send>,
+    router: RequestRouter,
+    /// Online per-request demand estimator (work profiler, §3.1).
+    profiler: dynaplace_txn::profiler::WorkProfiler,
+    /// Observation counter driving the deterministic measurement error.
+    observations: u64,
+}
+
+impl std::fmt::Debug for TxnApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnApp")
+            .field("demand_per_request", &self.demand_per_request)
+            .field("floor", &self.floor)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The simulator.
+///
+/// Build with [`Simulation::new`], register workloads with
+/// [`Simulation::add_job`] / [`Simulation::add_txn`], then call
+/// [`Simulation::run`].
+#[derive(Debug)]
+pub struct Simulation {
+    cluster: Cluster,
+    apps: AppSet,
+    config: SimConfig,
+    jobs: BTreeMap<AppId, Job>,
+    txns: BTreeMap<AppId, TxnApp>,
+    placement: Placement,
+    load: LoadDistribution,
+    now: SimTime,
+    last_advance: SimTime,
+    events: EventQueue,
+    metrics: RunMetrics,
+    live_jobs: usize,
+    class_profiler: JobClassProfiler,
+    /// The cluster as the schedulers see it (failed nodes zeroed).
+    effective_cluster: Cluster,
+    failed_nodes: std::collections::BTreeSet<NodeId>,
+}
+
+impl Simulation {
+    /// Creates an empty simulation over `cluster`.
+    pub fn new(cluster: Cluster, config: SimConfig) -> Self {
+        Self {
+            effective_cluster: cluster.clone(),
+            cluster,
+            apps: AppSet::new(),
+            config,
+            jobs: BTreeMap::new(),
+            txns: BTreeMap::new(),
+            placement: Placement::new(),
+            load: LoadDistribution::new(),
+            now: SimTime::ZERO,
+            last_advance: SimTime::ZERO,
+            events: EventQueue::new(),
+            metrics: RunMetrics::default(),
+            live_jobs: 0,
+            class_profiler: JobClassProfiler::new(3),
+            failed_nodes: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The cluster under simulation.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Submits a batch job described by `spec`; optionally pinned to a
+    /// subset of nodes. Returns the application id assigned to it.
+    ///
+    /// The job's [`ApplicationSpec`] is derived from its profile: memory
+    /// is the maximum over stages (conservative; the per-stage value
+    /// drives CPU bounds at runtime), speed cap is the maximum stage
+    /// speed.
+    pub fn add_job(&mut self, build: impl FnOnce(AppId) -> JobSpec) -> AppId {
+        self.add_job_pinned(build, None)
+    }
+
+    /// Like [`Simulation::add_job`] with a node restriction.
+    pub fn add_job_pinned(
+        &mut self,
+        build: impl FnOnce(AppId) -> JobSpec,
+        allowed: Option<Vec<NodeId>>,
+    ) -> AppId {
+        // Reserve the id first so the spec can reference it.
+        let provisional = AppId::new(self.apps.len() as u32);
+        let spec = build(provisional);
+        assert_eq!(spec.app(), provisional, "job spec must use the given id");
+        let memory = spec
+            .profile()
+            .stages()
+            .iter()
+            .map(|s| s.memory())
+            .fold(Memory::ZERO, Memory::max);
+        let max_speed = spec
+            .profile()
+            .stages()
+            .iter()
+            .map(|s| s.max_speed())
+            .fold(CpuSpeed::ZERO, CpuSpeed::max);
+        let mut app_spec = ApplicationSpec::batch(memory, max_speed);
+        if let Some(nodes) = allowed {
+            app_spec = app_spec.with_allowed_nodes(nodes);
+        }
+        let app = self.apps.add(app_spec);
+        debug_assert_eq!(app, provisional);
+        let profile = Arc::new(spec.profile().clone());
+        let arrival = spec.arrival();
+        self.jobs.insert(
+            app,
+            Job {
+                spec,
+                profile,
+                state: JobState::new(),
+                node: None,
+                allocation: CpuSpeed::ZERO,
+                transition_until: SimTime::ZERO,
+                generation: 0,
+                arrived: false,
+                ever_started: false,
+                parallelism: 1,
+            },
+        );
+        self.events.push(arrival, EventKind::JobArrival(app));
+        app
+    }
+
+    /// Submits a *malleable parallel* job with up to `tasks` concurrent
+    /// task instances, each pinning the profile's stage memory and
+    /// running at up to the stage's maximum speed; the job progresses at
+    /// the sum of its placed tasks' speeds. Only supported under the APC
+    /// scheduler (the FCFS/EDF baselines model single-instance jobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is zero or the scheduler is a baseline.
+    pub fn add_parallel_job(
+        &mut self,
+        tasks: u32,
+        build: impl FnOnce(AppId) -> JobSpec,
+    ) -> AppId {
+        assert!(tasks > 0, "tasks must be positive");
+        assert!(
+            matches!(self.config.scheduler, SchedulerKind::Apc { .. }),
+            "parallel jobs require the APC scheduler"
+        );
+        let provisional = AppId::new(self.apps.len() as u32);
+        let spec = build(provisional);
+        assert_eq!(spec.app(), provisional, "job spec must use the given id");
+        let memory = spec
+            .profile()
+            .stages()
+            .iter()
+            .map(|s| s.memory())
+            .fold(Memory::ZERO, Memory::max);
+        let per_task_speed = spec
+            .profile()
+            .stages()
+            .iter()
+            .map(|s| s.max_speed())
+            .fold(CpuSpeed::ZERO, CpuSpeed::max);
+        let app = self
+            .apps
+            .add(ApplicationSpec::batch_parallel(memory, per_task_speed, tasks));
+        debug_assert_eq!(app, provisional);
+        let profile = Arc::new(spec.profile().clone());
+        let arrival = spec.arrival();
+        self.jobs.insert(
+            app,
+            Job {
+                spec,
+                profile,
+                state: JobState::new(),
+                node: None,
+                allocation: CpuSpeed::ZERO,
+                transition_until: SimTime::ZERO,
+                generation: 0,
+                arrived: false,
+                ever_started: false,
+                parallelism: tasks,
+            },
+        );
+        self.events.push(arrival, EventKind::JobArrival(app));
+        app
+    }
+
+    /// Registers a transactional application. `allowed` optionally pins
+    /// its instances (used for static partitioning).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_txn(
+        &mut self,
+        memory_per_instance: Memory,
+        max_instances: u32,
+        demand_per_request: f64,
+        floor: SimDuration,
+        goal: ResponseTimeGoal,
+        pattern: Box<dyn ArrivalPattern + Send>,
+        allowed: Option<Vec<NodeId>>,
+    ) -> AppId {
+        let mut spec = ApplicationSpec::transactional(
+            memory_per_instance,
+            CpuSpeed::from_mhz(f64::INFINITY),
+            max_instances,
+        );
+        if let Some(nodes) = allowed {
+            spec = spec.with_allowed_nodes(nodes);
+        }
+        let app = self.apps.add(spec);
+        self.txns.insert(
+            app,
+            TxnApp {
+                demand_per_request,
+                floor,
+                goal,
+                pattern,
+                router: RequestRouter::default(),
+                profiler: dynaplace_txn::profiler::WorkProfiler::new(1, 32),
+                observations: 0,
+            },
+        );
+        app
+    }
+
+    /// Runs the simulation to completion (or the horizon) and returns
+    /// the recorded metrics.
+    pub fn run(mut self) -> RunMetrics {
+        // First control cycle fires immediately (places any jobs that
+        // arrived at t = 0 and the transactional applications).
+        self.events.push(SimTime::ZERO, EventKind::ControlCycle);
+        if let Some(h) = self.config.horizon {
+            self.events.push(SimTime::ZERO + h, EventKind::Horizon);
+        }
+        for (offset, node) in self.config.node_failures.clone() {
+            self.events
+                .push(SimTime::ZERO + offset, EventKind::NodeFailure(node));
+        }
+        self.live_jobs = 0;
+
+        while let Some((time, kind)) = self.events.pop() {
+            self.now = time;
+            match kind {
+                EventKind::Horizon => break,
+                EventKind::JobArrival(app) => self.on_arrival(app),
+                EventKind::JobCompletion { app, generation } => {
+                    self.on_completion(app, generation)
+                }
+                EventKind::NodeFailure(node) => self.on_node_failure(node),
+                EventKind::ControlCycle => {
+                    self.on_cycle();
+                    // Keep cycling while work remains (or a horizon will
+                    // cut us off).
+                    let pending_arrivals = self.jobs.values().any(|j| !j.arrived);
+                    if self.live_jobs > 0
+                        || pending_arrivals
+                        || (self.config.horizon.is_some() && !self.txns.is_empty())
+                    {
+                        self.events
+                            .push(self.now + self.config.cycle, EventKind::ControlCycle);
+                    }
+                }
+            }
+        }
+        self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, app: AppId) {
+        self.advance_progress();
+        let job = self.jobs.get_mut(&app).expect("arrival for known job");
+        job.arrived = true;
+        self.live_jobs += 1;
+        self.between_cycle_advice();
+    }
+
+    fn on_completion(&mut self, app: AppId, generation: u64) {
+        {
+            let job = &self.jobs[&app];
+            if !job.is_running() || job.generation != generation {
+                return; // stale projection (or completed inline already)
+            }
+        }
+        // advance_progress completes this job (and any peer finishing at
+        // the same instant) inline.
+        self.advance_progress();
+        if let Some(job) = self.jobs.get_mut(&app) {
+            if job.is_running() {
+                // Numerical drift: reschedule precisely.
+                let remaining = job.state.remaining_work(&job.profile);
+                job.generation += 1;
+                if job.allocation.as_mhz() > 0.0 && remaining.as_mcycles() > 0.0 {
+                    let t = self.now.max(job.transition_until) + remaining / job.allocation;
+                    self.events.push(
+                        t,
+                        EventKind::JobCompletion {
+                            app,
+                            generation: job.generation,
+                        },
+                    );
+                }
+                return;
+            }
+        }
+        self.between_cycle_advice();
+    }
+
+    fn on_node_failure(&mut self, node: NodeId) {
+        self.advance_progress();
+        if !self.failed_nodes.insert(node) {
+            return; // already failed
+        }
+        // Zero the node's capacity in the scheduler-visible cluster.
+        let mut rebuilt = Cluster::new();
+        for (id, spec) in self.cluster.iter() {
+            if self.failed_nodes.contains(&id) {
+                rebuilt.add_node(
+                    dynaplace_model::node::NodeSpec::new(CpuSpeed::ZERO, Memory::ZERO)
+                        .with_name(format!("{id} (failed)")),
+                );
+            } else {
+                rebuilt.add_node(spec.clone());
+            }
+        }
+        self.effective_cluster = rebuilt;
+        // Evict everything on the failed node: jobs suspend (keeping
+        // their completed work), transactional instances just vanish.
+        let victims: Vec<AppId> = self.placement.apps_on(node).map(|(app, _)| app).collect();
+        for app in victims {
+            while self.placement.count(app, node) > 0 {
+                self.placement
+                    .remove(app, node)
+                    .expect("victim instance exists");
+            }
+            self.load.set(app, node, CpuSpeed::ZERO);
+            if let Some(job) = self.jobs.get_mut(&app) {
+                if job.is_running() && !self.placement.is_placed(app) {
+                    job.state.suspend();
+                    job.node = None;
+                    self.metrics.changes.suspends += 1;
+                }
+                job.allocation = self.load.app_total(app);
+            }
+        }
+        let ids: Vec<AppId> = self.jobs.keys().copied().collect();
+        for app in ids {
+            self.reschedule_completion(app);
+        }
+        // Let the scheduler react immediately.
+        self.between_cycle_advice();
+    }
+
+    /// Records one (throughput, CPU-used) observation per transactional
+    /// application into its work profiler — the measurement the real
+    /// router takes every interval (§3.1). A deterministic ±2%
+    /// alternating error keeps the regression honest.
+    fn observe_txn_demand(&mut self) {
+        let placement = &self.placement;
+        let load = &self.load;
+        let now = self.now;
+        for (&app, txn) in self.txns.iter_mut() {
+            let rate = txn.pattern.rate_at(now);
+            let allocations: Vec<CpuSpeed> = placement
+                .instances_of(app)
+                .map(|(node, _)| load.get(app, node))
+                .collect();
+            let workload = TxnWorkload::new(rate, txn.demand_per_request, txn.floor);
+            let outcome = txn.router.route(&workload, &allocations);
+            if outcome.admitted_rate <= 0.0 {
+                continue; // nothing served: no signal this interval
+            }
+            let error = if txn.observations % 2 == 0 { 0.02 } else { -0.02 };
+            txn.observations += 1;
+            txn.profiler.record(dynaplace_txn::profiler::UtilizationSample {
+                throughput: vec![outcome.admitted_rate],
+                cpu_used_mhz: outcome.admitted_rate * txn.demand_per_request * (1.0 + error),
+            });
+        }
+    }
+
+    /// Runs the between-event scheduling reaction: a start-only advice
+    /// pass under APC (when enabled), a full reschedule under the
+    /// baselines.
+    fn between_cycle_advice(&mut self) {
+        match self.config.scheduler.clone() {
+            SchedulerKind::Apc {
+                config,
+                advice_between_cycles,
+            } => {
+                if advice_between_cycles {
+                    let outcome = {
+                        let problem = self.build_problem();
+                        fill_only(&problem, &config)
+                    };
+                    self.apply_outcome(outcome);
+                }
+            }
+            SchedulerKind::Fcfs | SchedulerKind::Edf => self.run_baseline(),
+        }
+    }
+
+    /// Marks a running job as finished now: records the completion and
+    /// releases its resources.
+    fn finish_job(&mut self, app: AppId) {
+        let job = self.jobs.get_mut(&app).expect("known job");
+        debug_assert!(job.is_running());
+        job.state.complete(self.now);
+        job.allocation = CpuSpeed::ZERO;
+        job.node = None;
+        self.live_jobs -= 1;
+        let goal = job.spec.goal();
+        let best = job.profile.min_execution_time();
+        let record = CompletionRecord {
+            app,
+            arrival: job.spec.arrival(),
+            completion: self.now,
+            deadline: goal.deadline(),
+            distance: goal.distance_to_deadline(self.now),
+            rp: goal.performance_at(self.now),
+            goal_factor: goal.relative_goal().as_secs() / best.as_secs(),
+            met_deadline: self.now <= goal.deadline(),
+        };
+        self.metrics.completions.push(record);
+        if let Some(class) = self.jobs[&app].spec.class() {
+            let total = self.jobs[&app].profile.total_work();
+            self.class_profiler.record_completion(class, total);
+        }
+        self.placement.evict(app);
+        self.load.evict(app);
+    }
+
+    fn on_cycle(&mut self) {
+        self.advance_progress();
+        if self.config.estimate_txn_demand {
+            self.observe_txn_demand();
+        }
+        let mut compute_secs = 0.0;
+        match self.config.scheduler.clone() {
+            SchedulerKind::Apc { config, .. } => {
+                let started = Instant::now();
+                let outcome = {
+                    let problem = self.build_problem();
+                    place(&problem, &config)
+                };
+                compute_secs = started.elapsed().as_secs_f64();
+                self.apply_outcome(outcome);
+            }
+            SchedulerKind::Fcfs | SchedulerKind::Edf => {
+                // Baselines are event-driven; the cycle is only a metric
+                // sampling tick. Still run the scheduler to pick up any
+                // state change (idempotent when nothing changed).
+                self.run_baseline();
+            }
+        }
+        self.record_sample(compute_secs);
+    }
+
+    // ------------------------------------------------------------------
+    // Progress accounting
+    // ------------------------------------------------------------------
+
+    /// Advances every running job's consumed work from `last_advance` to
+    /// `now` at its current allocation, excluding in-flight transition
+    /// time.
+    fn advance_progress(&mut self) {
+        let from = self.last_advance;
+        let to = self.now;
+        if to <= from {
+            self.last_advance = to.max(from);
+            return;
+        }
+        let mut exhausted = Vec::new();
+        for (&app, job) in self.jobs.iter_mut() {
+            if !job.is_running() || job.allocation.is_zero() {
+                continue;
+            }
+            let start = from.max(job.transition_until);
+            if to > start {
+                let done = job.allocation * (to - start);
+                job.state.advance(&job.profile, done);
+            }
+            let remaining = job.state.remaining_work(&job.profile);
+            if remaining.as_mcycles() <= COMPLETION_EPS {
+                // Snap to done and complete inline, so jobs finishing at
+                // the same instant as the current event are never seen
+                // as live-with-zero-work by the decision makers.
+                job.state.advance(&job.profile, remaining);
+                exhausted.push(app);
+            }
+        }
+        self.last_advance = to;
+        for app in exhausted {
+            self.finish_job(app);
+        }
+    }
+
+    /// Bumps a job's generation and schedules its projected completion.
+    fn reschedule_completion(&mut self, app: AppId) {
+        let job = self.jobs.get_mut(&app).expect("known job");
+        job.generation += 1;
+        if !job.is_running() || job.allocation.is_zero() {
+            return;
+        }
+        let remaining = job.state.remaining_work(&job.profile);
+        if remaining.is_zero() {
+            return;
+        }
+        let t = self.now.max(job.transition_until) + remaining / job.allocation;
+        self.events.push(
+            t,
+            EventKind::JobCompletion {
+                app,
+                generation: job.generation,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Decision making
+    // ------------------------------------------------------------------
+
+    fn build_problem(&self) -> PlacementProblem<'_> {
+        let mut workloads = BTreeMap::new();
+        for (&app, job) in &self.jobs {
+            if !job.is_live() || job.state.remaining_work(&job.profile).as_mcycles() <= 1e-6 {
+                // Jobs whose completion event is pending at this very
+                // instant are no longer placement-relevant.
+                continue;
+            }
+            let delay = if job.is_running() {
+                SimDuration::ZERO
+            } else {
+                self.config.cycle
+            };
+            // The controller sees the (possibly misestimated) profile;
+            // scaling consumed work by the same factor keeps the fraction
+            // done consistent while the remaining work carries the error.
+            let mut factor = self.config.noise.work_factor(app);
+            let mut measured_consumed = false;
+            if self.config.profile_from_history {
+                if let Some(est) = job.spec.class().and_then(|c| self.class_profiler.estimate(c))
+                {
+                    // Present the class-mean total work. Consumed work is
+                    // *measured* (not estimated), so scale the profile
+                    // only: factor = estimate / truth, floored so the
+                    // presented job is never already "done".
+                    let truth = job.profile.total_work().as_mcycles();
+                    let consumed = job.state.consumed().as_mcycles();
+                    let est_total = est.mean_work().as_mcycles().max(consumed * 1.01 + 1.0);
+                    factor = est_total / truth;
+                    measured_consumed = true;
+                }
+            }
+            let (profile, consumed) = if factor == 1.0 {
+                (Arc::clone(&job.profile), job.state.consumed())
+            } else {
+                let stages = job
+                    .profile
+                    .stages()
+                    .iter()
+                    .map(|s| {
+                        dynaplace_batch::job::JobStage::new(
+                            s.work() * factor,
+                            s.max_speed(),
+                            s.min_speed(),
+                            s.memory(),
+                        )
+                    })
+                    .collect();
+                let consumed = if measured_consumed {
+                    job.state.consumed()
+                } else {
+                    job.state.consumed() * factor
+                };
+                (
+                    Arc::new(dynaplace_batch::job::JobProfile::new(stages)),
+                    consumed,
+                )
+            };
+            workloads.insert(
+                app,
+                WorkloadModel::Batch(
+                    JobSnapshot::new(app, job.spec.goal(), profile, consumed, delay)
+                        .with_parallelism(job.parallelism),
+                ),
+            );
+        }
+        for (&app, txn) in &self.txns {
+            if self.config.static_txn_nodes.is_some() {
+                continue; // statically partitioned: not managed
+            }
+            let rate = txn.pattern.rate_at(self.now) * (1.0 + self.config.noise.txn_rate);
+            let demand = if self.config.estimate_txn_demand {
+                txn.profiler
+                    .estimate_single()
+                    .ok()
+                    .filter(|d| *d > 0.0)
+                    .unwrap_or(txn.demand_per_request)
+            } else {
+                txn.demand_per_request
+            };
+            workloads.insert(
+                app,
+                WorkloadModel::Transactional(TxnPerformanceModel::new(
+                    TxnWorkload::new(rate.max(0.0), demand, txn.floor),
+                    txn.goal,
+                )),
+            );
+        }
+        PlacementProblem {
+            cluster: &self.effective_cluster,
+            apps: &self.apps,
+            workloads,
+            current: &self.placement,
+            now: self.now,
+            cycle: self.config.cycle,
+        }
+    }
+
+    fn apply_outcome(&mut self, outcome: PlacementOutcome) {
+        let actions = outcome.actions.clone();
+        self.apply_transition(outcome.placement, outcome.score.load, &actions);
+    }
+
+    /// Applies a new placement + load: counts VM operations from the
+    /// action list, charges transition latencies, and derives every
+    /// job's lifecycle state from its placement *membership* (which also
+    /// covers malleable parallel jobs whose task count changes without
+    /// the job stopping).
+    fn apply_transition(
+        &mut self,
+        target: Placement,
+        load: LoadDistribution,
+        actions: &[PlacementAction],
+    ) {
+        // Pass 1: counters and per-job transition latencies, before any
+        // state changes (the boot-vs-resume distinction needs the old
+        // `ever_started`).
+        let mut latency: BTreeMap<AppId, SimDuration> = BTreeMap::new();
+        for action in actions {
+            let app = action.app();
+            let Some(job) = self.jobs.get(&app) else {
+                continue; // transactional instances reconfigure freely
+            };
+            let footprint = job
+                .state
+                .current_memory(&job.profile)
+                .unwrap_or(Memory::ZERO);
+            let costs = self.config.costs;
+            let lat = match *action {
+                PlacementAction::Start { .. } => {
+                    let op = if job.ever_started {
+                        self.metrics.changes.resumes += 1;
+                        VmOperation::Resume
+                    } else {
+                        self.metrics.changes.starts += 1;
+                        VmOperation::Boot
+                    };
+                    costs.latency(op, footprint)
+                }
+                PlacementAction::Stop { .. } => {
+                    self.metrics.changes.suspends += 1;
+                    SimDuration::ZERO
+                }
+                PlacementAction::Migrate { .. } => {
+                    self.metrics.changes.migrations += 1;
+                    costs.latency(VmOperation::Migrate, footprint)
+                }
+            };
+            let entry = latency.entry(app).or_insert(SimDuration::ZERO);
+            *entry = entry.max(lat);
+        }
+
+        // Pass 2: lifecycle from placement membership.
+        let ids: Vec<AppId> = self.jobs.keys().copied().collect();
+        for app in &ids {
+            let placed = target.is_placed(*app);
+            let job = self.jobs.get_mut(app).expect("known job");
+            if !job.is_live() {
+                continue;
+            }
+            match (job.state.status(), placed) {
+                (JobStatus::NotStarted | JobStatus::Suspended, true) => {
+                    job.ever_started = true;
+                    job.state.start();
+                }
+                (JobStatus::Running | JobStatus::Paused, false) => {
+                    job.state.suspend();
+                }
+                _ => {}
+            }
+            job.node = target.single_node_of(*app);
+            if let Some(lat) = latency.get(app) {
+                job.transition_until = self.now + *lat;
+            }
+        }
+
+        self.placement = target;
+        self.load = load;
+        #[cfg(debug_assertions)]
+        {
+            self.placement
+                .validate(&self.effective_cluster, &self.apps)
+                .expect("engine invariant: placement always valid");
+            self.load
+                .validate(&self.placement, &self.effective_cluster, &self.apps)
+                .expect("engine invariant: load always valid");
+        }
+        for app in ids {
+            let total = self.load.app_total(app);
+            self.jobs.get_mut(&app).expect("known job").allocation = total;
+            self.reschedule_completion(app);
+        }
+    }
+
+    fn baseline_nodes(&self) -> Vec<NodeCapacity> {
+        let allowed = self.config.batch_nodes.clone();
+        self.effective_cluster
+            .iter()
+            .filter(|(id, _)| {
+                !self.failed_nodes.contains(id)
+                    && allowed.as_ref().map_or(true, |v| v.contains(id))
+            })
+            .map(|(id, spec)| NodeCapacity {
+                node: id,
+                cpu: spec.cpu_capacity(),
+                memory: spec.memory_capacity(),
+            })
+            .collect()
+    }
+
+    fn run_baseline(&mut self) {
+        let nodes = self.baseline_nodes();
+        // Reservation-based schedulers reserve a job's full speed; a job
+        // faster than any node caps its reservation at the largest node
+        // (it simply runs slower there).
+        let largest = nodes
+            .iter()
+            .map(|n| n.cpu)
+            .fold(CpuSpeed::ZERO, CpuSpeed::max);
+        let jobs: Vec<BaselineJob> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.is_live())
+            .map(|(&app, j)| BaselineJob {
+                app,
+                arrival: j.spec.arrival(),
+                deadline: j.spec.goal().deadline(),
+                memory: j
+                    .state
+                    .current_memory(&j.profile)
+                    .unwrap_or(Memory::ZERO),
+                max_speed: j
+                    .state
+                    .current_speed_bounds(&j.profile)
+                    .map_or(CpuSpeed::ZERO, |(_, max)| max)
+                    .min(largest),
+                current_node: j.node,
+            })
+            .collect();
+        let target = match self.config.scheduler {
+            SchedulerKind::Fcfs => fcfs_schedule(&nodes, &jobs),
+            SchedulerKind::Edf => edf_schedule(&nodes, &jobs),
+            SchedulerKind::Apc { .. } => unreachable!("baseline path"),
+        };
+        let actions = self.placement.diff(&target);
+        let mut load = LoadDistribution::new();
+        for job in &jobs {
+            if let Some(node) = target.single_node_of(job.app) {
+                load.set(job.app, node, job.max_speed);
+            }
+        }
+        self.apply_transition(target, load, &actions);
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    fn record_sample(&mut self, placement_compute_secs: f64) {
+        // Batch: mean hypothetical relative performance at the current
+        // aggregate batch allocation.
+        let mut snapshots = Vec::new();
+        let mut batch_alloc = CpuSpeed::ZERO;
+        let mut running = 0;
+        let mut waiting = 0;
+        for (&app, job) in &self.jobs {
+            if !job.is_live() || job.state.remaining_work(&job.profile).as_mcycles() <= 1e-6 {
+                continue;
+            }
+            if job.is_running() {
+                running += 1;
+            } else {
+                waiting += 1;
+            }
+            batch_alloc += job.allocation;
+            let delay = if job.is_running() {
+                SimDuration::ZERO
+            } else {
+                self.config.cycle
+            };
+            snapshots.push(
+                JobSnapshot::new(
+                    app,
+                    job.spec.goal(),
+                    Arc::clone(&job.profile),
+                    job.state.consumed(),
+                    delay,
+                )
+                .with_parallelism(job.parallelism),
+            );
+        }
+        let batch_rp = if snapshots.is_empty() {
+            None
+        } else {
+            HypotheticalRpf::new(self.now, &snapshots).mean_performance(batch_alloc)
+        };
+
+        // Transactional: actual relative performance via the router.
+        let (txn_rp, txn_alloc) = self.txn_sample();
+
+        self.metrics.samples.push(CycleSample {
+            time: self.now,
+            batch_hypothetical_rp: batch_rp,
+            txn_rp,
+            batch_allocation: batch_alloc,
+            txn_allocation: txn_alloc,
+            running_jobs: running,
+            waiting_jobs: waiting,
+            placement_compute_secs,
+        });
+    }
+
+    fn txn_sample(&self) -> (Option<Rp>, CpuSpeed) {
+        if self.txns.is_empty() {
+            return (None, CpuSpeed::ZERO);
+        }
+        let mut total_alloc = CpuSpeed::ZERO;
+        let mut rp_sum = 0.0;
+        let mut rp_count = 0usize;
+        for (&app, txn) in &self.txns {
+            let rate = txn.pattern.rate_at(self.now);
+            let workload = TxnWorkload::new(rate, txn.demand_per_request, txn.floor);
+            let allocations: Vec<CpuSpeed> = match &self.config.static_txn_nodes {
+                Some(nodes) => {
+                    // Static partition: the app owns its nodes outright,
+                    // consuming up to its saturation allocation.
+                    let capacity: CpuSpeed = nodes
+                        .iter()
+                        .map(|&n| {
+                            self.effective_cluster
+                                .node(n)
+                                .expect("static txn node exists")
+                                .cpu_capacity()
+                        })
+                        .sum();
+                    let used = capacity.min(workload.saturation_allocation());
+                    vec![used]
+                }
+                None => self
+                    .placement
+                    .instances_of(app)
+                    .map(|(node, _)| self.load.get(app, node))
+                    .collect(),
+            };
+            total_alloc += allocations.iter().copied().sum();
+            let outcome = txn.router.route(&workload, &allocations);
+            let rp = match outcome.mean_response {
+                Some(t) if !outcome.is_overloaded() => txn.goal.performance_at(t),
+                // Overload (or no capacity): report the floor.
+                _ => Rp::MIN,
+            };
+            rp_sum += rp.value();
+            rp_count += 1;
+        }
+        let rp = if rp_count > 0 {
+            Some(Rp::new(rp_sum / rp_count as f64))
+        } else {
+            None
+        };
+        (rp, total_alloc)
+    }
+
+    /// Consumed work of a job (test/diagnostic hook).
+    pub fn job_consumed(&self, app: AppId) -> Option<Work> {
+        self.jobs.get(&app).map(|j| j.state.consumed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_factor_is_deterministic_and_bounded() {
+        let noise = EstimationNoise {
+            job_work: 0.3,
+            txn_rate: 0.0,
+        };
+        for i in 0..100 {
+            let app = AppId::new(i);
+            let f1 = noise.work_factor(app);
+            let f2 = noise.work_factor(app);
+            assert_eq!(f1, f2, "factor must be a pure function of the id");
+            assert!((0.7..=1.3).contains(&f1), "factor {f1} out of bounds");
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_exactly_one() {
+        let noise = EstimationNoise::NONE;
+        for i in 0..10 {
+            assert_eq!(noise.work_factor(AppId::new(i)), 1.0);
+        }
+    }
+
+    #[test]
+    fn noise_factors_spread_across_ids() {
+        // Not all jobs share the same bias (the hash spreads them).
+        let noise = EstimationNoise {
+            job_work: 0.5,
+            txn_rate: 0.0,
+        };
+        let factors: std::collections::BTreeSet<u64> = (0..50)
+            .map(|i| (noise.work_factor(AppId::new(i)) * 1e6) as u64)
+            .collect();
+        assert!(factors.len() > 25, "biases should be diverse: {}", factors.len());
+    }
+
+    #[test]
+    fn config_constructors_pick_schedulers() {
+        assert!(matches!(
+            SimConfig::apc_default().scheduler,
+            SchedulerKind::Apc { .. }
+        ));
+        assert!(matches!(SimConfig::fcfs_default().scheduler, SchedulerKind::Fcfs));
+        assert!(matches!(SimConfig::edf_default().scheduler, SchedulerKind::Edf));
+    }
+}

@@ -1,0 +1,144 @@
+//! The discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dynaplace_model::ids::{AppId, NodeId};
+use dynaplace_model::units::SimTime;
+
+/// What happens at an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum EventKind {
+    /// A job is submitted (index into the scenario's job list).
+    JobArrival(AppId),
+    /// A running job is projected to finish. Stale completions are
+    /// filtered with the generation counter: the event only fires if the
+    /// job's allocation has not changed since it was scheduled.
+    JobCompletion { app: AppId, generation: u64 },
+    /// A periodic control cycle of the placement controller (also used
+    /// as the metric sampling tick for the baseline schedulers).
+    ControlCycle,
+    /// A node fails permanently: its capacity drops to zero and every
+    /// instance on it is evicted.
+    NodeFailure(NodeId),
+    /// End of the simulation horizon.
+    Horizon,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first, with the
+        // insertion sequence as a deterministic tie-break.
+        other
+            .time
+            .as_secs()
+            .total_cmp(&self.time.as_secs())
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+///
+/// Events at the same instant fire in insertion order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), EventKind::ControlCycle);
+        q.push(t(1.0), EventKind::Horizon);
+        q.push(t(3.0), EventKind::JobArrival(AppId::new(0)));
+        assert_eq!(q.pop().unwrap().0, t(1.0));
+        assert_eq!(q.pop().unwrap().0, t(3.0));
+        assert_eq!(q.pop().unwrap().0, t(5.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_fires_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(t(2.0), EventKind::JobArrival(AppId::new(1)));
+        q.push(t(2.0), EventKind::JobArrival(AppId::new(2)));
+        q.push(t(2.0), EventKind::ControlCycle);
+        assert_eq!(q.pop().unwrap().1, EventKind::JobArrival(AppId::new(1)));
+        assert_eq!(q.pop().unwrap().1, EventKind::JobArrival(AppId::new(2)));
+        assert_eq!(q.pop().unwrap().1, EventKind::ControlCycle);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(t(4.0), EventKind::Horizon);
+        q.push(t(2.0), EventKind::ControlCycle);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.len(), 2);
+    }
+}

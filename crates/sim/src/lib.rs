@@ -1,0 +1,60 @@
+//! Discrete-event cluster simulator for mixed transactional and batch
+//! workloads.
+//!
+//! Reproduces the evaluation environment of the paper's §5: a
+//! virtualized cluster whose placement is driven by the Application
+//! Placement Controller (`dynaplace-apc`) or by the FCFS / EDF baseline
+//! schedulers, with VM control operations (boot, suspend, resume,
+//! migrate) charged at the latencies the paper measured.
+//!
+//! - [`engine::Simulation`] — the event-driven simulator;
+//! - [`costs::VmCostModel`] — the §5 cost model;
+//! - [`scenario`] — builders for the §4.3 example and Experiments 1–3;
+//! - [`metrics::RunMetrics`] — everything the paper's figures plot.
+//!
+//! # Example
+//!
+//! ```
+//! use dynaplace_sim::engine::{SchedulerKind, SimConfig};
+//! use dynaplace_sim::scenario::{paper_example, ExampleScenario};
+//! use dynaplace_sim::costs::VmCostModel;
+//! use dynaplace_apc::optimizer::ApcConfig;
+//! use dynaplace_model::units::SimDuration;
+//!
+//! let config = SimConfig {
+//!     cycle: SimDuration::from_secs(1.0),
+//!     horizon: Some(SimDuration::from_secs(60.0)),
+//!     costs: VmCostModel::free(),
+//!     scheduler: SchedulerKind::Apc {
+//!         config: ApcConfig::paper_narrative(),
+//!         advice_between_cycles: false,
+//!     },
+//!     batch_nodes: None,
+//!     static_txn_nodes: None,
+//!     noise: dynaplace_sim::engine::EstimationNoise::NONE,
+//!     profile_from_history: false,
+//!     node_failures: Vec::new(),
+//!     estimate_txn_demand: false,
+//! };
+//! let metrics = paper_example(ExampleScenario::S2, config).run();
+//! assert_eq!(metrics.completions.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod engine;
+pub mod events;
+pub mod metrics;
+pub mod scenario;
+pub mod spec;
+
+pub use costs::{VmCostModel, VmOperation};
+pub use engine::{SchedulerKind, SimConfig, Simulation};
+pub use metrics::{ChangeCounters, CompletionRecord, CycleSample, RunMetrics};
+pub use scenario::{
+    experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario,
+    SharingConfig,
+};
+pub use spec::ScenarioSpec;

@@ -1,0 +1,183 @@
+//! Metric collection: everything the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+
+use dynaplace_model::ids::AppId;
+use dynaplace_model::units::{CpuSpeed, SimDuration, SimTime};
+use dynaplace_rpf::value::Rp;
+
+/// One per-cycle sample of system state (the time axes of Figs. 2, 6, 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleSample {
+    /// Sample instant.
+    pub time: SimTime,
+    /// Mean hypothetical relative performance over live jobs, if any.
+    pub batch_hypothetical_rp: Option<Rp>,
+    /// Actual relative performance of the transactional workload (from
+    /// the router's observed response time), if present.
+    pub txn_rp: Option<Rp>,
+    /// Total CPU allocated to batch jobs.
+    pub batch_allocation: CpuSpeed,
+    /// Total CPU allocated to transactional applications.
+    pub txn_allocation: CpuSpeed,
+    /// Jobs currently running.
+    pub running_jobs: usize,
+    /// Jobs waiting (queued or suspended).
+    pub waiting_jobs: usize,
+    /// Wall-clock seconds the placement computation took this cycle.
+    pub placement_compute_secs: f64,
+}
+
+/// One completed job (the scatter points of Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletionRecord {
+    /// The job.
+    pub app: AppId,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Completion time.
+    pub completion: SimTime,
+    /// Completion deadline.
+    pub deadline: SimTime,
+    /// Signed distance to the deadline (positive = early).
+    pub distance: SimDuration,
+    /// Relative performance at completion (eq. 2).
+    pub rp: Rp,
+    /// The job's relative goal factor (deadline slack / best execution).
+    pub goal_factor: f64,
+    /// Whether the completion met the deadline.
+    pub met_deadline: bool,
+}
+
+/// Counters of placement changes (Fig. 4 counts suspends + resumes +
+/// migrations; starts of never-run jobs are not changes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeCounters {
+    /// First-time starts (boots).
+    pub starts: u64,
+    /// Running or paused instances suspended off their node.
+    pub suspends: u64,
+    /// Suspended instances resumed onto a node.
+    pub resumes: u64,
+    /// Instances live-migrated between nodes.
+    pub migrations: u64,
+}
+
+impl ChangeCounters {
+    /// The paper's "number of placement changes": suspends + resumes +
+    /// migrations.
+    pub fn disruptive_total(&self) -> u64 {
+        self.suspends + self.resumes + self.migrations
+    }
+}
+
+/// Everything recorded over one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-cycle samples in time order.
+    pub samples: Vec<CycleSample>,
+    /// Completion records in completion order.
+    pub completions: Vec<CompletionRecord>,
+    /// Placement change counters.
+    pub changes: ChangeCounters,
+}
+
+impl RunMetrics {
+    /// Fraction of completed jobs that met their deadline, `None` when
+    /// nothing completed.
+    pub fn deadline_met_ratio(&self) -> Option<f64> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let met = self.completions.iter().filter(|c| c.met_deadline).count();
+        Some(met as f64 / self.completions.len() as f64)
+    }
+
+    /// Completion records for jobs with (approximately) the given goal
+    /// factor.
+    pub fn completions_with_factor(&self, factor: f64) -> impl Iterator<Item = &CompletionRecord> {
+        self.completions
+            .iter()
+            .filter(move |c| (c.goal_factor - factor).abs() < 1e-6)
+    }
+
+    /// Mean relative performance at completion.
+    pub fn mean_completion_rp(&self) -> Option<Rp> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.completions.iter().map(|c| c.rp.value()).sum();
+        Some(Rp::new(sum / self.completions.len() as f64))
+    }
+
+    /// Mean wall-clock placement compute time per cycle, in seconds.
+    pub fn mean_placement_compute_secs(&self) -> Option<f64> {
+        let times: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| s.placement_compute_secs)
+            .filter(|&t| t > 0.0)
+            .collect();
+        if times.is_empty() {
+            return None;
+        }
+        Some(times.iter().sum::<f64>() / times.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion(met: bool, factor: f64, rp: f64) -> CompletionRecord {
+        CompletionRecord {
+            app: AppId::new(0),
+            arrival: SimTime::ZERO,
+            completion: SimTime::from_secs(10.0),
+            deadline: SimTime::from_secs(20.0),
+            distance: SimDuration::from_secs(if met { 10.0 } else { -5.0 }),
+            rp: Rp::new(rp),
+            goal_factor: factor,
+            met_deadline: met,
+        }
+    }
+
+    #[test]
+    fn deadline_ratio() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.deadline_met_ratio(), None);
+        m.completions.push(completion(true, 1.3, 0.5));
+        m.completions.push(completion(false, 2.5, -0.1));
+        m.completions.push(completion(true, 1.3, 0.4));
+        assert!((m.deadline_met_ratio().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_by_factor() {
+        let mut m = RunMetrics::default();
+        m.completions.push(completion(true, 1.3, 0.5));
+        m.completions.push(completion(true, 4.0, 0.5));
+        assert_eq!(m.completions_with_factor(1.3).count(), 1);
+        assert_eq!(m.completions_with_factor(4.0).count(), 1);
+        assert_eq!(m.completions_with_factor(2.5).count(), 0);
+    }
+
+    #[test]
+    fn change_totals() {
+        let c = ChangeCounters {
+            starts: 10,
+            suspends: 3,
+            resumes: 2,
+            migrations: 4,
+        };
+        assert_eq!(c.disruptive_total(), 9);
+    }
+
+    #[test]
+    fn mean_rp() {
+        let mut m = RunMetrics::default();
+        m.completions.push(completion(true, 1.3, 0.2));
+        m.completions.push(completion(true, 1.3, 0.6));
+        assert!(m.mean_completion_rp().unwrap().approx_eq(Rp::new(0.4), 1e-12));
+    }
+}

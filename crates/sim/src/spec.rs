@@ -1,0 +1,387 @@
+//! Declarative scenario specifications: build a [`Simulation`] from a
+//! serializable description instead of code, so experiments can be
+//! defined in JSON files and run by the `simulate` harness binary.
+
+use serde::{Deserialize, Serialize};
+
+use dynaplace_batch::job::{JobProfile, JobSpec};
+use dynaplace_model::cluster::Cluster;
+use dynaplace_model::ids::NodeId;
+use dynaplace_model::node::NodeSpec;
+use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
+use dynaplace_rpf::goal::{CompletionGoal, ResponseTimeGoal};
+use dynaplace_txn::workload::{ConstantRate, StepPattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::costs::VmCostModel;
+use crate::engine::{SchedulerKind, SimConfig, Simulation};
+
+/// A group of identical nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeGroupSpec {
+    /// How many nodes in this group.
+    pub count: usize,
+    /// CPU capacity per node, MHz.
+    pub cpu_mhz: f64,
+    /// Memory per node, MB.
+    pub memory_mb: f64,
+}
+
+/// Which scheduler drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum SchedulerSpec {
+    /// The paper's placement controller.
+    Apc,
+    /// First-Come, First-Served.
+    Fcfs,
+    /// Earliest Deadline First.
+    Edf,
+}
+
+/// How job arrival times are generated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ArrivalSpec {
+    /// Exponential inter-arrival times with the given mean (seconds).
+    Exponential {
+        /// Mean inter-arrival time in seconds.
+        mean_secs: f64,
+    },
+    /// Fixed inter-arrival spacing (seconds).
+    Periodic {
+        /// Spacing in seconds.
+        every_secs: f64,
+    },
+    /// Explicit submission instants (seconds); `count` is ignored beyond
+    /// the listed times.
+    At(Vec<f64>),
+}
+
+/// How a job's deadline is derived.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum GoalSpec {
+    /// Deadline = arrival + factor × best execution time (the paper's
+    /// relative goal factor).
+    Factor(f64),
+    /// Deadline = arrival + this many seconds.
+    RelativeSecs(f64),
+}
+
+/// A group of identical batch jobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobGroupSpec {
+    /// Number of jobs submitted.
+    pub count: usize,
+    /// Total work per job, megacycles.
+    pub work_mcycles: f64,
+    /// Maximum speed per task, MHz.
+    pub max_speed_mhz: f64,
+    /// Memory per task, MB.
+    pub memory_mb: f64,
+    /// Deadline derivation.
+    pub goal: GoalSpec,
+    /// Arrival process for this group.
+    pub arrivals: ArrivalSpec,
+    /// Parallel tasks per job (1 = ordinary job).
+    #[serde(default = "one")]
+    pub tasks: u32,
+    /// Optional job class tag (for on-the-fly profile estimation).
+    #[serde(default)]
+    pub class: Option<String>,
+}
+
+fn one() -> u32 {
+    1
+}
+
+/// A transactional application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TxnSpec {
+    /// Arrival rate, requests per second. A single value means constant;
+    /// multiple (time, rate) steps describe a piecewise-constant curve.
+    pub rate: RateSpec,
+    /// Per-request CPU demand, megacycles.
+    pub demand_mcycles: f64,
+    /// Response-time floor, seconds.
+    pub floor_secs: f64,
+    /// Response-time goal, seconds.
+    pub goal_secs: f64,
+    /// Memory per instance, MB.
+    pub memory_mb: f64,
+    /// Maximum instances (usually the node count).
+    pub max_instances: u32,
+}
+
+/// Constant or stepped arrival rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum RateSpec {
+    /// Constant rate.
+    Constant(f64),
+    /// `(start_secs, rate)` steps, strictly increasing starts.
+    Steps(Vec<(f64, f64)>),
+}
+
+/// A complete, self-contained scenario.
+///
+/// ```
+/// use dynaplace_sim::spec::*;
+///
+/// let json = r#"{
+///   "seed": 7,
+///   "scheduler": "apc",
+///   "cycle_secs": 60.0,
+///   "nodes": [{ "count": 2, "cpu_mhz": 2000.0, "memory_mb": 4000.0 }],
+///   "jobs": [{
+///     "count": 3, "work_mcycles": 30000.0, "max_speed_mhz": 1000.0,
+///     "memory_mb": 1000.0, "goal": { "factor": 3.0 },
+///     "arrivals": { "periodic": { "every_secs": 10.0 } }
+///   }],
+///   "txns": []
+/// }"#;
+/// let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+/// let metrics = spec.build().run();
+/// assert_eq!(metrics.completions.len(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// RNG seed for stochastic arrival processes.
+    #[serde(default)]
+    pub seed: u64,
+    /// The scheduler.
+    pub scheduler: SchedulerSpec,
+    /// Control cycle length, seconds.
+    pub cycle_secs: f64,
+    /// Optional hard stop, seconds.
+    #[serde(default)]
+    pub horizon_secs: Option<f64>,
+    /// Disable the paper's VM operation costs.
+    #[serde(default)]
+    pub free_vm_costs: bool,
+    /// Node groups.
+    pub nodes: Vec<NodeGroupSpec>,
+    /// Batch job groups.
+    pub jobs: Vec<JobGroupSpec>,
+    /// Transactional applications.
+    pub txns: Vec<TxnSpec>,
+    /// Scripted node failures: `(offset_secs, node_index)`.
+    #[serde(default)]
+    pub node_failures: Vec<(f64, u32)>,
+}
+
+impl ScenarioSpec {
+    /// Materializes the scenario into a ready-to-run [`Simulation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent specifications (no nodes, non-positive
+    /// magnitudes, parallel jobs under a baseline scheduler) with a
+    /// message naming the offending field.
+    pub fn build(&self) -> Simulation {
+        assert!(!self.nodes.is_empty(), "scenario needs at least one node group");
+        let mut cluster = Cluster::new();
+        for group in &self.nodes {
+            for _ in 0..group.count {
+                cluster.add_node(NodeSpec::new(
+                    CpuSpeed::from_mhz(group.cpu_mhz),
+                    Memory::from_mb(group.memory_mb),
+                ));
+            }
+        }
+        let config = SimConfig {
+            cycle: SimDuration::from_secs(self.cycle_secs),
+            horizon: self.horizon_secs.map(SimDuration::from_secs),
+            costs: if self.free_vm_costs {
+                VmCostModel::free()
+            } else {
+                VmCostModel::default()
+            },
+            scheduler: match self.scheduler {
+                SchedulerSpec::Apc => SchedulerKind::Apc {
+                    config: Default::default(),
+                    advice_between_cycles: true,
+                },
+                SchedulerSpec::Fcfs => SchedulerKind::Fcfs,
+                SchedulerSpec::Edf => SchedulerKind::Edf,
+            },
+            node_failures: self
+                .node_failures
+                .iter()
+                .map(|&(secs, node)| (SimDuration::from_secs(secs), NodeId::new(node)))
+                .collect(),
+            ..SimConfig::apc_default()
+        };
+        let mut sim = Simulation::new(cluster, config);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        for group in &self.jobs {
+            let arrivals = arrival_times(&mut rng, &group.arrivals, group.count);
+            for arrival in arrivals {
+                let group = group.clone();
+                let build = move |app| {
+                    let profile = JobProfile::single_stage(
+                        Work::from_mcycles(group.work_mcycles),
+                        CpuSpeed::from_mhz(group.max_speed_mhz),
+                        Memory::from_mb(group.memory_mb),
+                    );
+                    let goal = match group.goal {
+                        // Parallel jobs: the "best execution time" the
+                        // factor multiplies is the parallel one.
+                        GoalSpec::Factor(f) => CompletionGoal::from_goal_factor(
+                            arrival,
+                            profile.min_execution_time() / f64::from(group.tasks),
+                            f,
+                        ),
+                        GoalSpec::RelativeSecs(secs) => CompletionGoal::new(
+                            arrival,
+                            arrival + SimDuration::from_secs(secs),
+                        ),
+                    };
+                    let mut spec = JobSpec::new(app, profile, arrival, goal);
+                    if let Some(class) = &group.class {
+                        spec = spec.with_class(class.clone());
+                    }
+                    spec
+                };
+                if group.tasks > 1 {
+                    sim.add_parallel_job(group.tasks, build);
+                } else {
+                    sim.add_job(build);
+                }
+            }
+        }
+
+        for txn in &self.txns {
+            let pattern: Box<dyn dynaplace_txn::workload::ArrivalPattern + Send> =
+                match &txn.rate {
+                    RateSpec::Constant(rate) => Box::new(ConstantRate(*rate)),
+                    RateSpec::Steps(steps) => Box::new(StepPattern::new(
+                        steps
+                            .iter()
+                            .map(|&(t, r)| (SimTime::from_secs(t), r))
+                            .collect(),
+                    )),
+                };
+            sim.add_txn(
+                Memory::from_mb(txn.memory_mb),
+                txn.max_instances,
+                txn.demand_mcycles,
+                SimDuration::from_secs(txn.floor_secs),
+                ResponseTimeGoal::new(SimDuration::from_secs(txn.goal_secs)),
+                pattern,
+                None,
+            );
+        }
+        sim
+    }
+}
+
+fn arrival_times(rng: &mut StdRng, spec: &ArrivalSpec, count: usize) -> Vec<SimTime> {
+    match spec {
+        ArrivalSpec::Exponential { mean_secs } => {
+            let mut t = SimTime::ZERO;
+            (0..count)
+                .map(|_| {
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    t += SimDuration::from_secs(-mean_secs * u.ln());
+                    t
+                })
+                .collect()
+        }
+        ArrivalSpec::Periodic { every_secs } => (0..count)
+            .map(|i| SimTime::from_secs(i as f64 * every_secs))
+            .collect(),
+        ArrivalSpec::At(times) => times.iter().map(|&t| SimTime::from_secs(t)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal(scheduler: SchedulerSpec) -> ScenarioSpec {
+        ScenarioSpec {
+            seed: 1,
+            scheduler,
+            cycle_secs: 10.0,
+            horizon_secs: Some(10_000.0),
+            free_vm_costs: true,
+            nodes: vec![NodeGroupSpec {
+                count: 2,
+                cpu_mhz: 2_000.0,
+                memory_mb: 4_000.0,
+            }],
+            jobs: vec![JobGroupSpec {
+                count: 4,
+                work_mcycles: 20_000.0,
+                max_speed_mhz: 1_000.0,
+                memory_mb: 1_000.0,
+                goal: GoalSpec::Factor(4.0),
+                arrivals: ArrivalSpec::Periodic { every_secs: 15.0 },
+                tasks: 1,
+                class: None,
+            }],
+            txns: vec![],
+            node_failures: vec![],
+        }
+    }
+
+    #[test]
+    fn builds_and_runs_every_scheduler() {
+        for scheduler in [SchedulerSpec::Apc, SchedulerSpec::Fcfs, SchedulerSpec::Edf] {
+            let metrics = minimal(scheduler).build().run();
+            assert_eq!(metrics.completions.len(), 4, "{scheduler:?}");
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let spec = minimal(SchedulerSpec::Apc);
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        let a = spec.build().run();
+        let b = back.build().run();
+        assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            assert_eq!(x.completion, y.completion);
+        }
+    }
+
+    #[test]
+    fn explicit_arrivals_and_relative_goals() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.jobs[0].arrivals = ArrivalSpec::At(vec![0.0, 5.0, 7.5]);
+        spec.jobs[0].count = 3;
+        spec.jobs[0].goal = GoalSpec::RelativeSecs(500.0);
+        let metrics = spec.build().run();
+        assert_eq!(metrics.completions.len(), 3);
+        assert!(metrics.completions.iter().all(|c| c.met_deadline));
+    }
+
+    #[test]
+    fn parallel_group_under_apc() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.jobs[0].tasks = 2;
+        spec.jobs[0].count = 2;
+        let metrics = spec.build().run();
+        assert_eq!(metrics.completions.len(), 2);
+    }
+
+    #[test]
+    fn txn_steps_pattern() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.txns = vec![TxnSpec {
+            rate: RateSpec::Steps(vec![(0.0, 10.0), (100.0, 50.0)]),
+            demand_mcycles: 10.0,
+            floor_secs: 0.005,
+            goal_secs: 0.05,
+            memory_mb: 500.0,
+            max_instances: 2,
+        }];
+        let metrics = spec.build().run();
+        assert!(metrics.samples.iter().any(|s| s.txn_rp.is_some()));
+    }
+}

@@ -1,0 +1,166 @@
+//! Bisection over monotone predicates and functions.
+//!
+//! The load distributor searches for the highest uniform relative
+//! performance level that still fits the cluster; that search is a
+//! bisection over a monotone feasibility predicate.
+
+/// Outcome of a bisection search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bisection {
+    /// Largest input for which the predicate held.
+    pub accepted: f64,
+    /// Smallest probed input for which the predicate failed, if any probe
+    /// failed; `None` when the predicate held on the whole interval.
+    pub rejected: Option<f64>,
+    /// Number of predicate evaluations performed.
+    pub evaluations: u32,
+}
+
+/// Finds (approximately) the largest `x` in `[lo, hi]` such that
+/// `pred(x)` holds, assuming `pred` is *downward closed*: if it holds at
+/// `x` it holds at every `y < x`.
+///
+/// Returns `None` if `pred(lo)` is false (no feasible point).
+/// The search stops when the bracket is narrower than `tol`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+///
+/// ```
+/// use dynaplace_solver::bisect::bisect_max;
+///
+/// let r = bisect_max(0.0, 10.0, 1e-9, |x| x * x <= 2.0).unwrap();
+/// assert!((r.accepted - 2f64.sqrt()).abs() < 1e-6);
+/// ```
+pub fn bisect_max(
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    mut pred: impl FnMut(f64) -> bool,
+) -> Option<Bisection> {
+    assert!(lo <= hi, "bisection bounds inverted");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut evaluations = 0;
+    let mut check = |x: f64, evals: &mut u32| {
+        *evals += 1;
+        pred(x)
+    };
+    if !check(lo, &mut evaluations) {
+        return None;
+    }
+    if check(hi, &mut evaluations) {
+        return Some(Bisection {
+            accepted: hi,
+            rejected: None,
+            evaluations,
+        });
+    }
+    let mut good = lo;
+    let mut bad = hi;
+    while bad - good > tol {
+        let mid = good + (bad - good) / 2.0;
+        if mid <= good || mid >= bad {
+            break; // ran out of float resolution
+        }
+        if check(mid, &mut evaluations) {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Some(Bisection {
+        accepted: good,
+        rejected: Some(bad),
+        evaluations,
+    })
+}
+
+/// Finds `x` in `[lo, hi]` with `f(x) ≈ target` for a non-decreasing `f`,
+/// to within `tol` on `x`.
+///
+/// Clamps to the interval ends when the target is outside `f`'s range on
+/// the interval.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+pub fn solve_monotone(
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    target: f64,
+    mut f: impl FnMut(f64) -> f64,
+) -> f64 {
+    assert!(lo <= hi, "bisection bounds inverted");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if f(lo) >= target {
+        return lo;
+    }
+    if f(hi) <= target {
+        return hi;
+    }
+    let mut a = lo;
+    let mut b = hi;
+    while b - a > tol {
+        let mid = a + (b - a) / 2.0;
+        if mid <= a || mid >= b {
+            break;
+        }
+        if f(mid) < target {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    a + (b - a) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_threshold() {
+        let r = bisect_max(0.0, 100.0, 1e-9, |x| x <= 42.0).unwrap();
+        assert!((r.accepted - 42.0).abs() < 1e-6);
+        assert!(r.rejected.unwrap() > 42.0);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        assert!(bisect_max(0.0, 1.0, 1e-9, |_| false).is_none());
+    }
+
+    #[test]
+    fn fully_feasible_returns_hi() {
+        let r = bisect_max(0.0, 7.0, 1e-9, |_| true).unwrap();
+        assert_eq!(r.accepted, 7.0);
+        assert_eq!(r.rejected, None);
+        assert_eq!(r.evaluations, 2);
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let r = bisect_max(3.0, 3.0, 1e-9, |x| x <= 3.0).unwrap();
+        assert_eq!(r.accepted, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bisection bounds inverted")]
+    fn inverted_bounds_panic() {
+        let _ = bisect_max(1.0, 0.0, 1e-9, |_| true);
+    }
+
+    #[test]
+    fn solve_monotone_hits_target() {
+        let x = solve_monotone(0.0, 10.0, 1e-10, 9.0, |x| x * x);
+        assert!((x - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_monotone_clamps() {
+        assert_eq!(solve_monotone(0.0, 10.0, 1e-10, -5.0, |x| x), 0.0);
+        assert_eq!(solve_monotone(0.0, 10.0, 1e-10, 50.0, |x| x), 10.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Numeric and combinatorial solvers backing the `dynaplace` workspace.
+//!
+//! Self-contained building blocks with no domain knowledge:
+//!
+//! - [`bisect`] — bisection over monotone predicates (used to find the
+//!   highest feasible uniform relative-performance level),
+//! - [`piecewise`] — monotone piecewise-linear functions with inversion
+//!   (the representation of every sampled relative performance function),
+//! - [`maxflow`] — Dinic's maximum flow with `f64` capacities (used to
+//!   check whether a CPU demand vector can be routed onto the nodes that
+//!   host each application's instances),
+//! - [`regression`] — ordinary least squares (the work profiler's
+//!   estimator for per-request CPU demand).
+//!
+//! # Example
+//!
+//! ```
+//! use dynaplace_solver::bisect::bisect_max;
+//! use dynaplace_solver::piecewise::PiecewiseLinear;
+//!
+//! let demand = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 100.0)])?;
+//! let capacity = 40.0;
+//! let best = bisect_max(0.0, 1.0, 1e-9, |u| demand.eval(u) <= capacity)
+//!     .expect("u = 0 is always feasible");
+//! assert!((best.accepted - 0.4).abs() < 1e-6);
+//! # Ok::<(), dynaplace_solver::piecewise::PiecewiseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisect;
+pub mod maxflow;
+pub mod piecewise;
+pub mod regression;
+
+pub use bisect::{bisect_max, solve_monotone, Bisection};
+pub use maxflow::{EdgeHandle, FlowNetwork};
+pub use piecewise::{PiecewiseError, PiecewiseLinear};
+pub use regression::{least_squares, solve_linear_system, through_origin, RegressionError};

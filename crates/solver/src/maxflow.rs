@@ -1,0 +1,275 @@
+//! Dinic's maximum-flow algorithm on small graphs with `f64` capacities.
+//!
+//! The load distributor uses max-flow to decide whether a demand vector
+//! (CPU each application wants) can be routed onto the nodes hosting its
+//! instances without exceeding any node's CPU capacity. Graphs are tiny
+//! (a few hundred vertices), so a straightforward adjacency-list Dinic is
+//! more than fast enough.
+
+/// Floating-point capacities below this are treated as exhausted.
+const FLOW_EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    rev: usize,
+    cap: f64,
+}
+
+/// A flow network under construction, and the solver.
+///
+/// ```
+/// use dynaplace_solver::maxflow::FlowNetwork;
+///
+/// // s=0, t=3, two disjoint paths with capacities 3 and 4.
+/// let mut net = FlowNetwork::new(4);
+/// net.add_edge(0, 1, 3.0);
+/// net.add_edge(1, 3, 3.0);
+/// net.add_edge(0, 2, 5.0);
+/// net.add_edge(2, 3, 4.0);
+/// assert_eq!(net.max_flow(0, 3), 7.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<Edge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `vertices` vertices and no edges.
+    pub fn new(vertices: usize) -> Self {
+        Self {
+            graph: vec![Vec::new(); vertices],
+            level: vec![0; vertices],
+            iter: vec![0; vertices],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity and
+    /// returns an opaque handle usable with [`FlowNetwork::flow_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the capacity is
+    /// negative/NaN.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) -> EdgeHandle {
+        assert!(from < self.graph.len() && to < self.graph.len(), "vertex out of range");
+        assert!(cap >= 0.0, "capacity must be non-negative");
+        let fwd = self.graph[from].len();
+        let bwd = self.graph[to].len();
+        self.graph[from].push(Edge { to, rev: bwd, cap });
+        self.graph[to].push(Edge {
+            to: from,
+            rev: fwd,
+            cap: 0.0,
+        });
+        EdgeHandle {
+            from,
+            index: fwd,
+            original_cap: cap,
+        }
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > FLOW_EPS && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: f64) -> f64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let i = self.iter[v];
+            let (to, cap, rev) = {
+                let e = &self.graph[v][i];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > FLOW_EPS && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > FLOW_EPS {
+                    self.graph[v][i].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t`, mutating residual
+    /// capacities in place. Calling it twice continues from the previous
+    /// residual state (returning 0 the second time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert!(s != t, "source and sink must differ");
+        assert!(s < self.graph.len() && t < self.graph.len(), "vertex out of range");
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= FLOW_EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// Flow currently routed on the edge identified by `handle`
+    /// (original capacity minus residual capacity).
+    pub fn flow_on(&self, handle: EdgeHandle) -> f64 {
+        let residual = self.graph[handle.from][handle.index].cap;
+        (handle.original_cap - residual).max(0.0)
+    }
+}
+
+/// Identifies an edge added with [`FlowNetwork::add_edge`], for reading
+/// its routed flow after solving.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeHandle {
+    from: usize,
+    index: usize,
+    original_cap: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5.5);
+        assert_eq!(net.max_flow(0, 1), 5.5);
+        assert_eq!(net.flow_on(e), 5.5);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        // 0 -> 1 -> 2 with caps 10 and 3.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 10.0);
+        net.add_edge(1, 2, 3.0);
+        assert_eq!(net.max_flow(0, 2), 3.0);
+    }
+
+    #[test]
+    fn classic_diamond_with_cross_edge() {
+        // The textbook example where the cross edge enables more flow.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10.0);
+        net.add_edge(0, 2, 10.0);
+        net.add_edge(1, 3, 10.0);
+        net.add_edge(2, 3, 10.0);
+        net.add_edge(1, 2, 1.0);
+        assert_eq!(net.max_flow(0, 3), 20.0);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5.0);
+        net.add_edge(2, 3, 5.0);
+        assert_eq!(net.max_flow(0, 3), 0.0);
+    }
+
+    #[test]
+    fn bipartite_assignment() {
+        // 2 apps, 2 nodes: app0 can use either node (cap 4 each);
+        // app1 only node1 (cap 5). Node capacities 6 and 5.
+        // Demands: app0 wants 7, app1 wants 5.
+        // s=0, apps=1,2, nodes=3,4, t=5.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 7.0);
+        net.add_edge(0, 2, 5.0);
+        net.add_edge(1, 3, 4.0);
+        net.add_edge(1, 4, 4.0);
+        net.add_edge(2, 4, 5.0);
+        net.add_edge(3, 5, 6.0);
+        net.add_edge(4, 5, 5.0);
+        // app1 takes all of node4 (5); app0 gets 4 on node3 and 0 on node4.
+        // Max total = 4 + 5 = 9 < 12.
+        let flow = net.max_flow(0, 5);
+        assert!((flow - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 0.25);
+        net.add_edge(0, 1, 0.5);
+        net.add_edge(1, 2, 1.0);
+        assert!((net.max_flow(0, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_on_reports_per_edge_flow() {
+        let mut net = FlowNetwork::new(4);
+        let a = net.add_edge(0, 1, 3.0);
+        let b = net.add_edge(0, 2, 3.0);
+        net.add_edge(1, 3, 2.0);
+        net.add_edge(2, 3, 3.0);
+        let total = net.max_flow(0, 3);
+        assert!((total - 5.0).abs() < 1e-9);
+        assert!((net.flow_on(a) - 2.0).abs() < 1e-9);
+        assert!((net.flow_on(b) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "source and sink must differ")]
+    fn same_source_sink_panics() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.max_flow(0, 0);
+    }
+
+    #[test]
+    fn larger_random_ish_network_conserves() {
+        // Max flow must not exceed either the source cut or the sink cut.
+        let mut net = FlowNetwork::new(8);
+        let mut source_cap = 0.0;
+        let mut sink_cap = 0.0;
+        for i in 1..4 {
+            let c = i as f64 * 1.5;
+            net.add_edge(0, i, c);
+            source_cap += c;
+        }
+        for i in 1..4 {
+            for j in 4..7 {
+                net.add_edge(i, j, 1.0 + (i * j) as f64 * 0.1);
+            }
+        }
+        for j in 4..7 {
+            let c = j as f64;
+            net.add_edge(j, 7, c);
+            sink_cap += c;
+        }
+        let flow = net.max_flow(0, 7);
+        assert!(flow <= source_cap + 1e-9);
+        assert!(flow <= sink_cap + 1e-9);
+        assert!(flow > 0.0);
+    }
+}

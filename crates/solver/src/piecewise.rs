@@ -1,0 +1,215 @@
+//! Monotone piecewise-linear functions with inversion.
+//!
+//! Relative performance functions in this workspace are represented as
+//! sampled piecewise-linear curves (§4.2 of the paper interpolates between
+//! sampling points of the hypothetical relative performance function).
+
+use std::fmt;
+
+/// Error constructing a [`PiecewiseLinear`] function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PiecewiseError {
+    /// Fewer than two points were supplied.
+    TooFewPoints,
+    /// The x coordinates are not strictly increasing.
+    XNotStrictlyIncreasing,
+    /// A coordinate is NaN.
+    NanCoordinate,
+}
+
+impl fmt::Display for PiecewiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PiecewiseError::TooFewPoints => f.write_str("need at least two points"),
+            PiecewiseError::XNotStrictlyIncreasing => {
+                f.write_str("x coordinates must be strictly increasing")
+            }
+            PiecewiseError::NanCoordinate => f.write_str("coordinates must not be NaN"),
+        }
+    }
+}
+
+impl std::error::Error for PiecewiseError {}
+
+/// A piecewise-linear function defined by sample points with strictly
+/// increasing x coordinates. Evaluation clamps outside the sampled range
+/// (the function is treated as constant beyond its endpoints).
+///
+/// ```
+/// use dynaplace_solver::piecewise::PiecewiseLinear;
+///
+/// let f = PiecewiseLinear::new(vec![(0.0, 0.0), (10.0, 100.0)])?;
+/// assert_eq!(f.eval(5.0), 50.0);
+/// assert_eq!(f.eval(-1.0), 0.0);   // clamped
+/// assert_eq!(f.eval(20.0), 100.0); // clamped
+/// # Ok::<(), dynaplace_solver::piecewise::PiecewiseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Builds the function from `(x, y)` sample points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiecewiseError`] if fewer than two points are given, any
+    /// coordinate is NaN, or the x coordinates are not strictly
+    /// increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, PiecewiseError> {
+        if points.len() < 2 {
+            return Err(PiecewiseError::TooFewPoints);
+        }
+        if points.iter().any(|&(x, y)| x.is_nan() || y.is_nan()) {
+            return Err(PiecewiseError::NanCoordinate);
+        }
+        if points.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(PiecewiseError::XNotStrictlyIncreasing);
+        }
+        Ok(Self { points })
+    }
+
+    /// The sample points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Smallest sampled x.
+    pub fn x_min(&self) -> f64 {
+        self.points[0].0
+    }
+
+    /// Largest sampled x.
+    pub fn x_max(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Evaluates the function at `x`, clamping outside the sampled range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the segment containing x.
+        let idx = match pts.binary_search_by(|&(px, _)| px.partial_cmp(&x).unwrap()) {
+            Ok(i) => return pts[i].1,
+            Err(i) => i, // pts[i-1].0 < x < pts[i].0
+        };
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Returns whether the y values are non-decreasing in x.
+    pub fn is_non_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+
+    /// Inverts a non-decreasing function: finds the smallest `x` with
+    /// `eval(x) >= y`, clamped to the sampled range.
+    ///
+    /// Flat segments (several x with the same y) return the left edge of
+    /// the earliest such segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the function is not non-decreasing.
+    pub fn inverse(&self, y: f64) -> f64 {
+        debug_assert!(self.is_non_decreasing(), "inverse requires monotonicity");
+        let pts = &self.points;
+        if y <= pts[0].1 {
+            return pts[0].0;
+        }
+        if y > pts[pts.len() - 1].1 {
+            return pts[pts.len() - 1].0;
+        }
+        // Find first point with y-value >= y.
+        let mut idx = pts.partition_point(|&(_, py)| py < y);
+        // idx >= 1 because pts[0].1 < y.
+        let (x1, y1) = pts[idx];
+        if y1 == y {
+            // Walk left across any flat run to the earliest x achieving y.
+            while idx > 0 && pts[idx - 1].1 == y {
+                idx -= 1;
+            }
+            return pts[idx].0;
+        }
+        let (x0, y0) = pts[idx - 1];
+        x0 + (x1 - x0) * (y - y0) / (y1 - y0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> PiecewiseLinear {
+        PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 10.0), (3.0, 10.0), (4.0, 20.0)]).unwrap()
+    }
+
+    #[test]
+    fn eval_interpolates() {
+        let f = f();
+        assert_eq!(f.eval(0.5), 5.0);
+        assert_eq!(f.eval(2.0), 10.0); // flat segment
+        assert_eq!(f.eval(3.5), 15.0);
+    }
+
+    #[test]
+    fn eval_clamps_ends() {
+        let f = f();
+        assert_eq!(f.eval(-1.0), 0.0);
+        assert_eq!(f.eval(9.0), 20.0);
+    }
+
+    #[test]
+    fn eval_hits_sample_points_exactly() {
+        let f = f();
+        assert_eq!(f.eval(1.0), 10.0);
+        assert_eq!(f.eval(4.0), 20.0);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let f = f();
+        assert_eq!(f.inverse(5.0), 0.5);
+        assert_eq!(f.inverse(15.0), 3.5);
+        // Flat run: earliest x achieving 10.0 is x=1.
+        assert_eq!(f.inverse(10.0), 1.0);
+    }
+
+    #[test]
+    fn inverse_clamps() {
+        let f = f();
+        assert_eq!(f.inverse(-3.0), 0.0);
+        assert_eq!(f.inverse(99.0), 4.0);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 0.0)]).unwrap_err(),
+            PiecewiseError::TooFewPoints
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(1.0, 0.0), (1.0, 1.0)]).unwrap_err(),
+            PiecewiseError::XNotStrictlyIncreasing
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, f64::NAN), (1.0, 1.0)]).unwrap_err(),
+            PiecewiseError::NanCoordinate
+        );
+    }
+
+    #[test]
+    fn monotonicity_detection() {
+        assert!(f().is_non_decreasing());
+        let dec = PiecewiseLinear::new(vec![(0.0, 1.0), (1.0, 0.0)]).unwrap();
+        assert!(!dec.is_non_decreasing());
+    }
+}

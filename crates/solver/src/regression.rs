@@ -1,0 +1,232 @@
+//! Ordinary least squares, backing the work profiler.
+//!
+//! The work profiler (§3.1, after Pacifici et al.) regresses observed node
+//! CPU consumption against per-application throughput to estimate the
+//! average CPU demand of a single request. That is a small multivariate
+//! least-squares problem solved here with normal equations and Gaussian
+//! elimination with partial pivoting.
+
+use std::fmt;
+
+/// Error from a least-squares fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegressionError {
+    /// No observations were provided.
+    NoObservations,
+    /// Observations have inconsistent dimension.
+    DimensionMismatch,
+    /// The normal equations are singular (features are collinear or there
+    /// are fewer observations than features).
+    Singular,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::NoObservations => f.write_str("no observations"),
+            RegressionError::DimensionMismatch => {
+                f.write_str("observations have inconsistent dimension")
+            }
+            RegressionError::Singular => f.write_str("normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// Solves `A x = b` for square `A` using Gaussian elimination with partial
+/// pivoting. `a` is row-major.
+///
+/// # Errors
+///
+/// Returns [`RegressionError::Singular`] when a pivot is (numerically)
+/// zero.
+#[allow(clippy::needless_range_loop)] // index loops read naturally for matrix math
+pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, RegressionError> {
+    let n = b.len();
+    if a.len() != n || a.iter().any(|row| row.len() != n) {
+        return Err(RegressionError::DimensionMismatch);
+    }
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+            .unwrap();
+        if m[pivot][col].abs() < 1e-12 {
+            return Err(RegressionError::Singular);
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row][k] -= factor * m[col][k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for col in (row + 1)..n {
+            acc -= m[row][col] * x[col];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Ok(x)
+}
+
+/// Least-squares fit of `y ≈ X·β` (no intercept; prepend a constant-1
+/// feature to model one).
+///
+/// # Errors
+///
+/// Returns [`RegressionError`] when inputs are empty, inconsistent, or the
+/// normal equations are singular.
+///
+/// ```
+/// use dynaplace_solver::regression::least_squares;
+///
+/// // y = 2*x0 + 3*x1, exactly.
+/// let xs = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+/// let ys = vec![2.0, 3.0, 5.0];
+/// let beta = least_squares(&xs, &ys)?;
+/// assert!((beta[0] - 2.0).abs() < 1e-9);
+/// assert!((beta[1] - 3.0).abs() < 1e-9);
+/// # Ok::<(), dynaplace_solver::regression::RegressionError>(())
+/// ```
+#[allow(clippy::needless_range_loop)] // index loops read naturally for matrix math
+pub fn least_squares(xs: &[Vec<f64>], ys: &[f64]) -> Result<Vec<f64>, RegressionError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(RegressionError::NoObservations);
+    }
+    if xs.len() != ys.len() {
+        return Err(RegressionError::DimensionMismatch);
+    }
+    let k = xs[0].len();
+    if k == 0 || xs.iter().any(|row| row.len() != k) {
+        return Err(RegressionError::DimensionMismatch);
+    }
+    // Normal equations: (XᵀX) β = Xᵀy.
+    let mut xtx = vec![vec![0.0; k]; k];
+    let mut xty = vec![0.0; k];
+    for (row, &y) in xs.iter().zip(ys) {
+        for i in 0..k {
+            xty[i] += row[i] * y;
+            for j in i..k {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..k {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+    }
+    solve_linear_system(&xtx, &xty)
+}
+
+/// Univariate least squares through the origin: the `d` minimizing
+/// `Σ (y_i - d·x_i)²`, i.e. `Σxy / Σx²`.
+///
+/// # Errors
+///
+/// Returns [`RegressionError::NoObservations`] for empty input and
+/// [`RegressionError::Singular`] when all `x` are zero.
+pub fn through_origin(samples: &[(f64, f64)]) -> Result<f64, RegressionError> {
+    if samples.is_empty() {
+        return Err(RegressionError::NoObservations);
+    }
+    let sxx: f64 = samples.iter().map(|&(x, _)| x * x).sum();
+    if sxx < 1e-12 {
+        return Err(RegressionError::Singular);
+    }
+    let sxy: f64 = samples.iter().map(|&(x, y)| x * y).sum();
+    Ok(sxy / sxx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![5.0, 1.0];
+        let x = solve_linear_system(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert_eq!(solve_linear_system(&a, &b), Err(RegressionError::Singular));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![3.0, 4.0];
+        let x = solve_linear_system(&a, &b).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn least_squares_recovers_noisy_coefficients() {
+        // y = 1.5 x0 + 0.5 x1 with deterministic "noise".
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..50 {
+            let x0 = (i % 7) as f64;
+            let x1 = (i % 5) as f64;
+            let noise = if i % 2 == 0 { 0.01 } else { -0.01 };
+            xs.push(vec![x0, x1]);
+            ys.push(1.5 * x0 + 0.5 * x1 + noise);
+        }
+        let beta = least_squares(&xs, &ys).unwrap();
+        assert!((beta[0] - 1.5).abs() < 0.01);
+        assert!((beta[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn least_squares_errors() {
+        assert_eq!(
+            least_squares(&[], &[]),
+            Err(RegressionError::NoObservations)
+        );
+        assert_eq!(
+            least_squares(&[vec![1.0]], &[1.0, 2.0]),
+            Err(RegressionError::DimensionMismatch)
+        );
+        assert_eq!(
+            least_squares(&[vec![1.0, 2.0], vec![1.0]], &[1.0, 2.0]),
+            Err(RegressionError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn through_origin_exact() {
+        let d = through_origin(&[(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]).unwrap();
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_origin_errors() {
+        assert_eq!(through_origin(&[]), Err(RegressionError::NoObservations));
+        assert_eq!(
+            through_origin(&[(0.0, 1.0), (0.0, 2.0)]),
+            Err(RegressionError::Singular)
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Transactional workload substrate: queueing performance model, request
+//! router, work profiler, and traffic patterns.
+//!
+//! Together these reproduce the middleware components the paper's §3.1
+//! architecture relies on for web workloads:
+//!
+//! - [`model::TxnPerformanceModel`] — response time as a function of
+//!   allocated CPU (M/M/1 with a response-time floor) scored against a
+//!   response-time goal; implements
+//!   [`dynaplace_rpf::model::PerformanceModel`], so the placement
+//!   controller can trade CPU between web applications and batch jobs.
+//! - [`router::RequestRouter`] — allocation-proportional load balancing
+//!   over instances with gateway overload protection.
+//! - [`profiler::WorkProfiler`] — sliding-window regression estimating
+//!   the per-request CPU demand from utilization and throughput.
+//! - [`workload`] — deterministic arrival-rate patterns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod profiler;
+pub mod router;
+pub mod workload;
+
+pub use model::{TxnPerformanceModel, TxnWorkload};
+pub use profiler::{UtilizationSample, WorkProfiler};
+pub use router::{InstanceLoad, RequestRouter, RoutingOutcome, DEFAULT_MAX_UTILIZATION};
+pub use workload::{ArrivalPattern, ConstantRate, SinusoidPattern, StepPattern};

@@ -1,0 +1,219 @@
+//! The work profiler (§3.1, after Pacifici et al. "Dynamic estimation of
+//! CPU demand of web traffic"): estimates the average CPU demand of a
+//! single request to each application from node utilization and
+//! throughput observations, via sliding-window least squares.
+
+use std::collections::VecDeque;
+
+use dynaplace_solver::regression::{least_squares, through_origin, RegressionError};
+
+/// One observation interval: per-application throughput and the total CPU
+/// speed consumed serving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationSample {
+    /// Observed throughput per application (req/s), in a fixed order.
+    pub throughput: Vec<f64>,
+    /// Total CPU consumed over the interval (MHz, i.e. Mcycles/s averaged
+    /// over the interval).
+    pub cpu_used_mhz: f64,
+}
+
+/// Sliding-window estimator of per-request CPU demand.
+///
+/// Feed one [`UtilizationSample`] per measurement interval; the estimator
+/// regresses `cpu_used ≈ Σ_m d_m · throughput_m` over the most recent
+/// window and reports the coefficient vector `d` (megacycles per
+/// request).
+///
+/// ```
+/// use dynaplace_txn::profiler::{UtilizationSample, WorkProfiler};
+///
+/// let mut profiler = WorkProfiler::new(2, 32);
+/// for i in 1..=10 {
+///     let t0 = i as f64;
+///     let t1 = (i % 3) as f64;
+///     profiler.record(UtilizationSample {
+///         throughput: vec![t0, t1],
+///         cpu_used_mhz: 25.0 * t0 + 60.0 * t1,
+///     });
+/// }
+/// let d = profiler.estimate().unwrap();
+/// assert!((d[0] - 25.0).abs() < 1e-6);
+/// assert!((d[1] - 60.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkProfiler {
+    apps: usize,
+    window: usize,
+    samples: VecDeque<UtilizationSample>,
+}
+
+impl WorkProfiler {
+    /// Creates a profiler for `apps` applications keeping the most recent
+    /// `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` or `window` is zero.
+    pub fn new(apps: usize, window: usize) -> Self {
+        assert!(apps > 0, "need at least one application");
+        assert!(window > 0, "window must be positive");
+        Self {
+            apps,
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Number of applications profiled.
+    pub fn apps(&self) -> usize {
+        self.apps
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Records a sample, evicting the oldest once the window is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's throughput vector has the wrong length.
+    pub fn record(&mut self, sample: UtilizationSample) {
+        assert_eq!(
+            sample.throughput.len(),
+            self.apps,
+            "throughput vector length must match application count"
+        );
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Estimates per-request CPU demand (megacycles) for every
+    /// application over the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError`] when there are too few samples or the
+    /// throughputs in the window are collinear.
+    pub fn estimate(&self) -> Result<Vec<f64>, RegressionError> {
+        let xs: Vec<Vec<f64>> = self.samples.iter().map(|s| s.throughput.clone()).collect();
+        let ys: Vec<f64> = self.samples.iter().map(|s| s.cpu_used_mhz).collect();
+        least_squares(&xs, &ys)
+    }
+
+    /// Single-application fast path: through-origin regression of CPU on
+    /// throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError`] when there are no samples or all
+    /// throughputs are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiler tracks more than one application.
+    pub fn estimate_single(&self) -> Result<f64, RegressionError> {
+        assert_eq!(self.apps, 1, "estimate_single requires a 1-app profiler");
+        let pts: Vec<(f64, f64)> = self
+            .samples
+            .iter()
+            .map(|s| (s.throughput[0], s.cpu_used_mhz))
+            .collect();
+        through_origin(&pts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_app_recovers_demand_with_noise() {
+        let mut p = WorkProfiler::new(1, 16);
+        for i in 1..=16 {
+            let rate = 10.0 + (i % 5) as f64 * 7.0;
+            let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+            p.record(UtilizationSample {
+                throughput: vec![rate],
+                cpu_used_mhz: 12.0 * rate + noise,
+            });
+        }
+        let d = p.estimate_single().unwrap();
+        assert!((d - 12.0).abs() < 0.05, "estimated {d}");
+    }
+
+    #[test]
+    fn window_evicts_stale_samples() {
+        let mut p = WorkProfiler::new(1, 4);
+        // Old regime: d = 100.
+        for _ in 0..4 {
+            p.record(UtilizationSample {
+                throughput: vec![10.0],
+                cpu_used_mhz: 1_000.0,
+            });
+        }
+        // New regime: d = 20. After 4 samples the old ones are gone.
+        for _ in 0..4 {
+            p.record(UtilizationSample {
+                throughput: vec![10.0],
+                cpu_used_mhz: 200.0,
+            });
+        }
+        assert_eq!(p.len(), 4);
+        let d = p.estimate_single().unwrap();
+        assert!((d - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multivariate_separates_applications() {
+        let mut p = WorkProfiler::new(3, 32);
+        let ds = [5.0, 50.0, 500.0];
+        for i in 0..20 {
+            let t = [
+                (i % 4) as f64 + 1.0,
+                (i % 5) as f64,
+                ((i * 2) % 7) as f64,
+            ];
+            let cpu: f64 = t.iter().zip(&ds).map(|(x, d)| x * d).sum();
+            p.record(UtilizationSample {
+                throughput: t.to_vec(),
+                cpu_used_mhz: cpu,
+            });
+        }
+        let est = p.estimate().unwrap();
+        for (e, d) in est.iter().zip(&ds) {
+            assert!((e - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn insufficient_data_is_an_error() {
+        let p = WorkProfiler::new(2, 8);
+        assert!(p.estimate().is_err());
+        let mut p1 = WorkProfiler::new(1, 8);
+        p1.record(UtilizationSample {
+            throughput: vec![0.0],
+            cpu_used_mhz: 0.0,
+        });
+        assert!(p1.estimate_single().is_err()); // all-zero throughput
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn wrong_sample_shape_panics() {
+        let mut p = WorkProfiler::new(2, 8);
+        p.record(UtilizationSample {
+            throughput: vec![1.0],
+            cpu_used_mhz: 1.0,
+        });
+    }
+}

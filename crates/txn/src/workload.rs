@@ -1,0 +1,148 @@
+//! Time-varying arrival-rate patterns for transactional traffic.
+//!
+//! Experiment Three keeps the transactional load constant, but the
+//! intro's motivating scenario — reacting to transactional intensity
+//! changes at short control cycles — needs time-varying patterns, so the
+//! simulator accepts any [`ArrivalPattern`].
+
+use dynaplace_model::units::SimTime;
+
+/// A deterministic arrival-rate curve λ(t), in requests per second.
+pub trait ArrivalPattern {
+    /// The arrival rate at simulated time `t`.
+    fn rate_at(&self, t: SimTime) -> f64;
+}
+
+impl<F: Fn(SimTime) -> f64> ArrivalPattern for F {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        self(t)
+    }
+}
+
+/// Constant arrival rate (Experiment Three's transactional workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantRate(pub f64);
+
+impl ArrivalPattern for ConstantRate {
+    fn rate_at(&self, _t: SimTime) -> f64 {
+        self.0
+    }
+}
+
+/// Piecewise-constant arrival rate: each `(start, rate)` step applies
+/// from `start` until the next step. Before the first step the rate is
+/// the first step's rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepPattern {
+    steps: Vec<(SimTime, f64)>,
+}
+
+impl StepPattern {
+    /// Creates a step pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no steps are given or starts are not strictly
+    /// increasing.
+    pub fn new(steps: Vec<(SimTime, f64)>) -> Self {
+        assert!(!steps.is_empty(), "need at least one step");
+        assert!(
+            steps.windows(2).all(|w| w[0].0 < w[1].0),
+            "step starts must be strictly increasing"
+        );
+        Self { steps }
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[(SimTime, f64)] {
+        &self.steps
+    }
+}
+
+impl ArrivalPattern for StepPattern {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        let idx = self.steps.partition_point(|&(start, _)| start <= t);
+        if idx == 0 {
+            self.steps[0].1
+        } else {
+            self.steps[idx - 1].1
+        }
+    }
+}
+
+/// A diurnal-style sinusoid: `base + amplitude · sin(2π·t/period)`,
+/// floored at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinusoidPattern {
+    /// Mean rate.
+    pub base: f64,
+    /// Peak deviation from the mean.
+    pub amplitude: f64,
+    /// Period in seconds.
+    pub period_secs: f64,
+}
+
+impl ArrivalPattern for SinusoidPattern {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t.as_secs() / self.period_secs;
+        (self.base + self.amplitude * phase.sin()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant() {
+        let p = ConstantRate(42.0);
+        assert_eq!(p.rate_at(t(0.0)), 42.0);
+        assert_eq!(p.rate_at(t(1e9)), 42.0);
+    }
+
+    #[test]
+    fn steps_apply_from_their_start() {
+        let p = StepPattern::new(vec![(t(0.0), 10.0), (t(100.0), 50.0), (t(200.0), 5.0)]);
+        assert_eq!(p.rate_at(t(0.0)), 10.0);
+        assert_eq!(p.rate_at(t(99.9)), 10.0);
+        assert_eq!(p.rate_at(t(100.0)), 50.0);
+        assert_eq!(p.rate_at(t(150.0)), 50.0);
+        assert_eq!(p.rate_at(t(300.0)), 5.0);
+    }
+
+    #[test]
+    fn before_first_step_uses_first_rate() {
+        let p = StepPattern::new(vec![(t(10.0), 7.0)]);
+        assert_eq!(p.rate_at(t(0.0)), 7.0);
+    }
+
+    #[test]
+    fn sinusoid_stays_non_negative() {
+        let p = SinusoidPattern {
+            base: 10.0,
+            amplitude: 50.0,
+            period_secs: 100.0,
+        };
+        for i in 0..200 {
+            assert!(p.rate_at(t(i as f64)) >= 0.0);
+        }
+        // Peak near t = 25.
+        assert!((p.rate_at(t(25.0)) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closures_are_patterns() {
+        let p = |time: SimTime| time.as_secs() * 2.0;
+        assert_eq!(p.rate_at(t(3.0)), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_steps_rejected() {
+        let _ = StepPattern::new(vec![(t(10.0), 1.0), (t(5.0), 2.0)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Head-to-head: APC vs. EDF vs. FCFS on the same bursty batch workload
+//! (a pocket version of the paper's Experiment Two).
+//!
+//! Run with: `cargo run --release --example policy_faceoff`
+
+use dynaplace::sim::engine::SimConfig;
+use dynaplace::sim::scenario::experiment_two;
+
+fn main() {
+    println!("200 mixed jobs on 25 nodes, sweeping the arrival rate\n");
+    println!(
+        "{:>14} {:>6}  {:>9} {:>9} {:>9}",
+        "inter-arrival", "", "FCFS", "EDF", "APC"
+    );
+    for ia in [300.0, 150.0, 75.0, 50.0] {
+        let mut met = Vec::new();
+        let mut changes = Vec::new();
+        for config in [
+            SimConfig::fcfs_default(),
+            SimConfig::edf_default(),
+            SimConfig::apc_default(),
+        ] {
+            let metrics = experiment_two(7, 200, ia, config).run();
+            met.push(format!(
+                "{:>8.1}%",
+                metrics.deadline_met_ratio().unwrap_or(0.0) * 100.0
+            ));
+            changes.push(format!("{:>9}", metrics.changes.disruptive_total()));
+        }
+        println!(
+            "{:>12}s  {:>6}  {} {} {}",
+            ia, "met", met[0], met[1], met[2]
+        );
+        println!(
+            "{:>14} {:>6}  {} {} {}",
+            "", "moves", changes[0], changes[1], changes[2]
+        );
+    }
+    println!("\nThe full-scale sweep (800 jobs, 8 arrival rates) is:");
+    println!("  cargo run --release -p dynaplace-bench --bin fig3");
+}

@@ -1,0 +1,108 @@
+//! Quickstart: one placement decision, from scratch.
+//!
+//! Builds a two-node cluster hosting a web application and three batch
+//! jobs, asks the placement controller for a decision, and prints the
+//! resulting placement, load distribution, and per-application relative
+//! performance.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dynaplace::apc::optimizer::{place, ApcConfig};
+use dynaplace::apc::problem::{PlacementProblem, WorkloadModel};
+use dynaplace::batch::hypothetical::JobSnapshot;
+use dynaplace::batch::job::JobProfile;
+use dynaplace::model::prelude::*;
+use dynaplace::rpf::goal::{CompletionGoal, ResponseTimeGoal};
+use dynaplace::txn::model::{TxnPerformanceModel, TxnWorkload};
+
+fn main() {
+    // Two machines: 3 GHz of CPU and 8 GB of memory each.
+    let mut cluster = Cluster::new();
+    for i in 0..2 {
+        cluster.add_node(
+            NodeSpec::new(CpuSpeed::from_mhz(3_000.0), Memory::from_mb(8_192.0))
+                .with_name(format!("node{i}")),
+        );
+    }
+
+    let mut apps = AppSet::new();
+    let mut workloads = BTreeMap::new();
+
+    // A web storefront: 150 req/s, 8 Mcycles per request, 60 ms goal.
+    let store = apps.add(
+        ApplicationSpec::transactional(Memory::from_mb(1_024.0), CpuSpeed::from_mhz(3_000.0), 2)
+            .with_name("storefront"),
+    );
+    workloads.insert(
+        store,
+        WorkloadModel::Transactional(TxnPerformanceModel::new(
+            TxnWorkload::new(150.0, 8.0, SimDuration::from_secs(0.004)),
+            ResponseTimeGoal::new(SimDuration::from_secs(0.060)),
+        )),
+    );
+
+    // Three overnight batch jobs with different deadlines.
+    let job = |apps: &mut AppSet,
+                   workloads: &mut BTreeMap<AppId, WorkloadModel>,
+                   name: &str,
+                   work_mcycles: f64,
+                   deadline_s: f64| {
+        let app = apps.add(
+            ApplicationSpec::batch(Memory::from_mb(2_048.0), CpuSpeed::from_mhz(2_000.0))
+                .with_name(name),
+        );
+        workloads.insert(
+            app,
+            WorkloadModel::Batch(JobSnapshot::new(
+                app,
+                CompletionGoal::new(SimTime::ZERO, SimTime::from_secs(deadline_s)),
+                Arc::new(JobProfile::single_stage(
+                    Work::from_mcycles(work_mcycles),
+                    CpuSpeed::from_mhz(2_000.0),
+                    Memory::from_mb(2_048.0),
+                )),
+                Work::ZERO,
+                SimDuration::from_secs(300.0), // queued: can start next cycle
+            )),
+        );
+        app
+    };
+    job(&mut apps, &mut workloads, "etl-refresh", 3_600_000.0, 7_200.0);
+    job(&mut apps, &mut workloads, "risk-report", 1_800_000.0, 3_600.0);
+    job(&mut apps, &mut workloads, "ml-retrain", 7_200_000.0, 14_400.0);
+
+    // Nothing is placed yet; ask the controller for a decision.
+    let current = Placement::new();
+    let problem = PlacementProblem {
+        cluster: &cluster,
+        apps: &apps,
+        workloads,
+        current: &current,
+        now: SimTime::ZERO,
+        cycle: SimDuration::from_secs(300.0),
+    };
+    let outcome = place(&problem, &ApcConfig::default());
+
+    println!("chosen placement:");
+    for (app, node, count) in outcome.placement.iter() {
+        let name = apps.get(app).ok().and_then(|s| s.name()).unwrap_or("?");
+        println!("  {count}x {name:<12} on {node}");
+    }
+    println!("\nload distribution:");
+    for (app, node, speed) in outcome.score.load.iter() {
+        let name = apps.get(app).ok().and_then(|s| s.name()).unwrap_or("?");
+        println!("  {name:<12} {node}  {speed}");
+    }
+    println!("\npredicted relative performance (worst first):");
+    for &(app, u) in outcome.score.satisfaction.entries() {
+        let name = apps.get(app).ok().and_then(|s| s.name()).unwrap_or("?");
+        println!("  {name:<12} {u}");
+    }
+    println!("\nactions: {}", outcome.actions.len());
+    for action in &outcome.actions {
+        println!("  {action}");
+    }
+}

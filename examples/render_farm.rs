@@ -1,0 +1,87 @@
+//! Malleable parallel jobs: a render farm whose frames are embarrassingly
+//! parallel (the paper's future-work extension, implemented here).
+//!
+//! Two parallel render jobs (8 tasks each) share six nodes with a burst
+//! of small single-task jobs. Watch the parallel jobs expand across
+//! nodes when the cluster is idle and shrink when the burst arrives —
+//! malleability without suspensions.
+//!
+//! Run with: `cargo run --release --example render_farm`
+
+use dynaplace::batch::job::{JobProfile, JobSpec};
+use dynaplace::model::cluster::Cluster;
+use dynaplace::model::node::NodeSpec;
+use dynaplace::model::units::*;
+use dynaplace::rpf::goal::CompletionGoal;
+use dynaplace::sim::engine::{SimConfig, Simulation};
+
+fn main() {
+    let cluster = Cluster::homogeneous(
+        6,
+        NodeSpec::new(CpuSpeed::from_mhz(8_000.0), Memory::from_mb(16_384.0)),
+    );
+    let mut config = SimConfig::apc_default();
+    config.cycle = SimDuration::from_secs(60.0);
+    config.horizon = Some(SimDuration::from_secs(20_000.0));
+    let mut sim = Simulation::new(cluster, config);
+
+    // Two overnight renders: 8 tasks × up to 2 GHz each.
+    for (i, deadline) in [(0, 12_000.0), (1, 16_000.0)] {
+        sim.add_parallel_job(8, move |app| {
+            JobSpec::new(
+                app,
+                JobProfile::single_stage(
+                    Work::from_mcycles(40_000_000.0), // ~42 min at full 16 GHz spread
+                    CpuSpeed::from_mhz(2_000.0),
+                    Memory::from_mb(2_048.0),
+                ),
+                SimTime::from_secs(i as f64 * 30.0),
+                CompletionGoal::new(SimTime::from_secs(i as f64 * 30.0), SimTime::from_secs(deadline)),
+            )
+            .with_class("render")
+        });
+    }
+    // A mid-run burst of urgent thumbnail jobs.
+    for i in 0..12 {
+        let arrival = 3_000.0 + i as f64 * 20.0;
+        sim.add_job(move |app| {
+            JobSpec::new(
+                app,
+                JobProfile::single_stage(
+                    Work::from_mcycles(600_000.0), // 5 min at 2 GHz
+                    CpuSpeed::from_mhz(2_000.0),
+                    Memory::from_mb(1_024.0),
+                ),
+                SimTime::from_secs(arrival),
+                CompletionGoal::new(
+                    SimTime::from_secs(arrival),
+                    SimTime::from_secs(arrival + 900.0),
+                ),
+            )
+            .with_class("thumbnail")
+        });
+    }
+
+    let metrics = sim.run();
+    println!("time      batch_u   running/waiting  batch_alloc_mhz");
+    for s in &metrics.samples {
+        println!(
+            "{:>7.0}s   {}      {:>2}/{:<2}          {:>8.0}",
+            s.time.as_secs(),
+            s.batch_hypothetical_rp
+                .map(|u| format!("{:+.3}", u.value()))
+                .unwrap_or_else(|| "  --  ".into()),
+            s.running_jobs,
+            s.waiting_jobs,
+            s.batch_allocation.as_mhz(),
+        );
+    }
+    let met = metrics.completions.iter().filter(|c| c.met_deadline).count();
+    println!(
+        "\ncompleted {}/{} on time; changes: {} suspends, {} migrations",
+        met,
+        metrics.completions.len(),
+        metrics.changes.suspends,
+        metrics.changes.migrations
+    );
+}

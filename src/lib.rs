@@ -1,0 +1,85 @@
+//! # dynaplace
+//!
+//! Dynamic application placement for mixed transactional and batch
+//! workloads — a full Rust reproduction of *Carrera, Steinder, Whalley,
+//! Torres, Ayguadé: "Enabling Resource Sharing between Transactional and
+//! Batch Workloads Using Dynamic Application Placement" (Middleware
+//! 2008)*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`model`] | `dynaplace-model` | typed units, cluster, placement & load matrices |
+//! | [`solver`] | `dynaplace-solver` | max-flow, bisection, piecewise-linear, least squares |
+//! | [`rpf`] | `dynaplace-rpf` | relative performance functions and the max-min objective |
+//! | [`txn`] | `dynaplace-txn` | queueing model, request router, work profiler |
+//! | [`batch`] | `dynaplace-batch` | job model, hypothetical RPF, FCFS/EDF baselines |
+//! | [`apc`] | `dynaplace-apc` | the placement controller (the paper's contribution) |
+//! | [`sim`] | `dynaplace-sim` | discrete-event simulator and experiment scenarios |
+//!
+//! # Quick taste
+//!
+//! Place one queued job on an idle node:
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use std::sync::Arc;
+//! use dynaplace::apc::optimizer::{place, ApcConfig};
+//! use dynaplace::apc::problem::{PlacementProblem, WorkloadModel};
+//! use dynaplace::batch::hypothetical::JobSnapshot;
+//! use dynaplace::batch::job::JobProfile;
+//! use dynaplace::model::prelude::*;
+//! use dynaplace::rpf::goal::CompletionGoal;
+//!
+//! let mut cluster = Cluster::new();
+//! let node = cluster.add_node(NodeSpec::new(
+//!     CpuSpeed::from_mhz(1_000.0),
+//!     Memory::from_mb(2_000.0),
+//! ));
+//! let mut apps = AppSet::new();
+//! let job = apps.add(ApplicationSpec::batch(
+//!     Memory::from_mb(750.0),
+//!     CpuSpeed::from_mhz(1_000.0),
+//! ));
+//! let mut workloads = BTreeMap::new();
+//! workloads.insert(
+//!     job,
+//!     WorkloadModel::Batch(JobSnapshot::new(
+//!         job,
+//!         CompletionGoal::new(SimTime::ZERO, SimTime::from_secs(20.0)),
+//!         Arc::new(JobProfile::single_stage(
+//!             Work::from_mcycles(4_000.0),
+//!             CpuSpeed::from_mhz(1_000.0),
+//!             Memory::from_mb(750.0),
+//!         )),
+//!         Work::ZERO,
+//!         SimDuration::from_secs(1.0),
+//!     )),
+//! );
+//! let current = Placement::new();
+//! let problem = PlacementProblem {
+//!     cluster: &cluster,
+//!     apps: &apps,
+//!     workloads,
+//!     current: &current,
+//!     now: SimTime::ZERO,
+//!     cycle: SimDuration::from_secs(1.0),
+//! };
+//! let outcome = place(&problem, &ApcConfig::default());
+//! assert_eq!(outcome.placement.count(job, node), 1);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dynaplace_apc as apc;
+pub use dynaplace_batch as batch;
+pub use dynaplace_model as model;
+pub use dynaplace_rpf as rpf;
+pub use dynaplace_sim as sim;
+pub use dynaplace_solver as solver;
+pub use dynaplace_txn as txn;
