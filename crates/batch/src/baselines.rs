@@ -255,9 +255,7 @@ pub fn edf_schedule(nodes: &[NodeCapacity], jobs: &[BaselineJob]) -> Placement {
         for victim in evicted_jobs {
             let pos = waiting
                 .iter()
-                .position(|w| {
-                    (w.deadline, w.app) > (victim.deadline, victim.app)
-                })
+                .position(|w| (w.deadline, w.app) > (victim.deadline, victim.app))
                 .unwrap_or(waiting.len());
             waiting.insert(pos, victim);
         }
@@ -292,7 +290,11 @@ mod tests {
     fn fcfs_places_in_arrival_order() {
         let nodes = [node(0, 1_000.0, 2_000.0)];
         // Two fit (memory 2×750 ≤ 2000, cpu 2×500 ≤ 1000); third queues.
-        let jobs = [job(2, 3.0, 99.0, None), job(0, 1.0, 99.0, None), job(1, 2.0, 99.0, None)];
+        let jobs = [
+            job(2, 3.0, 99.0, None),
+            job(0, 1.0, 99.0, None),
+            job(1, 2.0, 99.0, None),
+        ];
         let p = fcfs_schedule(&nodes, &jobs);
         assert_eq!(p.count(AppId::new(0), NodeId::new(0)), 1);
         assert_eq!(p.count(AppId::new(1), NodeId::new(0)), 1);

@@ -129,8 +129,14 @@ mod tests {
         let mut p = JobClassProfiler::new(1);
         p.record_completion("etl", Work::from_mcycles(10.0));
         p.record_completion("ml", Work::from_mcycles(1_000.0));
-        assert_eq!(p.estimate("etl").unwrap().mean_work(), Work::from_mcycles(10.0));
-        assert_eq!(p.estimate("ml").unwrap().mean_work(), Work::from_mcycles(1_000.0));
+        assert_eq!(
+            p.estimate("etl").unwrap().mean_work(),
+            Work::from_mcycles(10.0)
+        );
+        assert_eq!(
+            p.estimate("ml").unwrap().mean_work(),
+            Work::from_mcycles(1_000.0)
+        );
         assert_eq!(p.classes().count(), 2);
     }
 
@@ -154,8 +160,8 @@ mod tests {
         }
         let est = p.estimate("x").unwrap();
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var: f64 =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((est.mean_work().as_mcycles() - mean).abs() < 1e-12);
         assert!((est.stddev_mcycles() - var.sqrt()).abs() < 1e-12);
     }

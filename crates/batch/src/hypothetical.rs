@@ -210,6 +210,46 @@ impl JobSnapshot {
     }
 }
 
+/// One job's column of the `W`/`V` matrices: the speed the job needs,
+/// and the (capped) performance it reaches, at every grid level. A pure
+/// function of `(now, job, grid)` — which is what makes columns safe to
+/// memoize across candidate placements that give the job the same
+/// allocation (see `dynaplace-apc`'s score cache).
+#[derive(Debug, Clone)]
+pub struct JobColumn {
+    u_max: Rp,
+    /// `w[i]`: speed needed to achieve `grid[i]` (MHz).
+    w: Vec<f64>,
+    /// `v[i]`: the (capped) performance at that row.
+    v: Vec<f64>,
+}
+
+impl JobColumn {
+    /// Samples `job`'s demand and capped performance at every grid
+    /// level, as seen at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is already completed.
+    pub fn build(now: SimTime, job: &JobSnapshot, grid: &[f64]) -> Self {
+        assert!(!job.is_done(), "completed jobs must be excluded");
+        let cap = job.u_max(now);
+        let mut w = Vec::with_capacity(grid.len());
+        let mut v = Vec::with_capacity(grid.len());
+        for &u in grid {
+            let target = Rp::new(u).min(cap);
+            w.push(job.demand_for(now, target).as_mhz());
+            v.push(target.value());
+        }
+        Self { u_max: cap, w, v }
+    }
+
+    /// Number of grid rows sampled.
+    pub fn rows(&self) -> usize {
+        self.w.len()
+    }
+}
+
 /// The sampled hypothetical relative performance function over a set of
 /// jobs at a fixed instant: the `W` and `V` matrices of §4.2 and the
 /// interpolation queries over them.
@@ -248,27 +288,41 @@ impl HypotheticalRpf {
             grid.windows(2).all(|w| w[0] < w[1]),
             "grid must be strictly increasing"
         );
-        let apps: Vec<AppId> = jobs.iter().map(JobSnapshot::app).collect();
-        let u_max: Vec<Rp> = jobs
+        let columns: Vec<(AppId, Arc<JobColumn>)> = jobs
             .iter()
-            .map(|j| {
-                assert!(!j.is_done(), "completed jobs must be excluded");
-                j.u_max(now)
-            })
+            .map(|j| (j.app(), Arc::new(JobColumn::build(now, j, grid))))
             .collect();
-        let mut w = Vec::with_capacity(grid.len());
-        let mut v = Vec::with_capacity(grid.len());
-        let mut row_sums = Vec::with_capacity(grid.len());
-        for &u in grid {
-            let mut w_row = Vec::with_capacity(jobs.len());
-            let mut v_row = Vec::with_capacity(jobs.len());
+        Self::from_columns(now, &columns, grid.len())
+    }
+
+    /// Assembles the sampled function from per-job columns (each built by
+    /// [`JobColumn::build`] against the same `now` and a grid of `rows`
+    /// points). Values and summation order are identical to
+    /// [`HypotheticalRpf::with_grid`] on the corresponding jobs, so a mix
+    /// of freshly built and memoized columns reproduces the from-scratch
+    /// result bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column was sampled on a different number of rows.
+    pub fn from_columns(now: SimTime, columns: &[(AppId, Arc<JobColumn>)], rows: usize) -> Self {
+        let apps: Vec<AppId> = columns.iter().map(|(app, _)| *app).collect();
+        let u_max: Vec<Rp> = columns.iter().map(|(_, c)| c.u_max).collect();
+        for (_, c) in columns {
+            assert_eq!(c.rows(), rows, "columns must share the sampling grid");
+        }
+        let mut w = Vec::with_capacity(rows);
+        let mut v = Vec::with_capacity(rows);
+        let mut row_sums = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let mut w_row = Vec::with_capacity(columns.len());
+            let mut v_row = Vec::with_capacity(columns.len());
             let mut sum = 0.0;
-            for (job, &cap) in jobs.iter().zip(&u_max) {
-                let target = Rp::new(u).min(cap);
-                let demand = job.demand_for(now, target).as_mhz();
+            for (_, col) in columns {
+                let demand = col.w[i];
                 sum += demand;
                 w_row.push(demand);
-                v_row.push(target.value());
+                v_row.push(col.v[i]);
             }
             w.push(w_row);
             v.push(v_row);
@@ -378,27 +432,63 @@ impl HypotheticalRpf {
     /// Locates the bracketing rows for `omega_g`: returns `(k, θ)` with
     /// `θ ∈ [0, 1]` such that the interpolated row is `k + θ`.
     fn bracket(&self, omega_g: CpuSpeed) -> (usize, f64) {
-        let target = omega_g.as_mhz();
-        let n = self.row_sums.len();
-        debug_assert!(n >= 2);
-        if target <= self.row_sums[0] {
-            return (0, 0.0);
-        }
-        if target >= self.row_sums[n - 1] {
-            return (n - 2, 1.0);
-        }
-        // First row with sum > target; its predecessor is the lower edge.
-        let hi = self.row_sums.partition_point(|&s| s <= target);
-        let k = hi - 1;
-        let lo_sum = self.row_sums[k];
-        let hi_sum = self.row_sums[hi];
-        let theta = if hi_sum - lo_sum <= f64::EPSILON {
-            0.0
-        } else {
-            (target - lo_sum) / (hi_sum - lo_sum)
-        };
-        (k, theta)
+        bracket_rows(&self.row_sums, omega_g)
     }
+}
+
+/// Locates the rows bracketing `omega_g` in non-decreasing per-row
+/// demand sums and the interpolation weight between them (eq. 6).
+fn bracket_rows(row_sums: &[f64], omega_g: CpuSpeed) -> (usize, f64) {
+    let target = omega_g.as_mhz();
+    let n = row_sums.len();
+    debug_assert!(n >= 2);
+    if target <= row_sums[0] {
+        return (0, 0.0);
+    }
+    if target >= row_sums[n - 1] {
+        return (n - 2, 1.0);
+    }
+    // First row with sum > target; its predecessor is the lower edge.
+    let hi = row_sums.partition_point(|&s| s <= target);
+    let k = hi - 1;
+    let lo_sum = row_sums[k];
+    let hi_sum = row_sums[hi];
+    let theta = if hi_sum - lo_sum <= f64::EPSILON {
+        0.0
+    } else {
+        (target - lo_sum) / (hi_sum - lo_sum)
+    };
+    (k, theta)
+}
+
+/// [`HypotheticalRpf::performances`] computed directly from per-job
+/// columns, without materializing the `W`/`V` matrices. Row sums are
+/// accumulated in the same job order and the same interpolation is
+/// applied, so the result is bit-identical to building
+/// [`HypotheticalRpf::from_columns`] and querying it — this is the
+/// allocation-free path the memoizing scorer uses per candidate.
+pub fn performances_from_columns(
+    columns: &[(AppId, Arc<JobColumn>)],
+    rows: usize,
+    omega_g: CpuSpeed,
+) -> Vec<(AppId, Rp)> {
+    let mut row_sums = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let mut sum = 0.0;
+        for (_, col) in columns {
+            debug_assert_eq!(col.rows(), rows, "columns must share the sampling grid");
+            sum += col.w[i];
+        }
+        row_sums.push(sum);
+    }
+    let (k, theta) = bracket_rows(&row_sums, omega_g);
+    columns
+        .iter()
+        .map(|(app, col)| {
+            let u = col.v[k] + theta * (col.v[k + 1] - col.v[k]);
+            (*app, Rp::new(u))
+        })
+        .collect()
 }
 
 /// Result of evaluating one candidate placement one control cycle ahead.
@@ -441,9 +531,31 @@ pub fn evaluate_batch_placement_with_grid(
     grid: &[f64],
 ) -> BatchEvaluation {
     let horizon = now + cycle;
+    evaluate_batch_placement_with_columns(now, cycle, jobs, grid, |survivor, _| {
+        Arc::new(JobColumn::build(horizon, survivor, grid))
+    })
+}
+
+/// [`evaluate_batch_placement_with_grid`] with caller-supplied survivor
+/// columns: `column_for(survivor, omega)` returns the survivor's
+/// [`JobColumn`] as sampled at `now + cycle` on `grid` — typically from a
+/// memo keyed by `(survivor.app(), omega)`, since within one placement
+/// problem the advanced snapshot is a pure function of the job and its
+/// candidate allocation. Supplying exactly what [`JobColumn::build`]
+/// would return yields a bit-identical [`BatchEvaluation`].
+pub fn evaluate_batch_placement_with_columns<F>(
+    now: SimTime,
+    cycle: SimDuration,
+    jobs: &[(JobSnapshot, CpuSpeed)],
+    grid: &[f64],
+    mut column_for: F,
+) -> BatchEvaluation
+where
+    F: FnMut(&JobSnapshot, CpuSpeed) -> Arc<JobColumn>,
+{
     let mut performances = Vec::with_capacity(jobs.len());
     let mut completions = Vec::new();
-    let mut survivors = Vec::with_capacity(jobs.len());
+    let mut survivors: Vec<(AppId, Arc<JobColumn>)> = Vec::with_capacity(jobs.len());
     let omega_g: CpuSpeed = jobs.iter().map(|(_, w)| *w).sum();
 
     for (snapshot, omega) in jobs {
@@ -463,13 +575,13 @@ pub fn evaluate_batch_placement_with_grid(
             completions.push((snapshot.app(), finish));
         } else {
             // Still live at the cycle boundary; can be (re)placed there.
-            survivors.push(snapshot.advanced(progress, SimDuration::ZERO));
+            let survivor = snapshot.advanced(progress, SimDuration::ZERO);
+            survivors.push((survivor.app(), column_for(&survivor, *omega)));
         }
     }
 
     if !survivors.is_empty() {
-        let hypo = HypotheticalRpf::with_grid(horizon, &survivors, grid);
-        performances.extend(hypo.performances(omega_g));
+        performances.extend(performances_from_columns(&survivors, grid.len(), omega_g));
     }
 
     BatchEvaluation {

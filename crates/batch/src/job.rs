@@ -301,9 +301,15 @@ mod tests {
         // 500 left of stage 1 at 500 MHz (1 s) + 3000 at 1000 MHz (3 s)...
         // wait: consumed 1500 = stage 1 done (1000) + 500 into stage 2.
         // Remaining = 2500 of stage 2 at 1000 MHz = 2.5 s.
-        assert_eq!(p.remaining_min_time(mc(1_500.0)), SimDuration::from_secs(2.5));
+        assert_eq!(
+            p.remaining_min_time(mc(1_500.0)),
+            SimDuration::from_secs(2.5)
+        );
         // From the start: 2 + 3 = 5 s.
-        assert_eq!(p.remaining_min_time(Work::ZERO), SimDuration::from_secs(5.0));
+        assert_eq!(
+            p.remaining_min_time(Work::ZERO),
+            SimDuration::from_secs(5.0)
+        );
         // Past the end: nothing left.
         assert_eq!(p.remaining_min_time(mc(9_999.0)), SimDuration::ZERO);
         assert_eq!(p.remaining_work(mc(9_999.0)), Work::ZERO);

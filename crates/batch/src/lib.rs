@@ -49,8 +49,8 @@ pub mod state;
 pub use baselines::{edf_schedule, fcfs_schedule, BaselineJob, NodeCapacity};
 pub use class_profiler::{ClassStats, JobClassProfiler};
 pub use hypothetical::{
-    default_grid, evaluate_batch_placement, evaluate_batch_placement_with_grid, BatchEvaluation,
-    HypotheticalRpf, JobSnapshot,
+    default_grid, evaluate_batch_placement, evaluate_batch_placement_with_columns,
+    evaluate_batch_placement_with_grid, BatchEvaluation, HypotheticalRpf, JobColumn, JobSnapshot,
 };
 pub use job::{JobProfile, JobSpec, JobStage};
 pub use state::{JobState, JobStatus};

@@ -37,10 +37,7 @@ fn arb_setup() -> impl Strategy<Value = (Vec<(f64, f64)>, Vec<JobParams>)> {
     (nodes, jobs)
 }
 
-fn build(
-    nodes: &[(f64, f64)],
-    jobs: &[JobParams],
-) -> (Vec<NodeCapacity>, Vec<BaselineJob>) {
+fn build(nodes: &[(f64, f64)], jobs: &[JobParams]) -> (Vec<NodeCapacity>, Vec<BaselineJob>) {
     let caps: Vec<NodeCapacity> = nodes
         .iter()
         .enumerate()

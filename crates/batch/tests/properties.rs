@@ -27,13 +27,15 @@ fn arb_job() -> impl Strategy<Value = JobParams> {
         0.0..0.95f64,
         any::<bool>(),
     )
-        .prop_map(|(work, max_speed, goal_factor, progress_frac, delayed)| JobParams {
-            work,
-            max_speed,
-            goal_factor,
-            progress_frac,
-            delayed,
-        })
+        .prop_map(
+            |(work, max_speed, goal_factor, progress_frac, delayed)| JobParams {
+                work,
+                max_speed,
+                goal_factor,
+                progress_frac,
+                delayed,
+            },
+        )
 }
 
 fn snapshot(i: usize, p: &JobParams, now: SimTime, cycle: SimDuration) -> JobSnapshot {

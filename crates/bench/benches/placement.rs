@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use dynaplace_apc::optimizer::{place, ApcConfig};
+use dynaplace_apc::optimizer::{place, ApcConfig, ScoringMode};
 use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
 use dynaplace_apc::{distribute, score_placement};
 use dynaplace_batch::hypothetical::{HypotheticalRpf, JobSnapshot};
@@ -44,11 +44,7 @@ fn exp1_world(jobs: usize, running: usize) -> World {
             CpuSpeed::from_mhz(3_900.0),
         ));
         let arrival = SimTime::from_secs(i as f64 * 260.0);
-        let goal = CompletionGoal::from_goal_factor(
-            arrival,
-            profile.min_execution_time(),
-            2.7,
-        );
+        let goal = CompletionGoal::from_goal_factor(arrival, profile.min_execution_time(), 2.7);
         let placed = i < running;
         // Stagger progress so jobs are not identical at decision time.
         let consumed = if placed {
@@ -66,6 +62,58 @@ fn exp1_world(jobs: usize, running: usize) -> World {
         workloads.insert(app, WorkloadModel::Batch(snap));
         if placed {
             current.place(app, NodeId::new((i % 25) as u32));
+        }
+    }
+    World {
+        cluster,
+        apps,
+        workloads,
+        current,
+    }
+}
+
+/// Like [`exp1_world`] but on a cluster of `nodes` Experiment One-spec
+/// nodes instead of the fixed 25, with load scaled to the cluster: three
+/// jobs per node, two of them already running.
+fn sized_world(nodes: usize) -> World {
+    let cluster = Cluster::homogeneous(
+        nodes,
+        NodeSpec::new(CpuSpeed::from_mhz(4.0 * 3_900.0), Memory::from_mb(16_384.0)),
+    );
+    let jobs = nodes * 3;
+    let running = nodes * 2;
+    let mut apps = AppSet::new();
+    let mut workloads = BTreeMap::new();
+    let mut current = Placement::new();
+    let profile = Arc::new(JobProfile::single_stage(
+        Work::from_mcycles(68_640_000.0),
+        CpuSpeed::from_mhz(3_900.0),
+        Memory::from_mb(4_320.0),
+    ));
+    let cycle = SimDuration::from_secs(600.0);
+    for i in 0..jobs {
+        let app = apps.add(ApplicationSpec::batch(
+            Memory::from_mb(4_320.0),
+            CpuSpeed::from_mhz(3_900.0),
+        ));
+        let arrival = SimTime::from_secs(i as f64 * 260.0);
+        let goal = CompletionGoal::from_goal_factor(arrival, profile.min_execution_time(), 2.7);
+        let placed = i < running;
+        let consumed = if placed {
+            Work::from_mcycles(1_000_000.0 * (i % 17) as f64)
+        } else {
+            Work::ZERO
+        };
+        let snap = JobSnapshot::new(
+            app,
+            goal,
+            Arc::clone(&profile),
+            consumed,
+            if placed { SimDuration::ZERO } else { cycle },
+        );
+        workloads.insert(app, WorkloadModel::Batch(snap));
+        if placed {
+            current.place(app, NodeId::new((i % nodes) as u32));
         }
     }
     World {
@@ -178,9 +226,39 @@ fn bench_config_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline comparison for the incremental-scoring work: the seed
+/// serial path ([`ScoringMode::FromScratch`]) against memoized scoring
+/// ([`ScoringMode::Incremental`]) on the full `place` cycle at three
+/// cluster sizes. Single-threaded on purpose — the win measured here is
+/// the cache, not parallelism.
+fn bench_scoring_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring_mode");
+    group.sample_size(10);
+    for &nodes in &[10usize, 50, 200] {
+        let world = sized_world(nodes);
+        for (name, scoring) in [
+            ("from_scratch", ScoringMode::FromScratch),
+            ("incremental", ScoringMode::Incremental),
+        ] {
+            let config = ApcConfig {
+                scoring,
+                threads: 1,
+                ..ApcConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{nodes}nodes")),
+                &world,
+                |b, world| b.iter(|| place(&problem(world), &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_placement_cycle,
+    bench_scoring_mode,
     bench_score_placement,
     bench_load_distribution,
     bench_hypothetical,

@@ -105,9 +105,7 @@ fn main() {
     println!("ablation 4: hypothetical sampling-grid resolution");
     let mut rows = Vec::new();
     {
-        use dynaplace_batch::hypothetical::{
-            evaluate_batch_placement_with_grid, JobSnapshot,
-        };
+        use dynaplace_batch::hypothetical::{evaluate_batch_placement_with_grid, JobSnapshot};
         use dynaplace_batch::job::JobProfile;
         use dynaplace_model::ids::AppId;
         use dynaplace_model::units::*;
@@ -136,7 +134,14 @@ fn main() {
                     Work::from_mcycles(if placed { 3_900.0 * 5_000.0 } else { 0.0 }),
                     if placed { SimDuration::ZERO } else { cycle },
                 );
-                (snap, if placed { CpuSpeed::from_mhz(3_900.0) } else { CpuSpeed::ZERO })
+                (
+                    snap,
+                    if placed {
+                        CpuSpeed::from_mhz(3_900.0)
+                    } else {
+                        CpuSpeed::ZERO
+                    },
+                )
             })
             .collect();
 

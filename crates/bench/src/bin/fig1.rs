@@ -37,9 +37,7 @@ fn build_jobs(apps: &mut AppSet, s2: bool) -> Vec<ExampleJob> {
               speed: f64,
               arrival: f64,
               deadline: f64| {
-        let app = apps.add(
-            ApplicationSpec::batch(mem, CpuSpeed::from_mhz(speed)).with_name(name),
-        );
+        let app = apps.add(ApplicationSpec::batch(mem, CpuSpeed::from_mhz(speed)).with_name(name));
         ExampleJob {
             name,
             app,
@@ -48,10 +46,7 @@ fn build_jobs(apps: &mut AppSet, s2: bool) -> Vec<ExampleJob> {
                 CpuSpeed::from_mhz(speed),
                 mem,
             )),
-            goal: CompletionGoal::new(
-                SimTime::from_secs(arrival),
-                SimTime::from_secs(deadline),
-            ),
+            goal: CompletionGoal::new(SimTime::from_secs(arrival), SimTime::from_secs(deadline)),
             arrival: SimTime::from_secs(arrival),
             consumed: Work::ZERO,
             done: false,
@@ -163,8 +158,7 @@ fn trace(scenario: &str, config: &ApcConfig, config_name: &str) -> Vec<Vec<Strin
             job.consumed = (job.consumed + alloc * cycle).min(job.profile.total_work());
             if job.profile.remaining_work(job.consumed).is_zero() {
                 job.done = true;
-                let finish_fraction =
-                    job.profile.remaining_work(Work::ZERO).as_mcycles() / 1.0; // diagnostic only
+                let finish_fraction = job.profile.remaining_work(Work::ZERO).as_mcycles() / 1.0; // diagnostic only
                 let _ = finish_fraction;
                 println!("         {} completes", job.name);
             }
@@ -190,7 +184,11 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for scenario in ["S1", "S2"] {
-        rows.extend(trace(scenario, &ApcConfig::paper_narrative(), "paper-narrative"));
+        rows.extend(trace(
+            scenario,
+            &ApcConfig::paper_narrative(),
+            "paper-narrative",
+        ));
         rows.extend(trace(scenario, &ApcConfig::default(), "default"));
     }
     let path = write_csv("fig1", &headers, &rows);

@@ -80,25 +80,40 @@ fn main() {
         .map(|u| u.value())
         .fold(f64::INFINITY, f64::min);
     let summary = vec![
-        vec!["completions".into(), format!("{}", metrics.completions.len())],
+        vec![
+            "completions".into(),
+            format!("{}", metrics.completions.len()),
+        ],
         vec![
             "deadline met".into(),
-            format!("{:.1}%", metrics.deadline_met_ratio().unwrap_or(0.0) * 100.0),
+            format!(
+                "{:.1}%",
+                metrics.deadline_met_ratio().unwrap_or(0.0) * 100.0
+            ),
         ],
         vec!["plateau u (max)".into(), format!("{plateau:.4}")],
         vec!["min u over run".into(), format!("{dip:.4}")],
         vec!["suspends".into(), format!("{}", metrics.changes.suspends)],
-        vec!["migrations".into(), format!("{}", metrics.changes.migrations)],
+        vec![
+            "migrations".into(),
+            format!("{}", metrics.changes.migrations),
+        ],
         vec![
             "mean placement compute [s]".into(),
-            format!("{:.4}", metrics.mean_placement_compute_secs().unwrap_or(0.0)),
+            format!(
+                "{:.4}",
+                metrics.mean_placement_compute_secs().unwrap_or(0.0)
+            ),
         ],
     ];
     // ASCII rendition of the figure itself.
     let hypo_series: Vec<(f64, f64)> = metrics
         .samples
         .iter()
-        .filter_map(|s| s.batch_hypothetical_rp.map(|u| (s.time.as_secs(), u.value())))
+        .filter_map(|s| {
+            s.batch_hypothetical_rp
+                .map(|u| (s.time.as_secs(), u.value()))
+        })
         .collect();
     let actual_series: Vec<(f64, f64)> = metrics
         .completions
@@ -125,7 +140,10 @@ fn main() {
         "plateau should be ≈0.63 (1 − 17,600/47,520)"
     );
     assert_eq!(metrics.changes.suspends, 0, "paper: no suspends in Exp. 1");
-    assert_eq!(metrics.changes.migrations, 0, "paper: no migrations in Exp. 1");
+    assert_eq!(
+        metrics.changes.migrations, 0,
+        "paper: no migrations in Exp. 1"
+    );
     println!("shape checks: plateau ≈ 0.63 ✓  no suspends/migrations ✓");
     println!("series written to {}", path.display());
 }

@@ -31,7 +31,12 @@ fn main() {
         }
         rows.push(row);
     }
-    let headers = ["inter_arrival_s", "FCFS_met_pct", "EDF_met_pct", "APC_met_pct"];
+    let headers = [
+        "inter_arrival_s",
+        "FCFS_met_pct",
+        "EDF_met_pct",
+        "APC_met_pct",
+    ];
     let path = write_csv("fig3", &headers, &rows);
     println!("Figure 3 — % of jobs that met the deadline");
     println!("{}", ascii_table(&headers, &rows));
@@ -44,10 +49,7 @@ fn main() {
             .unwrap_or(0.0)
     };
     for s in ["FCFS", "EDF", "APC"] {
-        assert!(
-            met(s, 400.0) > 0.95,
-            "{s} must be ≈100% when underloaded"
-        );
+        assert!(met(s, 400.0) > 0.95, "{s} must be ≈100% when underloaded");
     }
     assert!(
         met("FCFS", 50.0) < met("EDF", 50.0) - 0.1,

@@ -124,9 +124,7 @@ fn main() {
     let (_, apc_sd, _, _) = stat("APC", 1.3);
     let (_, edf_sd, _, _) = stat("EDF", 1.3);
     let (_, fcfs_sd, _, _) = stat("FCFS", 1.3);
-    println!(
-        "factor 1.3 @ 50 s stddev: APC {apc_sd:.0}s, EDF {edf_sd:.0}s, FCFS {fcfs_sd:.0}s"
-    );
+    println!("factor 1.3 @ 50 s stddev: APC {apc_sd:.0}s, EDF {edf_sd:.0}s, FCFS {fcfs_sd:.0}s");
     assert!(
         apc_sd < fcfs_sd,
         "APC must cluster tighter than FCFS under load"

@@ -38,7 +38,11 @@ pub(crate) fn run_all(jobs: usize, seed: u64) -> Vec<(&'static str, RunMetrics)>
         // Head: Experiment One arrival rate (some queuing); tail: slowed
         // submissions so the queue drains, per §5.3.
         let metrics = experiment_three(seed, jobs, 180.0, 900.0, sharing, config).run();
-        eprintln!("  {} completions in {:.1?}", metrics.completions.len(), started.elapsed());
+        eprintln!(
+            "  {} completions in {:.1?}",
+            metrics.completions.len(),
+            started.elapsed()
+        );
         (name, metrics)
     })
     .collect()
@@ -62,7 +66,8 @@ fn main() {
             rows.push(vec![
                 name.to_string(),
                 format!("{:.0}", s.time.as_secs()),
-                s.txn_rp.map_or(String::new(), |u| format!("{:.4}", u.value())),
+                s.txn_rp
+                    .map_or(String::new(), |u| format!("{:.4}", u.value())),
                 s.batch_hypothetical_rp
                     .map_or(String::new(), |u| format!("{:.4}", u.value())),
                 format!("{}", s.running_jobs),
@@ -111,12 +116,19 @@ fn main() {
     println!("Figure 6 (dynamic sharing) — TX and LR relative performance");
     println!(
         "{}",
-        ascii_plot(&[("transactional", &tx_series), ("long-running", &lr_series)], 90, 14)
+        ascii_plot(
+            &[("transactional", &tx_series), ("long-running", &lr_series)],
+            90,
+            14
+        )
     );
     println!("Figure 6 — relative performance ranges per configuration");
     println!(
         "{}",
-        ascii_table(&["config", "txn_u_range", "batch_u_range", "jobs_met"], &table)
+        ascii_table(
+            &["config", "txn_u_range", "batch_u_range", "jobs_met"],
+            &table
+        )
     );
 
     // Dynamic: equalization — at peak contention the two curves meet.
@@ -149,7 +161,12 @@ fn main() {
     // (dynamic dips below TX6's flat line only at peak batch pressure,
     // which is exactly the fairness trade the paper describes).
     let mean_tx = |m: &RunMetrics| {
-        let us: Vec<f64> = m.samples.iter().filter_map(|s| s.txn_rp).map(|u| u.value()).collect();
+        let us: Vec<f64> = m
+            .samples
+            .iter()
+            .filter_map(|s| s.txn_rp)
+            .map(|u| u.value())
+            .collect();
         us.iter().sum::<f64>() / us.len() as f64
     };
     let tx6_mean = mean_tx(&runs[2].1);

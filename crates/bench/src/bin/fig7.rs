@@ -39,7 +39,12 @@ fn main() {
     })
     .collect();
 
-    let headers = ["config", "time_s", "txn_allocation_mhz", "batch_allocation_mhz"];
+    let headers = [
+        "config",
+        "time_s",
+        "txn_allocation_mhz",
+        "batch_allocation_mhz",
+    ];
     let mut rows = Vec::new();
     for (name, metrics) in &runs {
         for s in &metrics.samples {
@@ -55,8 +60,16 @@ fn main() {
 
     let mut table = Vec::new();
     for (name, m) in &runs {
-        let tx: Vec<f64> = m.samples.iter().map(|s| s.txn_allocation.as_mhz()).collect();
-        let lr: Vec<f64> = m.samples.iter().map(|s| s.batch_allocation.as_mhz()).collect();
+        let tx: Vec<f64> = m
+            .samples
+            .iter()
+            .map(|s| s.txn_allocation.as_mhz())
+            .collect();
+        let lr: Vec<f64> = m
+            .samples
+            .iter()
+            .map(|s| s.batch_allocation.as_mhz())
+            .collect();
         let rng = |v: &[f64]| {
             (
                 v.iter().copied().fold(f64::INFINITY, f64::min),

@@ -24,7 +24,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec: ScenarioSpec = match serde_json::from_str(&text) {
+    let spec: ScenarioSpec = match ScenarioSpec::from_json_str(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("invalid scenario {path}: {e}");
@@ -37,7 +37,10 @@ fn main() -> ExitCode {
     let elapsed = started.elapsed();
 
     let rows = vec![
-        vec!["jobs completed".into(), format!("{}", metrics.completions.len())],
+        vec![
+            "jobs completed".into(),
+            format!("{}", metrics.completions.len()),
+        ],
         vec![
             "deadlines met".into(),
             metrics
@@ -55,26 +58,22 @@ fn main() -> ExitCode {
         vec!["starts".into(), format!("{}", metrics.changes.starts)],
         vec!["suspends".into(), format!("{}", metrics.changes.suspends)],
         vec!["resumes".into(), format!("{}", metrics.changes.resumes)],
-        vec!["migrations".into(), format!("{}", metrics.changes.migrations)],
+        vec![
+            "migrations".into(),
+            format!("{}", metrics.changes.migrations),
+        ],
         vec!["samples".into(), format!("{}", metrics.samples.len())],
         vec!["wall clock".into(), format!("{elapsed:.2?}")],
     ];
     println!("{}", ascii_table(&["metric", "value"], &rows));
 
     if let Some(out) = out {
-        match serde_json::to_string_pretty(&metrics) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&out, json) {
-                    eprintln!("cannot write {out}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("metrics written to {out}");
-            }
-            Err(e) => {
-                eprintln!("cannot serialize metrics: {e}");
-                return ExitCode::FAILURE;
-            }
+        let json = dynaplace_json::ToJson::to_json(&metrics).pretty();
+        if let Err(e) = std::fs::write(&out, json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
         }
+        println!("metrics written to {out}");
     }
     ExitCode::SUCCESS
 }

@@ -2,14 +2,14 @@
 //!
 //! The paper submits jobs until 800 complete, for eight inter-arrival
 //! times (400 → 50 s) and three schedulers (FCFS, EDF, APC). The sweep
-//! is embarrassingly parallel, so runs execute on a crossbeam scope, one
-//! thread per (inter-arrival, scheduler) pair up to the machine's
+//! is embarrassingly parallel, so runs execute on a scoped thread pool,
+//! one worker per (inter-arrival, scheduler) pair up to the machine's
 //! parallelism. Results are cached as JSON under `results/` so the three
 //! figure binaries don't re-simulate.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
+use dynaplace_json::{obj, FromJson, Json, JsonError, ToJson};
 use dynaplace_sim::engine::SimConfig;
 use dynaplace_sim::metrics::RunMetrics;
 use dynaplace_sim::scenario::experiment_two;
@@ -20,7 +20,7 @@ use crate::output::{results_dir, write_json};
 pub const EXP2_INTER_ARRIVALS: [f64; 8] = [400.0, 350.0, 300.0, 250.0, 200.0, 150.0, 100.0, 50.0];
 
 /// One completed Experiment Two run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Exp2Run {
     /// Scheduler name: `FCFS`, `EDF`, or `APC`.
     pub scheduler: String,
@@ -28,6 +28,26 @@ pub struct Exp2Run {
     pub inter_arrival: f64,
     /// The full metrics of the run.
     pub metrics: RunMetrics,
+}
+
+impl ToJson for Exp2Run {
+    fn to_json(&self) -> Json {
+        obj([
+            ("scheduler", self.scheduler.to_json()),
+            ("inter_arrival", self.inter_arrival.to_json()),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Exp2Run {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Exp2Run {
+            scheduler: v.field("scheduler")?,
+            inter_arrival: v.field("inter_arrival")?,
+            metrics: v.field("metrics")?,
+        })
+    }
 }
 
 fn scheduler_configs() -> Vec<(&'static str, SimConfig)> {
@@ -48,7 +68,7 @@ pub fn run_experiment_two_sweep(seed: u64, jobs: usize) -> Vec<Exp2Run> {
     let cache_name = format!("exp2_sweep_seed{seed}_jobs{jobs}");
     let cache_path = results_dir().join(format!("{cache_name}.json"));
     if let Ok(data) = std::fs::read_to_string(&cache_path) {
-        if let Ok(runs) = serde_json::from_str::<Vec<Exp2Run>>(&data) {
+        if let Ok(runs) = Json::parse(&data).and_then(|v| Vec::<Exp2Run>::from_json(&v)) {
             eprintln!("loaded cached sweep from {}", cache_path.display());
             return runs;
         }
@@ -68,11 +88,11 @@ pub fn run_experiment_two_sweep(seed: u64, jobs: usize) -> Vec<Exp2Run> {
         .unwrap_or(4)
         .min(work.len());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = {
-                    let mut n = next.lock();
+                    let mut n = next.lock().expect("claim lock");
                     let i = *n;
                     *n += 1;
                     i
@@ -90,17 +110,16 @@ pub fn run_experiment_two_sweep(seed: u64, jobs: usize) -> Vec<Exp2Run> {
                     metrics.changes.disruptive_total(),
                     started.elapsed()
                 );
-                results.lock().push(Exp2Run {
+                results.lock().expect("results lock").push(Exp2Run {
                     scheduler: name.clone(),
                     inter_arrival: *ia,
                     metrics,
                 });
             });
         }
-    })
-    .expect("sweep threads");
+    });
 
-    let mut runs = results.into_inner();
+    let mut runs = results.into_inner().expect("results lock");
     runs.sort_by(|a, b| {
         a.inter_arrival
             .partial_cmp(&b.inter_arrival)

@@ -24,4 +24,4 @@ pub mod exp2;
 pub mod output;
 
 pub use exp2::{run_experiment_two_sweep, Exp2Run, EXP2_INTER_ARRIVALS};
-pub use output::{ascii_plot, ascii_table, format_pct, write_csv, write_json, results_dir};
+pub use output::{ascii_plot, ascii_table, format_pct, results_dir, write_csv, write_json};

@@ -3,7 +3,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use dynaplace_json::ToJson;
 
 /// The directory experiment artifacts are written to (`results/` under
 /// the workspace root, overridable with `DYNAPLACE_RESULTS`).
@@ -46,10 +46,10 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf 
 ///
 /// # Panics
 ///
-/// Panics on I/O or serialization errors.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+/// Panics on I/O errors.
+pub fn write_json<T: ToJson>(name: &str, value: &T) -> PathBuf {
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize json");
+    let json = value.to_json().pretty();
     fs::write(&path, json).expect("write json");
     path
 }
@@ -188,7 +188,9 @@ mod plot_tests {
 
     #[test]
     fn plot_renders_bounds_and_legend() {
-        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i as f64 / 8.0).sin())).collect();
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64, (i as f64 / 8.0).sin()))
+            .collect();
         let plot = ascii_plot(&[("wave", &pts)], 60, 12);
         assert!(plot.contains('*'));
         assert!(plot.contains("wave"));

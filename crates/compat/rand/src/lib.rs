@@ -1,0 +1,199 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The workspace builds without network access; everything here is
+//! deterministic and seeded, which the simulator requires anyway. The
+//! generator is xoshiro256++ seeded through splitmix64 — not the real
+//! `StdRng` (ChaCha12), so streams differ from upstream `rand`, but every
+//! consumer in this tree only relies on *seed-determinism*, never on a
+//! specific stream.
+
+/// A seedable RNG, mirroring `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing sampling API, mirroring the parts of `rand::Rng` the
+/// workspace uses.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (uniform over its `Standard`-like
+    /// distribution: `f64` in `[0, 1)`, integers over their full range,
+    /// `bool` fair).
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+/// Types samplable from raw bits (stand-in for `rand::distributions::Standard`).
+pub trait Sample {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types usable with [`Rng::gen_range`] over `Range<T>`.
+pub trait SampleRange: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_range<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                lo + draw
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange for f64 {
+    fn sample_range<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let u: f64 = Sample::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stands in for `rand`'s
+    /// `StdRng`; streams differ from upstream, determinism is identical).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for API compatibility with `rand::rngs::SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(5u32..9);
+            assert!((5..9).contains(&x));
+            let y = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&y));
+        }
+    }
+}

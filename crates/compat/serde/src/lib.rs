@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without network access, so the real serde is
+//! unavailable. Real JSON input/output goes through `dynaplace-json`
+//! with explicit conversions; the `Serialize`/`Deserialize` derives that
+//! decorate model types are accepted (and ignored) so the tree stays
+//! source-compatible with the genuine article.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Satisfied by everything.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Satisfied by everything.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

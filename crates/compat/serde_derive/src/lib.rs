@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the real serde cannot be vendored. Nothing in the tree relies on
+//! derived (de)serialization any more — the handful of places that
+//! genuinely read or write JSON go through `dynaplace-json` with
+//! hand-written conversions — but the model types keep their
+//! `#[derive(Serialize, Deserialize)]` annotations so the code remains
+//! source-compatible with the real serde. These derives therefore accept
+//! the full attribute syntax (`#[serde(...)]` included) and expand to
+//! nothing; the marker traits in the sibling `serde` stub are satisfied
+//! by blanket impls.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

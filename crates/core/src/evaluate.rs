@@ -1,7 +1,10 @@
 //! Scoring a candidate placement: load distribution plus the combined
 //! satisfaction vector over transactional and batch applications.
 
-use dynaplace_batch::hypothetical::{evaluate_batch_placement, JobSnapshot};
+use dynaplace_batch::hypothetical::{
+    default_grid, evaluate_batch_placement, evaluate_batch_placement_with_columns, JobColumn,
+    JobSnapshot,
+};
 use dynaplace_model::load::LoadDistribution;
 use dynaplace_model::placement::Placement;
 use dynaplace_model::units::CpuSpeed;
@@ -9,7 +12,8 @@ use dynaplace_rpf::model::PerformanceModel;
 use dynaplace_rpf::satisfaction::SatisfactionVector;
 use dynaplace_rpf::value::Rp;
 
-use crate::load::distribute;
+use crate::cache::ScoreCache;
+use crate::load::distribute_with;
 use crate::problem::{PlacementProblem, WorkloadModel};
 
 /// A fully scored candidate placement.
@@ -41,23 +45,107 @@ pub fn score_placement(
     problem: &PlacementProblem<'_>,
     placement: &Placement,
 ) -> Option<PlacementScore> {
-    let load = distribute(problem, placement)?;
+    score_placement_impl(problem, placement, None)
+}
+
+/// [`score_placement`] through a per-problem [`ScoreCache`]: identical
+/// results (the memos store the exact values the from-scratch path
+/// computes — see [`crate::cache`]), repeated candidates come back from
+/// the whole-placement memo, and even novel candidates reuse the memoized
+/// raw-demand and batch-evaluation layers. `score_placement` itself stays
+/// the uncached oracle the differential suite compares against.
+///
+/// The cache must only ever be used with the problem it was first
+/// populated against.
+pub fn score_placement_cached(
+    problem: &PlacementProblem<'_>,
+    placement: &Placement,
+    cache: &ScoreCache,
+) -> Option<std::sync::Arc<PlacementScore>> {
+    let key = ScoreCache::placement_key(placement);
+    if let Some(score) = cache.lookup_score(&key) {
+        return score;
+    }
+    let score = score_placement_impl(problem, placement, Some(cache)).map(std::sync::Arc::new);
+    cache.insert_score(key, score.clone());
+    score
+}
+
+fn score_placement_impl(
+    problem: &PlacementProblem<'_>,
+    placement: &Placement,
+    cache: Option<&ScoreCache>,
+) -> Option<PlacementScore> {
+    let load = distribute_with(problem, placement, cache)?;
+
+    // All per-app totals in one walk over the (app-sorted) distribution:
+    // cells of one app are summed in the same ascending-node order
+    // `LoadDistribution::app_total` uses, so each total is the identical
+    // f64 — this just replaces one range query per application.
+    let mut totals: Vec<(dynaplace_model::ids::AppId, CpuSpeed)> = Vec::new();
+    for (app, _, speed) in load.iter() {
+        match totals.last_mut() {
+            Some((last, sum)) if *last == app => *sum += speed,
+            _ => totals.push((app, speed)),
+        }
+    }
+    let total_of = |app| {
+        totals
+            .binary_search_by_key(&app, |&(a, _)| a)
+            .map(|i| totals[i].1)
+            .unwrap_or(CpuSpeed::ZERO)
+    };
 
     let mut entries: Vec<_> = Vec::with_capacity(problem.live_count());
-    let mut batch: Vec<(JobSnapshot, CpuSpeed)> = Vec::new();
+    // Borrow the snapshots here; owned pairs are materialized only on the
+    // memo-miss (or uncached) paths that actually evaluate them.
+    let mut batch: Vec<(&JobSnapshot, CpuSpeed)> = Vec::new();
     for (&app, model) in &problem.workloads {
         match model {
             WorkloadModel::Transactional(m) => {
-                entries.push((app, m.performance(load.app_total(app))));
+                entries.push((app, m.performance(total_of(app))));
             }
             WorkloadModel::Batch(snap) => {
-                batch.push((snap.clone(), load.app_total(app)));
+                batch.push((snap, total_of(app)));
             }
         }
     }
     if !batch.is_empty() {
-        let eval = evaluate_batch_placement(problem.now, problem.cycle, &batch);
-        entries.extend(eval.performances);
+        let performances = match cache {
+            Some(c) => {
+                let key: Vec<(u32, u64)> = batch
+                    .iter()
+                    .map(|(snap, alloc)| (snap.app().index() as u32, alloc.as_mhz().to_bits()))
+                    .collect();
+                c.batch_eval(key, || {
+                    // Identical allocation vectors short-circuit above;
+                    // novel vectors still reuse every per-job column
+                    // whose own allocation is unchanged.
+                    let grid = default_grid();
+                    let horizon = problem.now + problem.cycle;
+                    let owned: Vec<(JobSnapshot, CpuSpeed)> =
+                        batch.iter().map(|&(s, w)| (s.clone(), w)).collect();
+                    evaluate_batch_placement_with_columns(
+                        problem.now,
+                        problem.cycle,
+                        &owned,
+                        &grid,
+                        |survivor, omega| {
+                            c.job_column(survivor.app(), omega.as_mhz().to_bits(), || {
+                                std::sync::Arc::new(JobColumn::build(horizon, survivor, &grid))
+                            })
+                        },
+                    )
+                    .performances
+                })
+            }
+            None => {
+                let owned: Vec<(JobSnapshot, CpuSpeed)> =
+                    batch.iter().map(|&(s, w)| (s.clone(), w)).collect();
+                evaluate_batch_placement(problem.now, problem.cycle, &owned).performances
+            }
+        };
+        entries.extend(performances);
     }
     Some(PlacementScore {
         load,

@@ -77,12 +77,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod evaluate;
 pub mod load;
 pub mod optimizer;
 pub mod problem;
 
-pub use evaluate::{score_placement, PlacementScore};
+pub use cache::{CacheStats, ScoreCache};
+pub use evaluate::{score_placement, score_placement_cached, PlacementScore};
 pub use load::distribute;
-pub use optimizer::{fill_only, place, ApcConfig, Objective, OptimizerStats, PlacementOutcome};
+pub use optimizer::{
+    fill_only, place, ApcConfig, Objective, OptimizerStats, PlacementOutcome, ScoringMode,
+};
 pub use problem::{PlacementProblem, WorkloadModel};

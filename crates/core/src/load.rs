@@ -17,8 +17,6 @@
 //! Routability is checked with a max-flow when applications span several
 //! nodes, and with plain per-node sums otherwise.
 
-use std::collections::BTreeMap;
-
 use dynaplace_model::ids::{AppId, NodeId};
 use dynaplace_model::load::LoadDistribution;
 use dynaplace_model::placement::Placement;
@@ -28,6 +26,7 @@ use dynaplace_rpf::value::{Rp, RP_FLOOR};
 use dynaplace_solver::bisect::bisect_max;
 use dynaplace_solver::maxflow::FlowNetwork;
 
+use crate::cache::ScoreCache;
 use crate::problem::{PlacementProblem, WorkloadModel};
 
 /// Absolute feasibility slack in MHz.
@@ -38,8 +37,11 @@ const U_TOL: f64 = 1e-5;
 const PROBE_DU: f64 = 1e-3;
 
 #[derive(Debug, Clone)]
-struct PlacedApp {
+struct PlacedApp<'a> {
     app: AppId,
+    /// The app's workload model, borrowed once at construction so the
+    /// per-demand hot paths skip the `workloads` map lookup.
+    model: &'a WorkloadModel,
     /// Per-node routing capacity: `count × max_instance_speed`.
     cells: Vec<(NodeId, f64)>,
     /// Σ of `cells` capacities.
@@ -54,7 +56,7 @@ struct PlacedApp {
     placed_snapshot: Option<dynaplace_batch::hypothetical::JobSnapshot>,
 }
 
-impl PlacedApp {
+impl PlacedApp<'_> {
     fn single_node(&self) -> Option<NodeId> {
         if self.cells.len() == 1 {
             Some(self.cells[0].0)
@@ -74,35 +76,67 @@ pub fn distribute(
     problem: &PlacementProblem<'_>,
     placement: &Placement,
 ) -> Option<LoadDistribution> {
-    let mut apps: Vec<PlacedApp> = Vec::new();
-    for &app in problem.workloads.keys() {
-        let (min, max) = problem.effective_speed_bounds(app);
+    distribute_with(problem, placement, None)
+}
+
+/// [`distribute`] with an optional raw-demand memo. Passing a cache
+/// changes nothing about the result — the memo stores the exact values
+/// the direct computation produces (see [`crate::cache`]); `distribute`
+/// itself stays the from-scratch oracle.
+pub(crate) fn distribute_with(
+    problem: &PlacementProblem<'_>,
+    placement: &Placement,
+    cache: Option<&ScoreCache>,
+) -> Option<LoadDistribution> {
+    let mut apps: Vec<PlacedApp<'_>> = Vec::new();
+    // Both `workloads` and the placement's cells iterate in ascending
+    // `AppId` order (cells additionally node-ascending within an app —
+    // the order `instances_of` yields), so one merge-join pass replaces a
+    // per-application range query.
+    let mut cell_iter = placement.iter().peekable();
+    for (&app, model) in problem.workloads.iter() {
+        // Same bounds `effective_speed_bounds` computes, from the model
+        // reference already in hand.
+        let (min, max) = match model {
+            WorkloadModel::Batch(snap) => (snap.min_speed(), snap.max_speed()),
+            WorkloadModel::Transactional(_) => {
+                let spec = problem.apps.get(app).expect("live app is registered");
+                (CpuSpeed::ZERO, spec.max_instance_speed())
+            }
+        };
         // An instance can never consume more than its node's capacity, so
         // per-node routing cells are capped by the node CPU: this keeps
         // demand clamps finite for applications with unbounded instance
         // speeds (an overloaded app sheds, it does not demand the moon).
-        let cells: Vec<(NodeId, f64)> = placement
-            .instances_of(app)
-            .map(|(node, count)| {
-                let node_cap = problem
-                    .cluster
-                    .node(node)
-                    .expect("placed on a known node")
-                    .cpu_capacity()
-                    .as_mhz();
-                (node, (max.as_mhz() * f64::from(count)).min(node_cap))
-            })
-            .collect();
+        while cell_iter.peek().is_some_and(|&(a, _, _)| a < app) {
+            cell_iter.next();
+        }
+        let mut counted: u32 = 0;
+        let mut cells: Vec<(NodeId, f64)> = Vec::new();
+        while let Some(&(a, node, count)) = cell_iter.peek() {
+            if a != app {
+                break;
+            }
+            cell_iter.next();
+            let node_cap = problem
+                .cluster
+                .node(node)
+                .expect("placed on a known node")
+                .cpu_capacity()
+                .as_mhz();
+            counted += count;
+            cells.push((node, (max.as_mhz() * f64::from(count)).min(node_cap)));
+        }
         if cells.is_empty() {
             continue;
         }
-        let counted: u32 = placement.instances_of(app).map(|(_, c)| c).sum();
         let cap_total = cells.iter().map(|(_, c)| c).sum();
-        let placed_snapshot = problem.workloads[&app]
+        let placed_snapshot = model
             .as_batch()
             .map(|snap| snap.advanced(Work::ZERO, SimDuration::ZERO));
         apps.push(PlacedApp {
             app,
+            model,
             cells,
             cap_total,
             min_total: min.as_mhz() * f64::from(counted),
@@ -111,35 +145,29 @@ pub fn distribute(
         });
     }
 
-    let capacities: BTreeMap<NodeId, f64> = problem
+    // Dense per-node capacities (NodeIds are dense indices): cloning the
+    // residual vector per routability probe is a memcpy, not a tree walk.
+    let capacities: Vec<f64> = problem
         .cluster
         .iter()
-        .map(|(id, spec)| (id, spec.cpu_capacity().as_mhz()))
+        .map(|(_, spec)| spec.cpu_capacity().as_mhz())
         .collect();
 
-    let demand_at = |pa: &PlacedApp, u: f64| -> f64 {
-        let raw = match (&problem.workloads[&pa.app], &pa.placed_snapshot) {
-            (_, Some(snap)) => snap.demand_for(problem.now, Rp::new(u)).as_mhz(),
-            (WorkloadModel::Transactional(m), None) => m.demand(Rp::new(u)).as_mhz(),
-            (WorkloadModel::Batch(snap), None) => {
-                snap.demand_for(problem.now, Rp::new(u)).as_mhz()
-            }
+    let demand_at = |pa: &PlacedApp<'_>, u: f64| -> f64 {
+        // The raw demand depends only on the workload model, `now`, and
+        // `u` — not on the candidate placement — so it is safe to memo
+        // across candidates; the placement-dependent clamp is not.
+        let raw = match cache {
+            Some(c) => c.raw_demand(pa.app, u.to_bits(), || raw_demand(problem, pa, u)),
+            None => raw_demand(problem, pa, u),
         };
         raw.clamp(pa.min_total, pa.cap_total)
     };
 
-    // Demand of app `i` at level `u`, with an optional override.
-    let effective = |apps: &[PlacedApp], u: f64, over: Option<(usize, f64)>| -> Vec<f64> {
+    // Demand vector at level `u`: fixed apps keep their allocation.
+    let effective = |apps: &[PlacedApp<'_>], u: f64| -> Vec<f64> {
         apps.iter()
-            .enumerate()
-            .map(|(i, pa)| {
-                if let Some((j, d)) = over {
-                    if i == j {
-                        return d;
-                    }
-                }
-                pa.fixed.unwrap_or_else(|| demand_at(pa, u))
-            })
+            .map(|pa| pa.fixed.unwrap_or_else(|| demand_at(pa, u)))
             .collect()
     };
 
@@ -149,10 +177,10 @@ pub fn distribute(
             break;
         }
         let result = bisect_max(RP_FLOOR, 1.0, U_TOL, |u| {
-            routable(&apps, &effective(&apps, u, None), &capacities)
+            routable(&apps, &effective(&apps, u), &capacities)
         })?;
         let u_star = result.accepted;
-        let base = effective(&apps, u_star, None);
+        let base = effective(&apps, u_star);
 
         if result.rejected.is_none() {
             // Everything fits even at u = 1: fix all floats at their
@@ -165,20 +193,25 @@ pub fn distribute(
             break;
         }
 
-        // Find which floating applications are stuck at u*.
+        // Find which floating applications are stuck at u*. The demand
+        // vector with app `i` probed is `base` with element `i` replaced
+        // (all other entries are the same fixed-or-`demand_at(u*)` values
+        // `base` holds), so patch a copy in place instead of recomputing
+        // every demand per probe.
         let mut newly_fixed = Vec::new();
+        let mut probed = base.clone();
         for i in 0..apps.len() {
             if apps[i].fixed.is_some() {
                 continue;
             }
             let probe = demand_at(&apps[i], (u_star + PROBE_DU).min(1.0));
             let saturated = probe <= base[i] + FEAS_EPS;
-            let blocked = saturated
-                || !routable(
-                    &apps,
-                    &effective(&apps, u_star, Some((i, probe))),
-                    &capacities,
-                );
+            let blocked = saturated || {
+                probed[i] = probe;
+                let fits = routable(&apps, &probed, &capacities);
+                probed[i] = base[i];
+                !fits
+            };
             if blocked {
                 newly_fixed.push((i, base[i]));
             }
@@ -198,13 +231,18 @@ pub fn distribute(
         }
     }
 
-    let totals: BTreeMap<AppId, f64> = apps
-        .iter()
-        .map(|pa| (pa.app, pa.fixed.unwrap_or(0.0)))
-        .collect();
-    let mut load = extract_distribution(&apps, &totals, &capacities)?;
-    residual_fill(problem, &apps, &capacities, &mut load);
+    let mut load = extract_distribution(&apps, &capacities)?;
+    residual_fill(problem, &apps, &capacities, &mut load, cache);
     Some(load)
+}
+
+/// Raw (unclamped) workload demand of `pa` at performance level `u`.
+fn raw_demand(problem: &PlacementProblem<'_>, pa: &PlacedApp<'_>, u: f64) -> f64 {
+    match (pa.model, &pa.placed_snapshot) {
+        (_, Some(snap)) => snap.demand_for(problem.now, Rp::new(u)).as_mhz(),
+        (WorkloadModel::Transactional(m), None) => m.demand(Rp::new(u)).as_mhz(),
+        (WorkloadModel::Batch(snap), None) => snap.demand_for(problem.now, Rp::new(u)).as_mhz(),
+    }
 }
 
 /// Hands leftover node capacity to applications that can still absorb it
@@ -215,21 +253,27 @@ pub fn distribute(
 /// service instead of idle CPUs.
 fn residual_fill(
     problem: &PlacementProblem<'_>,
-    apps: &[PlacedApp],
-    capacities: &BTreeMap<NodeId, f64>,
+    apps: &[PlacedApp<'_>],
+    capacities: &[f64],
     load: &mut dynaplace_model::load::LoadDistribution,
+    cache: Option<&ScoreCache>,
 ) {
-    let mut residual: BTreeMap<NodeId, f64> = capacities.clone();
+    let mut residual: Vec<f64> = capacities.to_vec();
     for (_, node, speed) in load.iter() {
-        *residual.get_mut(&node).expect("known node") -= speed.as_mhz();
+        residual[node.index()] -= speed.as_mhz();
     }
     for pa in apps {
-        let appetite_total = match (&problem.workloads[&pa.app], &pa.placed_snapshot) {
+        let raw_appetite = || match (pa.model, &pa.placed_snapshot) {
             (WorkloadModel::Transactional(m), _) => m.max_useful_demand().as_mhz(),
             (_, Some(snap)) => snap.demand_for(problem.now, Rp::MAX).as_mhz(),
-            (WorkloadModel::Batch(snap), None) => {
-                snap.demand_for(problem.now, Rp::MAX).as_mhz()
-            }
+            (WorkloadModel::Batch(snap), None) => snap.demand_for(problem.now, Rp::MAX).as_mhz(),
+        };
+        // Batch appetite is the raw demand at Rp::MAX — same function the
+        // water-filler memoizes (Rp::new clamps, so Rp::new(MAX) == MAX);
+        // the transactional arm is a different function, kept uncached.
+        let appetite_total = match (cache, pa.placed_snapshot.is_some()) {
+            (Some(c), true) => c.raw_demand(pa.app, Rp::MAX.value().to_bits(), raw_appetite),
+            _ => raw_appetite(),
         }
         .min(pa.cap_total);
         let mut appetite = appetite_total - load.app_total(pa.app).as_mhz();
@@ -240,7 +284,7 @@ fn residual_fill(
             if appetite <= FEAS_EPS {
                 break;
             }
-            let r = residual.get_mut(&node).expect("known node");
+            let r = &mut residual[node.index()];
             let current = load.get(pa.app, node).as_mhz();
             let take = appetite.min(cell_cap - current).min((*r).max(0.0));
             if take > FEAS_EPS {
@@ -255,16 +299,16 @@ fn residual_fill(
 /// Checks whether the demand vector can be routed: single-node demands
 /// are charged directly to their node; multi-node applications go through
 /// a max-flow over their candidate nodes.
-fn routable(apps: &[PlacedApp], demands: &[f64], capacities: &BTreeMap<NodeId, f64>) -> bool {
-    let mut residual: BTreeMap<NodeId, f64> = capacities.clone();
-    let mut multi: Vec<(&PlacedApp, f64)> = Vec::new();
+fn routable(apps: &[PlacedApp<'_>], demands: &[f64], capacities: &[f64]) -> bool {
+    let mut residual: Vec<f64> = capacities.to_vec();
+    let mut multi: Vec<(&PlacedApp<'_>, f64)> = Vec::new();
     for (pa, &demand) in apps.iter().zip(demands) {
         if demand > pa.cap_total + FEAS_EPS {
             return false;
         }
         match pa.single_node() {
             Some(node) => {
-                let r = residual.get_mut(&node).expect("placed on known node");
+                let r = &mut residual[node.index()];
                 *r -= demand;
                 if *r < -FEAS_EPS {
                     return false;
@@ -276,7 +320,7 @@ fn routable(apps: &[PlacedApp], demands: &[f64], capacities: &BTreeMap<NodeId, f
     route_multi(&multi, &mut residual)
 }
 
-fn route_multi(multi: &[(&PlacedApp, f64)], residual: &mut BTreeMap<NodeId, f64>) -> bool {
+fn route_multi(multi: &[(&PlacedApp<'_>, f64)], residual: &mut [f64]) -> bool {
     if multi.is_empty() {
         return true;
     }
@@ -285,7 +329,7 @@ fn route_multi(multi: &[(&PlacedApp, f64)], residual: &mut BTreeMap<NodeId, f64>
         let (pa, demand) = multi[0];
         let mut need = demand;
         for &(node, cap) in &pa.cells {
-            let r = residual.get_mut(&node).expect("known node");
+            let r = &mut residual[node.index()];
             let take = need.min(cap).min((*r).max(0.0));
             *r -= take;
             need -= take;
@@ -296,45 +340,39 @@ fn route_multi(multi: &[(&PlacedApp, f64)], residual: &mut BTreeMap<NodeId, f64>
         return need <= FEAS_EPS;
     }
     // General case: bipartite max-flow.
-    let node_ids: Vec<NodeId> = residual.keys().copied().collect();
-    let node_index: BTreeMap<NodeId, usize> =
-        node_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let nodes = residual.len();
     let s = 0;
-    let t = 1 + multi.len() + node_ids.len();
+    let t = 1 + multi.len() + nodes;
     let mut net = FlowNetwork::new(t + 1);
     let mut total_demand = 0.0;
     for (i, (pa, demand)) in multi.iter().enumerate() {
         net.add_edge(s, 1 + i, *demand);
         total_demand += demand;
         for &(node, cap) in &pa.cells {
-            net.add_edge(1 + i, 1 + multi.len() + node_index[&node], cap);
+            net.add_edge(1 + i, 1 + multi.len() + node.index(), cap);
         }
     }
-    for (j, node) in node_ids.iter().enumerate() {
-        net.add_edge(1 + multi.len() + j, t, residual[node].max(0.0));
+    for (j, r) in residual.iter().enumerate() {
+        net.add_edge(1 + multi.len() + j, t, r.max(0.0));
     }
     net.max_flow(s, t) >= total_demand - FEAS_EPS * (1.0 + multi.len() as f64)
 }
 
-/// Turns final per-app totals into a per-cell [`LoadDistribution`].
-fn extract_distribution(
-    apps: &[PlacedApp],
-    totals: &BTreeMap<AppId, f64>,
-    capacities: &BTreeMap<NodeId, f64>,
-) -> Option<LoadDistribution> {
-    let mut residual: BTreeMap<NodeId, f64> = capacities.clone();
+/// Turns final per-app allocations into a per-cell [`LoadDistribution`].
+fn extract_distribution(apps: &[PlacedApp<'_>], capacities: &[f64]) -> Option<LoadDistribution> {
+    let mut residual: Vec<f64> = capacities.to_vec();
     let mut load = LoadDistribution::new();
 
     // Single-node apps first (their placement is forced).
-    let mut multi: Vec<(&PlacedApp, f64)> = Vec::new();
+    let mut multi: Vec<(&PlacedApp<'_>, f64)> = Vec::new();
     for pa in apps {
-        let total = totals.get(&pa.app).copied().unwrap_or(0.0);
+        let total = pa.fixed.unwrap_or(0.0);
         if total <= 0.0 {
             continue;
         }
         match pa.single_node() {
             Some(node) => {
-                let r = residual.get_mut(&node).expect("known node");
+                let r = &mut residual[node.index()];
                 *r -= total;
                 if *r < -1e-3 {
                     return None; // should not happen: demands were feasible
@@ -351,7 +389,7 @@ fn extract_distribution(
             let (pa, demand) = multi[0];
             let mut need = demand;
             for &(node, cap) in &pa.cells {
-                let r = residual.get_mut(&node).expect("known node");
+                let r = &mut residual[node.index()];
                 let take = need.min(cap).min((*r).max(0.0));
                 if take > 0.0 {
                     *r -= take;
@@ -367,11 +405,9 @@ fn extract_distribution(
             }
         }
         _ => {
-            let node_ids: Vec<NodeId> = residual.keys().copied().collect();
-            let node_index: BTreeMap<NodeId, usize> =
-                node_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+            let nodes = residual.len();
             let s = 0;
-            let t = 1 + multi.len() + node_ids.len();
+            let t = 1 + multi.len() + nodes;
             let mut net = FlowNetwork::new(t + 1);
             let mut handles = Vec::new();
             let mut total_demand = 0.0;
@@ -379,12 +415,12 @@ fn extract_distribution(
                 net.add_edge(s, 1 + i, *demand);
                 total_demand += demand;
                 for &(node, cap) in &pa.cells {
-                    let h = net.add_edge(1 + i, 1 + multi.len() + node_index[&node], cap);
+                    let h = net.add_edge(1 + i, 1 + multi.len() + node.index(), cap);
                     handles.push((pa.app, node, h));
                 }
             }
-            for (j, node) in node_ids.iter().enumerate() {
-                net.add_edge(1 + multi.len() + j, t, residual[node].max(0.0));
+            for (j, r) in residual.iter().enumerate() {
+                net.add_edge(1 + multi.len() + j, t, r.max(0.0));
             }
             let flow = net.max_flow(s, t);
             if flow < total_demand - 1e-3 {
@@ -404,6 +440,7 @@ fn extract_distribution(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
     use std::sync::Arc;
 
     use dynaplace_batch::hypothetical::JobSnapshot;

@@ -21,12 +21,16 @@
 //! ([`ApcConfig::disruption_threshold`]) — this realizes the paper's
 //! "minimize placement changes" heuristic.
 
+use std::sync::Arc;
+
 use dynaplace_model::delta::PlacementAction;
 use dynaplace_model::ids::{AppId, NodeId};
 use dynaplace_model::placement::Placement;
+use dynaplace_model::units::Memory;
 use dynaplace_rpf::value::Rp;
 
-use crate::evaluate::{score_placement, PlacementScore};
+use crate::cache::ScoreCache;
+use crate::evaluate::{score_placement, score_placement_cached, PlacementScore};
 use crate::problem::PlacementProblem;
 
 /// The optimization objective.
@@ -44,6 +48,22 @@ pub enum Objective {
     /// Maximize the sum of relative performance (utility-style). Can
     /// starve applications whose performance is expensive to improve.
     TotalPerformance,
+}
+
+/// How candidate placements are scored during the search.
+///
+/// Both modes return bit-identical results — the incremental memos store
+/// the exact values the from-scratch path computes (see [`crate::cache`])
+/// — which the differential suite in `crates/core/tests/differential.rs`
+/// asserts on randomized problems. `FromScratch` is kept as the oracle
+/// and as the seed-behavior baseline for benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Score every candidate from scratch (the original behavior).
+    FromScratch,
+    /// Memoize scoring work in a per-call [`ScoreCache`].
+    #[default]
+    Incremental,
 }
 
 /// Tunables of the placement optimizer.
@@ -64,6 +84,14 @@ pub struct ApcConfig {
     /// Maximum number of applications tried by the inner fill loop per
     /// candidate.
     pub max_fill_candidates: usize,
+    /// Candidate scoring strategy (bit-identical either way).
+    pub scoring: ScoringMode,
+    /// Worker threads scoring a node's candidates concurrently; `0`
+    /// means one per available core, `1` (the default) is fully serial.
+    /// The reduction is a serial left fold over candidates in their
+    /// deterministic generation order, so the chosen placement is
+    /// bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for ApcConfig {
@@ -75,6 +103,8 @@ impl Default for ApcConfig {
             disruption_threshold: 0.02,
             max_sweeps: 8,
             max_fill_candidates: 64,
+            scoring: ScoringMode::default(),
+            threads: 1,
         }
     }
 }
@@ -90,6 +120,95 @@ impl ApcConfig {
             ..Self::default()
         }
     }
+
+    /// The resolved scoring-thread count (`0` → available parallelism).
+    fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Scores one placement under the configured [`ScoringMode`].
+fn score_one(
+    problem: &PlacementProblem<'_>,
+    config: &ApcConfig,
+    cache: &ScoreCache,
+    placement: &Placement,
+) -> Option<Arc<PlacementScore>> {
+    match config.scoring {
+        ScoringMode::FromScratch => score_placement(problem, placement).map(Arc::new),
+        ScoringMode::Incremental => score_placement_cached(problem, placement, cache),
+    }
+}
+
+/// Scores a batch of candidates, in parallel when configured.
+///
+/// Results come back indexed by the input order, and the caller folds
+/// them serially in that order — so the selection is bit-identical to
+/// scoring one candidate at a time, whatever the thread count. Under
+/// incremental scoring, hits are resolved here on the calling thread
+/// (the cache is single-threaded by design); workers only compute
+/// misses, from scratch, which yields the same values the cached path
+/// would (the memos are exact).
+fn score_candidates(
+    problem: &PlacementProblem<'_>,
+    config: &ApcConfig,
+    cache: &ScoreCache,
+    candidates: &[Placement],
+) -> Vec<Option<Arc<PlacementScore>>> {
+    let threads = config.effective_threads();
+    if threads <= 1 || candidates.len() <= 1 {
+        return candidates
+            .iter()
+            .map(|c| score_one(problem, config, cache, c))
+            .collect();
+    }
+
+    let mut results: Vec<Option<Option<Arc<PlacementScore>>>> = vec![None; candidates.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, candidate) in candidates.iter().enumerate() {
+        match config.scoring {
+            ScoringMode::Incremental => {
+                let key = ScoreCache::placement_key(candidate);
+                match cache.lookup_score(&key) {
+                    Some(score) => results[i] = Some(score),
+                    None => misses.push(i),
+                }
+            }
+            ScoringMode::FromScratch => misses.push(i),
+        }
+    }
+
+    let scored: std::sync::Mutex<Vec<(usize, Option<Arc<PlacementScore>>)>> =
+        std::sync::Mutex::new(Vec::with_capacity(misses.len()));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(misses.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= misses.len() {
+                    break;
+                }
+                let index = misses[i];
+                let score = score_placement(problem, &candidates[index]).map(Arc::new);
+                scored.lock().expect("scoring lock").push((index, score));
+            });
+        }
+    });
+    for (index, score) in scored.into_inner().expect("scoring lock") {
+        if let ScoringMode::Incremental = config.scoring {
+            cache.insert_score(ScoreCache::placement_key(&candidates[index]), score.clone());
+        }
+        results[index] = Some(score);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every candidate scored"))
+        .collect()
 }
 
 /// Compares two satisfaction vectors under the configured objective:
@@ -177,8 +296,14 @@ pub fn fill_only(problem: &PlacementProblem<'_>, config: &ApcConfig) -> Placemen
     optimize(problem, config, false)
 }
 
-fn optimize(problem: &PlacementProblem<'_>, config: &ApcConfig, allow_removals: bool) -> PlacementOutcome {
+fn optimize(
+    problem: &PlacementProblem<'_>,
+    config: &ApcConfig,
+    allow_removals: bool,
+) -> PlacementOutcome {
     let mut stats = OptimizerStats::default();
+    // Memos live exactly as long as the problem they are valid for.
+    let cache = ScoreCache::new();
 
     // Restrict the starting placement to live applications.
     let mut current: Placement = problem
@@ -187,14 +312,14 @@ fn optimize(problem: &PlacementProblem<'_>, config: &ApcConfig, allow_removals: 
         .filter(|(app, _, _)| problem.workloads.contains_key(app))
         .collect();
 
-    let mut best = match score_placement(problem, &current) {
+    let mut best = match score_one(problem, config, &cache, &current) {
         Some(score) => score,
         None => {
             // The in-effect placement became infeasible (e.g. a stage
             // change raised minimum speeds): restart from an empty
             // placement, which is always feasible.
             current = Placement::new();
-            score_placement(problem, &current)
+            score_one(problem, config, &cache, &current)
                 .expect("the empty placement is always feasible")
         }
     };
@@ -209,7 +334,7 @@ fn optimize(problem: &PlacementProblem<'_>, config: &ApcConfig, allow_removals: 
     // much additional CPU must be allocated to reach a target
     // performance"), instances are added while capacity lags demand, as
     // long as the rest of the system is not hurt.
-    expand_transactional(problem, config, &mut current, &mut best, &mut stats);
+    expand_transactional(problem, config, &cache, &mut current, &mut best, &mut stats);
 
     for _sweep in 0..config.max_sweeps {
         stats.sweeps += 1;
@@ -228,8 +353,9 @@ fn optimize(problem: &PlacementProblem<'_>, config: &ApcConfig, allow_removals: 
                 .map(|&(app, _)| app)
                 .collect();
 
-            // (candidate, score, disruptive action count)
-            let mut node_best: Option<(Placement, PlacementScore, usize)> = None;
+            // Intermediate loop: build every candidate for this node
+            // first (k instances removed, then greedily refilled), …
+            let mut candidates: Vec<Placement> = Vec::with_capacity(max_removals + 1);
             for k in 0..=max_removals {
                 let mut candidate = current.clone();
                 let mut removed: Vec<AppId> = Vec::with_capacity(k);
@@ -243,7 +369,17 @@ fn optimize(problem: &PlacementProblem<'_>, config: &ApcConfig, allow_removals: 
                 if candidate == current {
                     continue;
                 }
-                let Some(score) = score_placement(problem, &candidate) else {
+                candidates.push(candidate);
+            }
+            // … score them (concurrently when configured), then fold the
+            // results serially in generation (k) order — the selection
+            // below is therefore identical at any thread count.
+            let scores = score_candidates(problem, config, &cache, &candidates);
+
+            // (candidate, score, disruptive action count)
+            let mut node_best: Option<(Placement, Arc<PlacementScore>, usize)> = None;
+            for (candidate, score) in candidates.into_iter().zip(scores) {
+                let Some(score) = score else {
                     continue;
                 };
                 stats.evaluations += 1;
@@ -299,7 +435,7 @@ fn optimize(problem: &PlacementProblem<'_>, config: &ApcConfig, allow_removals: 
     let actions = problem.current.diff(&current);
     PlacementOutcome {
         placement: current,
-        score: best,
+        score: Arc::try_unwrap(best).unwrap_or_else(|shared| (*shared).clone()),
         actions,
         stats,
     }
@@ -312,8 +448,9 @@ fn optimize(problem: &PlacementProblem<'_>, config: &ApcConfig, allow_removals: 
 fn expand_transactional(
     problem: &PlacementProblem<'_>,
     config: &ApcConfig,
+    cache: &ScoreCache,
     current: &mut Placement,
-    best: &mut PlacementScore,
+    best: &mut Arc<PlacementScore>,
     stats: &mut OptimizerStats,
 ) {
     use crate::problem::WorkloadModel;
@@ -355,7 +492,10 @@ fn expand_transactional(
             let mut target: Option<(NodeId, f64)> = None;
             for node in problem.cluster.node_ids() {
                 let mut trial = current.clone();
-                if trial.checked_place(app, node, problem.cluster, problem.apps).is_err() {
+                if trial
+                    .checked_place(app, node, problem.cluster, problem.apps)
+                    .is_err()
+                {
                     continue;
                 }
                 let used = current
@@ -378,12 +518,16 @@ fn expand_transactional(
             candidate
                 .checked_place(app, node, problem.cluster, problem.apps)
                 .expect("checked above");
-            let Some(score) = score_placement(problem, &candidate) else {
+            let Some(score) = score_one(problem, config, cache, &candidate) else {
                 break;
             };
             stats.evaluations += 1;
-            if objective_cmp(config, &score.satisfaction, &best.satisfaction, config.epsilon)
-                == Ordering::Less
+            if objective_cmp(
+                config,
+                &score.satisfaction,
+                &best.satisfaction,
+                config.epsilon,
+            ) == Ordering::Less
             {
                 break; // expansion would hurt someone else
             }
@@ -418,6 +562,14 @@ fn removal_order(best: &PlacementScore, placement: &Placement, node: NodeId) -> 
 /// The inner loop: greedily starts instances on `node` in lowest relative
 /// performance first order, as constraints permit. Applications removed
 /// by the current candidate's intermediate loop are not re-added.
+///
+/// Feasibility is checked against a per-node resident index maintained
+/// across the fill instead of through [`Placement::checked_place`], whose
+/// anti-affinity and memory scans each walk every placement cell; the
+/// checks below replicate `checked_place` exactly — same predicates, and
+/// the memory sum accumulates over residents in the same ascending-`AppId`
+/// order `memory_used` uses, so every accept/reject decision (including
+/// any floating-point boundary case) is identical.
 fn fill_node(
     problem: &PlacementProblem<'_>,
     candidate: &mut Placement,
@@ -426,6 +578,11 @@ fn fill_node(
     fill_order: &[AppId],
     config: &ApcConfig,
 ) {
+    let Ok(node_spec) = problem.cluster.node(node) else {
+        return;
+    };
+    // Residents of `node`, ascending AppId (the order `apps_on` yields).
+    let mut residents: Vec<(AppId, u32)> = candidate.apps_on(node).collect();
     let mut tried = 0;
     for &app in fill_order {
         if tried >= config.max_fill_candidates {
@@ -436,7 +593,35 @@ fn fill_node(
         }
         tried += 1;
         // Try to add one instance of `app` on `node`.
-        let _ = candidate.checked_place(app, node, problem.cluster, problem.apps);
+        let Ok(spec) = problem.apps.get(app) else {
+            continue;
+        };
+        if !spec.allows_node(node) {
+            continue;
+        }
+        if candidate.total_instances(app) >= spec.max_instances() {
+            continue;
+        }
+        let mut used = Memory::ZERO;
+        let mut rejected = false;
+        for &(other, count) in &residents {
+            let Ok(other_spec) = problem.apps.get(other) else {
+                rejected = true;
+                break;
+            };
+            if other != app && !spec.may_share_node_with(other_spec) {
+                rejected = true;
+                break;
+            }
+            used += other_spec.memory_per_instance() * f64::from(count);
+        }
+        if rejected || used + spec.memory_per_instance() > node_spec.memory_capacity() {
+            continue;
+        }
+        candidate.place(app, node);
+        match residents.binary_search_by_key(&app, |&(a, _)| a) {
+            Ok(i) => residents[i].1 += 1,
+            Err(i) => residents.insert(i, (app, 1)),
+        }
     }
 }
-

@@ -64,7 +64,9 @@ impl World {
         consumed: f64,
         queued: bool,
     ) -> AppId {
-        let app = self.apps.add(ApplicationSpec::batch(mb(memory), mhz(max_speed)));
+        let app = self
+            .apps
+            .add(ApplicationSpec::batch(mb(memory), mhz(max_speed)));
         let snap = JobSnapshot::new(
             app,
             CompletionGoal::new(t(submit), t(deadline)),
@@ -74,7 +76,11 @@ impl World {
                 mb(memory),
             )),
             Work::from_mcycles(consumed),
-            if queued { self.cycle } else { SimDuration::ZERO },
+            if queued {
+                self.cycle
+            } else {
+                SimDuration::ZERO
+            },
         );
         self.workloads.insert(app, WorkloadModel::Batch(snap));
         app
@@ -98,7 +104,8 @@ impl World {
             TxnWorkload::new(rate, demand, secs(floor)),
             ResponseTimeGoal::new(secs(goal)),
         );
-        self.workloads.insert(app, WorkloadModel::Transactional(model));
+        self.workloads
+            .insert(app, WorkloadModel::Transactional(model));
         app
     }
 
@@ -225,8 +232,14 @@ fn web_and_job_equalize_under_contention() {
     // and both below goal.
     let entries = out.score.satisfaction.entries();
     let spread = entries.last().unwrap().1.value() - entries[0].1.value();
-    assert!(spread < 0.15, "performance should be equalized, spread {spread}");
-    assert!(entries[0].1.value() < 0.0, "contention pushes both below goal");
+    assert!(
+        spread < 0.15,
+        "performance should be equalized, spread {spread}"
+    );
+    assert!(
+        entries[0].1.value() < 0.0,
+        "contention pushes both below goal"
+    );
 }
 
 /// Memory pressure drives preemption: a tight job that cannot fit
@@ -236,7 +249,7 @@ fn web_and_job_equalize_under_contention() {
 fn tight_job_preempts_loose_job_for_memory() {
     let mut w = World::new(0.0, 60.0);
     let n0 = w.node(1_000.0, 1_500.0); // memory fits exactly 2 × 750 MB
-    // Two loose jobs: 50,000 Mc, ≤500 MHz, deadline t=1,000.
+                                       // Two loose jobs: 50,000 Mc, ≤500 MHz, deadline t=1,000.
     let loose_a = w.job(50_000.0, 500.0, 750.0, 0.0, 1_000.0, 0.0, false);
     let loose_b = w.job(50_000.0, 500.0, 750.0, 0.0, 1_000.0, 0.0, false);
     // Tight job: 50,000 Mc at ≤1,000 MHz (50 s best), deadline t=120.
@@ -277,9 +290,18 @@ fn fill_only_never_removes() {
     w.current.place(loose_b, n0);
 
     let out = fill_only(&w.problem(), &ApcConfig::default());
-    assert!(out.placement.is_placed(loose_a), "fill_only must not suspend");
-    assert!(out.placement.is_placed(loose_b), "fill_only must not suspend");
-    assert!(!out.placement.is_placed(tight), "no memory without preemption");
+    assert!(
+        out.placement.is_placed(loose_a),
+        "fill_only must not suspend"
+    );
+    assert!(
+        out.placement.is_placed(loose_b),
+        "fill_only must not suspend"
+    );
+    assert!(
+        !out.placement.is_placed(tight),
+        "no memory without preemption"
+    );
     assert_eq!(out.disruptions(), 0);
 }
 
@@ -289,9 +311,9 @@ fn pinning_is_respected() {
     let mut w = World::new(0.0, 1.0);
     let big = w.node(10_000.0, 8_000.0);
     let small = w.node(1_000.0, 8_000.0);
-    let app = w.apps.add(
-        ApplicationSpec::batch(mb(750.0), mhz(5_000.0)).with_allowed_nodes([small]),
-    );
+    let app = w
+        .apps
+        .add(ApplicationSpec::batch(mb(750.0), mhz(5_000.0)).with_allowed_nodes([small]));
     let snap = JobSnapshot::new(
         app,
         CompletionGoal::new(t(0.0), t(100.0)),

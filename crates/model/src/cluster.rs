@@ -58,7 +58,9 @@ impl Cluster {
     ///
     /// Returns [`ModelError::UnknownNode`] if the id is not registered.
     pub fn node(&self, id: NodeId) -> Result<&NodeSpec, ModelError> {
-        self.nodes.get(id.index()).ok_or(ModelError::UnknownNode(id))
+        self.nodes
+            .get(id.index())
+            .ok_or(ModelError::UnknownNode(id))
     }
 
     /// Returns whether the node id is registered.
@@ -205,7 +207,10 @@ mod tests {
             CpuSpeed::from_mhz(500.0),
         ));
         assert_eq!(id, AppId::new(0));
-        assert_eq!(apps.get(id).unwrap().memory_per_instance(), Memory::from_mb(750.0));
+        assert_eq!(
+            apps.get(id).unwrap().memory_per_instance(),
+            Memory::from_mb(750.0)
+        );
         assert!(apps.get(AppId::new(1)).is_err());
         assert_eq!(apps.iter().count(), 1);
         assert!(!apps.is_empty());

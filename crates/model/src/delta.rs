@@ -22,7 +22,11 @@ pub enum PlacementAction {
     /// Stop an instance of `app` on `node`.
     Stop { app: AppId, node: NodeId },
     /// Move an instance of `app` from one node to another.
-    Migrate { app: AppId, from: NodeId, to: NodeId },
+    Migrate {
+        app: AppId,
+        from: NodeId,
+        to: NodeId,
+    },
 }
 
 impl PlacementAction {
@@ -137,11 +141,17 @@ mod tests {
         let p: Placement = [(app(0), node(0), 1)].into_iter().collect();
         assert_eq!(
             empty.diff(&p),
-            vec![PlacementAction::Start { app: app(0), node: node(0) }]
+            vec![PlacementAction::Start {
+                app: app(0),
+                node: node(0)
+            }]
         );
         assert_eq!(
             p.diff(&empty),
-            vec![PlacementAction::Stop { app: app(0), node: node(0) }]
+            vec![PlacementAction::Stop {
+                app: app(0),
+                node: node(0)
+            }]
         );
     }
 
@@ -151,7 +161,11 @@ mod tests {
         let b: Placement = [(app(0), node(1), 1)].into_iter().collect();
         assert_eq!(
             a.diff(&b),
-            vec![PlacementAction::Migrate { app: app(0), from: node(0), to: node(1) }]
+            vec![PlacementAction::Migrate {
+                app: app(0),
+                from: node(0),
+                to: node(1)
+            }]
         );
     }
 
@@ -233,7 +247,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let action = PlacementAction::Migrate { app: app(1), from: node(0), to: node(2) };
+        let action = PlacementAction::Migrate {
+            app: app(1),
+            from: node(0),
+            to: node(2),
+        };
         assert_eq!(action.to_string(), "migrate app1 from node0 to node2");
     }
 }

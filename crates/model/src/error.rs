@@ -25,7 +25,11 @@ pub enum ModelError {
     /// The application is pinned elsewhere and may not run on this node.
     PinningViolated { app: AppId, node: NodeId },
     /// An anti-affinity constraint forbids collocating these applications.
-    AntiAffinityViolated { app: AppId, other: AppId, node: NodeId },
+    AntiAffinityViolated {
+        app: AppId,
+        other: AppId,
+        node: NodeId,
+    },
     /// Load was assigned to an application on a node where it has no
     /// instance.
     LoadWithoutInstance { app: AppId, node: NodeId },
@@ -58,10 +62,16 @@ impl fmt::Display for ModelError {
                 write!(f, "{app} may not share {node} with {other}")
             }
             ModelError::LoadWithoutInstance { app, node } => {
-                write!(f, "load assigned to {app} on {node} where it has no instance")
+                write!(
+                    f,
+                    "load assigned to {app} on {node} where it has no instance"
+                )
             }
             ModelError::SpeedOutOfBounds { app, node } => {
-                write!(f, "speed assigned to {app} on {node} is outside its instance bounds")
+                write!(
+                    f,
+                    "speed assigned to {app} on {node} is outside its instance bounds"
+                )
             }
         }
     }
@@ -78,7 +88,9 @@ mod tests {
         let samples = [
             ModelError::UnknownNode(NodeId::new(1)),
             ModelError::UnknownApp(AppId::new(2)),
-            ModelError::MemoryExceeded { node: NodeId::new(0) },
+            ModelError::MemoryExceeded {
+                node: NodeId::new(0),
+            },
             ModelError::MaxInstancesExceeded { app: AppId::new(3) },
         ];
         for err in samples {

@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Node ids are dense indices assigned by [`crate::cluster::Cluster`] in
 /// registration order, which keeps every per-node table a plain `Vec`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(u32);
 
@@ -39,9 +37,7 @@ impl fmt::Display for NodeId {
 /// Both transactional applications and batch jobs are "applications" from
 /// the placement controller's point of view (§3.2 of the paper); the id
 /// space is shared.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct AppId(u32);
 

@@ -40,7 +40,10 @@ impl LoadDistribution {
 
     /// CPU speed consumed by `app` on `node` (zero if unset).
     pub fn get(&self, app: AppId, node: NodeId) -> CpuSpeed {
-        self.cells.get(&(app, node)).copied().unwrap_or(CpuSpeed::ZERO)
+        self.cells
+            .get(&(app, node))
+            .copied()
+            .unwrap_or(CpuSpeed::ZERO)
     }
 
     /// Sets the CPU speed consumed by `app` on `node`. Setting zero clears
@@ -258,7 +261,10 @@ mod tests {
         l.set(app(0), node(0), CpuSpeed::from_mhz(100.0));
         assert_eq!(
             l.validate(&empty, &cluster, &apps),
-            Err(ModelError::LoadWithoutInstance { app: app(0), node: node(0) })
+            Err(ModelError::LoadWithoutInstance {
+                app: app(0),
+                node: node(0)
+            })
         );
     }
 
@@ -269,7 +275,10 @@ mod tests {
         l.set(app(0), node(0), CpuSpeed::from_mhz(501.0)); // max is 500
         assert_eq!(
             l.validate(&p, &cluster, &apps),
-            Err(ModelError::SpeedOutOfBounds { app: app(0), node: node(0) })
+            Err(ModelError::SpeedOutOfBounds {
+                app: app(0),
+                node: node(0)
+            })
         );
     }
 
@@ -291,7 +300,10 @@ mod tests {
         l.set(app(0), node(0), CpuSpeed::from_mhz(50.0));
         assert_eq!(
             l.validate(&p, &cluster, &apps),
-            Err(ModelError::SpeedOutOfBounds { app: app(0), node: node(0) })
+            Err(ModelError::SpeedOutOfBounds {
+                app: app(0),
+                node: node(0)
+            })
         );
     }
 

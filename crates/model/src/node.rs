@@ -34,7 +34,10 @@ impl NodeSpec {
     /// Panics if either capacity is negative.
     pub fn new(cpu: CpuSpeed, memory: Memory) -> Self {
         assert!(cpu.as_mhz() >= 0.0, "cpu capacity must be non-negative");
-        assert!(memory.as_mb() >= 0.0, "memory capacity must be non-negative");
+        assert!(
+            memory.as_mb() >= 0.0,
+            "memory capacity must be non-negative"
+        );
         Self {
             name: None,
             cpu,

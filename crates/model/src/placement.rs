@@ -328,7 +328,8 @@ mod tests {
     fn max_instances_enforced() {
         let (cluster, apps, j1, _) = setup();
         let mut p = Placement::new();
-        p.checked_place(j1, NodeId::new(0), &cluster, &apps).unwrap();
+        p.checked_place(j1, NodeId::new(0), &cluster, &apps)
+            .unwrap();
         assert_eq!(
             p.checked_place(j1, NodeId::new(1), &cluster, &apps),
             Err(ModelError::MaxInstancesExceeded { app: j1 })
@@ -345,9 +346,13 @@ mod tests {
         let mut p = Placement::new();
         assert_eq!(
             p.checked_place(pinned, NodeId::new(0), &cluster, &apps),
-            Err(ModelError::PinningViolated { app: pinned, node: NodeId::new(0) })
+            Err(ModelError::PinningViolated {
+                app: pinned,
+                node: NodeId::new(0)
+            })
         );
-        p.checked_place(pinned, NodeId::new(1), &cluster, &apps).unwrap();
+        p.checked_place(pinned, NodeId::new(1), &cluster, &apps)
+            .unwrap();
     }
 
     #[test]
@@ -367,7 +372,11 @@ mod tests {
         p.checked_place(a, n, &cluster, &apps).unwrap();
         assert_eq!(
             p.checked_place(b, n, &cluster, &apps),
-            Err(ModelError::AntiAffinityViolated { app: b, other: a, node: n })
+            Err(ModelError::AntiAffinityViolated {
+                app: b,
+                other: a,
+                node: n
+            })
         );
         p.checked_place(b, NodeId::new(1), &cluster, &apps).unwrap();
         p.validate(&cluster, &apps).unwrap();

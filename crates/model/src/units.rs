@@ -431,10 +431,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterators() {
-        let total: CpuSpeed = [1.0, 2.0, 3.5]
-            .iter()
-            .map(|&m| CpuSpeed::from_mhz(m))
-            .sum();
+        let total: CpuSpeed = [1.0, 2.0, 3.5].iter().map(|&m| CpuSpeed::from_mhz(m)).sum();
         assert_eq!(total, CpuSpeed::from_mhz(6.5));
         let values = [Work::from_mcycles(1.0), Work::from_mcycles(2.0)];
         let total: Work = values.iter().sum();

@@ -200,7 +200,10 @@ mod tests {
 
     #[test]
     fn mean_is_diagnostic() {
-        assert!(sv(&[0.0, 1.0]).mean().unwrap().approx_eq(Rp::new(0.5), 1e-12));
+        assert!(sv(&[0.0, 1.0])
+            .mean()
+            .unwrap()
+            .approx_eq(Rp::new(0.5), 1e-12));
         assert_eq!(sv(&[]).mean(), None);
     }
 

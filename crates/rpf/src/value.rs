@@ -141,10 +141,7 @@ mod tests {
     fn ordering_is_numeric() {
         let mut v = vec![Rp::new(0.3), Rp::new(-0.4), Rp::new(1.0), Rp::GOAL];
         v.sort();
-        assert_eq!(
-            v,
-            vec![Rp::new(-0.4), Rp::GOAL, Rp::new(0.3), Rp::new(1.0)]
-        );
+        assert_eq!(v, vec![Rp::new(-0.4), Rp::GOAL, Rp::new(0.3), Rp::new(1.0)]);
     }
 
     #[test]

@@ -103,6 +103,10 @@ pub struct SimConfig {
     /// control cycle — with a small deterministic measurement error so
     /// the estimator actually works for its living.
     pub estimate_txn_demand: bool,
+    /// Record the full placement at every cycle sample (golden-file
+    /// regression tests diff consecutive records). Off by default: the
+    /// records grow linearly with run length × cluster occupancy.
+    pub record_placements: bool,
 }
 
 /// Relative estimation errors presented to the placement controller.
@@ -155,6 +159,7 @@ impl SimConfig {
             profile_from_history: false,
             node_failures: Vec::new(),
             estimate_txn_demand: false,
+            record_placements: false,
         }
     }
 
@@ -276,6 +281,13 @@ impl Simulation {
         &self.cluster
     }
 
+    /// Enables (or disables) per-cycle placement recording after
+    /// construction — scenario files have no switch for it, but the
+    /// golden regression tests need the records.
+    pub fn record_placements(&mut self, on: bool) {
+        self.config.record_placements = on;
+    }
+
     /// Submits a batch job described by `spec`; optionally pinned to a
     /// subset of nodes. Returns the application id assigned to it.
     ///
@@ -345,11 +357,7 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if `tasks` is zero or the scheduler is a baseline.
-    pub fn add_parallel_job(
-        &mut self,
-        tasks: u32,
-        build: impl FnOnce(AppId) -> JobSpec,
-    ) -> AppId {
+    pub fn add_parallel_job(&mut self, tasks: u32, build: impl FnOnce(AppId) -> JobSpec) -> AppId {
         assert!(tasks > 0, "tasks must be positive");
         assert!(
             matches!(self.config.scheduler, SchedulerKind::Apc { .. }),
@@ -370,9 +378,11 @@ impl Simulation {
             .iter()
             .map(|s| s.max_speed())
             .fold(CpuSpeed::ZERO, CpuSpeed::max);
-        let app = self
-            .apps
-            .add(ApplicationSpec::batch_parallel(memory, per_task_speed, tasks));
+        let app = self.apps.add(ApplicationSpec::batch_parallel(
+            memory,
+            per_task_speed,
+            tasks,
+        ));
         debug_assert_eq!(app, provisional);
         let profile = Arc::new(spec.profile().clone());
         let arrival = spec.arrival();
@@ -452,9 +462,7 @@ impl Simulation {
             match kind {
                 EventKind::Horizon => break,
                 EventKind::JobArrival(app) => self.on_arrival(app),
-                EventKind::JobCompletion { app, generation } => {
-                    self.on_completion(app, generation)
-                }
+                EventKind::JobCompletion { app, generation } => self.on_completion(app, generation),
                 EventKind::NodeFailure(node) => self.on_node_failure(node),
                 EventKind::ControlCycle => {
                     self.on_cycle();
@@ -581,12 +589,17 @@ impl Simulation {
             if outcome.admitted_rate <= 0.0 {
                 continue; // nothing served: no signal this interval
             }
-            let error = if txn.observations % 2 == 0 { 0.02 } else { -0.02 };
+            let error = if txn.observations % 2 == 0 {
+                0.02
+            } else {
+                -0.02
+            };
             txn.observations += 1;
-            txn.profiler.record(dynaplace_txn::profiler::UtilizationSample {
-                throughput: vec![outcome.admitted_rate],
-                cpu_used_mhz: outcome.admitted_rate * txn.demand_per_request * (1.0 + error),
-            });
+            txn.profiler
+                .record(dynaplace_txn::profiler::UtilizationSample {
+                    throughput: vec![outcome.admitted_rate],
+                    cpu_used_mhz: outcome.admitted_rate * txn.demand_per_request * (1.0 + error),
+                });
         }
     }
 
@@ -750,7 +763,10 @@ impl Simulation {
             let mut factor = self.config.noise.work_factor(app);
             let mut measured_consumed = false;
             if self.config.profile_from_history {
-                if let Some(est) = job.spec.class().and_then(|c| self.class_profiler.estimate(c))
+                if let Some(est) = job
+                    .spec
+                    .class()
+                    .and_then(|c| self.class_profiler.estimate(c))
                 {
                     // Present the class-mean total work. Consumed work is
                     // *measured* (not estimated), so scale the profile
@@ -930,8 +946,7 @@ impl Simulation {
         self.effective_cluster
             .iter()
             .filter(|(id, _)| {
-                !self.failed_nodes.contains(id)
-                    && allowed.as_ref().map_or(true, |v| v.contains(id))
+                !self.failed_nodes.contains(id) && allowed.as_ref().map_or(true, |v| v.contains(id))
             })
             .map(|(id, spec)| NodeCapacity {
                 node: id,
@@ -958,10 +973,7 @@ impl Simulation {
                 app,
                 arrival: j.spec.arrival(),
                 deadline: j.spec.goal().deadline(),
-                memory: j
-                    .state
-                    .current_memory(&j.profile)
-                    .unwrap_or(Memory::ZERO),
+                memory: j.state.current_memory(&j.profile).unwrap_or(Memory::ZERO),
                 max_speed: j
                     .state
                     .current_speed_bounds(&j.profile)
@@ -1041,6 +1053,14 @@ impl Simulation {
             waiting_jobs: waiting,
             placement_compute_secs,
         });
+        if self.config.record_placements {
+            self.metrics
+                .placements
+                .push(crate::metrics::PlacementRecord {
+                    time: self.now,
+                    placement: self.placement.clone(),
+                });
+        }
     }
 
     fn txn_sample(&self) -> (Option<Rp>, CpuSpeed) {
@@ -1136,7 +1156,11 @@ mod tests {
         let factors: std::collections::BTreeSet<u64> = (0..50)
             .map(|i| (noise.work_factor(AppId::new(i)) * 1e6) as u64)
             .collect();
-        assert!(factors.len() > 25, "biases should be diverse: {}", factors.len());
+        assert!(
+            factors.len() > 25,
+            "biases should be diverse: {}",
+            factors.len()
+        );
     }
 
     #[test]
@@ -1145,7 +1169,13 @@ mod tests {
             SimConfig::apc_default().scheduler,
             SchedulerKind::Apc { .. }
         ));
-        assert!(matches!(SimConfig::fcfs_default().scheduler, SchedulerKind::Fcfs));
-        assert!(matches!(SimConfig::edf_default().scheduler, SchedulerKind::Edf));
+        assert!(matches!(
+            SimConfig::fcfs_default().scheduler,
+            SchedulerKind::Fcfs
+        ));
+        assert!(matches!(
+            SimConfig::edf_default().scheduler,
+            SchedulerKind::Edf
+        ));
     }
 }

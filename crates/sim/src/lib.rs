@@ -35,6 +35,7 @@
 //!     profile_from_history: false,
 //!     node_failures: Vec::new(),
 //!     estimate_txn_demand: false,
+//!     record_placements: false,
 //! };
 //! let metrics = paper_example(ExampleScenario::S2, config).run();
 //! assert_eq!(metrics.completions.len(), 3);
@@ -54,7 +55,6 @@ pub use costs::{VmCostModel, VmOperation};
 pub use engine::{SchedulerKind, SimConfig, Simulation};
 pub use metrics::{ChangeCounters, CompletionRecord, CycleSample, RunMetrics};
 pub use scenario::{
-    experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario,
-    SharingConfig,
+    experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
 };
 pub use spec::ScenarioSpec;

@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use dynaplace_model::ids::AppId;
+use dynaplace_json::{obj, FromJson, Json, JsonError, ToJson};
+use dynaplace_model::ids::{AppId, NodeId};
+use dynaplace_model::placement::Placement;
 use dynaplace_model::units::{CpuSpeed, SimDuration, SimTime};
 use dynaplace_rpf::value::Rp;
 
@@ -71,6 +73,17 @@ impl ChangeCounters {
     }
 }
 
+/// The placement in effect at the end of one control cycle. Only
+/// recorded when [`crate::engine::SimConfig::record_placements`] is set
+/// (golden-file regression tests diff consecutive records).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementRecord {
+    /// Sample instant (matches the [`CycleSample`] at the same time).
+    pub time: SimTime,
+    /// The full placement.
+    pub placement: Placement,
+}
+
 /// Everything recorded over one simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -80,6 +93,8 @@ pub struct RunMetrics {
     pub completions: Vec<CompletionRecord>,
     /// Placement change counters.
     pub changes: ChangeCounters,
+    /// Per-cycle placements; empty unless recording was enabled.
+    pub placements: Vec<PlacementRecord>,
 }
 
 impl RunMetrics {
@@ -122,6 +137,181 @@ impl RunMetrics {
             return None;
         }
         Some(times.iter().sum::<f64>() / times.len() as f64)
+    }
+}
+
+// JSON conversions matching the checked-in `results/*.json` artifacts:
+// unit newtypes and ids render as plain numbers, absent optionals as
+// `null`.
+
+impl ToJson for CycleSample {
+    fn to_json(&self) -> Json {
+        obj([
+            ("time", self.time.as_secs().to_json()),
+            (
+                "batch_hypothetical_rp",
+                self.batch_hypothetical_rp.map(|u| u.value()).to_json(),
+            ),
+            ("txn_rp", self.txn_rp.map(|u| u.value()).to_json()),
+            ("batch_allocation", self.batch_allocation.as_mhz().to_json()),
+            ("txn_allocation", self.txn_allocation.as_mhz().to_json()),
+            ("running_jobs", self.running_jobs.to_json()),
+            ("waiting_jobs", self.waiting_jobs.to_json()),
+            (
+                "placement_compute_secs",
+                self.placement_compute_secs.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for CycleSample {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CycleSample {
+            time: SimTime::from_secs(v.field("time")?),
+            batch_hypothetical_rp: v
+                .field_or::<Option<f64>>("batch_hypothetical_rp")?
+                .map(Rp::new),
+            txn_rp: v.field_or::<Option<f64>>("txn_rp")?.map(Rp::new),
+            batch_allocation: CpuSpeed::from_mhz(v.field("batch_allocation")?),
+            txn_allocation: CpuSpeed::from_mhz(v.field("txn_allocation")?),
+            running_jobs: v.field("running_jobs")?,
+            waiting_jobs: v.field("waiting_jobs")?,
+            placement_compute_secs: v.field("placement_compute_secs")?,
+        })
+    }
+}
+
+impl ToJson for CompletionRecord {
+    fn to_json(&self) -> Json {
+        obj([
+            ("app", (self.app.index() as u64).to_json()),
+            ("arrival", self.arrival.as_secs().to_json()),
+            ("completion", self.completion.as_secs().to_json()),
+            ("deadline", self.deadline.as_secs().to_json()),
+            ("distance", self.distance.as_secs().to_json()),
+            ("rp", self.rp.value().to_json()),
+            ("goal_factor", self.goal_factor.to_json()),
+            ("met_deadline", self.met_deadline.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CompletionRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CompletionRecord {
+            app: AppId::new(v.field::<u64>("app")? as u32),
+            arrival: SimTime::from_secs(v.field("arrival")?),
+            completion: SimTime::from_secs(v.field("completion")?),
+            deadline: SimTime::from_secs(v.field("deadline")?),
+            distance: SimDuration::from_secs(v.field("distance")?),
+            rp: Rp::new(v.field("rp")?),
+            goal_factor: v.field("goal_factor")?,
+            met_deadline: v.field("met_deadline")?,
+        })
+    }
+}
+
+impl ToJson for ChangeCounters {
+    fn to_json(&self) -> Json {
+        obj([
+            ("starts", self.starts.to_json()),
+            ("suspends", self.suspends.to_json()),
+            ("resumes", self.resumes.to_json()),
+            ("migrations", self.migrations.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ChangeCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ChangeCounters {
+            starts: v.field("starts")?,
+            suspends: v.field("suspends")?,
+            resumes: v.field("resumes")?,
+            migrations: v.field("migrations")?,
+        })
+    }
+}
+
+impl ToJson for PlacementRecord {
+    fn to_json(&self) -> Json {
+        let instances: Vec<Json> = self
+            .placement
+            .iter()
+            .map(|(app, node, count)| {
+                Json::Arr(vec![
+                    (app.index() as u64).to_json(),
+                    (node.index() as u64).to_json(),
+                    u64::from(count).to_json(),
+                ])
+            })
+            .collect();
+        obj([
+            ("time", self.time.as_secs().to_json()),
+            ("instances", Json::Arr(instances)),
+        ])
+    }
+}
+
+impl FromJson for PlacementRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let triples: Vec<(u64, (u64, u64))> = match v.get("instances") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|item| {
+                    let arr = item.as_arr().ok_or_else(|| JsonError {
+                        message: "placement instance must be an array".into(),
+                    })?;
+                    match arr {
+                        [a, n, c] => {
+                            Ok((u64::from_json(a)?, (u64::from_json(n)?, u64::from_json(c)?)))
+                        }
+                        _ => Err(JsonError {
+                            message: "placement instance must be [app, node, count]".into(),
+                        }),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+            _ => {
+                return Err(JsonError {
+                    message: "placement record missing instances".into(),
+                })
+            }
+        };
+        let mut placement = Placement::new();
+        for (app, (node, count)) in triples {
+            for _ in 0..count {
+                placement.place(AppId::new(app as u32), NodeId::new(node as u32));
+            }
+        }
+        Ok(PlacementRecord {
+            time: SimTime::from_secs(v.field("time")?),
+            placement,
+        })
+    }
+}
+
+impl ToJson for RunMetrics {
+    fn to_json(&self) -> Json {
+        obj([
+            ("samples", self.samples.to_json()),
+            ("completions", self.completions.to_json()),
+            ("changes", self.changes.to_json()),
+            ("placements", self.placements.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunMetrics {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RunMetrics {
+            samples: v.field("samples")?,
+            completions: v.field("completions")?,
+            changes: v.field("changes")?,
+            // Absent in artifacts written before placements existed.
+            placements: v.field_or("placements")?,
+        })
     }
 }
 
@@ -178,6 +368,36 @@ mod tests {
         let mut m = RunMetrics::default();
         m.completions.push(completion(true, 1.3, 0.2));
         m.completions.push(completion(true, 1.3, 0.6));
-        assert!(m.mean_completion_rp().unwrap().approx_eq(Rp::new(0.4), 1e-12));
+        assert!(m
+            .mean_completion_rp()
+            .unwrap()
+            .approx_eq(Rp::new(0.4), 1e-12));
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let mut m = RunMetrics::default();
+        m.samples.push(CycleSample {
+            time: SimTime::from_secs(60.0),
+            batch_hypothetical_rp: Some(Rp::new(0.25)),
+            txn_rp: None,
+            batch_allocation: CpuSpeed::from_mhz(1_234.5),
+            txn_allocation: CpuSpeed::from_mhz(0.0),
+            running_jobs: 3,
+            waiting_jobs: 1,
+            placement_compute_secs: 0.0125,
+        });
+        m.completions.push(completion(true, 2.5, 0.375));
+        m.changes = ChangeCounters {
+            starts: 4,
+            suspends: 1,
+            resumes: 1,
+            migrations: 0,
+        };
+        let text = m.to_json().pretty();
+        let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.samples, m.samples);
+        assert_eq!(back.completions, m.completions);
+        assert_eq!(back.changes, m.changes);
     }
 }

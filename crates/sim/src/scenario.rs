@@ -202,8 +202,14 @@ pub fn experiment_two(
     let mut rng = StdRng::seed_from_u64(seed);
     let arrivals = exponential_arrivals(&mut rng, count, inter_arrival_secs, SimTime::ZERO);
     for arrival in arrivals {
-        let shape = *pick(&mut rng, EXPERIMENT_TWO_SHAPES.iter().map(|s| (s, s.probability)));
-        let factor = *pick(&mut rng, EXPERIMENT_TWO_FACTORS.iter().map(|(f, p)| (f, *p)));
+        let shape = *pick(
+            &mut rng,
+            EXPERIMENT_TWO_SHAPES.iter().map(|s| (s, s.probability)),
+        );
+        let factor = *pick(
+            &mut rng,
+            EXPERIMENT_TWO_FACTORS.iter().map(|(f, p)| (f, *p)),
+        );
         let work = shape.min_exec_secs * shape.max_speed_mhz;
         sim.add_job(move |app| {
             JobSpec::with_goal_factor(
@@ -297,8 +303,7 @@ pub fn experiment_three(
 
     let mut rng = StdRng::seed_from_u64(seed);
     let head = jobs - jobs / 4;
-    let mut arrivals =
-        exponential_arrivals(&mut rng, head, inter_arrival_secs, SimTime::ZERO);
+    let mut arrivals = exponential_arrivals(&mut rng, head, inter_arrival_secs, SimTime::ZERO);
     let last = arrivals.last().copied().unwrap_or(SimTime::ZERO);
     arrivals.extend(exponential_arrivals(
         &mut rng,
@@ -338,6 +343,7 @@ mod tests {
             profile_from_history: false,
             node_failures: Vec::new(),
             estimate_txn_demand: false,
+            record_placements: false,
         }
     }
 

@@ -4,6 +4,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use dynaplace_json::{obj, FromJson, Json, JsonError, ToJson};
+
 use dynaplace_batch::job::{JobProfile, JobSpec};
 use dynaplace_model::cluster::Cluster;
 use dynaplace_model::ids::NodeId;
@@ -142,7 +144,7 @@ pub enum RateSpec {
 ///   }],
 ///   "txns": []
 /// }"#;
-/// let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+/// let spec = ScenarioSpec::from_json_str(json).unwrap();
 /// let metrics = spec.build().run();
 /// assert_eq!(metrics.completions.len(), 3);
 /// ```
@@ -181,7 +183,10 @@ impl ScenarioSpec {
     /// magnitudes, parallel jobs under a baseline scheduler) with a
     /// message naming the offending field.
     pub fn build(&self) -> Simulation {
-        assert!(!self.nodes.is_empty(), "scenario needs at least one node group");
+        assert!(
+            !self.nodes.is_empty(),
+            "scenario needs at least one node group"
+        );
         let mut cluster = Cluster::new();
         for group in &self.nodes {
             for _ in 0..group.count {
@@ -235,10 +240,9 @@ impl ScenarioSpec {
                             profile.min_execution_time() / f64::from(group.tasks),
                             f,
                         ),
-                        GoalSpec::RelativeSecs(secs) => CompletionGoal::new(
-                            arrival,
-                            arrival + SimDuration::from_secs(secs),
-                        ),
+                        GoalSpec::RelativeSecs(secs) => {
+                            CompletionGoal::new(arrival, arrival + SimDuration::from_secs(secs))
+                        }
                     };
                     let mut spec = JobSpec::new(app, profile, arrival, goal);
                     if let Some(class) = &group.class {
@@ -255,16 +259,15 @@ impl ScenarioSpec {
         }
 
         for txn in &self.txns {
-            let pattern: Box<dyn dynaplace_txn::workload::ArrivalPattern + Send> =
-                match &txn.rate {
-                    RateSpec::Constant(rate) => Box::new(ConstantRate(*rate)),
-                    RateSpec::Steps(steps) => Box::new(StepPattern::new(
-                        steps
-                            .iter()
-                            .map(|&(t, r)| (SimTime::from_secs(t), r))
-                            .collect(),
-                    )),
-                };
+            let pattern: Box<dyn dynaplace_txn::workload::ArrivalPattern + Send> = match &txn.rate {
+                RateSpec::Constant(rate) => Box::new(ConstantRate(*rate)),
+                RateSpec::Steps(steps) => Box::new(StepPattern::new(
+                    steps
+                        .iter()
+                        .map(|&(t, r)| (SimTime::from_secs(t), r))
+                        .collect(),
+                )),
+            };
             sim.add_txn(
                 Memory::from_mb(txn.memory_mb),
                 txn.max_instances,
@@ -276,6 +279,239 @@ impl ScenarioSpec {
             );
         }
         sim
+    }
+}
+
+impl ScenarioSpec {
+    /// Parses a scenario from its JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// Renders the scenario as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+}
+
+// Explicit JSON conversions. The wire format is the one the checked-in
+// scenario files use: lowercase scheduler names, externally tagged
+// snake_case enum payloads, an untagged constant-or-steps rate, and
+// defaults for seed / horizon_secs / free_vm_costs / tasks / class /
+// node_failures.
+
+impl ToJson for NodeGroupSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("count", self.count.to_json()),
+            ("cpu_mhz", self.cpu_mhz.to_json()),
+            ("memory_mb", self.memory_mb.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NodeGroupSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(NodeGroupSpec {
+            count: v.field("count")?,
+            cpu_mhz: v.field("cpu_mhz")?,
+            memory_mb: v.field("memory_mb")?,
+        })
+    }
+}
+
+impl ToJson for SchedulerSpec {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                SchedulerSpec::Apc => "apc",
+                SchedulerSpec::Fcfs => "fcfs",
+                SchedulerSpec::Edf => "edf",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for SchedulerSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("apc") => Ok(SchedulerSpec::Apc),
+            Some("fcfs") => Ok(SchedulerSpec::Fcfs),
+            Some("edf") => Ok(SchedulerSpec::Edf),
+            _ => Err(JsonError {
+                message: format!("unknown scheduler {v:?}; expected apc|fcfs|edf"),
+            }),
+        }
+    }
+}
+
+impl ToJson for ArrivalSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            ArrivalSpec::Exponential { mean_secs } => {
+                obj([("exponential", obj([("mean_secs", mean_secs.to_json())]))])
+            }
+            ArrivalSpec::Periodic { every_secs } => {
+                obj([("periodic", obj([("every_secs", every_secs.to_json())]))])
+            }
+            ArrivalSpec::At(times) => obj([("at", times.to_json())]),
+        }
+    }
+}
+
+impl FromJson for ArrivalSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(inner) = v.get("exponential") {
+            Ok(ArrivalSpec::Exponential {
+                mean_secs: inner.field("mean_secs")?,
+            })
+        } else if let Some(inner) = v.get("periodic") {
+            Ok(ArrivalSpec::Periodic {
+                every_secs: inner.field("every_secs")?,
+            })
+        } else if let Some(times) = v.get("at") {
+            Ok(ArrivalSpec::At(Vec::from_json(times)?))
+        } else {
+            Err(JsonError {
+                message: "arrivals must be exponential|periodic|at".to_string(),
+            })
+        }
+    }
+}
+
+impl ToJson for GoalSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            GoalSpec::Factor(f) => obj([("factor", f.to_json())]),
+            GoalSpec::RelativeSecs(s) => obj([("relative_secs", s.to_json())]),
+        }
+    }
+}
+
+impl FromJson for GoalSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(f) = v.get("factor") {
+            Ok(GoalSpec::Factor(f64::from_json(f)?))
+        } else if let Some(s) = v.get("relative_secs") {
+            Ok(GoalSpec::RelativeSecs(f64::from_json(s)?))
+        } else {
+            Err(JsonError {
+                message: "goal must be factor|relative_secs".to_string(),
+            })
+        }
+    }
+}
+
+impl ToJson for JobGroupSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("count", self.count.to_json()),
+            ("work_mcycles", self.work_mcycles.to_json()),
+            ("max_speed_mhz", self.max_speed_mhz.to_json()),
+            ("memory_mb", self.memory_mb.to_json()),
+            ("goal", self.goal.to_json()),
+            ("arrivals", self.arrivals.to_json()),
+            ("tasks", self.tasks.to_json()),
+            ("class", self.class.to_json()),
+        ])
+    }
+}
+
+impl FromJson for JobGroupSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(JobGroupSpec {
+            count: v.field("count")?,
+            work_mcycles: v.field("work_mcycles")?,
+            max_speed_mhz: v.field("max_speed_mhz")?,
+            memory_mb: v.field("memory_mb")?,
+            goal: v.field("goal")?,
+            arrivals: v.field("arrivals")?,
+            tasks: match v.get("tasks") {
+                None => one(),
+                Some(t) => u32::from_json(t)?,
+            },
+            class: v.field_or("class")?,
+        })
+    }
+}
+
+impl ToJson for TxnSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("rate", self.rate.to_json()),
+            ("demand_mcycles", self.demand_mcycles.to_json()),
+            ("floor_secs", self.floor_secs.to_json()),
+            ("goal_secs", self.goal_secs.to_json()),
+            ("memory_mb", self.memory_mb.to_json()),
+            ("max_instances", self.max_instances.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TxnSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TxnSpec {
+            rate: v.field("rate")?,
+            demand_mcycles: v.field("demand_mcycles")?,
+            floor_secs: v.field("floor_secs")?,
+            goal_secs: v.field("goal_secs")?,
+            memory_mb: v.field("memory_mb")?,
+            max_instances: v.field("max_instances")?,
+        })
+    }
+}
+
+impl ToJson for RateSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            RateSpec::Constant(rate) => rate.to_json(),
+            RateSpec::Steps(steps) => steps.to_json(),
+        }
+    }
+}
+
+impl FromJson for RateSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Num(rate) => Ok(RateSpec::Constant(*rate)),
+            Json::Arr(_) => Ok(RateSpec::Steps(Vec::from_json(v)?)),
+            _ => Err(JsonError {
+                message: "rate must be a number or a list of (secs, rate) steps".to_string(),
+            }),
+        }
+    }
+}
+
+impl ToJson for ScenarioSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("seed", self.seed.to_json()),
+            ("scheduler", self.scheduler.to_json()),
+            ("cycle_secs", self.cycle_secs.to_json()),
+            ("horizon_secs", self.horizon_secs.to_json()),
+            ("free_vm_costs", self.free_vm_costs.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("jobs", self.jobs.to_json()),
+            ("txns", self.txns.to_json()),
+            ("node_failures", self.node_failures.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScenarioSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ScenarioSpec {
+            seed: v.field_or("seed")?,
+            scheduler: v.field("scheduler")?,
+            cycle_secs: v.field("cycle_secs")?,
+            horizon_secs: v.field_or("horizon_secs")?,
+            free_vm_costs: v.field_or("free_vm_costs")?,
+            nodes: v.field("nodes")?,
+            jobs: v.field("jobs")?,
+            txns: v.field("txns")?,
+            node_failures: v.field_or("node_failures")?,
+        })
     }
 }
 
@@ -340,8 +576,8 @@ mod tests {
     #[test]
     fn round_trips_through_json() {
         let spec = minimal(SchedulerSpec::Apc);
-        let json = serde_json::to_string_pretty(&spec).unwrap();
-        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json_string();
+        let back = ScenarioSpec::from_json_str(&json).unwrap();
         let a = spec.build().run();
         let b = back.build().run();
         assert_eq!(a.completions.len(), b.completions.len());

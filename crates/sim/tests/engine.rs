@@ -41,6 +41,7 @@ fn config(kind: SchedulerKind) -> SimConfig {
         profile_from_history: false,
         node_failures: Vec::new(),
         estimate_txn_demand: false,
+        record_placements: false,
     }
 }
 
@@ -112,14 +113,7 @@ fn boot_cost_delays_completion() {
 fn fcfs_makes_no_changes() {
     let mut sim = Simulation::new(one_node_cluster(), config(SchedulerKind::Fcfs));
     for i in 0..6 {
-        simple_job(
-            &mut sim,
-            2_000.0,
-            500.0,
-            750.0,
-            i as f64 * 0.5,
-            500.0,
-        );
+        simple_job(&mut sim, 2_000.0, 500.0, 750.0, i as f64 * 0.5, 500.0);
     }
     let m = sim.run();
     assert_eq!(m.completions.len(), 6);
@@ -149,7 +143,11 @@ fn edf_preempts_and_resumes() {
         .iter()
         .find(|c| (c.deadline.as_secs() - 30.0).abs() < 1e-9)
         .unwrap();
-    assert!(urgent.met_deadline, "urgent job finished at {}", urgent.completion);
+    assert!(
+        urgent.met_deadline,
+        "urgent job finished at {}",
+        urgent.completion
+    );
 }
 
 /// Work is conserved: total allocated CPU-time ≥ total job work for all
@@ -237,6 +235,7 @@ fn example_s2_starts_j2_earlier_than_s1_under_narrative_config() {
         profile_from_history: false,
         node_failures: Vec::new(),
         estimate_txn_demand: false,
+        record_placements: false,
     };
     let s1 = paper_example(ExampleScenario::S1, narrative()).run();
     let s2 = paper_example(ExampleScenario::S2, narrative()).run();

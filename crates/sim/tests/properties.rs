@@ -7,13 +7,14 @@ use dynaplace_sim::spec::{
 use proptest::prelude::*;
 
 fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
-    let nodes = (1usize..4, 800.0..4_000.0f64, 2_000.0..8_000.0f64).prop_map(
-        |(count, cpu, mem)| NodeGroupSpec {
-            count,
-            cpu_mhz: cpu,
-            memory_mb: mem,
-        },
-    );
+    let nodes =
+        (1usize..4, 800.0..4_000.0f64, 2_000.0..8_000.0f64).prop_map(|(count, cpu, mem)| {
+            NodeGroupSpec {
+                count,
+                cpu_mhz: cpu,
+                memory_mb: mem,
+            }
+        });
     let jobs = (
         1usize..8,
         5_000.0..100_000.0f64,

@@ -59,7 +59,10 @@ impl FlowNetwork {
     /// Panics if either endpoint is out of range or the capacity is
     /// negative/NaN.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) -> EdgeHandle {
-        assert!(from < self.graph.len() && to < self.graph.len(), "vertex out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "vertex out of range"
+        );
         assert!(cap >= 0.0, "capacity must be non-negative");
         let fwd = self.graph[from].len();
         let bwd = self.graph[to].len();
@@ -124,7 +127,10 @@ impl FlowNetwork {
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
         assert!(s != t, "source and sink must differ");
-        assert!(s < self.graph.len() && t < self.graph.len(), "vertex out of range");
+        assert!(
+            s < self.graph.len() && t < self.graph.len(),
+            "vertex out of range"
+        );
         let mut flow = 0.0;
         while self.bfs(s, t) {
             self.iter.iter_mut().for_each(|i| *i = 0);

@@ -249,7 +249,9 @@ mod tests {
     #[test]
     fn demand_saturates_at_max_performance() {
         let m = model();
-        assert!(m.demand(Rp::new(0.9)).approx_eq(m.max_useful_demand(), 1e-9));
+        assert!(m
+            .demand(Rp::new(0.9))
+            .approx_eq(m.max_useful_demand(), 1e-9));
         assert!(m.demand(Rp::MAX).approx_eq(mhz(3_000.0), 1e-9));
     }
 

@@ -178,11 +178,7 @@ mod tests {
         let mut p = WorkProfiler::new(3, 32);
         let ds = [5.0, 50.0, 500.0];
         for i in 0..20 {
-            let t = [
-                (i % 4) as f64 + 1.0,
-                (i % 5) as f64,
-                ((i * 2) % 7) as f64,
-            ];
+            let t = [(i % 4) as f64 + 1.0, (i % 5) as f64, ((i * 2) % 7) as f64];
             let cpu: f64 = t.iter().zip(&ds).map(|(x, d)| x * d).sum();
             p.record(UtilizationSample {
                 throughput: t.to_vec(),

@@ -1,16 +1,17 @@
 //! Property-based tests for the transactional substrate.
 
 use dynaplace_model::units::{CpuSpeed, SimDuration};
+use dynaplace_rpf::goal::ResponseTimeGoal;
 use dynaplace_rpf::model::PerformanceModel;
 use dynaplace_rpf::value::Rp;
 use dynaplace_txn::model::{TxnPerformanceModel, TxnWorkload};
 use dynaplace_txn::router::RequestRouter;
-use dynaplace_rpf::goal::ResponseTimeGoal;
 use proptest::prelude::*;
 
 fn arb_workload() -> impl Strategy<Value = TxnWorkload> {
-    (0.0..500.0f64, 0.5..100.0f64, 0.001..0.1f64)
-        .prop_map(|(rate, demand, floor)| TxnWorkload::new(rate, demand, SimDuration::from_secs(floor)))
+    (0.0..500.0f64, 0.5..100.0f64, 0.001..0.1f64).prop_map(|(rate, demand, floor)| {
+        TxnWorkload::new(rate, demand, SimDuration::from_secs(floor))
+    })
 }
 
 proptest! {

@@ -84,7 +84,11 @@ fn main() {
     println!(
         "\njobs completed: {} ({} met their deadline)",
         metrics.completions.len(),
-        metrics.completions.iter().filter(|c| c.met_deadline).count(),
+        metrics
+            .completions
+            .iter()
+            .filter(|c| c.met_deadline)
+            .count(),
     );
     println!(
         "placement changes: {} suspends, {} resumes, {} migrations",

@@ -29,6 +29,7 @@ fn main() {
             profile_from_history: false,
             node_failures: Vec::new(),
             estimate_txn_demand: false,
+            record_placements: false,
         };
         let metrics = paper_example(scenario, config).run();
         println!("=== Scenario {scenario:?} ===");

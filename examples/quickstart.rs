@@ -46,10 +46,10 @@ fn main() {
 
     // Three overnight batch jobs with different deadlines.
     let job = |apps: &mut AppSet,
-                   workloads: &mut BTreeMap<AppId, WorkloadModel>,
-                   name: &str,
-                   work_mcycles: f64,
-                   deadline_s: f64| {
+               workloads: &mut BTreeMap<AppId, WorkloadModel>,
+               name: &str,
+               work_mcycles: f64,
+               deadline_s: f64| {
         let app = apps.add(
             ApplicationSpec::batch(Memory::from_mb(2_048.0), CpuSpeed::from_mhz(2_000.0))
                 .with_name(name),
@@ -70,9 +70,27 @@ fn main() {
         );
         app
     };
-    job(&mut apps, &mut workloads, "etl-refresh", 3_600_000.0, 7_200.0);
-    job(&mut apps, &mut workloads, "risk-report", 1_800_000.0, 3_600.0);
-    job(&mut apps, &mut workloads, "ml-retrain", 7_200_000.0, 14_400.0);
+    job(
+        &mut apps,
+        &mut workloads,
+        "etl-refresh",
+        3_600_000.0,
+        7_200.0,
+    );
+    job(
+        &mut apps,
+        &mut workloads,
+        "risk-report",
+        1_800_000.0,
+        3_600.0,
+    );
+    job(
+        &mut apps,
+        &mut workloads,
+        "ml-retrain",
+        7_200_000.0,
+        14_400.0,
+    );
 
     // Nothing is placed yet; ask the controller for a decision.
     let current = Placement::new();

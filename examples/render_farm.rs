@@ -36,7 +36,10 @@ fn main() {
                     Memory::from_mb(2_048.0),
                 ),
                 SimTime::from_secs(i as f64 * 30.0),
-                CompletionGoal::new(SimTime::from_secs(i as f64 * 30.0), SimTime::from_secs(deadline)),
+                CompletionGoal::new(
+                    SimTime::from_secs(i as f64 * 30.0),
+                    SimTime::from_secs(deadline),
+                ),
             )
             .with_class("render")
         });
@@ -76,7 +79,11 @@ fn main() {
             s.batch_allocation.as_mhz(),
         );
     }
-    let met = metrics.completions.iter().filter(|c| c.met_deadline).count();
+    let met = metrics
+        .completions
+        .iter()
+        .filter(|c| c.met_deadline)
+        .count();
     println!(
         "\ncompleted {}/{} on time; changes: {} suspends, {} migrations",
         met,

@@ -6,8 +6,7 @@ use dynaplace::model::units::SimDuration;
 use dynaplace::sim::costs::VmCostModel;
 use dynaplace::sim::engine::{SchedulerKind, SimConfig};
 use dynaplace::sim::scenario::{
-    experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario,
-    SharingConfig,
+    experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
 };
 
 /// Scaled Experiment One: the plateau sits at 1 − 17,600/47,520 ≈ 0.63,
@@ -36,7 +35,11 @@ fn experiment_one_shape() {
         .fold(f64::INFINITY, f64::min);
     for c in &metrics.completions {
         assert!(c.rp.value() <= plateau + 0.02);
-        assert!(c.rp.value() >= dip - 0.05, "completion {} vs dip {dip}", c.rp);
+        assert!(
+            c.rp.value() >= dip - 0.05,
+            "completion {} vs dip {dip}",
+            c.rp
+        );
     }
 }
 
@@ -166,6 +169,7 @@ fn paper_example_scenarios() {
         profile_from_history: false,
         node_failures: Vec::new(),
         estimate_txn_demand: false,
+        record_placements: false,
     };
     let s1 = paper_example(ExampleScenario::S1, config()).run();
     let s2 = paper_example(ExampleScenario::S2, config()).run();
@@ -179,7 +183,74 @@ fn paper_example_scenarios() {
             .completion
             .as_secs()
     };
-    assert!(j2(&s2) < j2(&s1), "S2 starts J2 earlier: {} vs {}", j2(&s2), j2(&s1));
+    assert!(
+        j2(&s2) < j2(&s1),
+        "S2 starts J2 earlier: {} vs {}",
+        j2(&s2),
+        j2(&s1)
+    );
+}
+
+/// Every controller outcome — across batch-only, mixed, and
+/// memory-tight worlds, via both entry points — satisfies the shared
+/// [`PlacementInvariants`] checker (the same one the differential and
+/// failure-injection suites use).
+#[test]
+fn controller_outcomes_satisfy_shared_invariants() {
+    use dynaplace::apc::optimizer::{fill_only, place};
+    use dynaplace_testutil::fixtures::{JobParams, ProblemFixture, ProblemParams, TxnParams};
+    use dynaplace_testutil::PlacementInvariants;
+
+    let job = |work: f64, speed: f64, mem: f64, placed: Option<u32>| JobParams {
+        work,
+        max_speed: speed,
+        memory: mem,
+        goal_factor: 2.0,
+        progress: 0.0,
+        placed_on: placed,
+    };
+    let worlds = [
+        // Batch-only, under-committed: everything should start.
+        ProblemParams {
+            nodes: vec![(2_000.0, 4_000.0), (2_000.0, 4_000.0)],
+            jobs: vec![job(50_000.0, 800.0, 1_000.0, None); 3],
+            txn: None,
+        },
+        // Mixed with a transactional tier competing for CPU.
+        ProblemParams {
+            nodes: vec![(3_000.0, 8_000.0), (1_500.0, 4_000.0), (1_500.0, 4_000.0)],
+            jobs: vec![
+                job(80_000.0, 1_200.0, 1_500.0, Some(0)),
+                job(40_000.0, 600.0, 900.0, None),
+                job(120_000.0, 1_000.0, 1_200.0, Some(1)),
+            ],
+            txn: Some(TxnParams {
+                rate: 40.0,
+                demand: 30.0,
+                memory: 1_000.0,
+            }),
+        },
+        // Memory-tight: not everything fits; whatever is placed must
+        // still respect capacity.
+        ProblemParams {
+            nodes: vec![(2_000.0, 2_000.0)],
+            jobs: vec![job(60_000.0, 700.0, 1_500.0, None); 4],
+            txn: None,
+        },
+    ];
+    for (i, params) in worlds.iter().enumerate() {
+        let fixture = ProblemFixture::build(params);
+        let problem = fixture.problem();
+        let config = ApcConfig::default();
+        let placed = place(&problem, &config);
+        PlacementInvariants::assert_outcome(&problem, &placed);
+        let filled = fill_only(&problem, &config);
+        PlacementInvariants::assert_outcome(&problem, &filled);
+        assert!(
+            placed.placement.total_placed() > 0,
+            "world {i}: controller placed nothing"
+        );
+    }
 }
 
 /// Determinism across the whole stack: same seed, same everything.

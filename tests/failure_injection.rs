@@ -52,8 +52,7 @@ fn txn_rate_misestimation_is_stable() {
             job_work: 0.0,
             txn_rate: bias,
         };
-        let metrics =
-            experiment_three(42, 30, 200.0, 800.0, SharingConfig::Dynamic, config).run();
+        let metrics = experiment_three(42, 30, 200.0, 800.0, SharingConfig::Dynamic, config).run();
         assert_eq!(metrics.completions.len(), 30, "bias {bias}");
         // Total allocation never exceeds the 25-node cluster capacity.
         for s in &metrics.samples {
@@ -174,6 +173,83 @@ fn failed_single_node_halts_progress() {
     assert!(metrics.changes.suspends >= 1);
 }
 
+/// Placement-level failure drill through the shared invariant checker:
+/// after a node's capacity is zeroed (the engine's failure model) and
+/// its residents evicted, re-placement lands only on survivors and the
+/// outcome satisfies every [`PlacementInvariants`] clause.
+#[test]
+fn replacement_after_node_loss_respects_invariants() {
+    use dynaplace::apc::optimizer::{place, ApcConfig};
+    use dynaplace::apc::problem::PlacementProblem;
+    use dynaplace::model::cluster::Cluster;
+    use dynaplace::model::node::NodeSpec;
+    use dynaplace::model::units::{CpuSpeed, Memory};
+    use dynaplace::model::NodeId;
+    use dynaplace_testutil::fixtures::{JobParams, ProblemFixture, ProblemParams};
+    use dynaplace_testutil::PlacementInvariants;
+
+    let params = ProblemParams {
+        nodes: vec![(2_000.0, 4_000.0), (2_000.0, 4_000.0), (2_000.0, 4_000.0)],
+        jobs: (0..5)
+            .map(|i| JobParams {
+                work: 60_000.0 + 5_000.0 * i as f64,
+                max_speed: 900.0,
+                memory: 1_100.0,
+                goal_factor: 2.5,
+                progress: 0.2,
+                placed_on: Some(i % 3),
+            })
+            .collect(),
+        txn: None,
+    };
+    let fixture = ProblemFixture::build(&params);
+    let healthy = place(&fixture.problem(), &ApcConfig::default());
+    PlacementInvariants::assert_outcome(&fixture.problem(), &healthy);
+
+    // Node 0 fails: zero its capacity (as the engine does) and evict
+    // its residents from the incumbent placement.
+    let dead = NodeId::new(0);
+    let mut degraded = Cluster::new();
+    for (id, spec) in fixture.cluster.iter() {
+        if id == dead {
+            degraded.add_node(NodeSpec::new(CpuSpeed::ZERO, Memory::ZERO));
+        } else {
+            degraded.add_node(spec.clone());
+        }
+    }
+    let mut incumbent = healthy.placement.clone();
+    let victims: Vec<_> = incumbent.apps_on(dead).map(|(app, _)| app).collect();
+    assert!(
+        !victims.is_empty(),
+        "drill needs residents on the dead node"
+    );
+    for app in victims {
+        while incumbent.count(app, dead) > 0 {
+            incumbent.remove(app, dead).unwrap();
+        }
+    }
+    let problem = PlacementProblem {
+        cluster: &degraded,
+        apps: &fixture.apps,
+        workloads: fixture.workloads.clone(),
+        current: &incumbent,
+        now: fixture.now,
+        cycle: fixture.cycle,
+    };
+    let recovered = place(&problem, &ApcConfig::default());
+    PlacementInvariants::assert_outcome(&problem, &recovered);
+    for (app, node, count) in recovered.placement.iter() {
+        assert!(
+            node != dead || count == 0,
+            "instances of {app:?} re-placed on the failed node"
+        );
+    }
+    assert!(
+        recovered.placement.total_placed() > 0,
+        "survivors must keep hosting work"
+    );
+}
+
 /// The work-profiler loop (§3.1): with online demand estimation enabled,
 /// Experiment Three still equalizes — the regression converges to the
 /// true per-request demand within a couple of cycles.
@@ -195,7 +271,10 @@ fn online_demand_estimation_still_equalizes() {
             _ => None,
         })
         .fold(f64::INFINITY, f64::min);
-    assert!(min_gap < 0.07, "equalization gap {min_gap} under estimation");
+    assert!(
+        min_gap < 0.07,
+        "equalization gap {min_gap} under estimation"
+    );
     // And the unloaded phase still pins TX at its saturation allocation
     // (the estimate is within the ±2% measurement error).
     let tx_max = metrics

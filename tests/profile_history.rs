@@ -69,7 +69,9 @@ fn identical_class_history_is_exact() {
 #[test]
 fn varied_class_history_degrades_gracefully() {
     let mut sim = Simulation::new(cluster(), config());
-    let works = [24_000.0, 36_000.0, 30_000.0, 27_000.0, 33_000.0, 30_000.0, 21_000.0, 39_000.0];
+    let works = [
+        24_000.0, 36_000.0, 30_000.0, 27_000.0, 33_000.0, 30_000.0, 21_000.0, 39_000.0,
+    ];
     for (i, &work) in works.iter().enumerate() {
         let arrival = i as f64 * 60.0;
         // Deadline with 3x slack over the *true* work at 1,000 MHz.
@@ -78,7 +80,11 @@ fn varied_class_history_degrades_gracefully() {
     }
     let metrics = sim.run();
     assert_eq!(metrics.completions.len(), works.len());
-    let met = metrics.completions.iter().filter(|c| c.met_deadline).count();
+    let met = metrics
+        .completions
+        .iter()
+        .filter(|c| c.met_deadline)
+        .count();
     assert!(
         met >= works.len() - 1,
         "at most one miss under ±30% class variance, got {met}/{}",
@@ -105,5 +111,9 @@ fn untagged_jobs_use_true_profiles() {
     let metrics = sim.run();
     let c = metrics.completions.iter().find(|c| c.app == app).unwrap();
     // Placed immediately; 3.6 s boot + 20 s at 1,000 MHz.
-    assert!((c.completion.as_secs() - 23.6).abs() < 0.1, "completed at {}", c.completion);
+    assert!(
+        (c.completion.as_secs() - 23.6).abs() < 0.1,
+        "completed at {}",
+        c.completion
+    );
 }

@@ -1,0 +1,148 @@
+//! Golden-file regression tests over the checked-in scenarios.
+//!
+//! Each scenario runs end to end with per-cycle placement recording on;
+//! the per-cycle satisfaction samples and placement deltas are rendered
+//! to a stable text form and compared line-by-line against
+//! `tests/golden/<scenario>.txt`. Any behavioral drift in the
+//! controller, the load distributor, or the simulator shows up as a
+//! readable diff naming the first diverging cycle.
+//!
+//! Bless intentional changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test scenario_golden
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use dynaplace::model::placement::Placement;
+use dynaplace::sim::metrics::RunMetrics;
+use dynaplace::sim::spec::ScenarioSpec;
+use dynaplace_testutil::render_placement_diff;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Renders the parts of a run the goldens pin down: one block per
+/// control cycle (satisfaction sample + placement delta), then the
+/// aggregate change counters.
+fn render(metrics: &RunMetrics) -> String {
+    assert_eq!(
+        metrics.samples.len(),
+        metrics.placements.len(),
+        "recording must produce one placement per cycle sample"
+    );
+    let fmt_rp = |rp: Option<dynaplace::rpf::value::Rp>| match rp {
+        Some(u) => format!("{:+.6}", u.value()),
+        None => "n/a".into(),
+    };
+    let mut out = String::new();
+    let mut previous = Placement::new();
+    for (sample, record) in metrics.samples.iter().zip(&metrics.placements) {
+        writeln!(
+            out,
+            "t={:.0}s batch_rp={} txn_rp={} batch={:.1}MHz txn={:.1}MHz running={} waiting={}",
+            sample.time.as_secs(),
+            fmt_rp(sample.batch_hypothetical_rp),
+            fmt_rp(sample.txn_rp),
+            sample.batch_allocation.as_mhz(),
+            sample.txn_allocation.as_mhz(),
+            sample.running_jobs,
+            sample.waiting_jobs,
+        )
+        .unwrap();
+        for line in render_placement_diff(&previous, &record.placement).lines() {
+            writeln!(out, "  {line}").unwrap();
+        }
+        previous = record.placement.clone();
+    }
+    writeln!(
+        out,
+        "changes: starts={} suspends={} resumes={} migrations={}",
+        metrics.changes.starts,
+        metrics.changes.suspends,
+        metrics.changes.resumes,
+        metrics.changes.migrations,
+    )
+    .unwrap();
+    writeln!(out, "completions: {}", metrics.completions.len()).unwrap();
+    out
+}
+
+/// Line-by-line comparison with a readable report: names the first
+/// diverging line and shows both versions with two lines of context.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = repo_root().join("tests/golden").join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let first_diff = exp
+        .iter()
+        .zip(&act)
+        .position(|(e, a)| e != a)
+        .unwrap_or(exp.len().min(act.len()));
+    let lo = first_diff.saturating_sub(2);
+    let mut report = format!(
+        "{name} diverges from {} at line {} (expected {} lines, got {}):\n",
+        path.display(),
+        first_diff + 1,
+        exp.len(),
+        act.len()
+    );
+    for i in lo..(first_diff + 3) {
+        match (exp.get(i), act.get(i)) {
+            (Some(e), Some(a)) if e == a => {
+                let _ = writeln!(report, "   {:>5} | {e}", i + 1);
+            }
+            _ => {
+                if let Some(e) = exp.get(i) {
+                    let _ = writeln!(report, " - {:>5} | {e}", i + 1);
+                }
+                if let Some(a) = act.get(i) {
+                    let _ = writeln!(report, " + {:>5} | {a}", i + 1);
+                }
+            }
+        }
+    }
+    report.push_str("re-bless intentional changes with UPDATE_GOLDEN=1");
+    panic!("{report}");
+}
+
+fn run_scenario(name: &str) -> RunMetrics {
+    let path = repo_root().join("scenarios").join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let spec = ScenarioSpec::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()));
+    let mut sim = spec.build();
+    sim.record_placements(true);
+    sim.run()
+}
+
+#[test]
+fn mixed_workload_matches_golden() {
+    let metrics = run_scenario("mixed_workload");
+    assert_matches_golden("mixed_workload", &render(&metrics));
+}
+
+#[test]
+fn node_failure_drill_matches_golden() {
+    let metrics = run_scenario("node_failure_drill");
+    assert_matches_golden("node_failure_drill", &render(&metrics));
+}
