@@ -132,6 +132,7 @@ fn problem(world: &World) -> PlacementProblem<'_> {
         current: &world.current,
         now: SimTime::from_secs(100_000.0),
         cycle: SimDuration::from_secs(600.0),
+        forbidden: Default::default(),
     }
 }
 

@@ -102,6 +102,7 @@ fn trace(scenario: &str, config: &ApcConfig, config_name: &str) -> Vec<Vec<Strin
             current: &placement,
             now,
             cycle,
+            forbidden: Default::default(),
         };
         let outcome = place(&problem, config);
         placement = outcome.placement.clone();

@@ -204,6 +204,7 @@ mod tests {
             current: &placement,
             now: SimTime::ZERO,
             cycle: SimDuration::from_secs(1.0),
+            forbidden: Default::default(),
         };
         let score = score_placement(&problem, &placement).unwrap();
         assert_eq!(score.satisfaction.len(), 2);

@@ -472,6 +472,7 @@ mod tests {
                 current: &self.placement,
                 now: SimTime::ZERO,
                 cycle: SimDuration::from_secs(1.0),
+                forbidden: Default::default(),
             }
         }
     }

@@ -92,6 +92,14 @@ pub struct ApcConfig {
     /// deterministic generation order, so the chosen placement is
     /// bit-identical at any thread count.
     pub threads: usize,
+    /// Optional wall-clock budget for one optimization run. The search
+    /// checks it at node-loop granularity and returns the best placement
+    /// found so far when it elapses, flagging the outcome as
+    /// [`PlacementOutcome::timed_out`] — a slow optimization can never
+    /// stall the control cycle. `None` (the default) searches to
+    /// convergence. Note: a deadline makes the *chosen placement* depend
+    /// on wall-clock speed; keep it `None` for reproducible runs.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for ApcConfig {
@@ -105,6 +113,7 @@ impl Default for ApcConfig {
             max_fill_candidates: 64,
             scoring: ScoringMode::default(),
             threads: 1,
+            deadline: None,
         }
     }
 }
@@ -264,6 +273,10 @@ pub struct PlacementOutcome {
     pub actions: Vec<PlacementAction>,
     /// Search statistics.
     pub stats: OptimizerStats,
+    /// Whether the wall-clock [`ApcConfig::deadline`] elapsed before the
+    /// search converged; the placement is the best found so far (always
+    /// feasible — at worst the incumbent).
+    pub timed_out: bool,
 }
 
 impl PlacementOutcome {
@@ -304,6 +317,13 @@ fn optimize(
     let mut stats = OptimizerStats::default();
     // Memos live exactly as long as the problem they are valid for.
     let cache = ScoreCache::new();
+    // Anytime contract: the clock starts before any scoring happens, and
+    // the loops below poll it at node granularity.
+    let started = config
+        .deadline
+        .map(|budget| (std::time::Instant::now(), budget));
+    let deadline_hit = || started.is_some_and(|(at, budget)| at.elapsed() >= budget);
+    let mut timed_out = false;
 
     // Restrict the starting placement to live applications.
     let mut current: Placement = problem
@@ -334,13 +354,25 @@ fn optimize(
     // much additional CPU must be allocated to reach a target
     // performance"), instances are added while capacity lags demand, as
     // long as the rest of the system is not hurt.
-    expand_transactional(problem, config, &cache, &mut current, &mut best, &mut stats);
+    timed_out |= expand_transactional(
+        problem,
+        config,
+        &cache,
+        &mut current,
+        &mut best,
+        &mut stats,
+        started,
+    );
 
-    for _sweep in 0..config.max_sweeps {
+    'sweeps: for _sweep in 0..config.max_sweeps {
         stats.sweeps += 1;
         let mut improved_any = false;
 
         for node in problem.cluster.node_ids() {
+            if deadline_hit() {
+                timed_out = true;
+                break 'sweeps;
+            }
             // Most-satisfied-first removal order for this node's residents.
             let residents = removal_order(&best, &current, node);
             let max_removals = if allow_removals { residents.len() } else { 0 };
@@ -438,6 +470,7 @@ fn optimize(
         score: Arc::try_unwrap(best).unwrap_or_else(|shared| (*shared).clone()),
         actions,
         stats,
+        timed_out,
     }
 }
 
@@ -445,6 +478,9 @@ fn optimize(
 /// capacity is below its maximum useful demand, one instance at a time on
 /// the node with the most free memory, stopping as soon as an addition
 /// would make the satisfaction vector strictly worse.
+///
+/// Returns whether the wall-clock deadline elapsed mid-expansion.
+#[allow(clippy::too_many_arguments)]
 fn expand_transactional(
     problem: &PlacementProblem<'_>,
     config: &ApcConfig,
@@ -452,7 +488,8 @@ fn expand_transactional(
     current: &mut Placement,
     best: &mut Arc<PlacementScore>,
     stats: &mut OptimizerStats,
-) {
+    started: Option<(std::time::Instant, std::time::Duration)>,
+) -> bool {
     use crate::problem::WorkloadModel;
     use std::cmp::Ordering;
 
@@ -472,6 +509,9 @@ fn expand_transactional(
         };
         let spec = problem.apps.get(app).expect("live app is registered");
         loop {
+            if started.is_some_and(|(at, budget)| at.elapsed() >= budget) {
+                return true;
+            }
             // Placed capacity, with per-node cells capped by node CPU.
             let placed_capacity: f64 = current
                 .instances_of(app)
@@ -491,6 +531,9 @@ fn expand_transactional(
             // Candidate node: most free memory, deterministic tie-break.
             let mut target: Option<(NodeId, f64)> = None;
             for node in problem.cluster.node_ids() {
+                if !problem.allows_node(app, node) {
+                    continue; // pinned away or quarantined
+                }
                 let mut trial = current.clone();
                 if trial
                     .checked_place(app, node, problem.cluster, problem.apps)
@@ -536,6 +579,7 @@ fn expand_transactional(
             stats.adoptions += 1;
         }
     }
+    false
 }
 
 /// The instances on `node`, one entry per instance, ordered so that the
@@ -596,7 +640,7 @@ fn fill_node(
         let Ok(spec) = problem.apps.get(app) else {
             continue;
         };
-        if !spec.allows_node(node) {
+        if !spec.allows_node(node) || problem.forbidden.contains(&(app, node)) {
             continue;
         }
         if candidate.total_instances(app) >= spec.max_instances() {

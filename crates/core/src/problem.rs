@@ -1,6 +1,6 @@
 //! The input to one control cycle of the placement controller.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dynaplace_batch::hypothetical::JobSnapshot;
 use dynaplace_model::cluster::{AppSet, Cluster};
@@ -65,6 +65,12 @@ pub struct PlacementProblem<'a> {
     pub now: SimTime,
     /// The control cycle length `T`.
     pub cycle: SimDuration,
+    /// (app, node) pairs the optimizer must not place instances on this
+    /// cycle — the actuation layer's quarantine list (pairs whose VM
+    /// operations failed repeatedly). Instances already running on a
+    /// forbidden pair are left alone; only *new* starts are routed
+    /// around. Empty in the common case.
+    pub forbidden: BTreeSet<(AppId, NodeId)>,
 }
 
 impl<'a> PlacementProblem<'a> {
@@ -116,8 +122,12 @@ impl<'a> PlacementProblem<'a> {
     }
 
     /// Whether `app` may be placed on `node` per its static constraints
-    /// (pinning; anti-affinity is checked against a concrete placement).
+    /// (pinning; anti-affinity is checked against a concrete placement)
+    /// and this cycle's quarantine list.
     pub fn allows_node(&self, app: AppId, node: NodeId) -> bool {
+        if self.forbidden.contains(&(app, node)) {
+            return false;
+        }
         self.apps
             .get(app)
             .map(|s| s.allows_node(node))

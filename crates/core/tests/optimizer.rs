@@ -117,6 +117,7 @@ impl World {
             current: &self.current,
             now: self.now,
             cycle: self.cycle,
+            forbidden: Default::default(),
         }
     }
 }

@@ -156,6 +156,7 @@ fn problem<'a>(w: &'a World) -> PlacementProblem<'a> {
         current: &w.current,
         now: SimTime::from_secs(1_000.0),
         cycle: SimDuration::from_secs(60.0),
+        forbidden: Default::default(),
     }
 }
 
@@ -261,6 +262,7 @@ proptest! {
             current: &current,
             now,
             cycle: SimDuration::from_secs(60.0),
+            forbidden: Default::default(),
         };
         let load = distribute(&p, &current).expect("feasible");
         let a0 = load.app_total(AppId::new(0)).as_mhz();

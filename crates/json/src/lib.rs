@@ -199,6 +199,17 @@ impl Json {
             }
         }
     }
+
+    /// Like [`Json::field_or`] with an explicit fallback, for optional
+    /// fields whose default is not `T::default()`.
+    pub fn field_or_else<T: FromJson>(&self, key: &str, default: impl FnOnce() -> T) -> Result<T> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(default()),
+            Some(v) => {
+                T::from_json(v).map_err(|e| JsonError::new(format!("field '{key}': {}", e.message)))
+            }
+        }
+    }
 }
 
 fn push_indent(out: &mut String, n: usize) {

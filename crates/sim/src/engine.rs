@@ -34,6 +34,7 @@ use dynaplace_txn::model::{TxnPerformanceModel, TxnWorkload};
 use dynaplace_txn::router::RequestRouter;
 use dynaplace_txn::workload::ArrivalPattern;
 
+use crate::actuation::{ActuationConfig, ActuationState, OpAttempt, OpOutcome};
 use crate::costs::{VmCostModel, VmOperation};
 use crate::events::{EventKind, EventQueue};
 use crate::metrics::{CompletionRecord, CycleSample, RunMetrics};
@@ -60,6 +61,47 @@ pub enum SchedulerKind {
     Fcfs,
     /// Earliest Deadline First (preemptive, first fit).
     Edf,
+}
+
+/// One scripted node outage: the node's capacity drops to zero at
+/// `at`, instances on it are evicted (jobs suspended, losing no
+/// completed work), and — when `duration` is set — the node recovers
+/// with full capacity `duration` later, after which the scheduler may
+/// place work on it again through the normal optimizer path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeOutage {
+    /// Offset of the failure from the start of the run.
+    pub at: SimDuration,
+    /// The failing node.
+    pub node: NodeId,
+    /// Outage length; `None` means the node never comes back.
+    pub duration: Option<SimDuration>,
+}
+
+impl NodeOutage {
+    /// A permanent failure (the pre-transient behavior).
+    pub fn permanent(at: SimDuration, node: NodeId) -> Self {
+        Self {
+            at,
+            node,
+            duration: None,
+        }
+    }
+
+    /// A transient failure: the node recovers `duration` after failing.
+    pub fn transient(at: SimDuration, node: NodeId, duration: SimDuration) -> Self {
+        Self {
+            at,
+            node,
+            duration: Some(duration),
+        }
+    }
+}
+
+impl From<(SimDuration, NodeId)> for NodeOutage {
+    fn from((at, node): (SimDuration, NodeId)) -> Self {
+        Self::permanent(at, node)
+    }
 }
 
 /// Simulation-wide configuration.
@@ -92,11 +134,12 @@ pub struct SimConfig {
     /// completions are presented to the controller with the *estimated*
     /// class-mean work instead of their true profile.
     pub profile_from_history: bool,
-    /// Scripted permanent node failures: at each offset from the start
-    /// of the run, the node's capacity drops to zero, instances on it
-    /// are evicted (jobs suspended, losing no completed work), and the
-    /// scheduler re-places the survivors.
-    pub node_failures: Vec<(SimDuration, NodeId)>,
+    /// Scripted node failures (permanent or transient): at each offset
+    /// from the start of the run, the node's capacity drops to zero,
+    /// instances on it are evicted (jobs suspended, losing no completed
+    /// work), and the scheduler re-places the survivors; transient
+    /// outages recover after their duration.
+    pub node_failures: Vec<NodeOutage>,
     /// Close the work-profiler loop (§3.1): instead of the configured
     /// per-request demand, the controller uses an online regression
     /// estimate from (throughput, CPU-used) observations taken each
@@ -107,6 +150,11 @@ pub struct SimConfig {
     /// regression tests diff consecutive records). Off by default: the
     /// records grow linearly with run length × cluster occupancy.
     pub record_placements: bool,
+    /// The fallible actuation layer (VM operation failure rate, latency
+    /// jitter, timeout, backoff/quarantine policy). The default models a
+    /// perfect layer: every operation succeeds with exactly the cost
+    /// model's latency, bit-identical to a simulator without actuation.
+    pub actuation: ActuationConfig,
 }
 
 /// Relative estimation errors presented to the placement controller.
@@ -160,6 +208,7 @@ impl SimConfig {
             node_failures: Vec::new(),
             estimate_txn_demand: false,
             record_placements: false,
+            actuation: ActuationConfig::default(),
         }
     }
 
@@ -241,8 +290,21 @@ pub struct Simulation {
     config: SimConfig,
     jobs: BTreeMap<AppId, Job>,
     txns: BTreeMap<AppId, TxnApp>,
+    /// The *actual* placement: what the (fallible) actuation layer has
+    /// really applied to the cluster.
     placement: Placement,
     load: LoadDistribution,
+    /// The *desired* placement: the controller's latest decision. Equal
+    /// to `placement` whenever every operation actuated; the
+    /// reconciliation loop works off the diff when they diverge.
+    desired: Placement,
+    /// The load distribution the controller intended for `desired`.
+    desired_load: LoadDistribution,
+    /// Backoff / quarantine bookkeeping of the actuation layer.
+    actuation: ActuationState,
+    /// Consecutive control cycles that started with unreconciled actions
+    /// (drives the `fill_only` fallback).
+    stalled_cycles: u32,
     now: SimTime,
     last_advance: SimTime,
     events: EventQueue,
@@ -266,6 +328,10 @@ impl Simulation {
             txns: BTreeMap::new(),
             placement: Placement::new(),
             load: LoadDistribution::new(),
+            desired: Placement::new(),
+            desired_load: LoadDistribution::new(),
+            actuation: ActuationState::new(),
+            stalled_cycles: 0,
             now: SimTime::ZERO,
             last_advance: SimTime::ZERO,
             events: EventQueue::new(),
@@ -451,9 +517,17 @@ impl Simulation {
         if let Some(h) = self.config.horizon {
             self.events.push(SimTime::ZERO + h, EventKind::Horizon);
         }
-        for (offset, node) in self.config.node_failures.clone() {
-            self.events
-                .push(SimTime::ZERO + offset, EventKind::NodeFailure(node));
+        for outage in self.config.node_failures.clone() {
+            self.events.push(
+                SimTime::ZERO + outage.at,
+                EventKind::NodeFailure(outage.node),
+            );
+            if let Some(duration) = outage.duration {
+                self.events.push(
+                    SimTime::ZERO + outage.at + duration,
+                    EventKind::NodeRecovery(outage.node),
+                );
+            }
         }
         self.live_jobs = 0;
 
@@ -464,6 +538,8 @@ impl Simulation {
                 EventKind::JobArrival(app) => self.on_arrival(app),
                 EventKind::JobCompletion { app, generation } => self.on_completion(app, generation),
                 EventKind::NodeFailure(node) => self.on_node_failure(node),
+                EventKind::NodeRecovery(node) => self.on_node_recovery(node),
+                EventKind::ActuationRetry => self.on_actuation_retry(),
                 EventKind::ControlCycle => {
                     self.on_cycle();
                     // Keep cycling while work remains (or a horizon will
@@ -488,7 +564,12 @@ impl Simulation {
 
     fn on_arrival(&mut self, app: AppId) {
         self.advance_progress();
-        let job = self.jobs.get_mut(&app).expect("arrival for known job");
+        let Some(job) = self.jobs.get_mut(&app) else {
+            // An arrival event for an unknown job: count and skip rather
+            // than taking the whole run down.
+            self.metrics.actuation.invariant_skips += 1;
+            return;
+        };
         job.arrived = true;
         self.live_jobs += 1;
         self.between_cycle_advice();
@@ -525,12 +606,9 @@ impl Simulation {
         self.between_cycle_advice();
     }
 
-    fn on_node_failure(&mut self, node: NodeId) {
-        self.advance_progress();
-        if !self.failed_nodes.insert(node) {
-            return; // already failed
-        }
-        // Zero the node's capacity in the scheduler-visible cluster.
+    /// Rebuilds the scheduler-visible cluster from the real one with every
+    /// currently failed node's capacity zeroed.
+    fn rebuild_effective(&mut self) {
         let mut rebuilt = Cluster::new();
         for (id, spec) in self.cluster.iter() {
             if self.failed_nodes.contains(&id) {
@@ -543,14 +621,24 @@ impl Simulation {
             }
         }
         self.effective_cluster = rebuilt;
+    }
+
+    fn on_node_failure(&mut self, node: NodeId) {
+        self.advance_progress();
+        if !self.failed_nodes.insert(node) {
+            return; // already failed
+        }
+        // Zero the node's capacity in the scheduler-visible cluster.
+        self.rebuild_effective();
         // Evict everything on the failed node: jobs suspend (keeping
         // their completed work), transactional instances just vanish.
         let victims: Vec<AppId> = self.placement.apps_on(node).map(|(app, _)| app).collect();
         for app in victims {
             while self.placement.count(app, node) > 0 {
-                self.placement
-                    .remove(app, node)
-                    .expect("victim instance exists");
+                if self.placement.remove(app, node).is_err() {
+                    self.metrics.actuation.invariant_skips += 1;
+                    break;
+                }
             }
             self.load.set(app, node, CpuSpeed::ZERO);
             if let Some(job) = self.jobs.get_mut(&app) {
@@ -562,12 +650,90 @@ impl Simulation {
                 job.allocation = self.load.app_total(app);
             }
         }
+        // The controller's standing decision can no longer mean the dead
+        // node; purge it so a later recovery does not resurrect stale
+        // placement intents.
+        let stale: Vec<AppId> = self.desired.apps_on(node).map(|(app, _)| app).collect();
+        for app in stale {
+            while self.desired.count(app, node) > 0 {
+                if self.desired.remove(app, node).is_err() {
+                    self.metrics.actuation.invariant_skips += 1;
+                    break;
+                }
+            }
+            self.desired_load.set(app, node, CpuSpeed::ZERO);
+        }
         let ids: Vec<AppId> = self.jobs.keys().copied().collect();
         for app in ids {
             self.reschedule_completion(app);
         }
         // Let the scheduler react immediately.
         self.between_cycle_advice();
+    }
+
+    fn on_node_recovery(&mut self, node: NodeId) {
+        self.advance_progress();
+        if !self.failed_nodes.remove(&node) {
+            return; // never failed (or recovered already)
+        }
+        self.rebuild_effective();
+        // The capacity is back; suspended jobs resume through the normal
+        // scheduling path (advice pass now, full optimization next cycle).
+        self.between_cycle_advice();
+    }
+
+    fn on_actuation_retry(&mut self) {
+        self.advance_progress();
+        self.reconcile();
+    }
+
+    /// Whether `app` still participates in placement (an unfinished job or
+    /// a registered transactional application).
+    fn app_is_live(&self, app: AppId) -> bool {
+        self.jobs
+            .get(&app)
+            .map(|j| j.is_live())
+            .unwrap_or_else(|| self.txns.contains_key(&app))
+    }
+
+    /// The desired placement restricted to what is still actuatable: live
+    /// applications on live nodes.
+    fn surviving_desired(&self) -> Placement {
+        self.desired
+            .iter()
+            .filter(|&(app, node, _)| !self.failed_nodes.contains(&node) && self.app_is_live(app))
+            .collect()
+    }
+
+    /// Size of the diff between the actual placement and the surviving
+    /// desired placement: the operations reconciliation still owes. Always
+    /// zero with infallible actuation.
+    fn pending_actions(&self) -> usize {
+        self.placement.diff(&self.surviving_desired()).len()
+    }
+
+    /// Drives the actual placement toward the (surviving) desired one by
+    /// re-issuing the missing operations through the actuation layer.
+    /// Runs on every actuation-retry event; a no-op when nothing diverged.
+    fn reconcile(&mut self) {
+        match self.config.scheduler {
+            SchedulerKind::Apc { .. } => {
+                let target = self.surviving_desired();
+                let actions = self.placement.diff(&target);
+                if actions.is_empty() {
+                    return;
+                }
+                let mut load = LoadDistribution::new();
+                for (app, node, _count) in target.iter() {
+                    let v = self.desired_load.get(app, node);
+                    if v.as_mhz() > 0.0 {
+                        load.set(app, node, v);
+                    }
+                }
+                self.apply_transition(target, load, &actions);
+            }
+            SchedulerKind::Fcfs | SchedulerKind::Edf => self.run_baseline(),
+        }
     }
 
     /// Records one (throughput, CPU-used) observation per transactional
@@ -627,7 +793,10 @@ impl Simulation {
     /// Marks a running job as finished now: records the completion and
     /// releases its resources.
     fn finish_job(&mut self, app: AppId) {
-        let job = self.jobs.get_mut(&app).expect("known job");
+        let Some(job) = self.jobs.get_mut(&app) else {
+            self.metrics.actuation.invariant_skips += 1;
+            return;
+        };
         debug_assert!(job.is_running());
         job.state.complete(self.now);
         job.allocation = CpuSpeed::ZERO;
@@ -652,6 +821,11 @@ impl Simulation {
         }
         self.placement.evict(app);
         self.load.evict(app);
+        // Completed jobs leave the control loop entirely: no stale desired
+        // cells, no pending retries, no quarantine bookkeeping.
+        self.desired.evict(app);
+        self.desired_load.evict(app);
+        self.actuation.forget_app(app);
     }
 
     fn on_cycle(&mut self) {
@@ -662,12 +836,32 @@ impl Simulation {
         let mut compute_secs = 0.0;
         match self.config.scheduler.clone() {
             SchedulerKind::Apc { config, .. } => {
+                // When several consecutive cycles started with desired ≠
+                // actual, a full re-optimization would pile yet more
+                // operations onto an actuation layer that is already
+                // struggling; fall back to a non-disruptive fill pass for
+                // one cycle and let reconciliation drain the backlog.
+                if self.pending_actions() > 0 {
+                    self.stalled_cycles += 1;
+                } else {
+                    self.stalled_cycles = 0;
+                }
+                let fallback = self.config.actuation.fallback_after > 0
+                    && self.stalled_cycles >= self.config.actuation.fallback_after;
                 let started = Instant::now();
                 let outcome = {
                     let problem = self.build_problem();
-                    place(&problem, &config)
+                    if fallback {
+                        fill_only(&problem, &config)
+                    } else {
+                        place(&problem, &config)
+                    }
                 };
                 compute_secs = started.elapsed().as_secs_f64();
+                if fallback {
+                    self.metrics.actuation.fill_only_fallbacks += 1;
+                    self.stalled_cycles = 0;
+                }
                 self.apply_outcome(outcome);
             }
             SchedulerKind::Fcfs | SchedulerKind::Edf => {
@@ -721,7 +915,10 @@ impl Simulation {
 
     /// Bumps a job's generation and schedules its projected completion.
     fn reschedule_completion(&mut self, app: AppId) {
-        let job = self.jobs.get_mut(&app).expect("known job");
+        let Some(job) = self.jobs.get_mut(&app) else {
+            self.metrics.actuation.invariant_skips += 1;
+            return;
+        };
         job.generation += 1;
         if !job.is_running() || job.allocation.is_zero() {
             return;
@@ -842,29 +1039,89 @@ impl Simulation {
             current: &self.placement,
             now: self.now,
             cycle: self.config.cycle,
+            forbidden: self
+                .actuation
+                .quarantined_pairs(self.now)
+                .into_iter()
+                .collect(),
         }
     }
 
     fn apply_outcome(&mut self, outcome: PlacementOutcome) {
+        if outcome.timed_out {
+            self.metrics.actuation.deadline_truncations += 1;
+        }
         let actions = outcome.actions.clone();
         self.apply_transition(outcome.placement, outcome.score.load, &actions);
     }
 
-    /// Applies a new placement + load: counts VM operations from the
-    /// action list, charges transition latencies, and derives every
-    /// job's lifecycle state from its placement *membership* (which also
-    /// covers malleable parallel jobs whose task count changes without
-    /// the job stopping).
+    /// Reverse-applies one control action onto `achieved`: the placement
+    /// looks as if the action was never issued. Cells kept alive by a
+    /// reverted stop (or migrate source) are recorded in `kept` so the
+    /// load merge can restore their old consumption.
+    fn reverse_apply(
+        achieved: &mut Placement,
+        action: &PlacementAction,
+        kept: &mut std::collections::BTreeSet<(AppId, NodeId)>,
+        counters: &mut crate::metrics::ActuationCounters,
+    ) {
+        match *action {
+            PlacementAction::Start { app, node } => {
+                if achieved.remove(app, node).is_err() {
+                    counters.invariant_skips += 1;
+                }
+            }
+            PlacementAction::Stop { app, node } => {
+                achieved.place(app, node);
+                kept.insert((app, node));
+            }
+            PlacementAction::Migrate { app, from, to } => {
+                if achieved.remove(app, to).is_err() {
+                    counters.invariant_skips += 1;
+                }
+                achieved.place(app, from);
+                kept.insert((app, from));
+            }
+        }
+    }
+
+    /// Applies a new placement + load through the (possibly fallible)
+    /// actuation layer: resolves each VM operation, counts the ones that
+    /// actually applied, charges transition latencies, reverse-applies
+    /// failed/deferred operations so the *actual* placement keeps the old
+    /// state, and derives every job's lifecycle from its actual placement
+    /// *membership* (which also covers malleable parallel jobs whose task
+    /// count changes without the job stopping).
+    ///
+    /// With the default [`ActuationConfig`] every operation applies with
+    /// exactly the cost model's latency and this reduces to the
+    /// infallible transition: `placement = target`, `load` verbatim.
     fn apply_transition(
         &mut self,
         target: Placement,
         load: LoadDistribution,
         actions: &[PlacementAction],
     ) {
-        // Pass 1: counters and per-job transition latencies, before any
-        // state changes (the boot-vs-resume distinction needs the old
-        // `ever_started`).
+        // The controller's decision is the *desired* state verbatim; the
+        // rest of this function decides how much of it actually lands.
+        self.desired = target.clone();
+        self.desired_load = load.clone();
+
+        let acfg = self.config.actuation;
+        let costs = self.config.costs;
+
+        // Pass 1: resolve every action against the actuation layer, before
+        // any job-state changes (the boot-vs-resume distinction needs the
+        // old `ever_started`). Failed and backoff-deferred operations are
+        // reverse-applied onto `achieved`.
+        let mut achieved = target;
         let mut latency: BTreeMap<AppId, SimDuration> = BTreeMap::new();
+        let mut kept: std::collections::BTreeSet<(AppId, NodeId)> = Default::default();
+        let mut diverged = false;
+        // Applied instance-adding actions, in order, for the feasibility
+        // rollback below: (action, counted as resume).
+        let mut applied_adds: Vec<(PlacementAction, bool)> = Vec::new();
+
         for action in actions {
             let app = action.app();
             let Some(job) = self.jobs.get(&app) else {
@@ -874,36 +1131,198 @@ impl Simulation {
                 .state
                 .current_memory(&job.profile)
                 .unwrap_or(Memory::ZERO);
-            let costs = self.config.costs;
-            let lat = match *action {
-                PlacementAction::Start { .. } => {
+            let (op, op_node) = match *action {
+                PlacementAction::Start { node, .. } => {
                     let op = if job.ever_started {
-                        self.metrics.changes.resumes += 1;
                         VmOperation::Resume
                     } else {
-                        self.metrics.changes.starts += 1;
                         VmOperation::Boot
                     };
-                    costs.latency(op, footprint)
+                    (op, node)
                 }
-                PlacementAction::Stop { .. } => {
-                    self.metrics.changes.suspends += 1;
-                    SimDuration::ZERO
-                }
-                PlacementAction::Migrate { .. } => {
-                    self.metrics.changes.migrations += 1;
-                    costs.latency(VmOperation::Migrate, footprint)
-                }
+                PlacementAction::Stop { node, .. } => (VmOperation::Suspend, node),
+                PlacementAction::Migrate { to, .. } => (VmOperation::Migrate, to),
             };
-            let entry = latency.entry(app).or_insert(SimDuration::ZERO);
-            *entry = entry.max(lat);
+            // Backoff / quarantine gate: the operation is not even issued
+            // this round; a retry event is already scheduled.
+            if self.actuation.is_blocked(app, op_node, self.now) {
+                Self::reverse_apply(
+                    &mut achieved,
+                    action,
+                    &mut kept,
+                    &mut self.metrics.actuation,
+                );
+                self.metrics.actuation.deferrals += 1;
+                diverged = true;
+                continue;
+            }
+            let attempt = self.actuation.next_attempt(app, op_node);
+            let outcome = acfg.resolve(
+                &costs,
+                op,
+                footprint,
+                OpAttempt {
+                    app,
+                    node: op_node,
+                    attempt,
+                },
+                self.now,
+            );
+            if outcome.applied() {
+                let lat = match op {
+                    // Suspends overlap the cycle boundary for free, as in
+                    // the infallible engine.
+                    VmOperation::Suspend => SimDuration::ZERO,
+                    _ => outcome.latency(),
+                };
+                match op {
+                    VmOperation::Boot => self.metrics.changes.starts += 1,
+                    VmOperation::Resume => self.metrics.changes.resumes += 1,
+                    VmOperation::Suspend => self.metrics.changes.suspends += 1,
+                    VmOperation::Migrate => self.metrics.changes.migrations += 1,
+                }
+                if attempt > 1 {
+                    self.metrics.actuation.retries += 1;
+                }
+                self.actuation.record_success(app, op_node);
+                if !matches!(op, VmOperation::Suspend) {
+                    applied_adds.push((*action, matches!(op, VmOperation::Resume)));
+                }
+                let entry = latency.entry(app).or_insert(SimDuration::ZERO);
+                *entry = entry.max(lat);
+            } else {
+                // The operation burned its latency but the placement is
+                // unchanged; back off and retry via reconciliation.
+                Self::reverse_apply(
+                    &mut achieved,
+                    action,
+                    &mut kept,
+                    &mut self.metrics.actuation,
+                );
+                diverged = true;
+                match outcome {
+                    OpOutcome::Failed(_) => self.metrics.actuation.failed_ops += 1,
+                    OpOutcome::TimedOut(_) => self.metrics.actuation.timed_out_ops += 1,
+                    OpOutcome::Applied(_) => unreachable!("handled above"),
+                }
+                let entry = latency.entry(app).or_insert(SimDuration::ZERO);
+                *entry = entry.max(outcome.latency());
+                let detected = self.now + outcome.latency();
+                let disp = self.actuation.record_failure(&acfg, app, op_node, detected);
+                if disp.quarantined {
+                    self.metrics.actuation.quarantines += 1;
+                }
+                self.events.push(disp.retry_at, EventKind::ActuationRetry);
+            }
         }
 
-        // Pass 2: lifecycle from placement membership.
+        // An instance kept alive by a failed stop can make its node
+        // infeasible for adds that *did* apply (in a real cluster the
+        // hypervisor would refuse them: not enough free memory, or an
+        // anti-affinity conflict with the instance that was supposed to be
+        // gone). Roll back the most recent applied add on the offending
+        // node until the placement is consistent; reconciliation re-issues
+        // the rolled-back operations once the node drains.
+        if !kept.is_empty() {
+            while let Err(err) = achieved.validate(&self.effective_cluster, &self.apps) {
+                use dynaplace_model::error::ModelError;
+                let node = match err {
+                    ModelError::MemoryExceeded { node } => node,
+                    ModelError::AntiAffinityViolated { node, .. } => node,
+                    _ => {
+                        self.metrics.actuation.invariant_skips += 1;
+                        break;
+                    }
+                };
+                let Some(pos) = applied_adds.iter().rposition(|(a, _)| match *a {
+                    PlacementAction::Start { node: n, .. } => n == node,
+                    PlacementAction::Migrate { to, .. } => to == node,
+                    PlacementAction::Stop { .. } => false,
+                }) else {
+                    self.metrics.actuation.invariant_skips += 1;
+                    break;
+                };
+                let (rolled, resumed) = applied_adds.remove(pos);
+                match rolled {
+                    PlacementAction::Start { app, node } => {
+                        if achieved.remove(app, node).is_err() {
+                            self.metrics.actuation.invariant_skips += 1;
+                        }
+                        if resumed {
+                            self.metrics.changes.resumes -= 1;
+                        } else {
+                            self.metrics.changes.starts -= 1;
+                        }
+                    }
+                    PlacementAction::Migrate { app, from, to } => {
+                        if achieved.remove(app, to).is_err() {
+                            self.metrics.actuation.invariant_skips += 1;
+                        }
+                        achieved.place(app, from);
+                        kept.insert((app, from));
+                        self.metrics.changes.migrations -= 1;
+                    }
+                    PlacementAction::Stop { .. } => unreachable!("stops never add instances"),
+                }
+                self.metrics.actuation.deferrals += 1;
+                self.events
+                    .push(self.now + acfg.base_backoff, EventKind::ActuationRetry);
+                diverged = true;
+            }
+        }
+
+        // Load: verbatim on the (common) fully-applied path — bit-identical
+        // to the infallible engine — else the intended load restricted to
+        // the cells that exist, plus the kept instances at their old
+        // consumption clamped to what their node has left.
+        let merged = if !diverged {
+            load
+        } else {
+            let mut merged = LoadDistribution::new();
+            for (app, node, _count) in achieved.iter() {
+                if kept.contains(&(app, node)) {
+                    continue;
+                }
+                let v = load.get(app, node);
+                if v.as_mhz() > 0.0 {
+                    merged.set(app, node, v);
+                }
+            }
+            for &(app, node) in &kept {
+                let count = achieved.count(app, node);
+                if count == 0 {
+                    continue;
+                }
+                let capacity = self
+                    .effective_cluster
+                    .node(node)
+                    .map(|n| n.cpu_capacity())
+                    .unwrap_or(CpuSpeed::ZERO);
+                let free = CpuSpeed::from_mhz(
+                    (capacity.as_mhz() - merged.node_total(node).as_mhz()).max(0.0),
+                );
+                let mut v = self.load.get(app, node).min(free);
+                if let Ok(spec) = self.apps.get(app) {
+                    let max = spec.max_instance_speed().as_mhz() * f64::from(count);
+                    if max.is_finite() {
+                        v = v.min(CpuSpeed::from_mhz(max));
+                    }
+                }
+                if v.as_mhz() > 0.0 {
+                    merged.set(app, node, v);
+                }
+            }
+            merged
+        };
+
+        // Pass 2: lifecycle from *actual* placement membership.
         let ids: Vec<AppId> = self.jobs.keys().copied().collect();
         for app in &ids {
-            let placed = target.is_placed(*app);
-            let job = self.jobs.get_mut(app).expect("known job");
+            let placed = achieved.is_placed(*app);
+            let Some(job) = self.jobs.get_mut(app) else {
+                self.metrics.actuation.invariant_skips += 1;
+                continue;
+            };
             if !job.is_live() {
                 continue;
             }
@@ -917,14 +1336,14 @@ impl Simulation {
                 }
                 _ => {}
             }
-            job.node = target.single_node_of(*app);
+            job.node = achieved.single_node_of(*app);
             if let Some(lat) = latency.get(app) {
                 job.transition_until = self.now + *lat;
             }
         }
 
-        self.placement = target;
-        self.load = load;
+        self.placement = achieved;
+        self.load = merged;
         #[cfg(debug_assertions)]
         {
             self.placement
@@ -936,7 +1355,11 @@ impl Simulation {
         }
         for app in ids {
             let total = self.load.app_total(app);
-            self.jobs.get_mut(&app).expect("known job").allocation = total;
+            let Some(job) = self.jobs.get_mut(&app) else {
+                self.metrics.actuation.invariant_skips += 1;
+                continue;
+            };
+            job.allocation = total;
             self.reschedule_completion(app);
         }
     }
@@ -1052,6 +1475,7 @@ impl Simulation {
             running_jobs: running,
             waiting_jobs: waiting,
             placement_compute_secs,
+            pending_actions: self.pending_actions(),
         });
         if self.config.record_placements {
             self.metrics

@@ -19,9 +19,17 @@ pub enum EventKind {
     /// A periodic control cycle of the placement controller (also used
     /// as the metric sampling tick for the baseline schedulers).
     ControlCycle,
-    /// A node fails permanently: its capacity drops to zero and every
-    /// instance on it is evicted.
+    /// A node fails: its capacity drops to zero and every instance on it
+    /// is evicted. Permanent unless a matching [`EventKind::NodeRecovery`]
+    /// is scheduled.
     NodeFailure(NodeId),
+    /// A transiently failed node recovers: its capacity is restored and
+    /// the scheduler re-places work onto it through the normal optimizer
+    /// path.
+    NodeRecovery(NodeId),
+    /// A failed actuation's backoff (or quarantine) window elapsed: run a
+    /// reconciliation pass over the desired-vs-actual diff.
+    ActuationRetry,
     /// End of the simulation horizon.
     Horizon,
 }

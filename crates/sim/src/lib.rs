@@ -9,6 +9,7 @@
 //!
 //! - [`engine::Simulation`] — the event-driven simulator;
 //! - [`costs::VmCostModel`] — the §5 cost model;
+//! - [`actuation`] — the fallible actuation layer (failure/backoff/quarantine);
 //! - [`scenario`] — builders for the §4.3 example and Experiments 1–3;
 //! - [`metrics::RunMetrics`] — everything the paper's figures plot.
 //!
@@ -36,6 +37,7 @@
 //!     node_failures: Vec::new(),
 //!     estimate_txn_demand: false,
 //!     record_placements: false,
+//!     actuation: dynaplace_sim::actuation::ActuationConfig::default(),
 //! };
 //! let metrics = paper_example(ExampleScenario::S2, config).run();
 //! assert_eq!(metrics.completions.len(), 3);
@@ -44,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actuation;
 pub mod costs;
 pub mod engine;
 pub mod events;
@@ -51,9 +54,10 @@ pub mod metrics;
 pub mod scenario;
 pub mod spec;
 
+pub use actuation::{ActuationConfig, ActuationState, OpOutcome};
 pub use costs::{VmCostModel, VmOperation};
-pub use engine::{SchedulerKind, SimConfig, Simulation};
-pub use metrics::{ChangeCounters, CompletionRecord, CycleSample, RunMetrics};
+pub use engine::{NodeOutage, SchedulerKind, SimConfig, Simulation};
+pub use metrics::{ActuationCounters, ChangeCounters, CompletionRecord, CycleSample, RunMetrics};
 pub use scenario::{
     experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
 };

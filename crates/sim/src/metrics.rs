@@ -28,6 +28,11 @@ pub struct CycleSample {
     pub waiting_jobs: usize,
     /// Wall-clock seconds the placement computation took this cycle.
     pub placement_compute_secs: f64,
+    /// Placement actions the reconciliation loop still owes: the size of
+    /// the diff between the actual placement and the (live, surviving)
+    /// desired placement at sample time. Always zero with infallible
+    /// actuation.
+    pub pending_actions: usize,
 }
 
 /// One completed job (the scatter points of Fig. 5).
@@ -73,6 +78,39 @@ impl ChangeCounters {
     }
 }
 
+/// Counters of the fault-tolerant actuation layer and its reconciliation
+/// loop. All-zero whenever the actuation configuration is the default
+/// (infallible) one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActuationCounters {
+    /// Operations that failed outright (placement unchanged).
+    pub failed_ops: u64,
+    /// Operations abandoned at their timeout (placement unchanged).
+    pub timed_out_ops: u64,
+    /// Successful operations that were retries of earlier failures.
+    pub retries: u64,
+    /// Actions skipped because their (app, node) pair was inside a
+    /// backoff window or quarantine when the action was issued.
+    pub deferrals: u64,
+    /// Times an (app, node) pair entered quarantine.
+    pub quarantines: u64,
+    /// Control cycles where the controller fell back to a non-disruptive
+    /// `fill_only` pass because full placements kept failing to actuate.
+    pub fill_only_fallbacks: u64,
+    /// Optimizer runs cut short by the wall-clock deadline.
+    pub deadline_truncations: u64,
+    /// Scheduler-visible invariants that legitimately did not hold under
+    /// fallible actuation and were skipped instead of panicking.
+    pub invariant_skips: u64,
+}
+
+impl ActuationCounters {
+    /// Total operations that did not take effect when issued.
+    pub fn unapplied_total(&self) -> u64 {
+        self.failed_ops + self.timed_out_ops + self.deferrals
+    }
+}
+
 /// The placement in effect at the end of one control cycle. Only
 /// recorded when [`crate::engine::SimConfig::record_placements`] is set
 /// (golden-file regression tests diff consecutive records).
@@ -93,6 +131,8 @@ pub struct RunMetrics {
     pub completions: Vec<CompletionRecord>,
     /// Placement change counters.
     pub changes: ChangeCounters,
+    /// Actuation-layer counters (failures, retries, quarantines).
+    pub actuation: ActuationCounters,
     /// Per-cycle placements; empty unless recording was enabled.
     pub placements: Vec<PlacementRecord>,
 }
@@ -161,6 +201,7 @@ impl ToJson for CycleSample {
                 "placement_compute_secs",
                 self.placement_compute_secs.to_json(),
             ),
+            ("pending_actions", self.pending_actions.to_json()),
         ])
     }
 }
@@ -178,6 +219,8 @@ impl FromJson for CycleSample {
             running_jobs: v.field("running_jobs")?,
             waiting_jobs: v.field("waiting_jobs")?,
             placement_compute_secs: v.field("placement_compute_secs")?,
+            // Absent in artifacts written before fallible actuation.
+            pending_actions: v.field_or("pending_actions")?,
         })
     }
 }
@@ -230,6 +273,36 @@ impl FromJson for ChangeCounters {
             suspends: v.field("suspends")?,
             resumes: v.field("resumes")?,
             migrations: v.field("migrations")?,
+        })
+    }
+}
+
+impl ToJson for ActuationCounters {
+    fn to_json(&self) -> Json {
+        obj([
+            ("failed_ops", self.failed_ops.to_json()),
+            ("timed_out_ops", self.timed_out_ops.to_json()),
+            ("retries", self.retries.to_json()),
+            ("deferrals", self.deferrals.to_json()),
+            ("quarantines", self.quarantines.to_json()),
+            ("fill_only_fallbacks", self.fill_only_fallbacks.to_json()),
+            ("deadline_truncations", self.deadline_truncations.to_json()),
+            ("invariant_skips", self.invariant_skips.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ActuationCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ActuationCounters {
+            failed_ops: v.field_or("failed_ops")?,
+            timed_out_ops: v.field_or("timed_out_ops")?,
+            retries: v.field_or("retries")?,
+            deferrals: v.field_or("deferrals")?,
+            quarantines: v.field_or("quarantines")?,
+            fill_only_fallbacks: v.field_or("fill_only_fallbacks")?,
+            deadline_truncations: v.field_or("deadline_truncations")?,
+            invariant_skips: v.field_or("invariant_skips")?,
         })
     }
 }
@@ -298,6 +371,7 @@ impl ToJson for RunMetrics {
             ("samples", self.samples.to_json()),
             ("completions", self.completions.to_json()),
             ("changes", self.changes.to_json()),
+            ("actuation", self.actuation.to_json()),
             ("placements", self.placements.to_json()),
         ])
     }
@@ -309,6 +383,8 @@ impl FromJson for RunMetrics {
             samples: v.field("samples")?,
             completions: v.field("completions")?,
             changes: v.field("changes")?,
+            // Absent in artifacts written before fallible actuation.
+            actuation: v.field_or("actuation")?,
             // Absent in artifacts written before placements existed.
             placements: v.field_or("placements")?,
         })
@@ -386,6 +462,7 @@ mod tests {
             running_jobs: 3,
             waiting_jobs: 1,
             placement_compute_secs: 0.0125,
+            pending_actions: 2,
         });
         m.completions.push(completion(true, 2.5, 0.375));
         m.changes = ChangeCounters {
@@ -394,10 +471,34 @@ mod tests {
             resumes: 1,
             migrations: 0,
         };
+        m.actuation = ActuationCounters {
+            failed_ops: 3,
+            timed_out_ops: 1,
+            retries: 2,
+            deferrals: 5,
+            quarantines: 1,
+            fill_only_fallbacks: 1,
+            deadline_truncations: 0,
+            invariant_skips: 0,
+        };
         let text = m.to_json().pretty();
         let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.samples, m.samples);
         assert_eq!(back.completions, m.completions);
         assert_eq!(back.changes, m.changes);
+        assert_eq!(back.actuation, m.actuation);
+    }
+
+    #[test]
+    fn actuation_counters_absent_in_old_artifacts_default_to_zero() {
+        let m = RunMetrics::default();
+        let mut json = m.to_json();
+        // Simulate a pre-actuation artifact by dropping the new fields.
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "actuation");
+        }
+        let back = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(back.actuation, ActuationCounters::default());
+        assert_eq!(back.actuation.unapplied_total(), 0);
     }
 }

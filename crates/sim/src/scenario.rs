@@ -344,6 +344,7 @@ mod tests {
             node_failures: Vec::new(),
             estimate_txn_demand: false,
             record_placements: false,
+            actuation: Default::default(),
         }
     }
 

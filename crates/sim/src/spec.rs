@@ -16,8 +16,9 @@ use dynaplace_txn::workload::{ConstantRate, StepPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::actuation::ActuationConfig;
 use crate::costs::VmCostModel;
-use crate::engine::{SchedulerKind, SimConfig, Simulation};
+use crate::engine::{NodeOutage, SchedulerKind, SimConfig, Simulation};
 
 /// A group of identical nodes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -127,6 +128,151 @@ pub enum RateSpec {
     Steps(Vec<(f64, f64)>),
 }
 
+/// One scripted node outage. The wire format is a 2- or 3-element array:
+/// `[offset_secs, node]` is a permanent failure (the historical form),
+/// `[offset_secs, node, duration_secs]` a transient one that recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeFailureSpec {
+    /// Offset of the failure from the start of the run, seconds.
+    pub at_secs: f64,
+    /// Index of the failing node.
+    pub node: u32,
+    /// Outage length in seconds; `None` means permanent.
+    pub duration_secs: Option<f64>,
+}
+
+impl NodeFailureSpec {
+    fn to_outage(self) -> NodeOutage {
+        NodeOutage {
+            at: SimDuration::from_secs(self.at_secs),
+            node: NodeId::new(self.node),
+            duration: self.duration_secs.map(SimDuration::from_secs),
+        }
+    }
+}
+
+/// The fallible actuation layer, in scenario-file units. Every field
+/// defaults to the exactly-off [`ActuationConfig::default`], so scenarios
+/// written before this block existed behave bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActuationSpec {
+    /// Per-operation failure probability, `[0, 1)`.
+    pub failure_rate: f64,
+    /// Relative latency inflation factor bound.
+    pub latency_jitter: f64,
+    /// Operation timeout, seconds.
+    pub timeout_secs: Option<f64>,
+    /// Operations issued at or after this instant never fail.
+    pub fail_until_secs: Option<f64>,
+    /// Seed for the failure/jitter draws.
+    pub seed: u64,
+    /// First retry delay, seconds.
+    pub base_backoff_secs: f64,
+    /// Backoff multiplier per consecutive failure.
+    pub backoff_factor: f64,
+    /// Backoff cap, seconds.
+    pub max_backoff_secs: f64,
+    /// Consecutive failures before an (app, node) pair is quarantined.
+    pub quarantine_after: u32,
+    /// Quarantine length, seconds.
+    pub quarantine_secs: f64,
+    /// Stalled control cycles before the `fill_only` fallback.
+    pub fallback_after: u32,
+}
+
+impl Default for ActuationSpec {
+    fn default() -> Self {
+        let c = ActuationConfig::default();
+        Self {
+            failure_rate: c.failure_rate,
+            latency_jitter: c.latency_jitter,
+            timeout_secs: c.timeout.map(|d| d.as_secs()),
+            fail_until_secs: c.fail_until.map(|t| t.as_secs()),
+            seed: c.seed,
+            base_backoff_secs: c.base_backoff.as_secs(),
+            backoff_factor: c.backoff_factor,
+            max_backoff_secs: c.max_backoff.as_secs(),
+            quarantine_after: c.quarantine_after,
+            quarantine_secs: c.quarantine.as_secs(),
+            fallback_after: c.fallback_after,
+        }
+    }
+}
+
+impl ActuationSpec {
+    fn to_config(self) -> ActuationConfig {
+        ActuationConfig {
+            failure_rate: self.failure_rate,
+            latency_jitter: self.latency_jitter,
+            timeout: self.timeout_secs.map(SimDuration::from_secs),
+            fail_until: self.fail_until_secs.map(SimTime::from_secs),
+            seed: self.seed,
+            base_backoff: SimDuration::from_secs(self.base_backoff_secs),
+            backoff_factor: self.backoff_factor,
+            max_backoff: SimDuration::from_secs(self.max_backoff_secs),
+            quarantine_after: self.quarantine_after,
+            quarantine: SimDuration::from_secs(self.quarantine_secs),
+            fallback_after: self.fallback_after,
+        }
+    }
+}
+
+/// A structurally invalid scenario, detected at load time instead of as
+/// a mid-run panic (or, worse, a silent no-op).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The `nodes` list is empty.
+    NoNodes,
+    /// `node_failures[failure_index]` names a node the cluster does not
+    /// have. Historically this was silently ignored.
+    NodeFailureOutOfRange {
+        /// Index into `node_failures`.
+        failure_index: usize,
+        /// The out-of-range node index.
+        node: u32,
+        /// Number of nodes the cluster actually has.
+        nodes: usize,
+    },
+    /// `actuation.failure_rate` is outside `[0, 1)` (at 1.0 retries can
+    /// never converge).
+    FailureRateOutOfRange {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// `jobs[group_index]` asks for parallel tasks under a baseline
+    /// scheduler, which only models single-instance jobs.
+    ParallelJobsNeedApc {
+        /// Index into `jobs`.
+        group_index: usize,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ScenarioError::NoNodes => write!(f, "scenario needs at least one node group"),
+            ScenarioError::NodeFailureOutOfRange {
+                failure_index,
+                node,
+                nodes,
+            } => write!(
+                f,
+                "node_failures[{failure_index}] names node {node}, but the cluster has only \
+                 {nodes} nodes (indices 0..{nodes})"
+            ),
+            ScenarioError::FailureRateOutOfRange { rate } => {
+                write!(f, "actuation.failure_rate must be in [0, 1), got {rate}")
+            }
+            ScenarioError::ParallelJobsNeedApc { group_index } => write!(
+                f,
+                "jobs[{group_index}] uses parallel tasks, which only the apc scheduler supports"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// A complete, self-contained scenario.
 ///
 /// ```
@@ -169,24 +315,83 @@ pub struct ScenarioSpec {
     pub jobs: Vec<JobGroupSpec>,
     /// Transactional applications.
     pub txns: Vec<TxnSpec>,
-    /// Scripted node failures: `(offset_secs, node_index)`.
+    /// Scripted node failures (see [`NodeFailureSpec`] for the wire
+    /// format). Node indices are validated against the cluster size at
+    /// load time.
     #[serde(default)]
-    pub node_failures: Vec<(f64, u32)>,
+    pub node_failures: Vec<NodeFailureSpec>,
+    /// The fallible actuation layer; defaults to exactly-off.
+    #[serde(default)]
+    pub actuation: ActuationSpec,
+    /// Optional wall-clock budget for each optimization run, seconds
+    /// (APC only). Makes the chosen placement depend on machine speed —
+    /// leave unset for reproducible runs.
+    #[serde(default)]
+    pub deadline_secs: Option<f64>,
 }
 
 impl ScenarioSpec {
+    /// Total number of nodes across all groups.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().map(|g| g.count).sum()
+    }
+
+    /// Checks the scenario's structural consistency: at least one node,
+    /// every scripted node failure inside the cluster, a convergent
+    /// actuation failure rate, parallel jobs only under APC.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation in field order.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.nodes.is_empty() {
+            return Err(ScenarioError::NoNodes);
+        }
+        let nodes = self.node_count();
+        for (failure_index, failure) in self.node_failures.iter().enumerate() {
+            if failure.node as usize >= nodes {
+                return Err(ScenarioError::NodeFailureOutOfRange {
+                    failure_index,
+                    node: failure.node,
+                    nodes,
+                });
+            }
+        }
+        if !(0.0..1.0).contains(&self.actuation.failure_rate) {
+            return Err(ScenarioError::FailureRateOutOfRange {
+                rate: self.actuation.failure_rate,
+            });
+        }
+        if self.scheduler != SchedulerSpec::Apc {
+            for (group_index, group) in self.jobs.iter().enumerate() {
+                if group.tasks > 1 {
+                    return Err(ScenarioError::ParallelJobsNeedApc { group_index });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materializes the scenario into a ready-to-run [`Simulation`].
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent specifications (no nodes, non-positive
-    /// magnitudes, parallel jobs under a baseline scheduler) with a
-    /// message naming the offending field.
+    /// Panics on inconsistent specifications with a message naming the
+    /// offending field; use [`ScenarioSpec::build_checked`] to handle the
+    /// error instead.
     pub fn build(&self) -> Simulation {
-        assert!(
-            !self.nodes.is_empty(),
-            "scenario needs at least one node group"
-        );
+        self.build_checked()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Validates and materializes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] found by
+    /// [`ScenarioSpec::validate`].
+    pub fn build_checked(&self) -> Result<Simulation, ScenarioError> {
+        self.validate()?;
         let mut cluster = Cluster::new();
         for group in &self.nodes {
             for _ in 0..group.count {
@@ -206,17 +411,17 @@ impl ScenarioSpec {
             },
             scheduler: match self.scheduler {
                 SchedulerSpec::Apc => SchedulerKind::Apc {
-                    config: Default::default(),
+                    config: dynaplace_apc::optimizer::ApcConfig {
+                        deadline: self.deadline_secs.map(std::time::Duration::from_secs_f64),
+                        ..Default::default()
+                    },
                     advice_between_cycles: true,
                 },
                 SchedulerSpec::Fcfs => SchedulerKind::Fcfs,
                 SchedulerSpec::Edf => SchedulerKind::Edf,
             },
-            node_failures: self
-                .node_failures
-                .iter()
-                .map(|&(secs, node)| (SimDuration::from_secs(secs), NodeId::new(node)))
-                .collect(),
+            node_failures: self.node_failures.iter().map(|f| f.to_outage()).collect(),
+            actuation: self.actuation.to_config(),
             ..SimConfig::apc_default()
         };
         let mut sim = Simulation::new(cluster, config);
@@ -278,14 +483,19 @@ impl ScenarioSpec {
                 None,
             );
         }
-        sim
+        Ok(sim)
     }
 }
 
 impl ScenarioSpec {
-    /// Parses a scenario from its JSON text.
+    /// Parses a scenario from its JSON text and validates it, so a bad
+    /// file fails at load time rather than silently misbehaving mid-run.
     pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
-        Self::from_json(&Json::parse(text)?)
+        let spec = Self::from_json(&Json::parse(text)?)?;
+        spec.validate().map_err(|e| JsonError {
+            message: format!("invalid scenario: {e}"),
+        })?;
+        Ok(spec)
     }
 
     /// Renders the scenario as pretty-printed JSON.
@@ -462,6 +672,78 @@ impl FromJson for TxnSpec {
     }
 }
 
+impl ToJson for NodeFailureSpec {
+    fn to_json(&self) -> Json {
+        let mut parts = vec![self.at_secs.to_json(), f64::from(self.node).to_json()];
+        if let Some(duration) = self.duration_secs {
+            parts.push(duration.to_json());
+        }
+        Json::Arr(parts)
+    }
+}
+
+impl FromJson for NodeFailureSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let Json::Arr(parts) = v else {
+            return Err(JsonError {
+                message: "node failure must be [offset_secs, node] or \
+                          [offset_secs, node, duration_secs]"
+                    .to_string(),
+            });
+        };
+        if parts.len() != 2 && parts.len() != 3 {
+            return Err(JsonError {
+                message: format!(
+                    "node failure must have 2 or 3 elements, got {}",
+                    parts.len()
+                ),
+            });
+        }
+        Ok(NodeFailureSpec {
+            at_secs: f64::from_json(&parts[0])?,
+            node: u32::from_json(&parts[1])?,
+            duration_secs: parts.get(2).map(f64::from_json).transpose()?,
+        })
+    }
+}
+
+impl ToJson for ActuationSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("failure_rate", self.failure_rate.to_json()),
+            ("latency_jitter", self.latency_jitter.to_json()),
+            ("timeout_secs", self.timeout_secs.to_json()),
+            ("fail_until_secs", self.fail_until_secs.to_json()),
+            ("seed", self.seed.to_json()),
+            ("base_backoff_secs", self.base_backoff_secs.to_json()),
+            ("backoff_factor", self.backoff_factor.to_json()),
+            ("max_backoff_secs", self.max_backoff_secs.to_json()),
+            ("quarantine_after", self.quarantine_after.to_json()),
+            ("quarantine_secs", self.quarantine_secs.to_json()),
+            ("fallback_after", self.fallback_after.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ActuationSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let d = ActuationSpec::default();
+        Ok(ActuationSpec {
+            failure_rate: v.field_or_else("failure_rate", || d.failure_rate)?,
+            latency_jitter: v.field_or_else("latency_jitter", || d.latency_jitter)?,
+            timeout_secs: v.field_or("timeout_secs")?,
+            fail_until_secs: v.field_or("fail_until_secs")?,
+            seed: v.field_or_else("seed", || d.seed)?,
+            base_backoff_secs: v.field_or_else("base_backoff_secs", || d.base_backoff_secs)?,
+            backoff_factor: v.field_or_else("backoff_factor", || d.backoff_factor)?,
+            max_backoff_secs: v.field_or_else("max_backoff_secs", || d.max_backoff_secs)?,
+            quarantine_after: v.field_or_else("quarantine_after", || d.quarantine_after)?,
+            quarantine_secs: v.field_or_else("quarantine_secs", || d.quarantine_secs)?,
+            fallback_after: v.field_or_else("fallback_after", || d.fallback_after)?,
+        })
+    }
+}
+
 impl ToJson for RateSpec {
     fn to_json(&self) -> Json {
         match self {
@@ -495,6 +777,8 @@ impl ToJson for ScenarioSpec {
             ("jobs", self.jobs.to_json()),
             ("txns", self.txns.to_json()),
             ("node_failures", self.node_failures.to_json()),
+            ("actuation", self.actuation.to_json()),
+            ("deadline_secs", self.deadline_secs.to_json()),
         ])
     }
 }
@@ -511,6 +795,8 @@ impl FromJson for ScenarioSpec {
             jobs: v.field("jobs")?,
             txns: v.field("txns")?,
             node_failures: v.field_or("node_failures")?,
+            actuation: v.field_or_else("actuation", ActuationSpec::default)?,
+            deadline_secs: v.field_or("deadline_secs")?,
         })
     }
 }
@@ -562,6 +848,8 @@ mod tests {
             }],
             txns: vec![],
             node_failures: vec![],
+            actuation: ActuationSpec::default(),
+            deadline_secs: None,
         }
     }
 
@@ -604,6 +892,105 @@ mod tests {
         spec.jobs[0].count = 2;
         let metrics = spec.build().run();
         assert_eq!(metrics.completions.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_node_failure_is_a_typed_error() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.node_failures = vec![NodeFailureSpec {
+            at_secs: 30.0,
+            node: 7, // cluster has 2 nodes
+            duration_secs: None,
+        }];
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::NodeFailureOutOfRange {
+                failure_index: 0,
+                node: 7,
+                nodes: 2,
+            })
+        );
+        let err = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap_err();
+        assert!(err.message.contains("node_failures[0]"), "{}", err.message);
+    }
+
+    #[test]
+    fn failure_rate_of_one_is_rejected() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.actuation.failure_rate = 1.0;
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::FailureRateOutOfRange { rate: 1.0 })
+        );
+    }
+
+    #[test]
+    fn parallel_jobs_under_baseline_rejected_at_load_time() {
+        let mut spec = minimal(SchedulerSpec::Fcfs);
+        spec.jobs[0].tasks = 2;
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::ParallelJobsNeedApc { group_index: 0 })
+        );
+    }
+
+    #[test]
+    fn node_failure_wire_formats_round_trip() {
+        let permanent = NodeFailureSpec {
+            at_secs: 30.0,
+            node: 1,
+            duration_secs: None,
+        };
+        let transient = NodeFailureSpec {
+            at_secs: 30.0,
+            node: 1,
+            duration_secs: Some(600.0),
+        };
+        assert_eq!(permanent.to_json(), Json::parse("[30.0, 1]").unwrap());
+        assert_eq!(
+            transient.to_json(),
+            Json::parse("[30.0, 1, 600.0]").unwrap()
+        );
+        for spec in [permanent, transient] {
+            let back = NodeFailureSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec);
+        }
+        // The historical 2-element tuples still parse.
+        let legacy = Json::parse("[[45.5, 0]]").unwrap();
+        let parsed = Vec::<NodeFailureSpec>::from_json(&legacy).unwrap();
+        assert_eq!(parsed[0].at_secs, 45.5);
+        assert_eq!(parsed[0].duration_secs, None);
+    }
+
+    #[test]
+    fn actuation_block_defaults_to_exactly_off() {
+        // A scenario without an actuation block gets the exactly-off
+        // default, and the default round-trips unchanged.
+        let spec = minimal(SchedulerSpec::Apc);
+        let back = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back.actuation, ActuationSpec::default());
+        assert_eq!(back.deadline_secs, None);
+        // A partial block inherits every other default.
+        let partial = Json::parse(r#"{ "failure_rate": 0.25 }"#).unwrap();
+        let parsed = ActuationSpec::from_json(&partial).unwrap();
+        assert_eq!(parsed.failure_rate, 0.25);
+        assert_eq!(
+            parsed.backoff_factor,
+            ActuationSpec::default().backoff_factor
+        );
+    }
+
+    #[test]
+    fn transient_failure_recovers_and_jobs_complete() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.free_vm_costs = false;
+        spec.node_failures = vec![NodeFailureSpec {
+            at_secs: 40.0,
+            node: 0,
+            duration_secs: Some(200.0),
+        }];
+        let metrics = spec.build().run();
+        assert_eq!(metrics.completions.len(), 4);
     }
 
     #[test]

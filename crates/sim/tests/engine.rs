@@ -42,6 +42,7 @@ fn config(kind: SchedulerKind) -> SimConfig {
         node_failures: Vec::new(),
         estimate_txn_demand: false,
         record_placements: false,
+        actuation: Default::default(),
     }
 }
 
@@ -236,6 +237,7 @@ fn example_s2_starts_j2_earlier_than_s1_under_narrative_config() {
         node_failures: Vec::new(),
         estimate_txn_demand: false,
         record_placements: false,
+        actuation: Default::default(),
     };
     let s1 = paper_example(ExampleScenario::S1, narrative()).run();
     let s2 = paper_example(ExampleScenario::S2, narrative()).run();

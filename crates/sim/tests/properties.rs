@@ -57,6 +57,8 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
             jobs,
             txns: vec![],
             node_failures: vec![],
+            actuation: Default::default(),
+            deadline_secs: None,
         })
 }
 

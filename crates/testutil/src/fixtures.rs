@@ -194,6 +194,7 @@ impl ProblemFixture {
             current: &self.current,
             now: self.now,
             cycle: self.cycle,
+            forbidden: Default::default(),
         }
     }
 }

@@ -30,6 +30,7 @@ fn main() {
             node_failures: Vec::new(),
             estimate_txn_demand: false,
             record_placements: false,
+            actuation: Default::default(),
         };
         let metrics = paper_example(scenario, config).run();
         println!("=== Scenario {scenario:?} ===");

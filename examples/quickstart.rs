@@ -101,6 +101,7 @@ fn main() {
         current: &current,
         now: SimTime::ZERO,
         cycle: SimDuration::from_secs(300.0),
+        forbidden: Default::default(),
     };
     let outcome = place(&problem, &ApcConfig::default());
 

@@ -65,6 +65,7 @@
 //!     current: &current,
 //!     now: SimTime::ZERO,
 //!     cycle: SimDuration::from_secs(1.0),
+//!     forbidden: Default::default(),
 //! };
 //! let outcome = place(&problem, &ApcConfig::default());
 //! assert_eq!(outcome.placement.count(job, node), 1);

@@ -170,6 +170,7 @@ fn paper_example_scenarios() {
         node_failures: Vec::new(),
         estimate_txn_demand: false,
         record_placements: false,
+        actuation: Default::default(),
     };
     let s1 = paper_example(ExampleScenario::S1, config()).run();
     let s2 = paper_example(ExampleScenario::S2, config()).run();

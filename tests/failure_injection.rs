@@ -4,7 +4,7 @@
 //! (§3.1), so robustness to estimation error is part of the contract.
 
 use dynaplace::model::units::SimDuration;
-use dynaplace::sim::engine::{EstimationNoise, SimConfig};
+use dynaplace::sim::engine::{EstimationNoise, NodeOutage, SimConfig};
 use dynaplace::sim::scenario::{experiment_one, experiment_three, experiment_two, SharingConfig};
 
 /// ±30% misestimated job profiles: every job still completes, and most
@@ -106,7 +106,10 @@ fn node_failure_recovers() {
     config.cycle = SimDuration::from_secs(10.0);
     config.horizon = Some(SimDuration::from_secs(5_000.0));
     // Node 0 dies 30 s in.
-    config.node_failures = vec![(SimDuration::from_secs(30.0), NodeId::new(0))];
+    config.node_failures = vec![NodeOutage::permanent(
+        SimDuration::from_secs(30.0),
+        NodeId::new(0),
+    )];
 
     let mut sim = Simulation::new(cluster, config);
     for i in 0..6 {
@@ -153,7 +156,10 @@ fn failed_single_node_halts_progress() {
     let mut config = SimConfig::apc_default();
     config.cycle = SimDuration::from_secs(5.0);
     config.horizon = Some(SimDuration::from_secs(500.0));
-    config.node_failures = vec![(SimDuration::from_secs(10.0), NodeId::new(0))];
+    config.node_failures = vec![NodeOutage::permanent(
+        SimDuration::from_secs(10.0),
+        NodeId::new(0),
+    )];
 
     let mut sim = Simulation::new(cluster, config);
     sim.add_job(|app| {
@@ -235,6 +241,7 @@ fn replacement_after_node_loss_respects_invariants() {
         current: &incumbent,
         now: fixture.now,
         cycle: fixture.cycle,
+        forbidden: Default::default(),
     };
     let recovered = place(&problem, &ApcConfig::default());
     PlacementInvariants::assert_outcome(&problem, &recovered);

@@ -53,6 +53,12 @@ fn render(metrics: &RunMetrics) -> String {
             sample.waiting_jobs,
         )
         .unwrap();
+        if sample.pending_actions > 0 {
+            // Only flaky runs have unreconciled actions; keeping the line
+            // conditional leaves pre-actuation goldens byte-identical.
+            out.truncate(out.len() - 1);
+            writeln!(out, " pending={}", sample.pending_actions).unwrap();
+        }
         for line in render_placement_diff(&previous, &record.placement).lines() {
             writeln!(out, "  {line}").unwrap();
         }
@@ -67,6 +73,25 @@ fn render(metrics: &RunMetrics) -> String {
         metrics.changes.migrations,
     )
     .unwrap();
+    if metrics.actuation != Default::default() {
+        // Same reasoning: the actuation line only appears once a run
+        // exercised the fallible layer.
+        let a = &metrics.actuation;
+        writeln!(
+            out,
+            "actuation: failed={} timed_out={} retries={} deferrals={} quarantines={} \
+             fallbacks={} truncations={} skips={}",
+            a.failed_ops,
+            a.timed_out_ops,
+            a.retries,
+            a.deferrals,
+            a.quarantines,
+            a.fill_only_fallbacks,
+            a.deadline_truncations,
+            a.invariant_skips,
+        )
+        .unwrap();
+    }
     writeln!(out, "completions: {}", metrics.completions.len()).unwrap();
     out
 }
@@ -145,4 +170,10 @@ fn mixed_workload_matches_golden() {
 fn node_failure_drill_matches_golden() {
     let metrics = run_scenario("node_failure_drill");
     assert_matches_golden("node_failure_drill", &render(&metrics));
+}
+
+#[test]
+fn flaky_cluster_matches_golden() {
+    let metrics = run_scenario("flaky_cluster");
+    assert_matches_golden("flaky_cluster", &render(&metrics));
 }
