@@ -118,8 +118,7 @@ pub fn fcfs_schedule(nodes: &[NodeCapacity], jobs: &[BaselineJob]) -> Placement 
     let mut queue: Vec<&BaselineJob> = jobs.iter().filter(|j| j.current_node.is_none()).collect();
     queue.sort_by(|a, b| {
         a.arrival
-            .partial_cmp(&b.arrival)
-            .expect("arrival times are not NaN")
+            .total_cmp(&b.arrival)
             .then_with(|| a.app.cmp(&b.app))
     });
     for job in queue {
@@ -171,8 +170,7 @@ pub fn edf_schedule(nodes: &[NodeCapacity], jobs: &[BaselineJob]) -> Placement {
     let mut waiting: Vec<&BaselineJob> = jobs.iter().filter(|j| j.current_node.is_none()).collect();
     waiting.sort_by(|a, b| {
         a.deadline
-            .partial_cmp(&b.deadline)
-            .expect("deadlines are not NaN")
+            .total_cmp(&b.deadline)
             .then_with(|| a.app.cmp(&b.app))
     });
     let mut waiting: std::collections::VecDeque<&BaselineJob> = waiting.into();
@@ -203,8 +201,7 @@ pub fn edf_schedule(nodes: &[NodeCapacity], jobs: &[BaselineJob]) -> Placement {
                 residents[b]
                     .job
                     .deadline
-                    .partial_cmp(&residents[a].job.deadline)
-                    .expect("deadlines are not NaN")
+                    .total_cmp(&residents[a].job.deadline)
                     .then_with(|| residents[b].job.app.cmp(&residents[a].job.app))
             });
             let base = free.get(&node).expect("node exists").clone();
@@ -266,6 +263,7 @@ pub fn edf_schedule(nodes: &[NodeCapacity], jobs: &[BaselineJob]) -> Placement {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dynaplace_model::units::SimDuration;
 
     fn node(i: u32, cpu: f64, mem: f64) -> NodeCapacity {
         NodeCapacity {
@@ -379,6 +377,38 @@ mod tests {
         assert!(p.is_placed(AppId::new(1)));
         assert!(p.is_placed(AppId::new(2)));
         assert!(!p.is_placed(AppId::new(0)));
+    }
+
+    #[test]
+    fn nan_times_sort_without_panicking() {
+        // NaN cannot come from `SimTime::from_secs` (debug-asserted),
+        // but release builds and instant arithmetic can still smuggle
+        // one in: inf - inf. The old `partial_cmp(..).expect(..)` sorts
+        // panicked here; `total_cmp` orders NaN after every real time.
+        let inf = SimTime::from_secs(f64::INFINITY);
+        let nan_time = inf - SimDuration::from_secs(f64::INFINITY);
+        assert!(nan_time.as_secs().is_nan());
+
+        let nodes = [node(0, 1_000.0, 2_000.0)];
+        let mut poisoned_arrival = job(0, 0.0, 99.0, None);
+        poisoned_arrival.arrival = nan_time;
+        let ok = job(1, 1.0, 99.0, None);
+        // FCFS: NaN sorts last, so the well-formed job is placed first.
+        let p = fcfs_schedule(&nodes, &[poisoned_arrival.clone(), ok.clone()]);
+        assert!(p.is_placed(AppId::new(1)));
+
+        let mut poisoned_deadline = job(2, 0.0, 99.0, None);
+        poisoned_deadline.deadline = nan_time;
+        // EDF queue sort and the preemption victim sort both see NaN.
+        let running_late = job(3, 0.0, 1_000.0, Some(0));
+        let mut running_nan = job(4, 0.0, 99.0, Some(0));
+        running_nan.deadline = nan_time;
+        let urgent = job(5, 1.0, 10.0, None);
+        let p = edf_schedule(
+            &nodes,
+            &[poisoned_deadline, running_late, running_nan, urgent],
+        );
+        assert!(p.is_placed(AppId::new(5)));
     }
 
     #[test]

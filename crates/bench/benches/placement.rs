@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use dynaplace_apc::optimizer::{place, ApcConfig, ScoringMode};
+use dynaplace_apc::optimizer::{place, place_traced, ApcConfig, ScoringMode};
 use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
 use dynaplace_apc::{distribute, score_placement};
 use dynaplace_batch::hypothetical::{HypotheticalRpf, JobSnapshot};
@@ -17,6 +17,7 @@ use dynaplace_batch::job::JobProfile;
 use dynaplace_model::prelude::*;
 use dynaplace_rpf::goal::CompletionGoal;
 use dynaplace_sim::scenario::experiment_one_cluster;
+use dynaplace_trace::{JsonlSink, NoopSink, TraceLevel};
 
 struct World {
     cluster: Cluster,
@@ -256,10 +257,38 @@ fn bench_scoring_mode(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of decision-provenance tracing on the full `place` cycle at 50
+/// nodes. The contract is that the no-op sink is free (it is the default
+/// everywhere) and that a buffering JSONL sink at `decisions` level
+/// stays within 5% of it; `verbose` additionally records the per-node
+/// loop and every rejected candidate, so it is allowed to cost more.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    let world = sized_world(50);
+    let config = ApcConfig::default();
+    group.bench_with_input(BenchmarkId::from_parameter("noop"), &world, |b, world| {
+        b.iter(|| place_traced(&problem(world), &config, &NoopSink));
+    });
+    for (name, level) in [
+        ("jsonl_decisions", TraceLevel::Decisions),
+        ("jsonl_verbose", TraceLevel::Verbose),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &world, |b, world| {
+            b.iter(|| {
+                let sink = JsonlSink::new(level);
+                place_traced(&problem(world), &config, &sink)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_placement_cycle,
     bench_scoring_mode,
+    bench_trace_overhead,
     bench_score_placement,
     bench_load_distribution,
     bench_hypothetical,

@@ -1,37 +1,83 @@
-//! Run a declarative scenario: `simulate <scenario.json> [out.json]`.
+//! Run a declarative scenario:
+//! `simulate <scenario.json> [metrics-out.json] [--trace <trace.jsonl>] [--trace-level <level>]`.
 //!
 //! Reads a [`dynaplace_sim::spec::ScenarioSpec`], runs it, prints a
 //! summary, and (optionally) writes the full metrics as JSON. Sample
 //! scenarios live under `scenarios/` in the repository root.
+//!
+//! `--trace` enables decision-provenance tracing to the given JSONL
+//! path, overriding the scenario's own `trace` block; `--trace-level`
+//! picks `decisions` (default) or `verbose`. Render the result with the
+//! `trace_dump` binary.
 
 use std::process::ExitCode;
 
 use dynaplace_bench::ascii_table;
 use dynaplace_sim::spec::ScenarioSpec;
 
+const USAGE: &str = "usage: simulate <scenario.json> [metrics-out.json] [--trace <trace.jsonl>] \
+     [--trace-level decisions|verbose]";
+
 fn main() -> ExitCode {
+    let mut positional: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut trace_level: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: simulate <scenario.json> [metrics-out.json]");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-level" => match args.next() {
+                Some(l) => trace_level = Some(l),
+                None => {
+                    eprintln!("--trace-level needs a level\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let (Some(path), out) = (positional.first(), positional.get(1)) else {
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let out = args.next();
+    let out = out.cloned();
 
-    let text = match std::fs::read_to_string(&path) {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let spec: ScenarioSpec = match ScenarioSpec::from_json_str(&text) {
+    let mut spec: ScenarioSpec = match ScenarioSpec::from_json_str(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("invalid scenario {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(trace_path) = trace_path {
+        spec.trace.path = Some(trace_path);
+    }
+    if let Some(level) = trace_level {
+        spec.trace.level = level;
+        if let Err(e) = spec.validate() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
+    let traced_to = spec.trace.path.clone();
     let started = std::time::Instant::now();
     let metrics = spec.build().run();
     let elapsed = started.elapsed();
@@ -74,6 +120,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("metrics written to {out}");
+    }
+    if let Some(trace) = traced_to {
+        println!("decision trace written to {trace}");
     }
     ExitCode::SUCCESS
 }

@@ -122,8 +122,7 @@ pub fn run_experiment_two_sweep(seed: u64, jobs: usize) -> Vec<Exp2Run> {
     let mut runs = results.into_inner().expect("results lock");
     runs.sort_by(|a, b| {
         a.inter_arrival
-            .partial_cmp(&b.inter_arrival)
-            .expect("no NaN")
+            .total_cmp(&b.inter_arrival)
             .reverse()
             .then_with(|| a.scheduler.cmp(&b.scheduler))
     });

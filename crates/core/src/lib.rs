@@ -88,6 +88,7 @@ pub use cache::{CacheStats, ScoreCache};
 pub use evaluate::{score_placement, score_placement_cached, PlacementScore};
 pub use load::distribute;
 pub use optimizer::{
-    fill_only, place, ApcConfig, Objective, OptimizerStats, PlacementOutcome, ScoringMode,
+    fill_only, fill_only_traced, place, place_traced, ApcConfig, Objective, OptimizerStats,
+    PlacementOutcome, ScoringMode,
 };
 pub use problem::{PlacementProblem, WorkloadModel};

@@ -27,7 +27,9 @@ use dynaplace_model::delta::PlacementAction;
 use dynaplace_model::ids::{AppId, NodeId};
 use dynaplace_model::placement::Placement;
 use dynaplace_model::units::Memory;
+use dynaplace_rpf::satisfaction::SatisfactionVector;
 use dynaplace_rpf::value::Rp;
+use dynaplace_trace::{CacheCounters, NoopSink, OptimizeMode, TraceEvent, TraceLevel, TraceSink};
 
 use crate::cache::ScoreCache;
 use crate::evaluate::{score_placement, score_placement_cached, PlacementScore};
@@ -297,7 +299,7 @@ impl PlacementOutcome {
 /// Panics if the problem's current placement is infeasible under its own
 /// minimum speeds (the simulator never produces such a state).
 pub fn place(problem: &PlacementProblem<'_>, config: &ApcConfig) -> PlacementOutcome {
-    optimize(problem, config, true)
+    optimize(problem, config, true, &NoopSink)
 }
 
 /// Arrival-time advice: like [`place`], but only *starts* instances —
@@ -306,15 +308,79 @@ pub fn place(problem: &PlacementProblem<'_>, config: &ApcConfig) -> PlacementOut
 /// the scheduler uses the controller as an advisor on where and when a
 /// job should be executed).
 pub fn fill_only(problem: &PlacementProblem<'_>, config: &ApcConfig) -> PlacementOutcome {
-    optimize(problem, config, false)
+    optimize(problem, config, false, &NoopSink)
+}
+
+/// [`place`] with decision-provenance tracing: every node-loop visit,
+/// candidate verdict, cache counter, and deadline truncation is recorded
+/// into `sink`. With [`NoopSink`] this is exactly [`place`] — sites gate
+/// on [`TraceSink::wants`] before building events, so the chosen
+/// placement and every score bit are identical.
+pub fn place_traced(
+    problem: &PlacementProblem<'_>,
+    config: &ApcConfig,
+    sink: &dyn TraceSink,
+) -> PlacementOutcome {
+    optimize(problem, config, true, sink)
+}
+
+/// [`fill_only`] with decision-provenance tracing (see [`place_traced`]).
+pub fn fill_only_traced(
+    problem: &PlacementProblem<'_>,
+    config: &ApcConfig,
+    sink: &dyn TraceSink,
+) -> PlacementOutcome {
+    optimize(problem, config, false, sink)
+}
+
+/// The relative-performance delta that justifies preferring `a` over `b`
+/// under the configured objective: for lexicographic max-min, the first
+/// ascending-sorted element pair differing by more than `tolerance`
+/// (mirroring [`SatisfactionVector::compare`]); for total performance,
+/// the sum difference. Only computed when a sink wants the event.
+fn justifying_delta(
+    config: &ApcConfig,
+    a: &SatisfactionVector,
+    b: &SatisfactionVector,
+    tolerance: f64,
+) -> f64 {
+    match config.objective {
+        Objective::LexicographicMaxMin => a
+            .entries()
+            .iter()
+            .zip(b.entries())
+            .map(|((_, x), (_, y))| x.value() - y.value())
+            .find(|d| d.abs() > tolerance)
+            .unwrap_or(0.0),
+        Objective::TotalPerformance => {
+            let sum = |v: &SatisfactionVector| -> f64 {
+                v.entries().iter().map(|(_, u)| u.value()).sum()
+            };
+            sum(a) - sum(b)
+        }
+    }
 }
 
 fn optimize(
     problem: &PlacementProblem<'_>,
     config: &ApcConfig,
     allow_removals: bool,
+    sink: &dyn TraceSink,
 ) -> PlacementOutcome {
     let mut stats = OptimizerStats::default();
+    let now = problem.now.as_secs();
+    if sink.wants(TraceLevel::Decisions) {
+        sink.record(&TraceEvent::OptimizeStart {
+            time: now,
+            mode: if allow_removals {
+                OptimizeMode::Place
+            } else {
+                OptimizeMode::FillOnly
+            },
+            apps: problem.workloads.len(),
+            nodes: problem.cluster.len(),
+        });
+    }
     // Memos live exactly as long as the problem they are valid for.
     let cache = ScoreCache::new();
     // Anytime contract: the clock starts before any scoring happens, and
@@ -362,20 +428,36 @@ fn optimize(
         &mut best,
         &mut stats,
         started,
+        sink,
     );
 
-    'sweeps: for _sweep in 0..config.max_sweeps {
+    'sweeps: for sweep in 0..config.max_sweeps {
         stats.sweeps += 1;
         let mut improved_any = false;
 
         for node in problem.cluster.node_ids() {
             if deadline_hit() {
                 timed_out = true;
+                if sink.wants(TraceLevel::Decisions) {
+                    sink.record(&TraceEvent::DeadlineTruncated {
+                        time: now,
+                        sweep: sweep as u64,
+                        evaluations: stats.evaluations as u64,
+                    });
+                }
                 break 'sweeps;
             }
             // Most-satisfied-first removal order for this node's residents.
             let residents = removal_order(&best, &current, node);
             let max_removals = if allow_removals { residents.len() } else { 0 };
+            if sink.wants(TraceLevel::Verbose) {
+                sink.record(&TraceEvent::NodeEnter {
+                    time: now,
+                    sweep: sweep as u64,
+                    node,
+                    residents: residents.len(),
+                });
+            }
             // Lowest relative performance first fill order, from the
             // incumbent score (queued and struggling applications first).
             let fill_order: Vec<AppId> = best
@@ -407,6 +489,7 @@ fn optimize(
             // results serially in generation (k) order — the selection
             // below is therefore identical at any thread count.
             let scores = score_candidates(problem, config, &cache, &candidates);
+            let scored_count = candidates.len();
 
             // (candidate, score, disruptive action count)
             let mut node_best: Option<(Placement, Arc<PlacementScore>, usize)> = None;
@@ -428,6 +511,21 @@ fn optimize(
                 if objective_cmp(config, &score.satisfaction, &best.satisfaction, threshold)
                     != std::cmp::Ordering::Greater
                 {
+                    if sink.wants(TraceLevel::Verbose) {
+                        sink.record(&TraceEvent::CandidateRejected {
+                            time: now,
+                            sweep: sweep as u64,
+                            node,
+                            delta: justifying_delta(
+                                config,
+                                &score.satisfaction,
+                                &best.satisfaction,
+                                config.epsilon,
+                            ),
+                            disruptions,
+                            threshold,
+                        });
+                    }
                     continue;
                 }
                 // Among adoptable candidates, prefer the better score —
@@ -448,20 +546,89 @@ fn optimize(
                 };
                 if is_better {
                     node_best = Some((candidate, score, disruptions));
+                } else if sink.wants(TraceLevel::Verbose) {
+                    // Adoptable, but displaced by an earlier candidate
+                    // for this node.
+                    sink.record(&TraceEvent::CandidateRejected {
+                        time: now,
+                        sweep: sweep as u64,
+                        node,
+                        delta: justifying_delta(
+                            config,
+                            &score.satisfaction,
+                            &best.satisfaction,
+                            config.epsilon,
+                        ),
+                        disruptions,
+                        threshold,
+                    });
                 }
             }
 
-            if let Some((candidate, score, _)) = node_best {
+            let adopted = node_best.is_some();
+            if let Some((candidate, score, disruptions)) = node_best {
+                if sink.wants(TraceLevel::Decisions) {
+                    sink.record(&TraceEvent::CandidateAccepted {
+                        time: now,
+                        sweep: sweep as u64,
+                        node,
+                        delta: justifying_delta(
+                            config,
+                            &score.satisfaction,
+                            &best.satisfaction,
+                            config.epsilon,
+                        ),
+                        disruptions,
+                        threshold: if disruptions == 0 {
+                            config.start_threshold
+                        } else {
+                            config.disruption_threshold
+                        },
+                    });
+                }
                 current = candidate;
                 best = score;
                 stats.adoptions += 1;
                 improved_any = true;
+            }
+            if sink.wants(TraceLevel::Verbose) {
+                sink.record(&TraceEvent::NodeExit {
+                    time: now,
+                    sweep: sweep as u64,
+                    node,
+                    candidates: scored_count,
+                    adopted,
+                });
             }
         }
 
         if !improved_any {
             break;
         }
+    }
+
+    if sink.wants(TraceLevel::Decisions) {
+        let s = cache.stats();
+        sink.record(&TraceEvent::CachePassStats {
+            time: now,
+            counters: CacheCounters {
+                score_hits: s.score_hits,
+                score_misses: s.score_misses,
+                demand_hits: s.demand_hits,
+                demand_misses: s.demand_misses,
+                batch_hits: s.batch_hits,
+                batch_misses: s.batch_misses,
+                column_hits: s.column_hits,
+                column_misses: s.column_misses,
+            },
+        });
+        sink.record(&TraceEvent::OptimizeEnd {
+            time: now,
+            evaluations: stats.evaluations as u64,
+            sweeps: stats.sweeps as u64,
+            adoptions: stats.adoptions as u64,
+            timed_out,
+        });
     }
 
     let actions = problem.current.diff(&current);
@@ -489,6 +656,7 @@ fn expand_transactional(
     best: &mut Arc<PlacementScore>,
     stats: &mut OptimizerStats,
     started: Option<(std::time::Instant, std::time::Duration)>,
+    sink: &dyn TraceSink,
 ) -> bool {
     use crate::problem::WorkloadModel;
     use std::cmp::Ordering;
@@ -510,6 +678,14 @@ fn expand_transactional(
         let spec = problem.apps.get(app).expect("live app is registered");
         loop {
             if started.is_some_and(|(at, budget)| at.elapsed() >= budget) {
+                if sink.wants(TraceLevel::Decisions) {
+                    // Truncated before the first sweep even started.
+                    sink.record(&TraceEvent::DeadlineTruncated {
+                        time: problem.now.as_secs(),
+                        sweep: 0,
+                        evaluations: stats.evaluations as u64,
+                    });
+                }
                 return true;
             }
             // Placed capacity, with per-node cells capped by node CPU.
@@ -573,6 +749,19 @@ fn expand_transactional(
             ) == Ordering::Less
             {
                 break; // expansion would hurt someone else
+            }
+            if sink.wants(TraceLevel::Decisions) {
+                sink.record(&TraceEvent::TxnExpanded {
+                    time: problem.now.as_secs(),
+                    app,
+                    node,
+                    delta: justifying_delta(
+                        config,
+                        &score.satisfaction,
+                        &best.satisfaction,
+                        config.epsilon,
+                    ),
+                });
             }
             *current = candidate;
             *best = score;

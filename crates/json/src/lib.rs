@@ -87,6 +87,45 @@ impl Json {
         out
     }
 
+    /// Prints the value on a single line with no whitespace, for line-
+    /// oriented formats (JSONL) where one value per line is the contract.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => out.push_str(&format_number(*x)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -609,6 +648,20 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("{'a': 1}").is_err());
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let v = Json::parse(
+            r#"{"seed": 42, "xs": [1.5, 2, 0.000012054], "s": "hi \"there\"", "n": null}"#,
+        )
+        .unwrap();
+        let text = v.compact();
+        assert!(!text.contains('\n'));
+        assert!(!text.contains(' ') || text.contains("\"hi"));
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(obj([]).compact(), "{}");
+        assert_eq!(Json::Arr(vec![]).compact(), "[]");
     }
 
     #[test]

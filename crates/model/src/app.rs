@@ -36,9 +36,23 @@ impl fmt::Display for WorkloadKind {
 
 /// Anti-affinity group label: two applications carrying the same group may
 /// never share a node (a form of the paper's "collocation constraints").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct AntiAffinityGroup(pub u32);
+
+impl Ord for AntiAffinityGroup {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl PartialOrd for AntiAffinityGroup {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Static placement-relevant description of one application.
 ///

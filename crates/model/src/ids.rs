@@ -8,9 +8,23 @@ use serde::{Deserialize, Serialize};
 ///
 /// Node ids are dense indices assigned by [`crate::cluster::Cluster`] in
 /// registration order, which keeps every per-node table a plain `Vec`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(u32);
+
+impl Ord for NodeId {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl PartialOrd for NodeId {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl NodeId {
     /// Creates a node id from a dense index.
@@ -37,9 +51,23 @@ impl fmt::Display for NodeId {
 /// Both transactional applications and batch jobs are "applications" from
 /// the placement controller's point of view (§3.2 of the paper); the id
 /// space is shared.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct AppId(u32);
+
+impl Ord for AppId {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl PartialOrd for AppId {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl AppId {
     /// Creates an application id from a dense index.

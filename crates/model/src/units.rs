@@ -26,9 +26,20 @@ use serde::{Deserialize, Serialize};
 macro_rules! unit {
     ($(#[$meta:meta])* $name:ident, $ctor:ident, $getter:ident, $suffix:literal) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
         #[serde(transparent)]
         pub struct $name(f64);
+
+        impl PartialOrd for $name {
+            /// Mirrors `f64`'s IEEE partial order (`None` for NaN).
+            /// Sorts must not unwrap this; order by the raw magnitude
+            /// with [`f64::total_cmp`] instead.
+            #[inline]
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                #[allow(clippy::disallowed_methods)] // the one sanctioned call: defines the wrapper's order
+                self.0.partial_cmp(&other.0)
+            }
+        }
 
         impl $name {
             /// The zero value of this unit.
@@ -241,9 +252,19 @@ impl SimDuration {
 /// `SimTime` is distinct from [`SimDuration`] so that instants and spans
 /// cannot be mixed up: subtracting two instants yields a duration, and a
 /// duration can be added to an instant, but two instants cannot be added.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct SimTime(f64);
+
+impl PartialOrd for SimTime {
+    /// Mirrors `f64`'s IEEE partial order (`None` for NaN). Sorts must
+    /// not unwrap this; use [`SimTime::total_cmp`] instead.
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        #[allow(clippy::disallowed_methods)] // the one sanctioned call: defines the wrapper's order
+        self.0.partial_cmp(&other.0)
+    }
+}
 
 impl SimTime {
     /// The origin of the simulated timeline.
@@ -283,6 +304,16 @@ impl SimTime {
     #[inline]
     pub fn saturating_since(self, earlier: Self) -> SimDuration {
         SimDuration::from_secs((self.0 - earlier.0).max(0.0))
+    }
+
+    /// A total order over instants, delegating to [`f64::total_cmp`]
+    /// (NaN sorts after every real instant). Sorts must use this rather
+    /// than `partial_cmp(..).unwrap()` so that a NaN smuggled past the
+    /// debug-only constructor check cannot panic mid-run in release
+    /// builds.
+    #[inline]
+    pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -31,6 +31,18 @@ pub enum VmOperation {
     Migrate,
 }
 
+impl VmOperation {
+    /// Stable lowercase name, used by the decision trace.
+    pub fn name(self) -> &'static str {
+        match self {
+            VmOperation::Boot => "boot",
+            VmOperation::Suspend => "suspend",
+            VmOperation::Resume => "resume",
+            VmOperation::Migrate => "migrate",
+        }
+    }
+}
+
 /// Linear cost model for VM control operations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VmCostModel {

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dynaplace_apc::optimizer::{fill_only, place, ApcConfig, PlacementOutcome};
+use dynaplace_apc::optimizer::{fill_only_traced, place_traced, ApcConfig, PlacementOutcome};
 use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
 use dynaplace_batch::baselines::{edf_schedule, fcfs_schedule, BaselineJob, NodeCapacity};
 use dynaplace_batch::class_profiler::JobClassProfiler;
@@ -30,6 +30,7 @@ use dynaplace_model::placement::Placement;
 use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
 use dynaplace_rpf::goal::ResponseTimeGoal;
 use dynaplace_rpf::value::Rp;
+use dynaplace_trace::{JsonlSink, NoopSink, Phase, TraceConfig, TraceEvent, TraceLevel, TraceSink};
 use dynaplace_txn::model::{TxnPerformanceModel, TxnWorkload};
 use dynaplace_txn::router::RequestRouter;
 use dynaplace_txn::workload::ArrivalPattern;
@@ -38,6 +39,10 @@ use crate::actuation::{ActuationConfig, ActuationState, OpAttempt, OpOutcome};
 use crate::costs::{VmCostModel, VmOperation};
 use crate::events::{EventKind, EventQueue};
 use crate::metrics::{CompletionRecord, CycleSample, RunMetrics};
+
+/// A config-derived buffering trace sink paired with the path it is
+/// flushed to at end of run.
+type FileSink = (Arc<JsonlSink>, String);
 
 /// Work remaining below this is considered complete (floating point
 /// slack, in megacycles).
@@ -155,6 +160,11 @@ pub struct SimConfig {
     /// perfect layer: every operation succeeds with exactly the cost
     /// model's latency, bit-identical to a simulator without actuation.
     pub actuation: ActuationConfig,
+    /// Decision-provenance tracing. With `path` unset (the default) the
+    /// engine installs a no-op sink and the run is bit-identical to an
+    /// untraced build; with a path, every controller decision is buffered
+    /// as a JSONL event stream and flushed there at end of run.
+    pub trace: TraceConfig,
 }
 
 /// Relative estimation errors presented to the placement controller.
@@ -209,6 +219,7 @@ impl SimConfig {
             estimate_txn_demand: false,
             record_placements: false,
             actuation: ActuationConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -314,12 +325,34 @@ pub struct Simulation {
     /// The cluster as the schedulers see it (failed nodes zeroed).
     effective_cluster: Cluster,
     failed_nodes: std::collections::BTreeSet<NodeId>,
+    /// Decision-provenance sink shared with the optimizer; a [`NoopSink`]
+    /// unless [`SimConfig::trace`] set a path or a test installed one via
+    /// [`Simulation::set_trace_sink`].
+    trace: Arc<dyn TraceSink>,
+    /// The config-derived JSONL sink and its flush path, when tracing to
+    /// a file.
+    trace_file: Option<FileSink>,
+    /// Control cycles started so far (the trace's cycle index).
+    cycle_index: u64,
 }
 
 impl Simulation {
     /// Creates an empty simulation over `cluster`.
     pub fn new(cluster: Cluster, config: SimConfig) -> Self {
+        let (trace, trace_file): (Arc<dyn TraceSink>, Option<FileSink>) = match &config.trace.path {
+            Some(path) => {
+                let sink = Arc::new(JsonlSink::new(config.trace.level));
+                (
+                    Arc::clone(&sink) as Arc<dyn TraceSink>,
+                    Some((sink, path.clone())),
+                )
+            }
+            None => (Arc::new(NoopSink), None),
+        };
         Self {
+            trace,
+            trace_file,
+            cycle_index: 0,
             effective_cluster: cluster.clone(),
             cluster,
             apps: AppSet::new(),
@@ -352,6 +385,16 @@ impl Simulation {
     /// golden regression tests need the records.
     pub fn record_placements(&mut self, on: bool) {
         self.config.record_placements = on;
+    }
+
+    /// Installs a decision-provenance sink, replacing whatever
+    /// [`SimConfig::trace`] configured. The caller keeps its own handle
+    /// (e.g. an `Arc<JsonlSink>`) to inspect the buffered events; sinks
+    /// installed this way are *not* flushed to [`SimConfig::trace`]'s
+    /// path at end of run.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = sink;
+        self.trace_file = None;
     }
 
     /// Submits a batch job described by `spec`; optionally pinned to a
@@ -555,6 +598,11 @@ impl Simulation {
                 }
             }
         }
+        if let Some((sink, path)) = &self.trace_file {
+            if let Err(e) = sink.write_to(path) {
+                eprintln!("warning: failed to write trace to {path}: {e}");
+            }
+        }
         self.metrics
     }
 
@@ -723,6 +771,15 @@ impl Simulation {
                 if actions.is_empty() {
                     return;
                 }
+                let traced = self.trace.wants(TraceLevel::Decisions);
+                let cycle = self.cycle_index.saturating_sub(1);
+                if traced {
+                    self.trace.record(&TraceEvent::ReconcileDiff {
+                        time: self.now.as_secs(),
+                        cycle,
+                        pending: actions.len(),
+                    });
+                }
                 let mut load = LoadDistribution::new();
                 for (app, node, _count) in target.iter() {
                     let v = self.desired_load.get(app, node);
@@ -730,7 +787,16 @@ impl Simulation {
                         load.set(app, node, v);
                     }
                 }
+                let started = Instant::now();
                 self.apply_transition(target, load, &actions);
+                if traced {
+                    self.trace.record(&TraceEvent::PhaseSpan {
+                        time: self.now.as_secs(),
+                        cycle,
+                        phase: Phase::Reconcile,
+                        wall_secs: started.elapsed().as_secs_f64(),
+                    });
+                }
             }
             SchedulerKind::Fcfs | SchedulerKind::Edf => self.run_baseline(),
         }
@@ -779,9 +845,10 @@ impl Simulation {
                 advice_between_cycles,
             } => {
                 if advice_between_cycles {
+                    let sink = Arc::clone(&self.trace);
                     let outcome = {
                         let problem = self.build_problem();
-                        fill_only(&problem, &config)
+                        fill_only_traced(&problem, &config, &*sink)
                     };
                     self.apply_outcome(outcome);
                 }
@@ -830,6 +897,15 @@ impl Simulation {
 
     fn on_cycle(&mut self) {
         self.advance_progress();
+        let cycle = self.cycle_index;
+        self.cycle_index += 1;
+        let traced = self.trace.wants(TraceLevel::Decisions);
+        if traced {
+            self.trace.record(&TraceEvent::CycleStart {
+                time: self.now.as_secs(),
+                cycle,
+            });
+        }
         if self.config.estimate_txn_demand {
             self.observe_txn_demand();
         }
@@ -848,21 +924,39 @@ impl Simulation {
                 }
                 let fallback = self.config.actuation.fallback_after > 0
                     && self.stalled_cycles >= self.config.actuation.fallback_after;
+                let sink = Arc::clone(&self.trace);
                 let started = Instant::now();
                 let outcome = {
                     let problem = self.build_problem();
                     if fallback {
-                        fill_only(&problem, &config)
+                        fill_only_traced(&problem, &config, &*sink)
                     } else {
-                        place(&problem, &config)
+                        place_traced(&problem, &config, &*sink)
                     }
                 };
                 compute_secs = started.elapsed().as_secs_f64();
+                if traced {
+                    self.trace.record(&TraceEvent::PhaseSpan {
+                        time: self.now.as_secs(),
+                        cycle,
+                        phase: Phase::Optimize,
+                        wall_secs: compute_secs,
+                    });
+                }
                 if fallback {
                     self.metrics.actuation.fill_only_fallbacks += 1;
                     self.stalled_cycles = 0;
                 }
+                let actuate_started = Instant::now();
                 self.apply_outcome(outcome);
+                if traced {
+                    self.trace.record(&TraceEvent::PhaseSpan {
+                        time: self.now.as_secs(),
+                        cycle,
+                        phase: Phase::Actuate,
+                        wall_secs: actuate_started.elapsed().as_secs_f64(),
+                    });
+                }
             }
             SchedulerKind::Fcfs | SchedulerKind::Edf => {
                 // Baselines are event-driven; the cycle is only a metric
@@ -871,7 +965,16 @@ impl Simulation {
                 self.run_baseline();
             }
         }
+        let sample_started = Instant::now();
         self.record_sample(compute_secs);
+        if traced {
+            self.trace.record(&TraceEvent::PhaseSpan {
+                time: self.now.as_secs(),
+                cycle,
+                phase: Phase::Sample,
+                wall_secs: sample_started.elapsed().as_secs_f64(),
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1109,6 +1212,8 @@ impl Simulation {
 
         let acfg = self.config.actuation;
         let costs = self.config.costs;
+        let traced = self.trace.wants(TraceLevel::Decisions);
+        let trace_cycle = self.cycle_index.saturating_sub(1);
 
         // Pass 1: resolve every action against the actuation layer, before
         // any job-state changes (the boot-vs-resume distinction needs the
@@ -1153,6 +1258,15 @@ impl Simulation {
                     &mut self.metrics.actuation,
                 );
                 self.metrics.actuation.deferrals += 1;
+                if traced {
+                    self.trace.record(&TraceEvent::OpDeferred {
+                        time: self.now.as_secs(),
+                        cycle: trace_cycle,
+                        app,
+                        node: op_node,
+                        reason: "backoff",
+                    });
+                }
                 diverged = true;
                 continue;
             }
@@ -1168,6 +1282,22 @@ impl Simulation {
                 },
                 self.now,
             );
+            if traced {
+                self.trace.record(&TraceEvent::OpResolved {
+                    time: self.now.as_secs(),
+                    cycle: trace_cycle,
+                    app,
+                    node: op_node,
+                    op: op.name(),
+                    attempt: u64::from(attempt),
+                    outcome: match outcome {
+                        OpOutcome::Applied(_) => "applied",
+                        OpOutcome::Failed(_) => "failed",
+                        OpOutcome::TimedOut(_) => "timed_out",
+                    },
+                    latency_secs: outcome.latency().as_secs(),
+                });
+            }
             if outcome.applied() {
                 let lat = match op {
                     // Suspends overlap the cycle boundary for free, as in
@@ -1211,6 +1341,14 @@ impl Simulation {
                 let disp = self.actuation.record_failure(&acfg, app, op_node, detected);
                 if disp.quarantined {
                     self.metrics.actuation.quarantines += 1;
+                    if traced {
+                        self.trace.record(&TraceEvent::Quarantined {
+                            time: self.now.as_secs(),
+                            cycle: trace_cycle,
+                            app,
+                            node: op_node,
+                        });
+                    }
                 }
                 self.events.push(disp.retry_at, EventKind::ActuationRetry);
             }
@@ -1265,6 +1403,15 @@ impl Simulation {
                     PlacementAction::Stop { .. } => unreachable!("stops never add instances"),
                 }
                 self.metrics.actuation.deferrals += 1;
+                if traced {
+                    self.trace.record(&TraceEvent::OpDeferred {
+                        time: self.now.as_secs(),
+                        cycle: trace_cycle,
+                        app: rolled.app(),
+                        node,
+                        reason: "rollback",
+                    });
+                }
                 self.events
                     .push(self.now + acfg.base_backoff, EventKind::ActuationRetry);
                 diverged = true;

@@ -38,6 +38,7 @@
 //!     estimate_txn_demand: false,
 //!     record_placements: false,
 //!     actuation: dynaplace_sim::actuation::ActuationConfig::default(),
+//!     trace: dynaplace_trace::TraceConfig::default(),
 //! };
 //! let metrics = paper_example(ExampleScenario::S2, config).run();
 //! assert_eq!(metrics.completions.len(), 3);
@@ -61,4 +62,6 @@ pub use metrics::{ActuationCounters, ChangeCounters, CompletionRecord, CycleSamp
 pub use scenario::{
     experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
 };
-pub use spec::ScenarioSpec;
+pub use spec::{ScenarioError, ScenarioSpec, TraceSpec};
+
+pub use dynaplace_trace::{JsonlSink, NoopSink, TraceConfig, TraceEvent, TraceLevel, TraceSink};

@@ -149,11 +149,14 @@ impl RunMetrics {
     }
 
     /// Completion records for jobs with (approximately) the given goal
-    /// factor.
+    /// factor. The comparison is relative, so factors large enough that
+    /// one ulp exceeds an absolute tolerance still match themselves
+    /// after a JSON round trip.
     pub fn completions_with_factor(&self, factor: f64) -> impl Iterator<Item = &CompletionRecord> {
-        self.completions
-            .iter()
-            .filter(move |c| (c.goal_factor - factor).abs() < 1e-6)
+        self.completions.iter().filter(move |c| {
+            let scale = c.goal_factor.abs().max(factor.abs()).max(1.0);
+            (c.goal_factor - factor).abs() <= 1e-9 * scale
+        })
     }
 
     /// Mean relative performance at completion.
@@ -165,24 +168,43 @@ impl RunMetrics {
         Some(Rp::new(sum / self.completions.len() as f64))
     }
 
-    /// Mean wall-clock placement compute time per cycle, in seconds.
+    /// Mean wall-clock placement compute time per cycle, in seconds,
+    /// over *all* sampled cycles. Cycles fast enough to measure as
+    /// exactly zero count toward the mean — dropping them (as an
+    /// earlier version did) biased the estimate upward on clusters
+    /// small enough that many cycles finish below timer resolution.
+    /// `None` only when no cycle was sampled at all.
     pub fn mean_placement_compute_secs(&self) -> Option<f64> {
-        let times: Vec<f64> = self
-            .samples
-            .iter()
-            .map(|s| s.placement_compute_secs)
-            .filter(|&t| t > 0.0)
-            .collect();
-        if times.is_empty() {
+        if self.samples.is_empty() {
             return None;
         }
-        Some(times.iter().sum::<f64>() / times.len() as f64)
+        let sum: f64 = self.samples.iter().map(|s| s.placement_compute_secs).sum();
+        Some(sum / self.samples.len() as f64)
+    }
+
+    /// Number of sampled cycles whose placement computation measured as
+    /// exactly zero seconds, i.e. finished below wall-clock timer
+    /// resolution.
+    pub fn sub_resolution_compute_cycles(&self) -> usize {
+        self.samples
+            .iter()
+            .filter(|s| s.placement_compute_secs == 0.0)
+            .count()
     }
 }
 
 // JSON conversions matching the checked-in `results/*.json` artifacts:
 // unit newtypes and ids render as plain numbers, absent optionals as
 // `null`.
+
+/// Decodes an application or node id, rejecting values a `u32` cannot
+/// hold. These used to be truncated with `as u32`, so a corrupt artifact
+/// with app `4294967297` silently decoded as app `1`.
+fn decode_id(raw: u64, what: &str) -> Result<u32, JsonError> {
+    u32::try_from(raw).map_err(|_| JsonError {
+        message: format!("{what} id {raw} is out of range (max {})", u32::MAX),
+    })
+}
 
 impl ToJson for CycleSample {
     fn to_json(&self) -> Json {
@@ -243,7 +265,7 @@ impl ToJson for CompletionRecord {
 impl FromJson for CompletionRecord {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         Ok(CompletionRecord {
-            app: AppId::new(v.field::<u64>("app")? as u32),
+            app: AppId::new(decode_id(v.field::<u64>("app")?, "app")?),
             arrival: SimTime::from_secs(v.field("arrival")?),
             completion: SimTime::from_secs(v.field("completion")?),
             deadline: SimTime::from_secs(v.field("deadline")?),
@@ -354,8 +376,10 @@ impl FromJson for PlacementRecord {
         };
         let mut placement = Placement::new();
         for (app, (node, count)) in triples {
+            let app = AppId::new(decode_id(app, "app")?);
+            let node = NodeId::new(decode_id(node, "node")?);
             for _ in 0..count {
-                placement.place(AppId::new(app as u32), NodeId::new(node as u32));
+                placement.place(app, node);
             }
         }
         Ok(PlacementRecord {
@@ -426,6 +450,78 @@ mod tests {
         assert_eq!(m.completions_with_factor(1.3).count(), 1);
         assert_eq!(m.completions_with_factor(4.0).count(), 1);
         assert_eq!(m.completions_with_factor(2.5).count(), 0);
+    }
+
+    #[test]
+    fn filter_by_factor_is_relative_not_absolute() {
+        // One ulp at 1e13 is ~2e-3 — far beyond the old absolute 1e-6
+        // tolerance, so a record could fail to match its own factor.
+        let big = 12_345_678_901_234.5_f64;
+        let nudged = f64::from_bits(big.to_bits() + 1);
+        let mut m = RunMetrics::default();
+        m.completions.push(completion(true, nudged, 0.5));
+        assert_eq!(m.completions_with_factor(big).count(), 1);
+        // Genuinely different factors still do not match.
+        assert_eq!(m.completions_with_factor(big * 1.5).count(), 0);
+    }
+
+    fn sample_with_compute(secs: f64) -> CycleSample {
+        CycleSample {
+            time: SimTime::ZERO,
+            batch_hypothetical_rp: None,
+            txn_rp: None,
+            batch_allocation: CpuSpeed::ZERO,
+            txn_allocation: CpuSpeed::ZERO,
+            running_jobs: 0,
+            waiting_jobs: 0,
+            placement_compute_secs: secs,
+            pending_actions: 0,
+        }
+    }
+
+    #[test]
+    fn mean_compute_time_counts_sub_resolution_cycles() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.mean_placement_compute_secs(), None);
+        // One cycle below timer resolution, one at 0.2 s. The old
+        // implementation dropped the zero and reported 0.2.
+        m.samples.push(sample_with_compute(0.0));
+        m.samples.push(sample_with_compute(0.2));
+        let mean = m.mean_placement_compute_secs().unwrap();
+        assert!((mean - 0.1).abs() < 1e-12, "got {mean}");
+        assert_eq!(m.sub_resolution_compute_cycles(), 1);
+    }
+
+    #[test]
+    fn out_of_range_ids_fail_to_decode() {
+        // u32::MAX + 2 used to truncate to app 1.
+        let text = r#"{
+            "app": 4294967297, "arrival": 0.0, "completion": 1.0,
+            "deadline": 2.0, "distance": 1.0, "rp": 0.5,
+            "goal_factor": 2.0, "met_deadline": true
+        }"#;
+        let err = CompletionRecord::from_json(&Json::parse(text).unwrap()).unwrap_err();
+        assert!(err.message.contains("4294967297"), "{}", err.message);
+        assert!(err.message.contains("out of range"), "{}", err.message);
+
+        let text = r#"{ "time": 0.0, "instances": [[0, 4294967297, 1]] }"#;
+        let err = PlacementRecord::from_json(&Json::parse(text).unwrap()).unwrap_err();
+        assert!(err.message.contains("node id"), "{}", err.message);
+
+        // In-range ids still decode.
+        let text = r#"{ "time": 0.0, "instances": [[7, 3, 2]] }"#;
+        let rec = PlacementRecord::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(rec.placement.count(AppId::new(7), NodeId::new(3)), 2);
+    }
+
+    #[test]
+    fn large_goal_factor_survives_json_round_trip() {
+        let mut m = RunMetrics::default();
+        m.completions.push(completion(true, 9.87654321e12, 0.25));
+        let text = m.to_json().pretty();
+        let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.completions[0].goal_factor, 9.87654321e12);
+        assert_eq!(back.completions_with_factor(9.87654321e12).count(), 1);
     }
 
     #[test]

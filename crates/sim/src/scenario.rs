@@ -345,6 +345,7 @@ mod tests {
             estimate_txn_demand: false,
             record_placements: false,
             actuation: Default::default(),
+            trace: Default::default(),
         }
     }
 

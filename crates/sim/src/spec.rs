@@ -16,6 +16,8 @@ use dynaplace_txn::workload::{ConstantRate, StepPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use dynaplace_trace::{TraceConfig, TraceLevel};
+
 use crate::actuation::ActuationConfig;
 use crate::costs::VmCostModel;
 use crate::engine::{NodeOutage, SchedulerKind, SimConfig, Simulation};
@@ -217,6 +219,36 @@ impl ActuationSpec {
     }
 }
 
+/// Decision-provenance tracing (see `dynaplace-trace`), in scenario-file
+/// form. Absent, or present without a `path`, means tracing is off and
+/// the run is bit-identical to an untraced one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// JSONL output path; `None` disables tracing entirely.
+    pub path: Option<String>,
+    /// Verbosity: `"decisions"` (the default) or `"verbose"`.
+    pub level: String,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        Self {
+            path: None,
+            level: TraceLevel::Decisions.name().to_string(),
+        }
+    }
+}
+
+impl TraceSpec {
+    fn to_config(&self) -> TraceConfig {
+        TraceConfig {
+            path: self.path.clone(),
+            // `validate` has already rejected unknown names.
+            level: TraceLevel::from_name(&self.level).unwrap_or(TraceLevel::Decisions),
+        }
+    }
+}
+
 /// A structurally invalid scenario, detected at load time instead of as
 /// a mid-run panic (or, worse, a silent no-op).
 #[derive(Debug, Clone, PartialEq)]
@@ -245,11 +277,25 @@ pub enum ScenarioError {
         /// Index into `jobs`.
         group_index: usize,
     },
+    /// `trace.level` is not a known trace verbosity name.
+    UnknownTraceLevel {
+        /// The unrecognized name.
+        level: String,
+    },
+    /// A numeric field that feeds simulated time is NaN or infinite.
+    /// Letting these through used to panic deep inside the baseline
+    /// schedulers' comparison sorts instead of failing at load time.
+    NonFiniteNumber {
+        /// Dotted path of the offending field, e.g. `jobs[0].arrivals.at[2]`.
+        field: String,
+        /// The non-finite value.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match *self {
+        match self {
             ScenarioError::NoNodes => write!(f, "scenario needs at least one node group"),
             ScenarioError::NodeFailureOutOfRange {
                 failure_index,
@@ -267,6 +313,12 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "jobs[{group_index}] uses parallel tasks, which only the apc scheduler supports"
             ),
+            ScenarioError::UnknownTraceLevel { level } => {
+                write!(f, "trace.level must be decisions|verbose, got {level:?}")
+            }
+            ScenarioError::NonFiniteNumber { field, value } => {
+                write!(f, "{field} must be finite, got {value}")
+            }
         }
     }
 }
@@ -328,6 +380,9 @@ pub struct ScenarioSpec {
     /// leave unset for reproducible runs.
     #[serde(default)]
     pub deadline_secs: Option<f64>,
+    /// Decision-provenance tracing; defaults to off.
+    #[serde(default)]
+    pub trace: TraceSpec,
 }
 
 impl ScenarioSpec {
@@ -338,7 +393,10 @@ impl ScenarioSpec {
 
     /// Checks the scenario's structural consistency: at least one node,
     /// every scripted node failure inside the cluster, a convergent
-    /// actuation failure rate, parallel jobs only under APC.
+    /// actuation failure rate, parallel jobs only under APC, a known
+    /// trace level, and finite values everywhere a number feeds
+    /// simulated time (NaN arrivals or deadlines used to surface as
+    /// panics inside the baseline schedulers' sorts).
     ///
     /// # Errors
     ///
@@ -367,6 +425,76 @@ impl ScenarioSpec {
                 if group.tasks > 1 {
                     return Err(ScenarioError::ParallelJobsNeedApc { group_index });
                 }
+            }
+        }
+        if TraceLevel::from_name(&self.trace.level).is_none() {
+            return Err(ScenarioError::UnknownTraceLevel {
+                level: self.trace.level.clone(),
+            });
+        }
+        self.validate_finite()
+    }
+
+    /// The finiteness half of [`ScenarioSpec::validate`]: every number
+    /// that ends up on a simulated timeline must be finite.
+    fn validate_finite(&self) -> Result<(), ScenarioError> {
+        fn finite(field: String, value: f64) -> Result<(), ScenarioError> {
+            if value.is_finite() {
+                Ok(())
+            } else {
+                Err(ScenarioError::NonFiniteNumber { field, value })
+            }
+        }
+        finite("cycle_secs".to_string(), self.cycle_secs)?;
+        if let Some(h) = self.horizon_secs {
+            finite("horizon_secs".to_string(), h)?;
+        }
+        for (i, group) in self.jobs.iter().enumerate() {
+            finite(format!("jobs[{i}].work_mcycles"), group.work_mcycles)?;
+            finite(format!("jobs[{i}].max_speed_mhz"), group.max_speed_mhz)?;
+            match group.goal {
+                GoalSpec::Factor(f) => finite(format!("jobs[{i}].goal.factor"), f)?,
+                GoalSpec::RelativeSecs(s) => {
+                    finite(format!("jobs[{i}].goal.relative_secs"), s)?;
+                }
+            }
+            match &group.arrivals {
+                ArrivalSpec::Exponential { mean_secs } => {
+                    finite(
+                        format!("jobs[{i}].arrivals.exponential.mean_secs"),
+                        *mean_secs,
+                    )?;
+                }
+                ArrivalSpec::Periodic { every_secs } => {
+                    finite(
+                        format!("jobs[{i}].arrivals.periodic.every_secs"),
+                        *every_secs,
+                    )?;
+                }
+                ArrivalSpec::At(times) => {
+                    for (j, &t) in times.iter().enumerate() {
+                        finite(format!("jobs[{i}].arrivals.at[{j}]"), t)?;
+                    }
+                }
+            }
+        }
+        for (i, txn) in self.txns.iter().enumerate() {
+            finite(format!("txns[{i}].floor_secs"), txn.floor_secs)?;
+            finite(format!("txns[{i}].goal_secs"), txn.goal_secs)?;
+            match &txn.rate {
+                RateSpec::Constant(r) => finite(format!("txns[{i}].rate"), *r)?,
+                RateSpec::Steps(steps) => {
+                    for (j, &(t, r)) in steps.iter().enumerate() {
+                        finite(format!("txns[{i}].rate[{j}].start_secs"), t)?;
+                        finite(format!("txns[{i}].rate[{j}].rate"), r)?;
+                    }
+                }
+            }
+        }
+        for (i, failure) in self.node_failures.iter().enumerate() {
+            finite(format!("node_failures[{i}].at_secs"), failure.at_secs)?;
+            if let Some(d) = failure.duration_secs {
+                finite(format!("node_failures[{i}].duration_secs"), d)?;
             }
         }
         Ok(())
@@ -422,6 +550,7 @@ impl ScenarioSpec {
             },
             node_failures: self.node_failures.iter().map(|f| f.to_outage()).collect(),
             actuation: self.actuation.to_config(),
+            trace: self.trace.to_config(),
             ..SimConfig::apc_default()
         };
         let mut sim = Simulation::new(cluster, config);
@@ -744,6 +873,25 @@ impl FromJson for ActuationSpec {
     }
 }
 
+impl ToJson for TraceSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("path", self.path.to_json()),
+            ("level", Json::Str(self.level.clone())),
+        ])
+    }
+}
+
+impl FromJson for TraceSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let d = TraceSpec::default();
+        Ok(TraceSpec {
+            path: v.field_or("path")?,
+            level: v.field_or_else("level", || d.level)?,
+        })
+    }
+}
+
 impl ToJson for RateSpec {
     fn to_json(&self) -> Json {
         match self {
@@ -779,6 +927,7 @@ impl ToJson for ScenarioSpec {
             ("node_failures", self.node_failures.to_json()),
             ("actuation", self.actuation.to_json()),
             ("deadline_secs", self.deadline_secs.to_json()),
+            ("trace", self.trace.to_json()),
         ])
     }
 }
@@ -797,6 +946,7 @@ impl FromJson for ScenarioSpec {
             node_failures: v.field_or("node_failures")?,
             actuation: v.field_or_else("actuation", ActuationSpec::default)?,
             deadline_secs: v.field_or("deadline_secs")?,
+            trace: v.field_or_else("trace", TraceSpec::default)?,
         })
     }
 }
@@ -850,6 +1000,7 @@ mod tests {
             node_failures: vec![],
             actuation: ActuationSpec::default(),
             deadline_secs: None,
+            trace: TraceSpec::default(),
         }
     }
 
@@ -978,6 +1129,62 @@ mod tests {
             parsed.backoff_factor,
             ActuationSpec::default().backoff_factor
         );
+    }
+
+    #[test]
+    fn trace_block_defaults_to_off_and_round_trips() {
+        // No trace block: off, and the default round-trips unchanged.
+        let spec = minimal(SchedulerSpec::Apc);
+        let back = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back.trace, TraceSpec::default());
+        assert_eq!(back.trace.path, None);
+        // A partial block inherits the decisions default level.
+        let partial = Json::parse(r#"{ "path": "out.jsonl" }"#).unwrap();
+        let parsed = TraceSpec::from_json(&partial).unwrap();
+        assert_eq!(parsed.path.as_deref(), Some("out.jsonl"));
+        assert_eq!(parsed.level, "decisions");
+    }
+
+    #[test]
+    fn unknown_trace_level_is_a_typed_error() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.trace.level = "chatty".to_string();
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::UnknownTraceLevel {
+                level: "chatty".to_string(),
+            })
+        );
+        let err = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap_err();
+        assert!(err.message.contains("trace.level"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_finite_times_are_rejected_at_load_time() {
+        // A NaN explicit arrival used to reach the FCFS/EDF sort and
+        // panic mid-run; now it is a typed load-time error.
+        let mut spec = minimal(SchedulerSpec::Fcfs);
+        spec.jobs[0].arrivals = ArrivalSpec::At(vec![0.0, f64::NAN]);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonFiniteNumber { ref field, value })
+                if field == "jobs[0].arrivals.at[1]" && value.is_nan()
+        ));
+
+        let mut spec = minimal(SchedulerSpec::Edf);
+        spec.jobs[0].goal = GoalSpec::RelativeSecs(f64::INFINITY);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonFiniteNumber { ref field, .. })
+                if field == "jobs[0].goal.relative_secs"
+        ));
+
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.cycle_secs = f64::NAN;
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonFiniteNumber { ref field, .. }) if field == "cycle_secs"
+        ));
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn config(kind: SchedulerKind) -> SimConfig {
         estimate_txn_demand: false,
         record_placements: false,
         actuation: Default::default(),
+        trace: Default::default(),
     }
 }
 
@@ -238,6 +239,7 @@ fn example_s2_starts_j2_earlier_than_s1_under_narrative_config() {
         estimate_txn_demand: false,
         record_placements: false,
         actuation: Default::default(),
+        trace: Default::default(),
     };
     let s1 = paper_example(ExampleScenario::S1, narrative()).run();
     let s2 = paper_example(ExampleScenario::S2, narrative()).run();

@@ -59,6 +59,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
             node_failures: vec![],
             actuation: Default::default(),
             deadline_secs: None,
+            trace: Default::default(),
         })
 }
 

@@ -96,7 +96,7 @@ impl PiecewiseLinear {
             return pts[pts.len() - 1].1;
         }
         // Binary search for the segment containing x.
-        let idx = match pts.binary_search_by(|&(px, _)| px.partial_cmp(&x).unwrap()) {
+        let idx = match pts.binary_search_by(|&(px, _)| px.total_cmp(&x)) {
             Ok(i) => return pts[i].1,
             Err(i) => i, // pts[i-1].0 < x < pts[i].0
         };

@@ -53,7 +53,7 @@ pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, Regres
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
             .unwrap();
         if m[pivot][col].abs() < 1e-12 {
             return Err(RegressionError::Singular);

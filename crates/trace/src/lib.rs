@@ -1,0 +1,1362 @@
+//! Decision-provenance tracing for the placement controller.
+//!
+//! The paper's evaluation (§5, Figs. 2–7) explains controller behavior
+//! decision by decision: which jobs were suspended, why an instance was
+//! evicted, how far the optimizer got before settling. This crate gives
+//! the reproduction the same vocabulary as a structured event stream.
+//! Every consequential decision in the optimizer, the engine loop, and
+//! the actuation layer emits a typed [`TraceEvent`] into a [`TraceSink`].
+//!
+//! # Determinism contract
+//!
+//! Trace *content* is deterministic: events are keyed by sim time, cycle
+//! index, and counters only — never wall-clock timestamps. The single
+//! nondeterministic quantity (how long a phase took in host wall-clock
+//! time) lives in the dedicated `wall_secs` field of
+//! [`TraceEvent::PhaseSpan`], which [`strip_nondeterministic`] removes so
+//! golden comparisons diff only the deterministic fields. Two runs of the
+//! same scenario with the same seed and config produce byte-identical
+//! deterministic traces.
+//!
+//! # Sinks
+//!
+//! * [`NoopSink`] — the default. Reports that it wants no level, so call
+//!   sites skip event construction entirely; a run with the no-op sink is
+//!   bit-identical to a build without tracing.
+//! * [`JsonlSink`] — buffers each event as one compact JSON line,
+//!   filtered by [`TraceLevel`]; flush with [`JsonlSink::write_to`] or
+//!   inspect in-memory via [`JsonlSink::lines`].
+//!
+//! Call sites gate on [`TraceSink::wants`] before building an event, so
+//! the cost of a disabled level is one virtual call and a branch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+use dynaplace_json::{obj, Json, JsonError};
+use dynaplace_model::{AppId, NodeId};
+
+/// How much detail a sink records.
+///
+/// Levels are ordered: a sink configured at [`TraceLevel::Verbose`] also
+/// records everything at [`TraceLevel::Decisions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceLevel {
+    /// Structural decisions only: cycle boundaries, optimizer pass
+    /// summaries, accepted candidates, actuation outcomes. Bounded per
+    /// cycle, suitable for golden files.
+    Decisions,
+    /// Everything, including per-node loop entry/exit and every rejected
+    /// candidate. Unbounded per cycle; for interactive debugging.
+    Verbose,
+}
+
+impl Ord for TraceLevel {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+impl PartialOrd for TraceLevel {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TraceLevel {
+    /// Parses the scenario wire name (`"decisions"` / `"verbose"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "decisions" => Some(TraceLevel::Decisions),
+            "verbose" => Some(TraceLevel::Verbose),
+            _ => None,
+        }
+    }
+
+    /// The scenario wire name of this level.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Decisions => "decisions",
+            TraceLevel::Verbose => "verbose",
+        }
+    }
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Trace settings carried by the simulation config and the scenario spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Where the engine flushes the JSONL stream at end of run; `None`
+    /// leaves tracing off (the engine installs a [`NoopSink`]).
+    pub path: Option<String>,
+    /// Detail level for the file sink.
+    pub level: TraceLevel,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            path: None,
+            level: TraceLevel::Decisions,
+        }
+    }
+}
+
+/// Engine phase measured by a [`TraceEvent::PhaseSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The placement optimizer pass of a control cycle.
+    Optimize,
+    /// Turning the optimizer's actions into actuation operations.
+    Actuate,
+    /// Reconciling desired vs. actual placement after failed operations.
+    Reconcile,
+    /// Recording the per-cycle metrics sample.
+    Sample,
+}
+
+impl Phase {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Optimize => "optimize",
+            Phase::Actuate => "actuate",
+            Phase::Reconcile => "reconcile",
+            Phase::Sample => "sample",
+        }
+    }
+
+    /// Parses the wire name back into a phase.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "optimize" => Some(Phase::Optimize),
+            "actuate" => Some(Phase::Actuate),
+            "reconcile" => Some(Phase::Reconcile),
+            "sample" => Some(Phase::Sample),
+            _ => None,
+        }
+    }
+}
+
+/// Which optimizer entry point produced a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizeMode {
+    /// Full `place()` with removals allowed.
+    Place,
+    /// `fill_only()`: additions onto the current placement only.
+    FillOnly,
+}
+
+impl OptimizeMode {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizeMode::Place => "place",
+            OptimizeMode::FillOnly => "fill_only",
+        }
+    }
+
+    /// Parses the wire name back into a mode.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "place" => Some(OptimizeMode::Place),
+            "fill_only" => Some(OptimizeMode::FillOnly),
+            _ => None,
+        }
+    }
+}
+
+/// Cache hit/miss counters for one optimizer pass, mirroring the four
+/// memo layers of the score cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Whole-placement score memo hits.
+    pub score_hits: u64,
+    /// Whole-placement score memo misses.
+    pub score_misses: u64,
+    /// Raw batch demand memo hits.
+    pub demand_hits: u64,
+    /// Raw batch demand memo misses.
+    pub demand_misses: u64,
+    /// Batch one-cycle-ahead evaluation memo hits.
+    pub batch_hits: u64,
+    /// Batch one-cycle-ahead evaluation memo misses.
+    pub batch_misses: u64,
+    /// Per-job hypothetical column memo hits.
+    pub column_hits: u64,
+    /// Per-job hypothetical column memo misses.
+    pub column_misses: u64,
+}
+
+/// One recorded decision. Every variant carries the sim time (`time`,
+/// seconds since the simulation origin) it was made at; engine-side
+/// variants also carry the control-cycle index so a reader can group
+/// optimizer events (which do not know the cycle) under the preceding
+/// [`TraceEvent::CycleStart`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A control cycle began.
+    CycleStart {
+        /// Sim time of the cycle.
+        time: f64,
+        /// Zero-based control-cycle index.
+        cycle: u64,
+    },
+    /// Wall-clock span of one engine phase. `wall_secs` is host
+    /// wall-clock time — the explicitly nondeterministic field; all other
+    /// fields are deterministic.
+    PhaseSpan {
+        /// Sim time of the cycle the phase ran in.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// Which phase was measured.
+        phase: Phase,
+        /// Host wall-clock duration of the phase, in seconds.
+        wall_secs: f64,
+    },
+    /// An optimizer pass began.
+    OptimizeStart {
+        /// Sim time of the pass (`PlacementProblem::now`).
+        time: f64,
+        /// Entry point that produced the pass.
+        mode: OptimizeMode,
+        /// Applications visible to the optimizer.
+        apps: usize,
+        /// Nodes visible to the optimizer.
+        nodes: usize,
+    },
+    /// An optimizer pass settled (or was truncated by the deadline).
+    OptimizeEnd {
+        /// Sim time of the pass.
+        time: f64,
+        /// Candidate placements scored.
+        evaluations: u64,
+        /// Full node sweeps performed.
+        sweeps: u64,
+        /// Candidates adopted.
+        adoptions: u64,
+        /// Whether the anytime deadline truncated the pass.
+        timed_out: bool,
+    },
+    /// The node loop entered a node (verbose).
+    NodeEnter {
+        /// Sim time of the pass.
+        time: f64,
+        /// Zero-based sweep index.
+        sweep: u64,
+        /// Node being optimized.
+        node: NodeId,
+        /// Movable residents considered for removal on this node.
+        residents: usize,
+    },
+    /// The node loop left a node (verbose).
+    NodeExit {
+        /// Sim time of the pass.
+        time: f64,
+        /// Zero-based sweep index.
+        sweep: u64,
+        /// Node that was optimized.
+        node: NodeId,
+        /// Candidate placements scored for this node.
+        candidates: usize,
+        /// Whether any candidate was adopted for this node.
+        adopted: bool,
+    },
+    /// A candidate placement beat the incumbent and was adopted.
+    CandidateAccepted {
+        /// Sim time of the pass.
+        time: f64,
+        /// Zero-based sweep index.
+        sweep: u64,
+        /// Node whose reshuffle was adopted.
+        node: NodeId,
+        /// Relative-performance delta that justified adoption: the first
+        /// satisfaction-vector element (lexicographic max-min order)
+        /// differing from the incumbent by more than the configured
+        /// epsilon, candidate minus incumbent.
+        delta: f64,
+        /// Placement changes (starts + stops + migrations) the candidate
+        /// costs relative to the incumbent.
+        disruptions: usize,
+        /// Improvement threshold the delta had to clear (start or
+        /// disruption threshold, whichever applied).
+        threshold: f64,
+    },
+    /// A candidate placement was scored and rejected (verbose).
+    CandidateRejected {
+        /// Sim time of the pass.
+        time: f64,
+        /// Zero-based sweep index.
+        sweep: u64,
+        /// Node whose reshuffle was rejected.
+        node: NodeId,
+        /// Relative-performance delta vs. the incumbent (see
+        /// [`TraceEvent::CandidateAccepted::delta`]); zero or negative
+        /// deltas lose outright, small positive ones fail the threshold.
+        delta: f64,
+        /// Placement changes the candidate would have cost.
+        disruptions: usize,
+        /// Improvement threshold the delta failed to clear.
+        threshold: f64,
+    },
+    /// The transactional expansion loop grew an app onto a node.
+    TxnExpanded {
+        /// Sim time of the pass.
+        time: f64,
+        /// Transactional application that gained an instance.
+        app: AppId,
+        /// Node the instance was added to.
+        node: NodeId,
+        /// Relative-performance delta that justified the expansion.
+        delta: f64,
+    },
+    /// Cache hit/miss counters for one optimizer pass. Deterministic for
+    /// a fixed config (counters depend on the scoring mode and thread
+    /// count, both config, not on timing).
+    CachePassStats {
+        /// Sim time of the pass.
+        time: f64,
+        /// The four-layer hit/miss counters.
+        counters: CacheCounters,
+    },
+    /// The anytime deadline truncated the optimizer mid-pass.
+    DeadlineTruncated {
+        /// Sim time of the pass.
+        time: f64,
+        /// Sweep index the truncation happened in.
+        sweep: u64,
+        /// Evaluations completed before truncation.
+        evaluations: u64,
+    },
+    /// An actuation operation was resolved (issued and either applied,
+    /// failed, or timed out). `attempt > 1` marks a retry.
+    OpResolved {
+        /// Sim time the operation resolved at.
+        time: f64,
+        /// Control-cycle index it was issued in.
+        cycle: u64,
+        /// Application being actuated.
+        app: AppId,
+        /// Node the operation targets.
+        node: NodeId,
+        /// Operation kind (`boot` / `suspend` / `resume` / `migrate`).
+        op: &'static str,
+        /// One-based attempt number for this (app, node) pair.
+        attempt: u64,
+        /// Outcome (`applied` / `failed` / `timed_out`).
+        outcome: &'static str,
+        /// Simulated operation latency in sim seconds (deterministic:
+        /// drawn from the cost model, not measured).
+        latency_secs: f64,
+    },
+    /// An operation was deferred by backoff, quarantine, or a rollback
+    /// feasibility check, leaving desired ≠ actual for now.
+    OpDeferred {
+        /// Sim time of the deferral.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// Application whose operation was deferred.
+        app: AppId,
+        /// Node the deferred operation targets.
+        node: NodeId,
+        /// Why it was deferred (`backoff` / `quarantine` / `rollback`).
+        reason: &'static str,
+    },
+    /// An (app, node) pair crossed the failure threshold and was
+    /// quarantined; `place()` routes around it via `forbidden`.
+    Quarantined {
+        /// Sim time of the quarantine decision.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// Application of the quarantined pair.
+        app: AppId,
+        /// Node of the quarantined pair.
+        node: NodeId,
+    },
+    /// Desired and actual placement diverged; reconciliation re-issued
+    /// this many operations.
+    ReconcileDiff {
+        /// Sim time of the reconciliation.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// Operations in the desired-vs-actual diff.
+        pending: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The minimum sink level at which this event is recorded.
+    pub fn level(&self) -> TraceLevel {
+        match self {
+            TraceEvent::NodeEnter { .. }
+            | TraceEvent::NodeExit { .. }
+            | TraceEvent::CandidateRejected { .. } => TraceLevel::Verbose,
+            _ => TraceLevel::Decisions,
+        }
+    }
+
+    /// Stable event-kind tag (the `"ev"` field of the JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::CycleStart { .. } => "cycle_start",
+            TraceEvent::PhaseSpan { .. } => "phase_span",
+            TraceEvent::OptimizeStart { .. } => "optimize_start",
+            TraceEvent::OptimizeEnd { .. } => "optimize_end",
+            TraceEvent::NodeEnter { .. } => "node_enter",
+            TraceEvent::NodeExit { .. } => "node_exit",
+            TraceEvent::CandidateAccepted { .. } => "candidate_accepted",
+            TraceEvent::CandidateRejected { .. } => "candidate_rejected",
+            TraceEvent::TxnExpanded { .. } => "txn_expanded",
+            TraceEvent::CachePassStats { .. } => "cache_pass_stats",
+            TraceEvent::DeadlineTruncated { .. } => "deadline_truncated",
+            TraceEvent::OpResolved { .. } => "op_resolved",
+            TraceEvent::OpDeferred { .. } => "op_deferred",
+            TraceEvent::Quarantined { .. } => "quarantined",
+            TraceEvent::ReconcileDiff { .. } => "reconcile_diff",
+        }
+    }
+
+    /// The JSON object for one JSONL line. Field order is fixed: `ev`
+    /// first, deterministic fields next, and the nondeterministic
+    /// `wall_secs` (phase spans only) last.
+    pub fn to_json(&self) -> Json {
+        let ev = Json::Str(self.kind().to_string());
+        match *self {
+            TraceEvent::CycleStart { time, cycle } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+            ]),
+            TraceEvent::PhaseSpan {
+                time,
+                cycle,
+                phase,
+                wall_secs,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("phase", Json::Str(phase.name().to_string())),
+                ("wall_secs", Json::Num(wall_secs)),
+            ]),
+            TraceEvent::OptimizeStart {
+                time,
+                mode,
+                apps,
+                nodes,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("mode", Json::Str(mode.name().to_string())),
+                ("apps", Json::Num(apps as f64)),
+                ("nodes", Json::Num(nodes as f64)),
+            ]),
+            TraceEvent::OptimizeEnd {
+                time,
+                evaluations,
+                sweeps,
+                adoptions,
+                timed_out,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("evaluations", Json::Num(evaluations as f64)),
+                ("sweeps", Json::Num(sweeps as f64)),
+                ("adoptions", Json::Num(adoptions as f64)),
+                ("timed_out", Json::Bool(timed_out)),
+            ]),
+            TraceEvent::NodeEnter {
+                time,
+                sweep,
+                node,
+                residents,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("sweep", Json::Num(sweep as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("residents", Json::Num(residents as f64)),
+            ]),
+            TraceEvent::NodeExit {
+                time,
+                sweep,
+                node,
+                candidates,
+                adopted,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("sweep", Json::Num(sweep as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("candidates", Json::Num(candidates as f64)),
+                ("adopted", Json::Bool(adopted)),
+            ]),
+            TraceEvent::CandidateAccepted {
+                time,
+                sweep,
+                node,
+                delta,
+                disruptions,
+                threshold,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("sweep", Json::Num(sweep as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("delta", Json::Num(delta)),
+                ("disruptions", Json::Num(disruptions as f64)),
+                ("threshold", Json::Num(threshold)),
+            ]),
+            TraceEvent::CandidateRejected {
+                time,
+                sweep,
+                node,
+                delta,
+                disruptions,
+                threshold,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("sweep", Json::Num(sweep as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("delta", Json::Num(delta)),
+                ("disruptions", Json::Num(disruptions as f64)),
+                ("threshold", Json::Num(threshold)),
+            ]),
+            TraceEvent::TxnExpanded {
+                time,
+                app,
+                node,
+                delta,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("app", Json::Num(app.index() as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("delta", Json::Num(delta)),
+            ]),
+            TraceEvent::CachePassStats { time, counters } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("score_hits", Json::Num(counters.score_hits as f64)),
+                ("score_misses", Json::Num(counters.score_misses as f64)),
+                ("demand_hits", Json::Num(counters.demand_hits as f64)),
+                ("demand_misses", Json::Num(counters.demand_misses as f64)),
+                ("batch_hits", Json::Num(counters.batch_hits as f64)),
+                ("batch_misses", Json::Num(counters.batch_misses as f64)),
+                ("column_hits", Json::Num(counters.column_hits as f64)),
+                ("column_misses", Json::Num(counters.column_misses as f64)),
+            ]),
+            TraceEvent::DeadlineTruncated {
+                time,
+                sweep,
+                evaluations,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("sweep", Json::Num(sweep as f64)),
+                ("evaluations", Json::Num(evaluations as f64)),
+            ]),
+            TraceEvent::OpResolved {
+                time,
+                cycle,
+                app,
+                node,
+                op,
+                attempt,
+                outcome,
+                latency_secs,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("app", Json::Num(app.index() as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("op", Json::Str(op.to_string())),
+                ("attempt", Json::Num(attempt as f64)),
+                ("outcome", Json::Str(outcome.to_string())),
+                ("latency_secs", Json::Num(latency_secs)),
+            ]),
+            TraceEvent::OpDeferred {
+                time,
+                cycle,
+                app,
+                node,
+                reason,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("app", Json::Num(app.index() as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("reason", Json::Str(reason.to_string())),
+            ]),
+            TraceEvent::Quarantined {
+                time,
+                cycle,
+                app,
+                node,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("app", Json::Num(app.index() as f64)),
+                ("node", Json::Num(node.index() as f64)),
+            ]),
+            TraceEvent::ReconcileDiff {
+                time,
+                cycle,
+                pending,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("pending", Json::Num(pending as f64)),
+            ]),
+        }
+    }
+
+    /// Parses one JSONL line's object back into an event — the inverse
+    /// of [`TraceEvent::to_json`], used by the `trace_dump` renderer.
+    /// Lines with the nondeterministic fields stripped still parse (a
+    /// missing `wall_secs` decodes as zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<TraceEvent, JsonError> {
+        fn missing(what: &str) -> JsonError {
+            JsonError {
+                message: format!("trace event missing or malformed {what}"),
+            }
+        }
+        fn num(v: &Json, k: &str) -> Result<f64, JsonError> {
+            v.get(k).and_then(Json::as_f64).ok_or_else(|| missing(k))
+        }
+        fn uint(v: &Json, k: &str) -> Result<u64, JsonError> {
+            let n = num(v, k)?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(missing(k));
+            }
+            Ok(n as u64)
+        }
+        fn count(v: &Json, k: &str) -> Result<usize, JsonError> {
+            Ok(uint(v, k)? as usize)
+        }
+        fn flag(v: &Json, k: &str) -> Result<bool, JsonError> {
+            v.get(k).and_then(Json::as_bool).ok_or_else(|| missing(k))
+        }
+        fn text<'a>(v: &'a Json, k: &str) -> Result<&'a str, JsonError> {
+            v.get(k).and_then(Json::as_str).ok_or_else(|| missing(k))
+        }
+        fn id(v: &Json, k: &str) -> Result<u32, JsonError> {
+            u32::try_from(uint(v, k)?).map_err(|_| missing(k))
+        }
+        /// Resolves a decoded string against the fixed vocabulary the
+        /// encoder uses, restoring the `&'static str` the event carries.
+        fn intern(v: &Json, k: &str, table: &[&'static str]) -> Result<&'static str, JsonError> {
+            let s = text(v, k)?;
+            table
+                .iter()
+                .copied()
+                .find(|t| *t == s)
+                .ok_or_else(|| JsonError {
+                    message: format!("unknown trace {k} {s:?}"),
+                })
+        }
+
+        let kind = text(v, "ev")?;
+        let time = num(v, "time")?;
+        Ok(match kind {
+            "cycle_start" => TraceEvent::CycleStart {
+                time,
+                cycle: uint(v, "cycle")?,
+            },
+            "phase_span" => TraceEvent::PhaseSpan {
+                time,
+                cycle: uint(v, "cycle")?,
+                phase: Phase::from_name(text(v, "phase")?).ok_or_else(|| missing("phase"))?,
+                wall_secs: v.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0),
+            },
+            "optimize_start" => TraceEvent::OptimizeStart {
+                time,
+                mode: OptimizeMode::from_name(text(v, "mode")?).ok_or_else(|| missing("mode"))?,
+                apps: count(v, "apps")?,
+                nodes: count(v, "nodes")?,
+            },
+            "optimize_end" => TraceEvent::OptimizeEnd {
+                time,
+                evaluations: uint(v, "evaluations")?,
+                sweeps: uint(v, "sweeps")?,
+                adoptions: uint(v, "adoptions")?,
+                timed_out: flag(v, "timed_out")?,
+            },
+            "node_enter" => TraceEvent::NodeEnter {
+                time,
+                sweep: uint(v, "sweep")?,
+                node: NodeId::new(id(v, "node")?),
+                residents: count(v, "residents")?,
+            },
+            "node_exit" => TraceEvent::NodeExit {
+                time,
+                sweep: uint(v, "sweep")?,
+                node: NodeId::new(id(v, "node")?),
+                candidates: count(v, "candidates")?,
+                adopted: flag(v, "adopted")?,
+            },
+            "candidate_accepted" => TraceEvent::CandidateAccepted {
+                time,
+                sweep: uint(v, "sweep")?,
+                node: NodeId::new(id(v, "node")?),
+                delta: num(v, "delta")?,
+                disruptions: count(v, "disruptions")?,
+                threshold: num(v, "threshold")?,
+            },
+            "candidate_rejected" => TraceEvent::CandidateRejected {
+                time,
+                sweep: uint(v, "sweep")?,
+                node: NodeId::new(id(v, "node")?),
+                delta: num(v, "delta")?,
+                disruptions: count(v, "disruptions")?,
+                threshold: num(v, "threshold")?,
+            },
+            "txn_expanded" => TraceEvent::TxnExpanded {
+                time,
+                app: AppId::new(id(v, "app")?),
+                node: NodeId::new(id(v, "node")?),
+                delta: num(v, "delta")?,
+            },
+            "cache_pass_stats" => TraceEvent::CachePassStats {
+                time,
+                counters: CacheCounters {
+                    score_hits: uint(v, "score_hits")?,
+                    score_misses: uint(v, "score_misses")?,
+                    demand_hits: uint(v, "demand_hits")?,
+                    demand_misses: uint(v, "demand_misses")?,
+                    batch_hits: uint(v, "batch_hits")?,
+                    batch_misses: uint(v, "batch_misses")?,
+                    column_hits: uint(v, "column_hits")?,
+                    column_misses: uint(v, "column_misses")?,
+                },
+            },
+            "deadline_truncated" => TraceEvent::DeadlineTruncated {
+                time,
+                sweep: uint(v, "sweep")?,
+                evaluations: uint(v, "evaluations")?,
+            },
+            "op_resolved" => TraceEvent::OpResolved {
+                time,
+                cycle: uint(v, "cycle")?,
+                app: AppId::new(id(v, "app")?),
+                node: NodeId::new(id(v, "node")?),
+                op: intern(v, "op", &["boot", "suspend", "resume", "migrate"])?,
+                attempt: uint(v, "attempt")?,
+                outcome: intern(v, "outcome", &["applied", "failed", "timed_out"])?,
+                latency_secs: num(v, "latency_secs")?,
+            },
+            "op_deferred" => TraceEvent::OpDeferred {
+                time,
+                cycle: uint(v, "cycle")?,
+                app: AppId::new(id(v, "app")?),
+                node: NodeId::new(id(v, "node")?),
+                reason: intern(v, "reason", &["backoff", "quarantine", "rollback"])?,
+            },
+            "quarantined" => TraceEvent::Quarantined {
+                time,
+                cycle: uint(v, "cycle")?,
+                app: AppId::new(id(v, "app")?),
+                node: NodeId::new(id(v, "node")?),
+            },
+            "reconcile_diff" => TraceEvent::ReconcileDiff {
+                time,
+                cycle: uint(v, "cycle")?,
+                pending: count(v, "pending")?,
+            },
+            other => {
+                return Err(JsonError {
+                    message: format!("unknown trace event kind {other:?}"),
+                })
+            }
+        })
+    }
+
+    /// One-line human narrative of the event, used by the `trace_dump`
+    /// renderer.
+    pub fn narrative(&self) -> String {
+        match *self {
+            TraceEvent::CycleStart { time, cycle } => {
+                format!("cycle {cycle} at t={time}s")
+            }
+            TraceEvent::PhaseSpan {
+                phase, wall_secs, ..
+            } => {
+                format!(
+                    "  phase {} took {:.3}ms wall",
+                    phase.name(),
+                    wall_secs * 1e3
+                )
+            }
+            TraceEvent::OptimizeStart {
+                mode, apps, nodes, ..
+            } => {
+                format!(
+                    "  optimizer ({}) over {apps} apps x {nodes} nodes",
+                    mode.name()
+                )
+            }
+            TraceEvent::OptimizeEnd {
+                evaluations,
+                sweeps,
+                adoptions,
+                timed_out,
+                ..
+            } => {
+                let cut = if timed_out {
+                    ", TRUNCATED by deadline"
+                } else {
+                    ""
+                };
+                format!(
+                    "  optimizer settled: {evaluations} evaluations, {sweeps} sweeps, \
+                     {adoptions} adoptions{cut}"
+                )
+            }
+            TraceEvent::NodeEnter {
+                sweep,
+                node,
+                residents,
+                ..
+            } => {
+                format!(
+                    "    sweep {sweep}: enter node{} ({residents} movable residents)",
+                    node.index()
+                )
+            }
+            TraceEvent::NodeExit {
+                sweep,
+                node,
+                candidates,
+                adopted,
+                ..
+            } => {
+                let verdict = if adopted {
+                    "adopted a reshuffle"
+                } else {
+                    "kept incumbent"
+                };
+                format!(
+                    "    sweep {sweep}: leave node{} after {candidates} candidates, {verdict}",
+                    node.index()
+                )
+            }
+            TraceEvent::CandidateAccepted {
+                sweep,
+                node,
+                delta,
+                disruptions,
+                threshold,
+                ..
+            } => {
+                format!(
+                    "    sweep {sweep}: ACCEPT reshuffle of node{} — satisfaction delta \
+                     {delta:+.6} clears threshold {threshold} at {disruptions} disruptions",
+                    node.index()
+                )
+            }
+            TraceEvent::CandidateRejected {
+                sweep,
+                node,
+                delta,
+                disruptions,
+                threshold,
+                ..
+            } => {
+                format!(
+                    "    sweep {sweep}: reject reshuffle of node{} — delta {delta:+.6} vs \
+                     threshold {threshold} at {disruptions} disruptions",
+                    node.index()
+                )
+            }
+            TraceEvent::TxnExpanded {
+                app, node, delta, ..
+            } => {
+                format!(
+                    "    expand app{} onto node{} (satisfaction delta {delta:+.6})",
+                    app.index(),
+                    node.index()
+                )
+            }
+            TraceEvent::CachePassStats { counters, .. } => {
+                format!(
+                    "  cache: score {}/{} demand {}/{} batch {}/{} columns {}/{} (hits/misses)",
+                    counters.score_hits,
+                    counters.score_misses,
+                    counters.demand_hits,
+                    counters.demand_misses,
+                    counters.batch_hits,
+                    counters.batch_misses,
+                    counters.column_hits,
+                    counters.column_misses
+                )
+            }
+            TraceEvent::DeadlineTruncated {
+                sweep, evaluations, ..
+            } => {
+                format!("  DEADLINE hit in sweep {sweep} after {evaluations} evaluations")
+            }
+            TraceEvent::OpResolved {
+                app,
+                node,
+                op,
+                attempt,
+                outcome,
+                latency_secs,
+                ..
+            } => {
+                let retry = if attempt > 1 {
+                    format!(" (attempt {attempt})")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "  op {op} app{} on node{}: {outcome}{retry}, {latency_secs}s sim latency",
+                    app.index(),
+                    node.index()
+                )
+            }
+            TraceEvent::OpDeferred {
+                app, node, reason, ..
+            } => {
+                format!(
+                    "  op for app{} on node{} deferred ({reason})",
+                    app.index(),
+                    node.index()
+                )
+            }
+            TraceEvent::Quarantined { app, node, .. } => {
+                format!(
+                    "  QUARANTINE app{} on node{} after repeated failures",
+                    app.index(),
+                    node.index()
+                )
+            }
+            TraceEvent::ReconcileDiff { pending, .. } => {
+                format!("  reconcile: desired vs actual differ by {pending} ops")
+            }
+        }
+    }
+}
+
+/// Receives trace events. Implementations must be cheap when disabled:
+/// call sites check [`TraceSink::wants`] before building events, so a
+/// sink that returns `false` costs one virtual call per decision site.
+pub trait TraceSink: fmt::Debug {
+    /// Whether events at `level` will be recorded. Call sites may skip
+    /// event construction (including delta computation) when this is
+    /// `false`.
+    fn wants(&self, level: TraceLevel) -> bool;
+
+    /// Records one event. Implementations filter by
+    /// [`TraceEvent::level`] themselves, so unconditional callers are
+    /// also correct.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// The default sink: wants nothing, records nothing. With this sink the
+/// controller's behavior and outputs are bit-identical to an untraced
+/// build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn wants(&self, _level: TraceLevel) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Buffers events as compact JSON lines (one event per line), filtered
+/// by a [`TraceLevel`].
+///
+/// The sink is internally synchronized so the engine can share it behind
+/// an `Arc`; the optimizer only records from its coordinating thread, so
+/// event order is deterministic.
+#[derive(Debug)]
+pub struct JsonlSink {
+    level: TraceLevel,
+    lines: Mutex<Vec<String>>,
+}
+
+impl JsonlSink {
+    /// Creates an empty sink recording events up to `level`.
+    pub fn new(level: TraceLevel) -> Self {
+        JsonlSink {
+            level,
+            lines: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The buffered lines, in record order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full JSONL document (trailing newline included when
+    /// non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let lines = self.lines.lock().expect("trace buffer poisoned");
+        let mut out = String::new();
+        for line in lines.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The JSONL document with nondeterministic fields stripped from
+    /// every line — the golden-comparison form.
+    pub fn deterministic_jsonl(&self) -> String {
+        let lines = self.lines.lock().expect("trace buffer poisoned");
+        let mut out = String::new();
+        for line in lines.iter() {
+            out.push_str(&strip_nondeterministic(line));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Flushes the buffered document to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn wants(&self, level: TraceLevel) -> bool {
+        level <= self.level
+    }
+
+    fn record(&self, event: &TraceEvent) {
+        if !self.wants(event.level()) {
+            return;
+        }
+        let line = event.to_json().compact();
+        self.lines.lock().expect("trace buffer poisoned").push(line);
+    }
+}
+
+/// Removes the nondeterministic fields (`wall_secs`) from one JSONL
+/// line, returning the deterministic remainder in compact form. Lines
+/// that fail to parse are returned unchanged.
+pub fn strip_nondeterministic(line: &str) -> String {
+    match Json::parse(line) {
+        Ok(Json::Obj(fields)) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "wall_secs")
+                .collect(),
+        )
+        .compact(),
+        _ => line.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> TraceEvent {
+        TraceEvent::PhaseSpan {
+            time: 300.0,
+            cycle: 1,
+            phase: Phase::Optimize,
+            wall_secs: 0.004217,
+        }
+    }
+
+    #[test]
+    fn levels_are_ordered_and_named() {
+        assert!(TraceLevel::Decisions < TraceLevel::Verbose);
+        assert_eq!(
+            TraceLevel::from_name("decisions"),
+            Some(TraceLevel::Decisions)
+        );
+        assert_eq!(TraceLevel::from_name("verbose"), Some(TraceLevel::Verbose));
+        assert_eq!(TraceLevel::from_name("debug"), None);
+        assert_eq!(TraceLevel::Verbose.name(), "verbose");
+    }
+
+    #[test]
+    fn noop_sink_wants_nothing() {
+        let sink = NoopSink;
+        assert!(!sink.wants(TraceLevel::Decisions));
+        assert!(!sink.wants(TraceLevel::Verbose));
+        sink.record(&span()); // must not panic, must not observe anything
+    }
+
+    #[test]
+    fn jsonl_sink_filters_by_level() {
+        let sink = JsonlSink::new(TraceLevel::Decisions);
+        sink.record(&TraceEvent::CycleStart {
+            time: 0.0,
+            cycle: 0,
+        });
+        sink.record(&TraceEvent::NodeEnter {
+            time: 0.0,
+            sweep: 0,
+            node: NodeId::new(2),
+            residents: 3,
+        });
+        assert_eq!(sink.len(), 1, "verbose event must be filtered");
+
+        let verbose = JsonlSink::new(TraceLevel::Verbose);
+        verbose.record(&TraceEvent::CycleStart {
+            time: 0.0,
+            cycle: 0,
+        });
+        verbose.record(&TraceEvent::NodeEnter {
+            time: 0.0,
+            sweep: 0,
+            node: NodeId::new(2),
+            residents: 3,
+        });
+        assert_eq!(verbose.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_tag_kind() {
+        let sink = JsonlSink::new(TraceLevel::Verbose);
+        sink.record(&TraceEvent::CandidateAccepted {
+            time: 600.0,
+            sweep: 0,
+            node: NodeId::new(1),
+            delta: 0.25,
+            disruptions: 2,
+            threshold: 0.02,
+        });
+        sink.record(&span());
+        for line in sink.lines() {
+            let v = Json::parse(&line).expect("every trace line is valid JSON");
+            assert!(v.get("ev").and_then(Json::as_str).is_some());
+            assert!(v.get("time").and_then(Json::as_f64).is_some());
+        }
+    }
+
+    #[test]
+    fn strip_removes_only_wall_clock() {
+        let line = span().to_json().compact();
+        let stripped = strip_nondeterministic(&line);
+        assert!(line.contains("wall_secs"));
+        assert!(!stripped.contains("wall_secs"));
+        let v = Json::parse(&stripped).expect("stripped line still parses");
+        assert_eq!(v.get("ev").and_then(Json::as_str), Some("phase_span"));
+        assert_eq!(v.get("cycle").and_then(Json::as_f64), Some(1.0));
+
+        // Lines without nondeterministic fields are unchanged.
+        let plain = TraceEvent::CycleStart {
+            time: 0.0,
+            cycle: 0,
+        }
+        .to_json()
+        .compact();
+        assert_eq!(strip_nondeterministic(&plain), plain);
+    }
+
+    #[test]
+    fn deterministic_jsonl_is_stable_across_wall_clock() {
+        let a = JsonlSink::new(TraceLevel::Decisions);
+        let b = JsonlSink::new(TraceLevel::Decisions);
+        for (sink, wall) in [(&a, 0.001), (&b, 0.999)] {
+            sink.record(&TraceEvent::CycleStart {
+                time: 300.0,
+                cycle: 1,
+            });
+            sink.record(&TraceEvent::PhaseSpan {
+                time: 300.0,
+                cycle: 1,
+                phase: Phase::Sample,
+                wall_secs: wall,
+            });
+        }
+        assert_ne!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.deterministic_jsonl(), b.deterministic_jsonl());
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = [
+            TraceEvent::CycleStart {
+                time: 300.0,
+                cycle: 1,
+            },
+            span(),
+            TraceEvent::OptimizeStart {
+                time: 300.0,
+                mode: OptimizeMode::FillOnly,
+                apps: 5,
+                nodes: 4,
+            },
+            TraceEvent::OptimizeEnd {
+                time: 300.0,
+                evaluations: 120,
+                sweeps: 2,
+                adoptions: 3,
+                timed_out: false,
+            },
+            TraceEvent::NodeEnter {
+                time: 300.0,
+                sweep: 0,
+                node: NodeId::new(2),
+                residents: 3,
+            },
+            TraceEvent::NodeExit {
+                time: 300.0,
+                sweep: 0,
+                node: NodeId::new(2),
+                candidates: 7,
+                adopted: true,
+            },
+            TraceEvent::CandidateAccepted {
+                time: 300.0,
+                sweep: 1,
+                node: NodeId::new(0),
+                delta: 0.125,
+                disruptions: 2,
+                threshold: 0.02,
+            },
+            TraceEvent::CandidateRejected {
+                time: 300.0,
+                sweep: 1,
+                node: NodeId::new(0),
+                delta: 0.001,
+                disruptions: 4,
+                threshold: 0.02,
+            },
+            TraceEvent::TxnExpanded {
+                time: 300.0,
+                app: AppId::new(1),
+                node: NodeId::new(3),
+                delta: 0.05,
+            },
+            TraceEvent::CachePassStats {
+                time: 300.0,
+                counters: CacheCounters {
+                    score_hits: 1,
+                    score_misses: 2,
+                    demand_hits: 3,
+                    demand_misses: 4,
+                    batch_hits: 5,
+                    batch_misses: 6,
+                    column_hits: 7,
+                    column_misses: 8,
+                },
+            },
+            TraceEvent::DeadlineTruncated {
+                time: 300.0,
+                sweep: 1,
+                evaluations: 55,
+            },
+            TraceEvent::OpResolved {
+                time: 310.0,
+                cycle: 1,
+                app: AppId::new(4),
+                node: NodeId::new(0),
+                op: "migrate",
+                attempt: 3,
+                outcome: "timed_out",
+                latency_secs: 13.2,
+            },
+            TraceEvent::OpDeferred {
+                time: 310.0,
+                cycle: 1,
+                app: AppId::new(4),
+                node: NodeId::new(0),
+                reason: "quarantine",
+            },
+            TraceEvent::Quarantined {
+                time: 310.0,
+                cycle: 1,
+                app: AppId::new(4),
+                node: NodeId::new(0),
+            },
+            TraceEvent::ReconcileDiff {
+                time: 600.0,
+                cycle: 2,
+                pending: 3,
+            },
+        ];
+        for ev in events {
+            let back = TraceEvent::from_json(&ev.to_json()).expect("round trip");
+            assert_eq!(back, ev);
+            // The stripped form still parses; only wall_secs is zeroed.
+            let stripped = Json::parse(&strip_nondeterministic(&ev.to_json().compact())).unwrap();
+            let back = TraceEvent::from_json(&stripped).expect("stripped round trip");
+            if let TraceEvent::PhaseSpan { wall_secs, .. } = back {
+                assert_eq!(wall_secs, 0.0);
+            } else {
+                assert_eq!(back, ev);
+            }
+        }
+        // Unknown kinds and vocabulary are typed errors, not panics.
+        let bad = Json::parse(r#"{"ev":"warp_core_breach","time":0.0}"#).unwrap();
+        assert!(TraceEvent::from_json(&bad).is_err());
+        let bad = Json::parse(
+            r#"{"ev":"op_resolved","time":0.0,"cycle":0,"app":0,"node":0,
+                "op":"defenestrate","attempt":1,"outcome":"applied","latency_secs":1.0}"#,
+        )
+        .unwrap();
+        assert!(TraceEvent::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn narratives_mention_the_actors() {
+        let ev = TraceEvent::OpResolved {
+            time: 900.0,
+            cycle: 3,
+            app: AppId::new(7),
+            node: NodeId::new(2),
+            op: "boot",
+            attempt: 2,
+            outcome: "applied",
+            latency_secs: 45.0,
+        };
+        let text = ev.narrative();
+        assert!(text.contains("app7"));
+        assert!(text.contains("node2"));
+        assert!(text.contains("attempt 2"));
+        assert!(TraceEvent::CycleStart {
+            time: 300.0,
+            cycle: 1
+        }
+        .narrative()
+        .contains("cycle 1"));
+    }
+}

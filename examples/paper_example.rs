@@ -31,6 +31,7 @@ fn main() {
             estimate_txn_demand: false,
             record_placements: false,
             actuation: Default::default(),
+            trace: Default::default(),
         };
         let metrics = paper_example(scenario, config).run();
         println!("=== Scenario {scenario:?} ===");

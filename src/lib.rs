@@ -17,6 +17,7 @@
 //! | [`batch`] | `dynaplace-batch` | job model, hypothetical RPF, FCFS/EDF baselines |
 //! | [`apc`] | `dynaplace-apc` | the placement controller (the paper's contribution) |
 //! | [`sim`] | `dynaplace-sim` | discrete-event simulator and experiment scenarios |
+//! | [`trace`] | `dynaplace-trace` | decision-provenance tracing (events, sinks, levels) |
 //!
 //! # Quick taste
 //!
@@ -83,4 +84,5 @@ pub use dynaplace_model as model;
 pub use dynaplace_rpf as rpf;
 pub use dynaplace_sim as sim;
 pub use dynaplace_solver as solver;
+pub use dynaplace_trace as trace;
 pub use dynaplace_txn as txn;

@@ -171,6 +171,7 @@ fn paper_example_scenarios() {
         estimate_txn_demand: false,
         record_placements: false,
         actuation: Default::default(),
+        trace: Default::default(),
     };
     let s1 = paper_example(ExampleScenario::S1, config()).run();
     let s2 = paper_example(ExampleScenario::S2, config()).run();

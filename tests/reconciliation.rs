@@ -78,6 +78,7 @@ fn flaky_spec(
             ..Default::default()
         },
         deadline_secs: None,
+        trace: Default::default(),
     }
 }
 

@@ -99,7 +99,11 @@ fn render(metrics: &RunMetrics) -> String {
 /// Line-by-line comparison with a readable report: names the first
 /// diverging line and shows both versions with two lines of context.
 fn assert_matches_golden(name: &str, actual: &str) {
-    let path = repo_root().join("tests/golden").join(format!("{name}.txt"));
+    assert_matches_golden_file(&format!("{name}.txt"), name, actual);
+}
+
+fn assert_matches_golden_file(filename: &str, name: &str, actual: &str) {
+    let path = repo_root().join("tests/golden").join(filename);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, actual).unwrap();
@@ -164,6 +168,32 @@ fn run_scenario(name: &str) -> RunMetrics {
 fn mixed_workload_matches_golden() {
     let metrics = run_scenario("mixed_workload");
     assert_matches_golden("mixed_workload", &render(&metrics));
+}
+
+/// The decision trace of the mixed workload, in deterministic form
+/// (wall-clock fields stripped), pinned line by line. Any change to
+/// *why* the controller decides what it decides — not just *what* it
+/// decides — shows up here as a readable diff.
+#[test]
+fn mixed_workload_trace_matches_golden() {
+    use std::sync::Arc;
+
+    use dynaplace::trace::{JsonlSink, TraceLevel, TraceSink};
+
+    let path = repo_root().join("scenarios/mixed_workload.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let spec = ScenarioSpec::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()));
+    let mut sim = spec.build();
+    let sink = Arc::new(JsonlSink::new(TraceLevel::Decisions));
+    sim.set_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    sim.run();
+    assert_matches_golden_file(
+        "mixed_workload.trace.jsonl",
+        "mixed_workload trace",
+        &sink.deterministic_jsonl(),
+    );
 }
 
 #[test]
