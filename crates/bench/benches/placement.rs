@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use dynaplace_apc::optimizer::{place, place_traced, ApcConfig, ScoringMode};
 use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
+use dynaplace_apc::ShardingPolicy;
 use dynaplace_apc::{distribute, score_placement};
 use dynaplace_batch::hypothetical::{HypotheticalRpf, JobSnapshot};
 use dynaplace_batch::job::JobProfile;
@@ -126,15 +127,16 @@ fn sized_world(nodes: usize) -> World {
 }
 
 fn problem(world: &World) -> PlacementProblem<'_> {
-    PlacementProblem {
-        cluster: &world.cluster,
-        apps: &world.apps,
-        workloads: world.workloads.clone(),
-        current: &world.current,
-        now: SimTime::from_secs(100_000.0),
-        cycle: SimDuration::from_secs(600.0),
-        forbidden: Default::default(),
-    }
+    PlacementProblem::new(
+        &world.cluster,
+        &world.apps,
+        world.workloads.clone(),
+        &world.current,
+        SimTime::from_secs(100_000.0),
+        SimDuration::from_secs(600.0),
+        Default::default(),
+    )
+    .expect("bench worlds are well-formed")
 }
 
 fn bench_placement_cycle(c: &mut Criterion) {
@@ -242,17 +244,50 @@ fn bench_scoring_mode(c: &mut Criterion) {
             ("from_scratch", ScoringMode::FromScratch),
             ("incremental", ScoringMode::Incremental),
         ] {
-            let config = ApcConfig {
-                scoring,
-                threads: 1,
-                ..ApcConfig::default()
-            };
+            let config = ApcConfig::builder()
+                .scoring(scoring)
+                .threads(1)
+                .build()
+                .expect("valid scoring-mode config");
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{nodes}nodes")),
                 &world,
                 |b, world| b.iter(|| place(&problem(world), &config)),
             );
         }
+    }
+    group.finish();
+}
+
+/// The headline comparison for the cell-sharding work: one whole-cluster
+/// `place` cycle against the sharded solve at thousand-node scale. The
+/// acceptance bar is a ≥4× per-cycle speedup at 1,000 nodes; 2,000 nodes
+/// shows the scaling trend. The unsharded arm is capped at 1,000 nodes —
+/// one classic cycle at 2,000 already takes minutes.
+fn bench_sharded_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_scaling");
+    group.sample_size(10);
+    for &nodes in &[1_000usize, 2_000] {
+        let world = sized_world(nodes);
+        if nodes <= 1_000 {
+            let config = ApcConfig::builder()
+                .build()
+                .expect("valid unsharded config");
+            group.bench_with_input(
+                BenchmarkId::new("unsharded", format!("{nodes}nodes")),
+                &world,
+                |b, world| b.iter(|| place(&problem(world), &config)),
+            );
+        }
+        let config = ApcConfig::builder()
+            .sharding(Some(ShardingPolicy::new(64)))
+            .build()
+            .expect("valid sharded config");
+        group.bench_with_input(
+            BenchmarkId::new("sharded_64", format!("{nodes}nodes")),
+            &world,
+            |b, world| b.iter(|| place(&problem(world), &config)),
+        );
     }
     group.finish();
 }
@@ -288,6 +323,7 @@ criterion_group!(
     benches,
     bench_placement_cycle,
     bench_scoring_mode,
+    bench_sharded_scaling,
     bench_trace_overhead,
     bench_score_placement,
     bench_load_distribution,

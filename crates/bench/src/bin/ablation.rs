@@ -45,10 +45,10 @@ fn main() {
     let mut rows = Vec::new();
     println!("ablation 1: disruption threshold (Exp. 2, ia = {ia} s, {jobs} jobs)");
     for threshold in [0.005, 0.01, 0.02, 0.05, 0.1] {
-        let config = ApcConfig {
-            disruption_threshold: threshold,
-            ..ApcConfig::default()
-        };
+        let config = ApcConfig::builder()
+            .disruption_threshold(threshold)
+            .build()
+            .expect("valid ablation config");
         let (met, changes) = run(jobs, seed, config, true, ia);
         rows.push(vec![
             format!("{threshold}"),

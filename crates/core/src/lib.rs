@@ -83,12 +83,14 @@ pub mod evaluate;
 pub mod load;
 pub mod optimizer;
 pub mod problem;
+pub mod shard;
 
 pub use cache::{CacheStats, ScoreCache};
 pub use evaluate::{score_placement, score_placement_cached, PlacementScore};
 pub use load::distribute;
 pub use optimizer::{
-    fill_only, fill_only_traced, place, place_traced, ApcConfig, Objective, OptimizerStats,
-    PlacementOutcome, ScoringMode,
+    fill_only, fill_only_traced, place, place_traced, ApcConfig, ApcConfigBuilder, ConfigError,
+    Objective, OptimizerStats, PlacementOutcome, ScoringMode,
 };
-pub use problem::{PlacementProblem, WorkloadModel};
+pub use problem::{PlacementProblem, ProblemError, WorkloadModel};
+pub use shard::ShardingPolicy;

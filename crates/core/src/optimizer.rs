@@ -34,6 +34,7 @@ use dynaplace_trace::{CacheCounters, NoopSink, OptimizeMode, TraceEvent, TraceLe
 use crate::cache::ScoreCache;
 use crate::evaluate::{score_placement, score_placement_cached, PlacementScore};
 use crate::problem::PlacementProblem;
+use crate::shard::ShardingPolicy;
 
 /// The optimization objective.
 ///
@@ -69,7 +70,15 @@ pub enum ScoringMode {
 }
 
 /// Tunables of the placement optimizer.
+///
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`ApcConfig::builder`] (validated) or start from
+/// [`ApcConfig::default`] and assign the fields you need. Struct
+/// literals from outside the crate no longer compile, which is what
+/// lets new fields (such as [`ApcConfig::sharding`]) arrive without
+/// breaking downstream code.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct ApcConfig {
     /// The optimization objective.
     pub objective: Objective,
@@ -102,6 +111,14 @@ pub struct ApcConfig {
     /// convergence. Note: a deadline makes the *chosen placement* depend
     /// on wall-clock speed; keep it `None` for reproducible runs.
     pub deadline: Option<std::time::Duration>,
+    /// Cell-sharded placement for large clusters (see [`crate::shard`]).
+    /// `None` (the default) runs the classic single-cell optimization —
+    /// bit-identical to every release before sharding existed. `Some`
+    /// partitions the cluster into cells of
+    /// [`ShardingPolicy::cell_size`] nodes, places each cell
+    /// independently (in parallel when [`ApcConfig::threads`] allows),
+    /// and rebalances the worst-satisfied applications across cells.
+    pub sharding: Option<ShardingPolicy>,
 }
 
 impl Default for ApcConfig {
@@ -116,24 +133,177 @@ impl Default for ApcConfig {
             scoring: ScoringMode::default(),
             threads: 1,
             deadline: None,
+            sharding: None,
         }
     }
 }
 
+/// A rejected [`ApcConfigBuilder`] field combination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `epsilon` must be a finite, strictly positive tolerance.
+    InvalidEpsilon(f64),
+    /// A threshold must be finite and non-negative (NaN thresholds make
+    /// every comparison vacuous and silently disable change rationing).
+    InvalidThreshold {
+        /// Which threshold was rejected.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `threads` is beyond any plausible machine (suggests a unit error).
+    TooManyThreads(usize),
+    /// `max_sweeps` of zero would return the incumbent unexamined.
+    ZeroSweeps,
+    /// A sharding cell must hold at least one node.
+    ZeroCellSize,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidEpsilon(v) => {
+                write!(f, "epsilon must be finite and > 0, got {v}")
+            }
+            ConfigError::InvalidThreshold { name, value } => {
+                write!(f, "{name} must be finite and >= 0, got {value}")
+            }
+            ConfigError::TooManyThreads(n) => write!(f, "threads = {n} is not a sane worker count"),
+            ConfigError::ZeroSweeps => write!(f, "max_sweeps must be at least 1"),
+            ConfigError::ZeroCellSize => write!(f, "sharding cell_size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`ApcConfig`] — the blessed construction path
+/// now that the struct is `#[non_exhaustive]`. Unset fields keep their
+/// [`ApcConfig::default`] values; [`build`](Self::build) rejects
+/// non-finite or non-positive tolerances, absurd thread counts, and
+/// degenerate sharding policies.
+#[derive(Debug, Clone)]
+pub struct ApcConfigBuilder {
+    config: ApcConfig,
+}
+
+impl ApcConfigBuilder {
+    /// The optimization objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
+    /// Tolerance when comparing satisfaction vectors element-wise.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Minimum gain to adopt a start-only candidate.
+    pub fn start_threshold(mut self, threshold: f64) -> Self {
+        self.config.start_threshold = threshold;
+        self
+    }
+
+    /// Minimum gain to adopt a disruptive candidate.
+    pub fn disruption_threshold(mut self, threshold: f64) -> Self {
+        self.config.disruption_threshold = threshold;
+        self
+    }
+
+    /// Maximum improvement sweeps over all nodes.
+    pub fn max_sweeps(mut self, sweeps: usize) -> Self {
+        self.config.max_sweeps = sweeps;
+        self
+    }
+
+    /// Maximum applications tried by the inner fill loop per candidate.
+    pub fn max_fill_candidates(mut self, candidates: usize) -> Self {
+        self.config.max_fill_candidates = candidates;
+        self
+    }
+
+    /// Candidate scoring strategy.
+    pub fn scoring(mut self, scoring: ScoringMode) -> Self {
+        self.config.scoring = scoring;
+        self
+    }
+
+    /// Worker threads (`0` = one per core, `1` = serial).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Optional wall-clock budget for one optimization run.
+    pub fn deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.config.deadline = deadline;
+        self
+    }
+
+    /// Cell-sharded placement policy (`None` = classic single-cell).
+    pub fn sharding(mut self, sharding: Option<ShardingPolicy>) -> Self {
+        self.config.sharding = sharding;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    pub fn build(self) -> Result<ApcConfig, ConfigError> {
+        let c = &self.config;
+        if !c.epsilon.is_finite() || c.epsilon <= 0.0 {
+            return Err(ConfigError::InvalidEpsilon(c.epsilon));
+        }
+        for (name, value) in [
+            ("start_threshold", c.start_threshold),
+            ("disruption_threshold", c.disruption_threshold),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::InvalidThreshold { name, value });
+            }
+        }
+        if c.threads > 4096 {
+            return Err(ConfigError::TooManyThreads(c.threads));
+        }
+        if c.max_sweeps == 0 {
+            return Err(ConfigError::ZeroSweeps);
+        }
+        if let Some(sharding) = &c.sharding {
+            if sharding.cell_size == 0 {
+                return Err(ConfigError::ZeroCellSize);
+            }
+            if !sharding.rebalance_threshold.is_finite() || sharding.rebalance_threshold < 0.0 {
+                return Err(ConfigError::InvalidThreshold {
+                    name: "rebalance_threshold",
+                    value: sharding.rebalance_threshold,
+                });
+            }
+        }
+        Ok(self.config)
+    }
+}
+
 impl ApcConfig {
+    /// Starts a validating [`ApcConfigBuilder`] from the defaults.
+    pub fn builder() -> ApcConfigBuilder {
+        ApcConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
     /// A configuration that reproduces the paper's §4.3 narrative
     /// exactly: the coarser ≈0.01 tie tolerance is applied to starts as
     /// well, so a start that gains less than 0.01 is skipped in favour of
     /// "no placement changes" (scenario S1 keeps J1 alone in cycle 2).
     pub fn paper_narrative() -> Self {
-        Self {
-            start_threshold: 0.01,
-            ..Self::default()
-        }
+        Self::builder()
+            .start_threshold(0.01)
+            .build()
+            .expect("narrative configuration is valid")
     }
 
     /// The resolved scoring-thread count (`0` → available parallelism).
-    fn effective_threads(&self) -> usize {
+    pub(crate) fn effective_threads(&self) -> usize {
         match self.threads {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -224,7 +394,7 @@ fn score_candidates(
 
 /// Compares two satisfaction vectors under the configured objective:
 /// `Greater` means `a` is the better system state.
-fn objective_cmp(
+pub(crate) fn objective_cmp(
     config: &ApcConfig,
     a: &dynaplace_rpf::satisfaction::SatisfactionVector,
     b: &dynaplace_rpf::satisfaction::SatisfactionVector,
@@ -293,13 +463,17 @@ impl PlacementOutcome {
 }
 
 /// Runs the full three-nested-loop optimization for one control cycle.
+/// With [`ApcConfig::sharding`] set, the cluster is partitioned into
+/// cells that are placed independently and rebalanced (see
+/// [`crate::shard`]); with `None` this is the classic whole-cluster
+/// search.
 ///
 /// # Panics
 ///
 /// Panics if the problem's current placement is infeasible under its own
 /// minimum speeds (the simulator never produces such a state).
 pub fn place(problem: &PlacementProblem<'_>, config: &ApcConfig) -> PlacementOutcome {
-    optimize(problem, config, true, &NoopSink)
+    place_traced(problem, config, &NoopSink)
 }
 
 /// Arrival-time advice: like [`place`], but only *starts* instances —
@@ -308,7 +482,7 @@ pub fn place(problem: &PlacementProblem<'_>, config: &ApcConfig) -> PlacementOut
 /// the scheduler uses the controller as an advisor on where and when a
 /// job should be executed).
 pub fn fill_only(problem: &PlacementProblem<'_>, config: &ApcConfig) -> PlacementOutcome {
-    optimize(problem, config, false, &NoopSink)
+    fill_only_traced(problem, config, &NoopSink)
 }
 
 /// [`place`] with decision-provenance tracing: every node-loop visit,
@@ -321,7 +495,10 @@ pub fn place_traced(
     config: &ApcConfig,
     sink: &dyn TraceSink,
 ) -> PlacementOutcome {
-    optimize(problem, config, true, sink)
+    match &config.sharding {
+        Some(policy) => crate::shard::place_sharded(problem, config, policy, true, sink),
+        None => optimize(problem, config, true, sink),
+    }
 }
 
 /// [`fill_only`] with decision-provenance tracing (see [`place_traced`]).
@@ -330,7 +507,10 @@ pub fn fill_only_traced(
     config: &ApcConfig,
     sink: &dyn TraceSink,
 ) -> PlacementOutcome {
-    optimize(problem, config, false, sink)
+    match &config.sharding {
+        Some(policy) => crate::shard::place_sharded(problem, config, policy, false, sink),
+        None => optimize(problem, config, false, sink),
+    }
 }
 
 /// The relative-performance delta that justifies preferring `a` over `b`
@@ -338,7 +518,7 @@ pub fn fill_only_traced(
 /// ascending-sorted element pair differing by more than `tolerance`
 /// (mirroring [`SatisfactionVector::compare`]); for total performance,
 /// the sum difference. Only computed when a sink wants the event.
-fn justifying_delta(
+pub(crate) fn justifying_delta(
     config: &ApcConfig,
     a: &SatisfactionVector,
     b: &SatisfactionVector,
@@ -361,14 +541,56 @@ fn justifying_delta(
     }
 }
 
+/// Restricts one optimization run to a subset of the cluster and of the
+/// applications — the mechanism the cell-sharded layer (and its global
+/// residual/rebalance passes) reuses the whole three-loop search
+/// through. The default scope (`None`/`None`) is the classic
+/// whole-problem search, bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SearchScope<'s> {
+    /// Nodes the outer loop (and transactional expansion) may visit;
+    /// `None` = every cluster node in id order.
+    pub nodes: Option<&'s [NodeId]>,
+    /// Applications whose instances may be started or removed; `None` =
+    /// all live applications. Out-of-scope applications still contribute
+    /// to every score — they are frozen, not invisible.
+    pub movable: Option<&'s std::collections::BTreeSet<AppId>>,
+}
+
+impl SearchScope<'_> {
+    fn allows_move(&self, app: AppId) -> bool {
+        self.movable.map_or(true, |m| m.contains(&app))
+    }
+}
+
 fn optimize(
     problem: &PlacementProblem<'_>,
     config: &ApcConfig,
     allow_removals: bool,
     sink: &dyn TraceSink,
 ) -> PlacementOutcome {
+    optimize_scoped(
+        problem,
+        config,
+        allow_removals,
+        sink,
+        SearchScope::default(),
+    )
+}
+
+pub(crate) fn optimize_scoped(
+    problem: &PlacementProblem<'_>,
+    config: &ApcConfig,
+    allow_removals: bool,
+    sink: &dyn TraceSink,
+    scope: SearchScope<'_>,
+) -> PlacementOutcome {
     let mut stats = OptimizerStats::default();
     let now = problem.now.as_secs();
+    let nodes: Vec<NodeId> = match scope.nodes {
+        Some(subset) => subset.to_vec(),
+        None => problem.cluster.node_ids().collect(),
+    };
     if sink.wants(TraceLevel::Decisions) {
         sink.record(&TraceEvent::OptimizeStart {
             time: now,
@@ -378,7 +600,7 @@ fn optimize(
                 OptimizeMode::FillOnly
             },
             apps: problem.workloads.len(),
-            nodes: problem.cluster.len(),
+            nodes: nodes.len(),
         });
     }
     // Memos live exactly as long as the problem they are valid for.
@@ -429,13 +651,15 @@ fn optimize(
         &mut stats,
         started,
         sink,
+        &nodes,
+        scope,
     );
 
     'sweeps: for sweep in 0..config.max_sweeps {
         stats.sweeps += 1;
         let mut improved_any = false;
 
-        for node in problem.cluster.node_ids() {
+        for &node in &nodes {
             if deadline_hit() {
                 timed_out = true;
                 if sink.wants(TraceLevel::Decisions) {
@@ -448,7 +672,7 @@ fn optimize(
                 break 'sweeps;
             }
             // Most-satisfied-first removal order for this node's residents.
-            let residents = removal_order(&best, &current, node);
+            let residents = removal_order(&best, &current, node, scope);
             let max_removals = if allow_removals { residents.len() } else { 0 };
             if sink.wants(TraceLevel::Verbose) {
                 sink.record(&TraceEvent::NodeEnter {
@@ -460,11 +684,13 @@ fn optimize(
             }
             // Lowest relative performance first fill order, from the
             // incumbent score (queued and struggling applications first).
+            // Out-of-scope applications are frozen in place, never refilled.
             let fill_order: Vec<AppId> = best
                 .satisfaction
                 .entries()
                 .iter()
                 .map(|&(app, _)| app)
+                .filter(|&app| scope.allows_move(app))
                 .collect();
 
             // Intermediate loop: build every candidate for this node
@@ -657,6 +883,8 @@ fn expand_transactional(
     stats: &mut OptimizerStats,
     started: Option<(std::time::Instant, std::time::Duration)>,
     sink: &dyn TraceSink,
+    nodes: &[NodeId],
+    scope: SearchScope<'_>,
 ) -> bool {
     use crate::problem::WorkloadModel;
     use std::cmp::Ordering;
@@ -666,6 +894,7 @@ fn expand_transactional(
         .iter()
         .filter(|(_, m)| matches!(m, WorkloadModel::Transactional(_)))
         .map(|(&app, _)| app)
+        .filter(|&app| scope.allows_move(app))
         .collect();
 
     for app in txn_apps {
@@ -706,7 +935,7 @@ fn expand_transactional(
             }
             // Candidate node: most free memory, deterministic tie-break.
             let mut target: Option<(NodeId, f64)> = None;
-            for node in problem.cluster.node_ids() {
+            for &node in nodes {
                 if !problem.allows_node(app, node) {
                     continue; // pinned away or quarantined
                 }
@@ -773,10 +1002,19 @@ fn expand_transactional(
 
 /// The instances on `node`, one entry per instance, ordered so that the
 /// most satisfied applications are removed first (they can best afford
-/// the disruption).
-fn removal_order(best: &PlacementScore, placement: &Placement, node: NodeId) -> Vec<AppId> {
+/// the disruption). Out-of-scope applications are never removal
+/// candidates.
+fn removal_order(
+    best: &PlacementScore,
+    placement: &Placement,
+    node: NodeId,
+    scope: SearchScope<'_>,
+) -> Vec<AppId> {
     let mut perf: Vec<(AppId, Rp)> = Vec::new();
     for (app, count) in placement.apps_on(node) {
+        if !scope.allows_move(app) {
+            continue;
+        }
         let u = best
             .satisfaction
             .entries()

@@ -42,14 +42,60 @@ impl WorkloadModel {
     }
 }
 
+/// A structural defect in a [`PlacementProblem`], reported by the
+/// validating constructor and the `try_` accessors instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemError {
+    /// The application is not live this cycle (absent from `workloads`).
+    UnknownApp {
+        /// The offending application.
+        app: AppId,
+    },
+    /// The application is referenced (by `workloads` or the current
+    /// placement) but missing from the [`AppSet`] registry.
+    UnregisteredApp {
+        /// The offending application.
+        app: AppId,
+    },
+    /// The current placement hosts an instance on a node the cluster
+    /// does not contain.
+    UnknownNode {
+        /// The application whose instance dangles.
+        app: AppId,
+        /// The unknown node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProblemError::UnknownApp { app } => {
+                write!(f, "application {app} is not live this cycle")
+            }
+            ProblemError::UnregisteredApp { app } => {
+                write!(f, "application {app} is not registered in the AppSet")
+            }
+            ProblemError::UnknownNode { app, node } => {
+                write!(f, "application {app} is placed on unknown node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
 /// Everything the placement controller needs for one control cycle:
 /// the cluster, the registry of application specs, the live applications
 /// with their performance models, the current placement, and the cycle
 /// timing.
 ///
 /// Applications present in `apps` but absent from `workloads` (e.g.
-/// completed jobs) are ignored; the current placement must only place
-/// live applications.
+/// completed jobs) are ignored. The current placement may still hold
+/// instances of such non-live applications — they are treated as
+/// to-be-stopped — but every placed application must be registered and
+/// every hosting node must exist; [`PlacementProblem::new`] checks both
+/// up front.
 #[derive(Debug, Clone)]
 pub struct PlacementProblem<'a> {
     /// The set of physical machines.
@@ -74,6 +120,49 @@ pub struct PlacementProblem<'a> {
 }
 
 impl<'a> PlacementProblem<'a> {
+    /// Builds a problem after validating its cross-references:
+    /// every live application (key of `workloads`) must be registered in
+    /// `apps`, and every instance of `current` must reference a
+    /// registered application on a node `cluster` contains. Instances of
+    /// registered but non-live applications are permitted — the
+    /// optimizer treats them as to-be-stopped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cluster: &'a Cluster,
+        apps: &'a AppSet,
+        workloads: BTreeMap<AppId, WorkloadModel>,
+        current: &'a Placement,
+        now: SimTime,
+        cycle: SimDuration,
+        forbidden: BTreeSet<(AppId, NodeId)>,
+    ) -> Result<Self, ProblemError> {
+        for &app in workloads.keys() {
+            if !apps.contains(app) {
+                return Err(ProblemError::UnregisteredApp { app });
+            }
+        }
+        for (app, node, count) in current.iter() {
+            if count == 0 {
+                continue;
+            }
+            if !apps.contains(app) {
+                return Err(ProblemError::UnregisteredApp { app });
+            }
+            if !cluster.contains(node) {
+                return Err(ProblemError::UnknownNode { app, node });
+            }
+        }
+        Ok(Self {
+            cluster,
+            apps,
+            workloads,
+            current,
+            now,
+            cycle,
+            forbidden,
+        })
+    }
+
     /// Live application ids, in id order.
     pub fn live_apps(&self) -> impl Iterator<Item = AppId> + '_ {
         self.workloads.keys().copied()
@@ -86,39 +175,67 @@ impl<'a> PlacementProblem<'a> {
 
     /// The memory one instance of `app` pins right now (the job's current
     /// stage for batch, the static spec otherwise).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `app` is not live or not registered.
-    pub fn effective_memory(&self, app: AppId) -> Memory {
-        match &self.workloads[&app] {
-            WorkloadModel::Batch(snap) => snap
+    pub fn try_effective_memory(&self, app: AppId) -> Result<Memory, ProblemError> {
+        match self
+            .workloads
+            .get(&app)
+            .ok_or(ProblemError::UnknownApp { app })?
+        {
+            WorkloadModel::Batch(snap) => Ok(snap
                 .profile()
                 .stage_at(snap.consumed())
                 .map(|(s, _)| s.memory())
-                .unwrap_or(Memory::ZERO),
-            WorkloadModel::Transactional(_) => self
+                .unwrap_or(Memory::ZERO)),
+            WorkloadModel::Transactional(_) => Ok(self
                 .apps
                 .get(app)
-                .expect("live app is registered")
-                .memory_per_instance(),
+                .map_err(|_| ProblemError::UnregisteredApp { app })?
+                .memory_per_instance()),
         }
     }
 
     /// Per-instance speed bounds of `app` right now: the job's current
     /// stage bounds for batch, `[0, spec max]` for transactional.
+    pub fn try_effective_speed_bounds(
+        &self,
+        app: AppId,
+    ) -> Result<(CpuSpeed, CpuSpeed), ProblemError> {
+        match self
+            .workloads
+            .get(&app)
+            .ok_or(ProblemError::UnknownApp { app })?
+        {
+            WorkloadModel::Batch(snap) => Ok((snap.min_speed(), snap.max_speed())),
+            WorkloadModel::Transactional(_) => {
+                let spec = self
+                    .apps
+                    .get(app)
+                    .map_err(|_| ProblemError::UnregisteredApp { app })?;
+                Ok((CpuSpeed::ZERO, spec.max_instance_speed()))
+            }
+        }
+    }
+
+    /// The memory one instance of `app` pins right now.
     ///
     /// # Panics
     ///
     /// Panics if `app` is not live or not registered.
+    #[deprecated(since = "0.5.0", note = "use `try_effective_memory` instead")]
+    pub fn effective_memory(&self, app: AppId) -> Memory {
+        self.try_effective_memory(app)
+            .expect("live app is registered")
+    }
+
+    /// Per-instance speed bounds of `app` right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is not live or not registered.
+    #[deprecated(since = "0.5.0", note = "use `try_effective_speed_bounds` instead")]
     pub fn effective_speed_bounds(&self, app: AppId) -> (CpuSpeed, CpuSpeed) {
-        match &self.workloads[&app] {
-            WorkloadModel::Batch(snap) => (snap.min_speed(), snap.max_speed()),
-            WorkloadModel::Transactional(_) => {
-                let spec = self.apps.get(app).expect("live app is registered");
-                (CpuSpeed::ZERO, spec.max_instance_speed())
-            }
-        }
+        self.try_effective_speed_bounds(app)
+            .expect("live app is registered")
     }
 
     /// Whether `app` may be placed on `node` per its static constraints

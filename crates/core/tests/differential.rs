@@ -18,6 +18,8 @@
 //! name, so failures reproduce without a `proptest-regressions` file
 //! (none is ever written); `PROPTEST_CASES` scales the case count.
 
+#![deny(deprecated)]
+
 use dynaplace_apc::optimizer::{fill_only, place, ApcConfig, PlacementOutcome, ScoringMode};
 use dynaplace_apc::{score_placement, score_placement_cached, ScoreCache};
 use dynaplace_model::ids::NodeId;
@@ -27,11 +29,11 @@ use dynaplace_testutil::PlacementInvariants;
 use proptest::prelude::*;
 
 fn config(scoring: ScoringMode, threads: usize) -> ApcConfig {
-    ApcConfig {
-        scoring,
-        threads,
-        ..ApcConfig::default()
-    }
+    ApcConfig::builder()
+        .scoring(scoring)
+        .threads(threads)
+        .build()
+        .expect("valid differential config")
 }
 
 /// Bit-exact equality of two scores (load distribution + satisfaction).

@@ -3,6 +3,8 @@
 //! invariant, and the load distributor must be max-min optimal against a
 //! brute-force reference on small instances.
 
+#![deny(deprecated)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

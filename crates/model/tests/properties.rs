@@ -1,5 +1,7 @@
 //! Property-based tests for the cluster model.
 
+#![deny(deprecated)]
+
 use dynaplace_model::prelude::*;
 use proptest::prelude::*;
 

@@ -1135,19 +1135,19 @@ impl Simulation {
                 )),
             );
         }
-        PlacementProblem {
-            cluster: &self.effective_cluster,
-            apps: &self.apps,
+        PlacementProblem::new(
+            &self.effective_cluster,
+            &self.apps,
             workloads,
-            current: &self.placement,
-            now: self.now,
-            cycle: self.config.cycle,
-            forbidden: self
-                .actuation
+            &self.placement,
+            self.now,
+            self.config.cycle,
+            self.actuation
                 .quarantined_pairs(self.now)
                 .into_iter()
                 .collect(),
-        }
+        )
+        .expect("engine state always yields a well-formed problem")
     }
 
     fn apply_outcome(&mut self, outcome: PlacementOutcome) {

@@ -249,6 +249,49 @@ impl TraceSpec {
     }
 }
 
+/// Cell-sharded placement (APC only), in scenario-file form. Absent
+/// means the classic single-cell search — bit-identical to every
+/// scenario written before sharding existed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingSpec {
+    /// Nodes per cell (see `dynaplace_apc::ShardingPolicy::cell_size`).
+    pub cell_size: usize,
+    /// Maximum cross-cell rebalance moves per cycle; `0` disables the
+    /// rebalancer.
+    #[serde(default = "default_rebalance_moves")]
+    pub rebalance_moves: usize,
+    /// Minimum global satisfaction gain a rebalance move must clear.
+    #[serde(default = "default_rebalance_threshold")]
+    pub rebalance_threshold: f64,
+}
+
+fn default_rebalance_moves() -> usize {
+    dynaplace_apc::ShardingPolicy::default().rebalance_moves
+}
+
+fn default_rebalance_threshold() -> f64 {
+    dynaplace_apc::ShardingPolicy::default().rebalance_threshold
+}
+
+impl ShardingSpec {
+    /// A spec with the given cell size and default rebalancing.
+    pub fn new(cell_size: usize) -> Self {
+        ShardingSpec {
+            cell_size,
+            rebalance_moves: default_rebalance_moves(),
+            rebalance_threshold: default_rebalance_threshold(),
+        }
+    }
+
+    fn to_policy(&self) -> dynaplace_apc::ShardingPolicy {
+        dynaplace_apc::ShardingPolicy {
+            cell_size: self.cell_size,
+            rebalance_moves: self.rebalance_moves,
+            rebalance_threshold: self.rebalance_threshold,
+        }
+    }
+}
+
 /// A structurally invalid scenario, detected at load time instead of as
 /// a mid-run panic (or, worse, a silent no-op).
 #[derive(Debug, Clone, PartialEq)]
@@ -281,6 +324,12 @@ pub enum ScenarioError {
     UnknownTraceLevel {
         /// The unrecognized name.
         level: String,
+    },
+    /// The `sharding` block is structurally invalid or used with a
+    /// baseline scheduler (only APC shards).
+    InvalidSharding {
+        /// What is wrong with it.
+        message: String,
     },
     /// A numeric field that feeds simulated time is NaN or infinite.
     /// Letting these through used to panic deep inside the baseline
@@ -315,6 +364,9 @@ impl std::fmt::Display for ScenarioError {
             ),
             ScenarioError::UnknownTraceLevel { level } => {
                 write!(f, "trace.level must be decisions|verbose, got {level:?}")
+            }
+            ScenarioError::InvalidSharding { message } => {
+                write!(f, "sharding: {message}")
             }
             ScenarioError::NonFiniteNumber { field, value } => {
                 write!(f, "{field} must be finite, got {value}")
@@ -380,6 +432,9 @@ pub struct ScenarioSpec {
     /// leave unset for reproducible runs.
     #[serde(default)]
     pub deadline_secs: Option<f64>,
+    /// Cell-sharded placement (APC only); absent = classic single-cell.
+    #[serde(default)]
+    pub sharding: Option<ShardingSpec>,
     /// Decision-provenance tracing; defaults to off.
     #[serde(default)]
     pub trace: TraceSpec,
@@ -431,6 +486,26 @@ impl ScenarioSpec {
             return Err(ScenarioError::UnknownTraceLevel {
                 level: self.trace.level.clone(),
             });
+        }
+        if let Some(sharding) = &self.sharding {
+            if self.scheduler != SchedulerSpec::Apc {
+                return Err(ScenarioError::InvalidSharding {
+                    message: "only the apc scheduler supports sharding".to_string(),
+                });
+            }
+            if sharding.cell_size == 0 {
+                return Err(ScenarioError::InvalidSharding {
+                    message: "cell_size must be at least 1".to_string(),
+                });
+            }
+            if !sharding.rebalance_threshold.is_finite() || sharding.rebalance_threshold < 0.0 {
+                return Err(ScenarioError::InvalidSharding {
+                    message: format!(
+                        "rebalance_threshold must be finite and >= 0, got {}",
+                        sharding.rebalance_threshold
+                    ),
+                });
+            }
         }
         self.validate_finite()
     }
@@ -539,10 +614,11 @@ impl ScenarioSpec {
             },
             scheduler: match self.scheduler {
                 SchedulerSpec::Apc => SchedulerKind::Apc {
-                    config: dynaplace_apc::optimizer::ApcConfig {
-                        deadline: self.deadline_secs.map(std::time::Duration::from_secs_f64),
-                        ..Default::default()
-                    },
+                    config: dynaplace_apc::optimizer::ApcConfig::builder()
+                        .deadline(self.deadline_secs.map(std::time::Duration::from_secs_f64))
+                        .sharding(self.sharding.as_ref().map(ShardingSpec::to_policy))
+                        .build()
+                        .expect("validated scenario yields a valid APC config"),
                     advice_between_cycles: true,
                 },
                 SchedulerSpec::Fcfs => SchedulerKind::Fcfs,
@@ -892,6 +968,27 @@ impl FromJson for TraceSpec {
     }
 }
 
+impl ToJson for ShardingSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("cell_size", self.cell_size.to_json()),
+            ("rebalance_moves", self.rebalance_moves.to_json()),
+            ("rebalance_threshold", self.rebalance_threshold.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ShardingSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ShardingSpec {
+            cell_size: v.field("cell_size")?,
+            rebalance_moves: v.field_or_else("rebalance_moves", default_rebalance_moves)?,
+            rebalance_threshold: v
+                .field_or_else("rebalance_threshold", default_rebalance_threshold)?,
+        })
+    }
+}
+
 impl ToJson for RateSpec {
     fn to_json(&self) -> Json {
         match self {
@@ -927,6 +1024,7 @@ impl ToJson for ScenarioSpec {
             ("node_failures", self.node_failures.to_json()),
             ("actuation", self.actuation.to_json()),
             ("deadline_secs", self.deadline_secs.to_json()),
+            ("sharding", self.sharding.to_json()),
             ("trace", self.trace.to_json()),
         ])
     }
@@ -946,6 +1044,7 @@ impl FromJson for ScenarioSpec {
             node_failures: v.field_or("node_failures")?,
             actuation: v.field_or_else("actuation", ActuationSpec::default)?,
             deadline_secs: v.field_or("deadline_secs")?,
+            sharding: v.field_or("sharding")?,
             trace: v.field_or_else("trace", TraceSpec::default)?,
         })
     }
@@ -1000,6 +1099,7 @@ mod tests {
             node_failures: vec![],
             actuation: ActuationSpec::default(),
             deadline_secs: None,
+            sharding: None,
             trace: TraceSpec::default(),
         }
     }
@@ -1083,6 +1183,55 @@ mod tests {
             spec.validate(),
             Err(ScenarioError::ParallelJobsNeedApc { group_index: 0 })
         );
+    }
+
+    #[test]
+    fn sharding_block_round_trips_and_validates() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.sharding = Some(ShardingSpec::new(1));
+        let back = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back.sharding, spec.sharding);
+
+        // Omitted rebalance fields fall back to the policy defaults.
+        let json = r#"{
+            "scheduler": "apc", "cycle_secs": 10.0,
+            "nodes": [{ "count": 2, "cpu_mhz": 2000.0, "memory_mb": 4000.0 }],
+            "jobs": [], "txns": [],
+            "sharding": { "cell_size": 8 }
+        }"#;
+        let parsed = ScenarioSpec::from_json_str(json).unwrap();
+        assert_eq!(parsed.sharding, Some(ShardingSpec::new(8)));
+
+        // Degenerate blocks and baseline schedulers are load-time errors.
+        spec.sharding = Some(ShardingSpec::new(0));
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::InvalidSharding { .. })
+        ));
+        let mut baseline = minimal(SchedulerSpec::Fcfs);
+        baseline.sharding = Some(ShardingSpec::new(1));
+        assert!(matches!(
+            baseline.validate(),
+            Err(ScenarioError::InvalidSharding { .. })
+        ));
+        let mut nan = minimal(SchedulerSpec::Apc);
+        nan.sharding = Some(ShardingSpec {
+            cell_size: 1,
+            rebalance_moves: 2,
+            rebalance_threshold: f64::NAN,
+        });
+        assert!(matches!(
+            nan.validate(),
+            Err(ScenarioError::InvalidSharding { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_scenario_builds_and_completes_jobs() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.sharding = Some(ShardingSpec::new(1));
+        let metrics = spec.build().run();
+        assert_eq!(metrics.completions.len(), 4);
     }
 
     #[test]

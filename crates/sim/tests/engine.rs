@@ -1,5 +1,7 @@
 //! Behavioural tests of the discrete-event engine across schedulers.
 
+#![deny(deprecated)]
+
 use dynaplace_apc::optimizer::ApcConfig;
 use dynaplace_batch::job::{JobProfile, JobSpec};
 use dynaplace_model::cluster::Cluster;

@@ -1,6 +1,8 @@
 //! Property-based tests of the simulator: randomized declarative
 //! scenarios must uphold global invariants under every scheduler.
 
+#![deny(deprecated)]
+
 use dynaplace_sim::spec::{
     ArrivalSpec, GoalSpec, JobGroupSpec, NodeGroupSpec, ScenarioSpec, SchedulerSpec,
 };
@@ -59,6 +61,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
             node_failures: vec![],
             actuation: Default::default(),
             deadline_secs: None,
+            sharding: None,
             trace: Default::default(),
         })
 }

@@ -106,8 +106,8 @@ impl PlacementInvariants {
         for (node, spec) in problem.cluster.iter() {
             let mut used = 0.0;
             for (app, count) in placement.apps_on(node) {
-                if problem.workloads.contains_key(&app) {
-                    used += problem.effective_memory(app).as_mb() * count as f64;
+                if let Ok(memory) = problem.try_effective_memory(app) {
+                    used += memory.as_mb() * count as f64;
                 }
             }
             let cap = spec.memory_capacity().as_mb();
@@ -155,7 +155,9 @@ impl PlacementInvariants {
                 self.violation(format!("load routed to non-live {app:?} on {node:?}"));
                 continue;
             }
-            let (_, max) = problem.effective_speed_bounds(app);
+            let (_, max) = problem
+                .try_effective_speed_bounds(app)
+                .expect("live app has speed bounds");
             let node_cpu = problem
                 .cluster
                 .node(node)
@@ -178,7 +180,9 @@ impl PlacementInvariants {
                     "routes of {app:?} sum to {total} but app_total reports {reported}"
                 ));
             }
-            let (min, _) = problem.effective_speed_bounds(app);
+            let (min, _) = problem
+                .try_effective_speed_bounds(app)
+                .expect("live app has speed bounds");
             if !reported.is_zero() && !min.is_zero() {
                 let instances = placement.total_instances(app);
                 let min_total = min.as_mhz() * instances as f64;

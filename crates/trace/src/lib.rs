@@ -178,6 +178,39 @@ impl OptimizeMode {
     }
 }
 
+/// Why the cell-sharded placement layer pulled an application out of the
+/// per-cell subproblems into the global residual pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscalationReason {
+    /// The app's pinning constraint spans nodes in more than one cell.
+    CrossCellPin,
+    /// The app's current instances already straddle more than one cell.
+    MultiCellPlacement,
+    /// The app's estimated demand exceeds the capacity of any one cell.
+    Oversized,
+}
+
+impl EscalationReason {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EscalationReason::CrossCellPin => "cross_cell_pin",
+            EscalationReason::MultiCellPlacement => "multi_cell_placement",
+            EscalationReason::Oversized => "oversized",
+        }
+    }
+
+    /// Parses the wire name back into a reason.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "cross_cell_pin" => Some(EscalationReason::CrossCellPin),
+            "multi_cell_placement" => Some(EscalationReason::MultiCellPlacement),
+            "oversized" => Some(EscalationReason::Oversized),
+            _ => None,
+        }
+    }
+}
+
 /// Cache hit/miss counters for one optimizer pass, mirroring the four
 /// memo layers of the score cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -398,6 +431,58 @@ pub enum TraceEvent {
         /// Operations in the desired-vs-actual diff.
         pending: usize,
     },
+    /// The sharded placement layer started solving one cell.
+    CellEnter {
+        /// Sim time of the pass.
+        time: f64,
+        /// Zero-based cell index.
+        cell: u64,
+        /// Nodes in the cell.
+        nodes: usize,
+        /// Live applications assigned to the cell.
+        apps: usize,
+    },
+    /// The sharded placement layer finished one cell.
+    CellExit {
+        /// Sim time of the pass.
+        time: f64,
+        /// Zero-based cell index.
+        cell: u64,
+        /// Candidate placements scored inside the cell.
+        evaluations: u64,
+        /// Candidates adopted inside the cell.
+        adoptions: u64,
+        /// Whether the anytime deadline truncated the cell's pass.
+        timed_out: bool,
+    },
+    /// An application was escalated out of the per-cell subproblems into
+    /// the global residual pass.
+    CellEscalated {
+        /// Sim time of the pass.
+        time: f64,
+        /// The escalated application.
+        app: AppId,
+        /// Why it could not be confined to one cell.
+        reason: EscalationReason,
+    },
+    /// The cross-cell rebalancer tried moving a worst-satisfied app from
+    /// a saturated cell to a slack cell.
+    RebalanceMove {
+        /// Sim time of the pass.
+        time: f64,
+        /// The application the rebalancer tried to move.
+        app: AppId,
+        /// Cell the app was assigned to.
+        from_cell: u64,
+        /// Cell the rebalancer tried moving it into.
+        to_cell: u64,
+        /// Global satisfaction delta of the trial merge vs. the
+        /// incumbent (see [`TraceEvent::CandidateAccepted::delta`]).
+        delta: f64,
+        /// Whether the move cleared the rebalance threshold and was
+        /// adopted.
+        adopted: bool,
+    },
 }
 
 impl TraceEvent {
@@ -429,6 +514,10 @@ impl TraceEvent {
             TraceEvent::OpDeferred { .. } => "op_deferred",
             TraceEvent::Quarantined { .. } => "quarantined",
             TraceEvent::ReconcileDiff { .. } => "reconcile_diff",
+            TraceEvent::CellEnter { .. } => "cell_enter",
+            TraceEvent::CellExit { .. } => "cell_exit",
+            TraceEvent::CellEscalated { .. } => "cell_escalated",
+            TraceEvent::RebalanceMove { .. } => "rebalance_move",
         }
     }
 
@@ -629,6 +718,54 @@ impl TraceEvent {
                 ("cycle", Json::Num(cycle as f64)),
                 ("pending", Json::Num(pending as f64)),
             ]),
+            TraceEvent::CellEnter {
+                time,
+                cell,
+                nodes,
+                apps,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cell", Json::Num(cell as f64)),
+                ("nodes", Json::Num(nodes as f64)),
+                ("apps", Json::Num(apps as f64)),
+            ]),
+            TraceEvent::CellExit {
+                time,
+                cell,
+                evaluations,
+                adoptions,
+                timed_out,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cell", Json::Num(cell as f64)),
+                ("evaluations", Json::Num(evaluations as f64)),
+                ("adoptions", Json::Num(adoptions as f64)),
+                ("timed_out", Json::Bool(timed_out)),
+            ]),
+            TraceEvent::CellEscalated { time, app, reason } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("app", Json::Num(app.index() as f64)),
+                ("reason", Json::Str(reason.name().to_string())),
+            ]),
+            TraceEvent::RebalanceMove {
+                time,
+                app,
+                from_cell,
+                to_cell,
+                delta,
+                adopted,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("app", Json::Num(app.index() as f64)),
+                ("from_cell", Json::Num(from_cell as f64)),
+                ("to_cell", Json::Num(to_cell as f64)),
+                ("delta", Json::Num(delta)),
+                ("adopted", Json::Bool(adopted)),
+            ]),
         }
     }
 
@@ -787,6 +924,33 @@ impl TraceEvent {
                 time,
                 cycle: uint(v, "cycle")?,
                 pending: count(v, "pending")?,
+            },
+            "cell_enter" => TraceEvent::CellEnter {
+                time,
+                cell: uint(v, "cell")?,
+                nodes: count(v, "nodes")?,
+                apps: count(v, "apps")?,
+            },
+            "cell_exit" => TraceEvent::CellExit {
+                time,
+                cell: uint(v, "cell")?,
+                evaluations: uint(v, "evaluations")?,
+                adoptions: uint(v, "adoptions")?,
+                timed_out: flag(v, "timed_out")?,
+            },
+            "cell_escalated" => TraceEvent::CellEscalated {
+                time,
+                app: AppId::new(id(v, "app")?),
+                reason: EscalationReason::from_name(text(v, "reason")?)
+                    .ok_or_else(|| missing("reason"))?,
+            },
+            "rebalance_move" => TraceEvent::RebalanceMove {
+                time,
+                app: AppId::new(id(v, "app")?),
+                from_cell: uint(v, "from_cell")?,
+                to_cell: uint(v, "to_cell")?,
+                delta: num(v, "delta")?,
+                adopted: flag(v, "adopted")?,
             },
             other => {
                 return Err(JsonError {
@@ -958,6 +1122,50 @@ impl TraceEvent {
             }
             TraceEvent::ReconcileDiff { pending, .. } => {
                 format!("  reconcile: desired vs actual differ by {pending} ops")
+            }
+            TraceEvent::CellEnter {
+                cell, nodes, apps, ..
+            } => {
+                format!("  cell {cell}: solve {apps} apps over {nodes} nodes")
+            }
+            TraceEvent::CellExit {
+                cell,
+                evaluations,
+                adoptions,
+                timed_out,
+                ..
+            } => {
+                let cut = if timed_out {
+                    ", TRUNCATED by deadline"
+                } else {
+                    ""
+                };
+                format!(
+                    "  cell {cell}: settled after {evaluations} evaluations, \
+                     {adoptions} adoptions{cut}"
+                )
+            }
+            TraceEvent::CellEscalated { app, reason, .. } => {
+                format!(
+                    "  ESCALATE app{} to the global residual ({})",
+                    app.index(),
+                    reason.name()
+                )
+            }
+            TraceEvent::RebalanceMove {
+                app,
+                from_cell,
+                to_cell,
+                delta,
+                adopted,
+                ..
+            } => {
+                let verdict = if adopted { "ADOPT" } else { "reject" };
+                format!(
+                    "  rebalance: {verdict} moving app{} cell {from_cell} -> cell {to_cell} \
+                     (satisfaction delta {delta:+.6})",
+                    app.index()
+                )
             }
         }
     }
@@ -1311,6 +1519,32 @@ mod tests {
                 time: 600.0,
                 cycle: 2,
                 pending: 3,
+            },
+            TraceEvent::CellEnter {
+                time: 300.0,
+                cell: 2,
+                nodes: 64,
+                apps: 17,
+            },
+            TraceEvent::CellExit {
+                time: 300.0,
+                cell: 2,
+                evaluations: 400,
+                adoptions: 6,
+                timed_out: false,
+            },
+            TraceEvent::CellEscalated {
+                time: 300.0,
+                app: AppId::new(9),
+                reason: EscalationReason::CrossCellPin,
+            },
+            TraceEvent::RebalanceMove {
+                time: 300.0,
+                app: AppId::new(5),
+                from_cell: 0,
+                to_cell: 3,
+                delta: 0.04,
+                adopted: true,
             },
         ];
         for ev in events {

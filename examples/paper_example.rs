@@ -7,10 +7,7 @@
 //!
 //! Run with: `cargo run --release --example paper_example`
 
-use dynaplace::apc::optimizer::ApcConfig;
-use dynaplace::model::units::SimDuration;
-use dynaplace::sim::costs::VmCostModel;
-use dynaplace::sim::engine::{SchedulerKind, SimConfig};
+use dynaplace::prelude::*;
 use dynaplace::sim::scenario::{paper_example, ExampleScenario};
 
 fn main() {

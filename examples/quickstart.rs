@@ -10,13 +10,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dynaplace::apc::optimizer::{place, ApcConfig};
-use dynaplace::apc::problem::{PlacementProblem, WorkloadModel};
-use dynaplace::batch::hypothetical::JobSnapshot;
-use dynaplace::batch::job::JobProfile;
-use dynaplace::model::prelude::*;
-use dynaplace::rpf::goal::{CompletionGoal, ResponseTimeGoal};
-use dynaplace::txn::model::{TxnPerformanceModel, TxnWorkload};
+use dynaplace::prelude::*;
+use dynaplace::rpf::goal::ResponseTimeGoal;
+use dynaplace::txn::model::TxnWorkload;
 
 fn main() {
     // Two machines: 3 GHz of CPU and 8 GB of memory each.
@@ -94,15 +90,16 @@ fn main() {
 
     // Nothing is placed yet; ask the controller for a decision.
     let current = Placement::new();
-    let problem = PlacementProblem {
-        cluster: &cluster,
-        apps: &apps,
+    let problem = PlacementProblem::new(
+        &cluster,
+        &apps,
         workloads,
-        current: &current,
-        now: SimTime::ZERO,
-        cycle: SimDuration::from_secs(300.0),
-        forbidden: Default::default(),
-    };
+        &current,
+        SimTime::ZERO,
+        SimDuration::from_secs(300.0),
+        Default::default(),
+    )
+    .expect("well-formed problem");
     let outcome = place(&problem, &ApcConfig::default());
 
     println!("chosen placement:");

@@ -26,12 +26,7 @@
 //! ```
 //! use std::collections::BTreeMap;
 //! use std::sync::Arc;
-//! use dynaplace::apc::optimizer::{place, ApcConfig};
-//! use dynaplace::apc::problem::{PlacementProblem, WorkloadModel};
-//! use dynaplace::batch::hypothetical::JobSnapshot;
-//! use dynaplace::batch::job::JobProfile;
-//! use dynaplace::model::prelude::*;
-//! use dynaplace::rpf::goal::CompletionGoal;
+//! use dynaplace::prelude::*;
 //!
 //! let mut cluster = Cluster::new();
 //! let node = cluster.add_node(NodeSpec::new(
@@ -59,15 +54,16 @@
 //!     )),
 //! );
 //! let current = Placement::new();
-//! let problem = PlacementProblem {
-//!     cluster: &cluster,
-//!     apps: &apps,
+//! let problem = PlacementProblem::new(
+//!     &cluster,
+//!     &apps,
 //!     workloads,
-//!     current: &current,
-//!     now: SimTime::ZERO,
-//!     cycle: SimDuration::from_secs(1.0),
-//!     forbidden: Default::default(),
-//! };
+//!     &current,
+//!     SimTime::ZERO,
+//!     SimDuration::from_secs(1.0),
+//!     Default::default(),
+//! )
+//! .expect("well-formed problem");
 //! let outcome = place(&problem, &ApcConfig::default());
 //! assert_eq!(outcome.placement.count(job, node), 1);
 //! ```
@@ -86,3 +82,26 @@ pub use dynaplace_sim as sim;
 pub use dynaplace_solver as solver;
 pub use dynaplace_trace as trace;
 pub use dynaplace_txn as txn;
+
+/// One blessed import for controller users.
+///
+/// Every public type needed to pose a placement problem and read the
+/// answer, under exactly one path. Deep module paths
+/// (`dynaplace::apc::optimizer::...`) keep working, but new code should
+/// start with `use dynaplace::prelude::*;`.
+pub mod prelude {
+    pub use dynaplace_apc::{
+        fill_only, fill_only_traced, place, place_traced, score_placement, ApcConfig,
+        ApcConfigBuilder, ConfigError, Objective, OptimizerStats, PlacementOutcome,
+        PlacementProblem, PlacementScore, ProblemError, ScoringMode, ShardingPolicy, WorkloadModel,
+    };
+    pub use dynaplace_batch::hypothetical::JobSnapshot;
+    pub use dynaplace_batch::job::{JobProfile, JobSpec, JobStage};
+    pub use dynaplace_model::prelude::*;
+    pub use dynaplace_rpf::goal::CompletionGoal;
+    pub use dynaplace_sim::costs::VmCostModel;
+    pub use dynaplace_sim::engine::{SchedulerKind, SimConfig, Simulation};
+    pub use dynaplace_sim::spec::{ScenarioSpec, ShardingSpec};
+    pub use dynaplace_trace::{JsonlSink, NoopSink, TraceEvent, TraceLevel, TraceSink};
+    pub use dynaplace_txn::model::TxnPerformanceModel;
+}

@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: scaled-down versions of the paper's
 //! experiments asserting the qualitative shapes the figures show.
 
+#![deny(deprecated)]
+
 use dynaplace::apc::optimizer::ApcConfig;
 use dynaplace::model::units::SimDuration;
 use dynaplace::sim::costs::VmCostModel;

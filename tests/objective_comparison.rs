@@ -9,6 +9,8 @@
 //! and starves the expensive job past its deadline. Max-min gives the
 //! least-satisfied application the slot.
 
+#![deny(deprecated)]
+
 use dynaplace::apc::optimizer::{ApcConfig, Objective};
 use dynaplace::batch::job::{JobProfile, JobSpec};
 use dynaplace::model::cluster::Cluster;
@@ -32,10 +34,10 @@ fn run(objective: Objective) -> (AppId, RunMetrics) {
         horizon: Some(SimDuration::from_secs(2_000.0)),
         costs: VmCostModel::free(),
         scheduler: SchedulerKind::Apc {
-            config: ApcConfig {
-                objective,
-                ..ApcConfig::default()
-            },
+            config: ApcConfig::builder()
+                .objective(objective)
+                .build()
+                .expect("valid comparison config"),
             advice_between_cycles: true,
         },
         ..SimConfig::apc_default()

@@ -4,6 +4,8 @@
 //! the desired and actual placements converge, every job completes,
 //! and the whole run stays deterministic per seed.
 
+#![deny(deprecated)]
+
 use dynaplace::model::NodeId;
 use dynaplace::sim::metrics::RunMetrics;
 use dynaplace::sim::spec::{
@@ -78,6 +80,7 @@ fn flaky_spec(
             ..Default::default()
         },
         deadline_secs: None,
+        sharding: None,
         trace: Default::default(),
     }
 }

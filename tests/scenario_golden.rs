@@ -13,6 +13,8 @@
 //! UPDATE_GOLDEN=1 cargo test --test scenario_golden
 //! ```
 
+#![deny(deprecated)]
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -206,4 +208,45 @@ fn node_failure_drill_matches_golden() {
 fn flaky_cluster_matches_golden() {
     let metrics = run_scenario("flaky_cluster");
     assert_matches_golden("flaky_cluster", &render(&metrics));
+}
+
+#[test]
+fn sharded_cluster_matches_golden() {
+    let metrics = run_scenario("sharded_cluster");
+    assert_matches_golden("sharded_cluster", &render(&metrics));
+}
+
+/// The sharding acceptance bar on quality: cell-scoped solving plus
+/// cross-cell rebalancing may not cost satisfaction. The same scenario
+/// runs once as checked in (sharded) and once with sharding stripped;
+/// the sharded run must complete every job the whole-cluster run does
+/// and keep the mean final relative performance within noise of it.
+#[test]
+fn sharded_cluster_satisfaction_no_worse_than_unsharded() {
+    let path = repo_root().join("scenarios/sharded_cluster.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let spec = ScenarioSpec::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()));
+    assert!(spec.sharding.is_some(), "scenario must ship sharded");
+    let mut unsharded_spec = spec.clone();
+    unsharded_spec.sharding = None;
+
+    let mean_rp = |metrics: &RunMetrics| -> f64 {
+        let total: f64 = metrics.completions.iter().map(|c| c.rp.value()).sum();
+        total / metrics.completions.len() as f64
+    };
+    let sharded = spec.build().run();
+    let unsharded = unsharded_spec.build().run();
+    assert!(
+        sharded.completions.len() >= unsharded.completions.len(),
+        "sharding lost completions: {} vs {}",
+        sharded.completions.len(),
+        unsharded.completions.len()
+    );
+    let (s, u) = (mean_rp(&sharded), mean_rp(&unsharded));
+    assert!(
+        s >= u - 0.05,
+        "sharded mean final satisfaction regressed: {s:.4} vs unsharded {u:.4}"
+    );
 }

@@ -6,6 +6,8 @@
 //! 2. trace *content* must be deterministic — two traced runs of the same
 //!    scenario yield byte-identical deterministic JSONL.
 
+#![deny(deprecated)]
+
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
