@@ -62,10 +62,10 @@ fn build_jobs(apps: &mut AppSet, s2: bool) -> Vec<ExampleJob> {
 
 fn trace(scenario: &str, config: &ApcConfig, config_name: &str) -> Vec<Vec<String>> {
     let mut cluster = Cluster::new();
-    cluster.add_node(NodeSpec::new(
-        CpuSpeed::from_mhz(1_000.0),
-        Memory::from_mb(2_000.0),
-    ));
+    cluster.add_node(
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+            .expect("valid node capacities"),
+    );
     let mut apps = AppSet::new();
     let mut jobs = build_jobs(&mut apps, scenario == "S2");
     let cycle = SimDuration::from_secs(1.0);

@@ -33,7 +33,8 @@ struct World {
 fn sized_world(nodes: usize) -> World {
     let cluster = Cluster::homogeneous(
         nodes,
-        NodeSpec::new(CpuSpeed::from_mhz(4.0 * 3_900.0), Memory::from_mb(16_384.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(4.0 * 3_900.0), Memory::from_mb(16_384.0))
+            .expect("valid node capacities"),
     );
     let jobs = nodes * 3;
     let running = nodes * 2;

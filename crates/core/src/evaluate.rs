@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn scores_cover_placed_and_queued_jobs() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(2_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         let running = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
         let queued = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(500.0)));

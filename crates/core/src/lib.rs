@@ -37,10 +37,10 @@
 //!
 //! // One node, one queued job: the controller starts it.
 //! let mut cluster = Cluster::new();
-//! let n0 = cluster.add_node(NodeSpec::new(
+//! let n0 = cluster.add_node(NodeSpec::try_new(
 //!     CpuSpeed::from_mhz(1_000.0),
 //!     Memory::from_mb(2_000.0),
-//! ));
+//! ).expect("valid node capacities"));
 //! let mut apps = AppSet::new();
 //! let j1 = apps.add(ApplicationSpec::batch(
 //!     Memory::from_mb(750.0),

@@ -504,7 +504,10 @@ mod tests {
     #[test]
     fn equal_jobs_split_evenly() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(2_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         let a = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
         let b = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
@@ -535,7 +538,10 @@ mod tests {
     #[test]
     fn saturated_app_leaves_rest_to_others() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(2_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         // `slow` can only consume 200 MHz; `fast` can take 1000.
         let slow = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(200.0)));
@@ -572,7 +578,10 @@ mod tests {
     #[test]
     fn surplus_flows_past_saturated_app() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(2_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         let tiny = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(100.0)));
         let big = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
@@ -608,8 +617,14 @@ mod tests {
     #[test]
     fn transactional_spans_nodes() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(4_000.0)));
-        let n1 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(4_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(4_000.0))
+                .expect("valid node capacities"),
+        );
+        let n1 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(4_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         let web = apps.add(ApplicationSpec::transactional(
             Memory::from_mb(500.0),
@@ -656,7 +671,9 @@ mod tests {
     #[test]
     fn infeasible_min_speeds_return_none() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(500.0), Memory::from_mb(4_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(500.0), Memory::from_mb(4_000.0)).expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         let a = apps.add(
             ApplicationSpec::batch(Memory::from_mb(100.0), mhz(400.0))
@@ -700,7 +717,10 @@ mod tests {
     #[test]
     fn unplaced_apps_get_zero() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(2_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         let placed = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
         let queued = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
@@ -730,8 +750,13 @@ mod tests {
     #[test]
     fn distribution_validates() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(2_000.0)));
-        let n1 = cluster.add_node(NodeSpec::new(mhz(800.0), Memory::from_mb(2_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
+        let n1 = cluster.add_node(
+            NodeSpec::try_new(mhz(800.0), Memory::from_mb(2_000.0)).expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         let a = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(600.0)));
         let b = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(900.0)));
@@ -768,9 +793,18 @@ mod tests {
     #[test]
     fn two_multi_node_apps_use_flow() {
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(4_000.0)));
-        let n1 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(4_000.0)));
-        let n2 = cluster.add_node(NodeSpec::new(mhz(1_000.0), Memory::from_mb(4_000.0)));
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(4_000.0))
+                .expect("valid node capacities"),
+        );
+        let n1 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(4_000.0))
+                .expect("valid node capacities"),
+        );
+        let n2 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(4_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         let web1 = apps.add(ApplicationSpec::transactional(
             Memory::from_mb(100.0),

@@ -8,8 +8,9 @@
 //!   removing them one by one (most-satisfied applications first), which
 //!   generates a set of base configurations;
 //! - **inner loop** over applications in *lowest relative performance
-//!   first* order, greedily starting new instances on the node as memory
-//!   and constraints permit.
+//!   first* order, greedily starting new instances on the node as rigid
+//!   capacities (memory, plus any extra declared dimensions) and
+//!   constraints permit.
 //!
 //! Every candidate is scored with [`crate::evaluate::score_placement`]
 //! (max-min load distribution + one-cycle-ahead batch evaluation) and
@@ -26,7 +27,6 @@ use std::sync::Arc;
 use dynaplace_model::delta::PlacementAction;
 use dynaplace_model::ids::{AppId, NodeId};
 use dynaplace_model::placement::Placement;
-use dynaplace_model::units::Memory;
 use dynaplace_rpf::satisfaction::SatisfactionVector;
 use dynaplace_rpf::value::Rp;
 use dynaplace_trace::{CacheCounters, NoopSink, OptimizeMode, TraceEvent, TraceLevel, TraceSink};
@@ -870,7 +870,10 @@ pub(crate) fn optimize_scoped(
 /// Grows every transactional application's cluster while its placed
 /// capacity is below its maximum useful demand, one instance at a time on
 /// the node with the most free memory, stopping as soon as an addition
-/// would make the satisfaction vector strictly worse.
+/// would make the satisfaction vector strictly worse. Feasibility is
+/// judged across every rigid dimension (via `checked_place`); the
+/// ranking key stays free *memory* so memory-only problems pick the
+/// same node the pre-vector optimizer picked.
 ///
 /// Returns whether the wall-clock deadline elapsed mid-expansion.
 #[allow(clippy::too_many_arguments)]
@@ -1036,11 +1039,13 @@ fn removal_order(
 ///
 /// Feasibility is checked against a per-node resident index maintained
 /// across the fill instead of through [`Placement::checked_place`], whose
-/// anti-affinity and memory scans each walk every placement cell; the
-/// checks below replicate `checked_place` exactly — same predicates, and
-/// the memory sum accumulates over residents in the same ascending-`AppId`
-/// order `memory_used` uses, so every accept/reject decision (including
-/// any floating-point boundary case) is identical.
+/// anti-affinity and rigid-capacity scans each walk every placement cell;
+/// the checks below replicate `checked_place` exactly — same predicates,
+/// and each rigid dimension's usage sum accumulates over residents in the
+/// same ascending-`AppId` order `rigid_used` uses, so every accept/reject
+/// decision (including any floating-point boundary case) is identical.
+/// With a memory-only registry the dimension loop degenerates to the
+/// single scalar accumulation of the pre-vector optimizer, bit for bit.
 fn fill_node(
     problem: &PlacementProblem<'_>,
     candidate: &mut Placement,
@@ -1052,6 +1057,11 @@ fn fill_node(
     let Ok(node_spec) = problem.cluster.node(node) else {
         return;
     };
+    let node_rigid = node_spec.rigid_capacity();
+    let dims = problem.cluster.dims().len().max(node_rigid.len());
+    // Rigid usage scratch, reused across fill attempts (dimension 0 =
+    // memory; `dims` is 1 in the paper's model).
+    let mut used = vec![0.0f64; dims];
     // Residents of `node`, ascending AppId (the order `apps_on` yields).
     let mut residents: Vec<(AppId, u32)> = candidate.apps_on(node).collect();
     let mut tried = 0;
@@ -1073,7 +1083,7 @@ fn fill_node(
         if candidate.total_instances(app) >= spec.max_instances() {
             continue;
         }
-        let mut used = Memory::ZERO;
+        used.iter_mut().for_each(|u| *u = 0.0);
         let mut rejected = false;
         for &(other, count) in &residents {
             let Ok(other_spec) = problem.apps.get(other) else {
@@ -1084,9 +1094,18 @@ fn fill_node(
                 rejected = true;
                 break;
             }
-            used += other_spec.memory_per_instance() * f64::from(count);
+            let other_rigid = other_spec.rigid_per_instance();
+            for (d, u) in used.iter_mut().enumerate() {
+                *u += other_rigid.get(d) * f64::from(count);
+            }
         }
-        if rejected || used + spec.memory_per_instance() > node_spec.memory_capacity() {
+        let demand = spec.rigid_per_instance();
+        if rejected
+            || used
+                .iter()
+                .enumerate()
+                .any(|(d, &u)| u + demand.get(d) > node_rigid.get(d))
+        {
             continue;
         }
         candidate.place(app, node);

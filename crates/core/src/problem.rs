@@ -6,6 +6,7 @@ use dynaplace_batch::hypothetical::JobSnapshot;
 use dynaplace_model::cluster::{AppSet, Cluster};
 use dynaplace_model::ids::{AppId, NodeId};
 use dynaplace_model::placement::Placement;
+use dynaplace_model::resources::{ResourceDims, Resources};
 use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime};
 use dynaplace_txn::model::TxnPerformanceModel;
 
@@ -65,6 +66,20 @@ pub enum ProblemError {
         /// The unknown node.
         node: NodeId,
     },
+    /// A node or application declares more rigid resource dimensions
+    /// than the cluster's [`ResourceDims`] registry — its vector cannot
+    /// be interpreted. (Vectors *shorter* than the registry are fine:
+    /// they zero-extend.)
+    DimensionMismatch {
+        /// The offending node, when a node's capacity vector is at fault.
+        node: Option<NodeId>,
+        /// The offending application, when a demand vector is at fault.
+        app: Option<AppId>,
+        /// Dimensions the cluster registry declares.
+        expected: usize,
+        /// Dimensions the offender's vector carries.
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for ProblemError {
@@ -78,6 +93,22 @@ impl std::fmt::Display for ProblemError {
             }
             ProblemError::UnknownNode { app, node } => {
                 write!(f, "application {app} is placed on unknown node {node}")
+            }
+            ProblemError::DimensionMismatch {
+                node,
+                app,
+                expected,
+                found,
+            } => {
+                let offender: &dyn std::fmt::Display = match (node, app) {
+                    (Some(n), _) => n,
+                    (_, Some(a)) => a,
+                    _ => &"unknown offender",
+                };
+                write!(
+                    f,
+                    "{offender} declares {found} rigid dimensions but the cluster registry has {expected}"
+                )
             }
         }
     }
@@ -136,10 +167,38 @@ impl<'a> PlacementProblem<'a> {
         cycle: SimDuration,
         forbidden: BTreeSet<(AppId, NodeId)>,
     ) -> Result<Self, ProblemError> {
+        let dims = cluster.dims().len();
+        for (node, spec) in cluster.iter() {
+            let found = spec.rigid_capacity().len();
+            if found > dims {
+                return Err(ProblemError::DimensionMismatch {
+                    node: Some(node),
+                    app: None,
+                    expected: dims,
+                    found,
+                });
+            }
+        }
+        let check_app_dims = |app: AppId| -> Result<(), ProblemError> {
+            let Ok(spec) = apps.get(app) else {
+                return Err(ProblemError::UnregisteredApp { app });
+            };
+            let found = spec.rigid_per_instance().len();
+            if found > dims {
+                return Err(ProblemError::DimensionMismatch {
+                    node: None,
+                    app: Some(app),
+                    expected: dims,
+                    found,
+                });
+            }
+            Ok(())
+        };
         for &app in workloads.keys() {
             if !apps.contains(app) {
                 return Err(ProblemError::UnregisteredApp { app });
             }
+            check_app_dims(app)?;
         }
         for (app, node, count) in current.iter() {
             if count == 0 {
@@ -151,6 +210,7 @@ impl<'a> PlacementProblem<'a> {
             if !cluster.contains(node) {
                 return Err(ProblemError::UnknownNode { app, node });
             }
+            check_app_dims(app)?;
         }
         Ok(Self {
             cluster,
@@ -191,6 +251,40 @@ impl<'a> PlacementProblem<'a> {
                 .get(app)
                 .map_err(|_| ProblemError::UnregisteredApp { app })?
                 .memory_per_instance()),
+        }
+    }
+
+    /// The cluster's rigid-dimension registry (dimension 0 is always
+    /// memory).
+    pub fn rigid_dims(&self) -> &ResourceDims {
+        self.cluster.dims()
+    }
+
+    /// The full rigid demand vector one instance of `app` pins right now:
+    /// dimension 0 is the effective memory (the job's current stage for
+    /// batch, the static spec otherwise) and every extra dimension comes
+    /// from the static spec — extra demands do not vary by stage.
+    pub fn try_effective_rigid(&self, app: AppId) -> Result<Resources, ProblemError> {
+        let spec = self
+            .apps
+            .get(app)
+            .map_err(|_| ProblemError::UnregisteredApp { app })?;
+        match self
+            .workloads
+            .get(&app)
+            .ok_or(ProblemError::UnknownApp { app })?
+        {
+            WorkloadModel::Batch(snap) => {
+                let memory = snap
+                    .profile()
+                    .stage_at(snap.consumed())
+                    .map(|(s, _)| s.memory())
+                    .unwrap_or(Memory::ZERO);
+                let mut values = spec.rigid_per_instance().values().to_vec();
+                values[0] = memory.as_mb();
+                Ok(Resources::new(values))
+            }
+            WorkloadModel::Transactional(_) => Ok(spec.rigid_per_instance().clone()),
         }
     }
 

@@ -40,7 +40,8 @@ use dynaplace_model::cluster::Cluster;
 use dynaplace_model::ids::{AppId, NodeId};
 use dynaplace_model::node::NodeSpec;
 use dynaplace_model::placement::Placement;
-use dynaplace_model::units::{CpuSpeed, Memory};
+use dynaplace_model::resources::Resources;
+use dynaplace_model::units::CpuSpeed;
 use dynaplace_rpf::model::PerformanceModel;
 use dynaplace_trace::{EscalationReason, TraceEvent, TraceLevel, TraceSink};
 
@@ -113,14 +114,19 @@ struct CellAssignment {
 }
 
 /// Estimated steady-state footprint of one live application:
-/// `(cpu_mhz, memory_mb)`. Transactional demand is the saturation demand
-/// of the queueing model over however many instances that takes; batch
-/// demand assumes every task runs at full speed.
-fn app_footprint(problem: &PlacementProblem<'_>, app: AppId, model: &WorkloadModel) -> (f64, f64) {
-    let mem_per = problem
-        .try_effective_memory(app)
-        .map(|m| m.as_mb())
-        .unwrap_or(0.0);
+/// `(cpu_mhz, rigid demand vector)`. Transactional demand is the
+/// saturation demand of the queueing model over however many instances
+/// that takes; batch demand assumes every task runs at full speed. The
+/// rigid vector scales the per-instance effective demand (dimension 0 =
+/// memory MB) by the instance estimate.
+fn app_footprint(
+    problem: &PlacementProblem<'_>,
+    app: AppId,
+    model: &WorkloadModel,
+) -> (f64, Resources) {
+    let rigid_per = problem
+        .try_effective_rigid(app)
+        .unwrap_or_else(|_| Resources::zero());
     let max_instances = problem
         .apps
         .get(app)
@@ -129,7 +135,9 @@ fn app_footprint(problem: &PlacementProblem<'_>, app: AppId, model: &WorkloadMod
     match model {
         WorkloadModel::Batch(snap) => {
             let cpu = snap.max_speed().as_mhz() * max_instances;
-            (cpu, mem_per * max_instances)
+            let mut rigid = Resources::zero();
+            rigid.add_scaled(&rigid_per, max_instances);
+            (cpu, rigid)
         }
         WorkloadModel::Transactional(m) => {
             let demand = m.max_useful_demand().as_mhz();
@@ -143,7 +151,9 @@ fn app_footprint(problem: &PlacementProblem<'_>, app: AppId, model: &WorkloadMod
             } else {
                 1.0
             };
-            (demand, mem_per * instances)
+            let mut rigid = Resources::zero();
+            rigid.add_scaled(&rigid_per, instances);
+            (demand, rigid)
         }
     }
 }
@@ -156,18 +166,20 @@ fn app_footprint(problem: &PlacementProblem<'_>, app: AppId, model: &WorkloadMod
 fn assign_apps(problem: &PlacementProblem<'_>, cells: &[Vec<NodeId>]) -> CellAssignment {
     let mut cell_index: BTreeMap<NodeId, usize> = BTreeMap::new();
     let mut cell_cpu = vec![0.0f64; cells.len()];
-    let mut cell_mem = vec![0.0f64; cells.len()];
+    let mut cell_rigid = vec![Resources::zero(); cells.len()];
     for (i, cell) in cells.iter().enumerate() {
         for &node in cell {
             cell_index.insert(node, i);
             if let Ok(spec) = problem.cluster.node(node) {
                 cell_cpu[i] += spec.cpu_capacity().as_mhz();
-                cell_mem[i] += spec.memory_capacity().as_mb();
+                cell_rigid[i].add_scaled(spec.rigid_capacity(), 1.0);
             }
         }
     }
     let max_cell_cpu = cell_cpu.iter().copied().fold(0.0f64, f64::max);
-    let max_cell_mem = cell_mem.iter().copied().fold(0.0f64, f64::max);
+    let max_cell_rigid = cell_rigid
+        .iter()
+        .fold(Resources::zero(), |acc, r| acc.max(r));
 
     let mut assigned_cpu = vec![0.0f64; cells.len()];
     let mut cell_of: BTreeMap<AppId, usize> = BTreeMap::new();
@@ -175,7 +187,7 @@ fn assign_apps(problem: &PlacementProblem<'_>, cells: &[Vec<NodeId>]) -> CellAss
     let mut deferred: Vec<(AppId, f64)> = Vec::new();
 
     for (&app, model) in &problem.workloads {
-        let (cpu, mem) = app_footprint(problem, app, model);
+        let (cpu, rigid) = app_footprint(problem, app, model);
 
         // Sticky: an app already running in exactly one cell stays
         // there; instances straddling cells escalate.
@@ -214,11 +226,13 @@ fn assign_apps(problem: &PlacementProblem<'_>, cells: &[Vec<NodeId>]) -> CellAss
             }
         }
 
-        // Oversized: estimated footprint beyond any single cell. Only
-        // meaningful with more than one cell — a single cell is the
-        // whole cluster, and escalating there would break the
-        // single-cell equivalence contract.
-        if cells.len() > 1 && (cpu > max_cell_cpu || mem > max_cell_mem) {
+        // Oversized: estimated footprint beyond any single cell in any
+        // rigid dimension. Only meaningful with more than one cell — a
+        // single cell is the whole cluster, and escalating there would
+        // break the single-cell equivalence contract.
+        if cells.len() > 1
+            && (cpu > max_cell_cpu || rigid.first_exceeding(&max_cell_rigid).is_some())
+        {
             escalated.insert(app, EscalationReason::Oversized);
             continue;
         }
@@ -255,31 +269,37 @@ fn reserve_escalated(
     escalated: &BTreeSet<AppId>,
 ) -> (Cluster, BTreeSet<(AppId, NodeId)>) {
     let mut cpu_reserved: BTreeMap<NodeId, f64> = BTreeMap::new();
-    let mut mem_reserved: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut rigid_reserved: BTreeMap<NodeId, Resources> = BTreeMap::new();
     for (app, node, count) in escalated_placement.iter() {
         if count == 0 {
             continue;
         }
-        let mem = problem
-            .try_effective_memory(app)
-            .map(|m| m.as_mb())
-            .unwrap_or(0.0);
+        let rigid = problem
+            .try_effective_rigid(app)
+            .unwrap_or_else(|_| Resources::zero());
         let min_speed = problem
             .try_effective_speed_bounds(app)
             .map(|(min, _)| min.as_mhz())
             .unwrap_or(0.0);
-        *mem_reserved.entry(node).or_insert(0.0) += mem * count as f64;
+        rigid_reserved
+            .entry(node)
+            .or_insert_with(Resources::zero)
+            .add_scaled(&rigid, count as f64);
         *cpu_reserved.entry(node).or_insert(0.0) += min_speed * count as f64;
     }
+    let zero = Resources::zero();
     let mut reduced = Cluster::new();
     for (node, spec) in problem.cluster.iter() {
         let cpu = spec.cpu_capacity().as_mhz() - cpu_reserved.get(&node).copied().unwrap_or(0.0);
-        let mem = spec.memory_capacity().as_mb() - mem_reserved.get(&node).copied().unwrap_or(0.0);
-        reduced.add_node(NodeSpec::new(
-            CpuSpeed::from_mhz(cpu.max(0.0)),
-            Memory::from_mb(mem.max(0.0)),
-        ));
+        let rigid = spec
+            .rigid_capacity()
+            .saturating_sub(rigid_reserved.get(&node).unwrap_or(&zero));
+        reduced.add_node(
+            NodeSpec::try_with_resources(CpuSpeed::from_mhz(cpu.max(0.0)), rigid)
+                .expect("valid node capacities"),
+        );
     }
+    reduced.set_dims(problem.cluster.dims().clone());
     let mut forbidden: BTreeSet<(AppId, NodeId)> = BTreeSet::new();
     for (escalated_app, node, count) in escalated_placement.iter() {
         if count == 0 {
@@ -805,12 +825,13 @@ mod tests {
     use dynaplace_batch::job::JobProfile;
     use dynaplace_model::app::ApplicationSpec;
     use dynaplace_model::cluster::AppSet;
-    use dynaplace_model::units::{SimDuration, SimTime, Work};
+    use dynaplace_model::units::{Memory, SimDuration, SimTime, Work};
     use dynaplace_rpf::goal::CompletionGoal;
     use std::sync::Arc;
 
     fn node() -> NodeSpec {
-        NodeSpec::new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(4_000.0))
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(4_000.0))
+            .expect("valid node capacities")
     }
 
     fn batch_model(app: AppId, work: f64) -> WorkloadModel {

@@ -50,7 +50,8 @@ impl World {
     }
 
     fn node(&mut self, cpu: f64, memory: f64) -> NodeId {
-        self.cluster.add_node(NodeSpec::new(mhz(cpu), mb(memory)))
+        self.cluster
+            .add_node(NodeSpec::try_new(mhz(cpu), mb(memory)).expect("valid node capacities"))
     }
 
     /// Adds a batch job; `consumed` is work already done; `placed_delay`

@@ -89,7 +89,10 @@ struct World {
 fn build(params: &ProblemParams) -> World {
     let mut cluster = Cluster::new();
     for &(cpu, mem) in &params.nodes {
-        cluster.add_node(NodeSpec::new(CpuSpeed::from_mhz(cpu), Memory::from_mb(mem)));
+        cluster.add_node(
+            NodeSpec::try_new(CpuSpeed::from_mhz(cpu), Memory::from_mb(mem))
+                .expect("valid node capacities"),
+        );
     }
     let mut apps = AppSet::new();
     let mut workloads = BTreeMap::new();
@@ -229,10 +232,10 @@ proptest! {
     ) {
         let now = SimTime::from_secs(0.0);
         let mut cluster = Cluster::new();
-        let n0 = cluster.add_node(NodeSpec::new(
+        let n0 = cluster.add_node(NodeSpec::try_new(
             CpuSpeed::from_mhz(cpu),
             Memory::from_mb(10_000.0),
-        ));
+        ).expect("valid node capacities"));
         let mut apps = AppSet::new();
         let mut workloads = BTreeMap::new();
         let mut current = Placement::new();

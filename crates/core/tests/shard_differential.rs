@@ -240,7 +240,8 @@ fn oversized_app_escalates_instead_of_livelocking() {
 
     let cluster = Cluster::homogeneous(
         4,
-        NodeSpec::new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(4_000.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(4_000.0))
+            .expect("valid node capacities"),
     );
     let mut apps = AppSet::new();
     // Up to 4 instances, and enough demand to need roughly 3 nodes of

@@ -387,18 +387,27 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            if self.pos + 4 >= self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            // Surrogate pairs are not needed by this
-                            // workspace's files; map lone surrogates to
-                            // the replacement character.
-                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            let unit = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            // A high surrogate followed by `\u` + low
+                            // surrogate decodes as one UTF-16 pair; a
+                            // lone surrogate maps to the replacement
+                            // character rather than failing the parse.
+                            let code = if (0xD800..=0xDBFF).contains(&unit)
+                                && self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                && self.bytes.get(self.pos + 2) == Some(&b'u')
+                            {
+                                let low = self.hex4(self.pos + 3)?;
+                                if (0xDC00..=0xDFFF).contains(&low) {
+                                    self.pos += 6;
+                                    0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    unit
+                                }
+                            } else {
+                                unit
+                            };
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
                         _ => return Err(self.err("invalid escape")),
                     }
@@ -414,6 +423,16 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Parses the 4 hex digits of a `\u` escape starting at `at`,
+    /// without advancing the cursor.
+    fn hex4(&self, at: usize) -> Result<u32> {
+        let Some(digits) = self.bytes.get(at..at + 4) else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        let hex = std::str::from_utf8(digits).map_err(|_| self.err("invalid \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))
     }
 
     fn array(&mut self) -> Result<Json> {

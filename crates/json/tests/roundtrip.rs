@@ -1,0 +1,127 @@
+//! Round-trip property suite: `parse ∘ render == identity` on generated
+//! values, for both the compact and the pretty printer.
+//!
+//! String generation deliberately over-samples the hostile corners of
+//! the escape path: control characters (the `\u00XX` escape route),
+//! quotes, backslashes, forward slashes, DEL, and multi-byte Unicode up
+//! to astral-plane code points. Numbers cover integers, subnormals, and
+//! extreme exponents — the printer promises shortest-round-trip
+//! formatting for every finite `f64`.
+
+use dynaplace_json::Json;
+use proptest::prelude::*;
+
+/// Character palette biased toward escape-path edge cases.
+const PALETTE: [char; 24] = [
+    '\u{0}', '\u{1}', '\u{8}', '\t', '\n', '\u{b}', '\u{c}', '\r', '\u{e}',
+    '\u{1f}', // controls
+    '"', '\\', '/', ' ', 'a', 'Z', '0', '_', '\u{7f}', 'é', 'Ж', '✓', '\u{fffd}', '𝄞',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0usize..PALETTE.len()).prop_map(|i| PALETTE[i]), 0..12)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn arb_number() -> BoxedStrategy<f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MAX),
+        Just(f64::EPSILON),
+        Just(1e-300),
+        Just(-123_456_789.123_456),
+        -1e9..1e9f64,
+        -1e-6..1e-6f64,
+        (0u64..1_000_000).prop_map(|n| n as f64),
+    ]
+    .boxed()
+}
+
+fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+    let scalar = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        arb_number().prop_map(Json::Num),
+        arb_string().prop_map(Json::Str),
+    ]
+    .boxed();
+    if depth == 0 {
+        return scalar;
+    }
+    prop_oneof![
+        scalar,
+        proptest::collection::vec(arb_json(depth - 1), 0..4).prop_map(Json::Arr),
+        proptest::collection::vec((arb_string(), arb_json(depth - 1)), 0..4).prop_map(Json::Obj),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `parse(compact(v)) == v` for arbitrary nested values.
+    #[test]
+    fn compact_round_trips(v in arb_json(3)) {
+        let text = v.compact();
+        let back = Json::parse(&text).unwrap_or_else(|e| {
+            panic!("compact output failed to parse: {e}\n{text}")
+        });
+        prop_assert_eq!(back, v);
+    }
+
+    /// `parse(pretty(v)) == v` for arbitrary nested values.
+    #[test]
+    fn pretty_round_trips(v in arb_json(3)) {
+        let text = v.pretty();
+        let back = Json::parse(&text).unwrap_or_else(|e| {
+            panic!("pretty output failed to parse: {e}\n{text}")
+        });
+        prop_assert_eq!(back, v);
+    }
+
+    /// Strings survive alone too (the densest escape coverage, since
+    /// nothing else in the document dilutes the hostile characters).
+    #[test]
+    fn hostile_strings_round_trip(s in arb_string()) {
+        let v = Json::Str(s);
+        prop_assert_eq!(Json::parse(&v.compact()).unwrap(), v.clone());
+        prop_assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+}
+
+/// Every control character (the full `\u00XX` range) escapes to
+/// something the parser accepts and maps back to the same code point.
+#[test]
+fn all_control_characters_round_trip() {
+    for code in 0u32..0x20 {
+        let c = char::from_u32(code).unwrap();
+        let v = Json::Str(format!("a{c}b"));
+        let text = v.compact();
+        assert_eq!(
+            Json::parse(&text).unwrap(),
+            v,
+            "control char U+{code:04X} failed through {text:?}"
+        );
+    }
+}
+
+/// Explicit `\uXXXX` escapes in the input — including surrogate pairs —
+/// parse to the right scalar values and survive re-rendering.
+#[test]
+fn unicode_escape_forms_parse_and_round_trip() {
+    let cases = [
+        (r#""\u0000""#, "\u{0}"),
+        (r#""\u001F""#, "\u{1f}"),
+        (r#""\u0041""#, "A"),
+        (r#""\u00e9""#, "\u{e9}"),
+        (r#""\u2713""#, "\u{2713}"),
+        (r#""\uD834\uDD1E""#, "\u{1d11e}"), // surrogate pair
+    ];
+    for (input, expected) in cases {
+        let v = Json::parse(input).unwrap_or_else(|e| panic!("{input}: {e}"));
+        assert_eq!(v, Json::Str(expected.to_string()), "{input}");
+        assert_eq!(Json::parse(&v.compact()).unwrap(), v, "{input}");
+    }
+}

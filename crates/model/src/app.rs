@@ -13,6 +13,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::ids::NodeId;
+use crate::resources::Resources;
 use crate::units::{CpuSpeed, Memory};
 
 /// The broad class of a workload, which determines which performance model
@@ -71,8 +72,10 @@ impl PartialOrd for AntiAffinityGroup {
 pub struct ApplicationSpec {
     name: Option<String>,
     kind: WorkloadKind,
-    /// Load-independent demand: memory consumed by each started instance.
-    memory_per_instance: Memory,
+    /// Load-independent demand: the rigid resources consumed by each
+    /// started instance (dimension 0 = memory MB, further dimensions per
+    /// the deployment's [`ResourceDims`](crate::resources::ResourceDims)).
+    rigid_per_instance: Resources,
     /// Maximum number of concurrently running instances.
     max_instances: u32,
     /// Lowest speed an instance may run at whenever it runs.
@@ -104,7 +107,7 @@ impl ApplicationSpec {
         Self {
             name: None,
             kind: WorkloadKind::Transactional,
-            memory_per_instance,
+            rigid_per_instance: Resources::memory_only(memory_per_instance),
             max_instances,
             min_instance_speed: CpuSpeed::ZERO,
             max_instance_speed,
@@ -138,7 +141,7 @@ impl ApplicationSpec {
         Self {
             name: None,
             kind: WorkloadKind::Batch,
-            memory_per_instance: memory_per_task,
+            rigid_per_instance: Resources::memory_only(memory_per_task),
             max_instances: tasks,
             min_instance_speed: CpuSpeed::ZERO,
             max_instance_speed: per_task_speed,
@@ -174,8 +177,33 @@ impl ApplicationSpec {
     /// Panics if `min_speed` exceeds the maximum instance speed.
     #[must_use]
     pub fn with_min_instance_speed(mut self, min_speed: CpuSpeed) -> Self {
-        Self::validate_magnitudes(self.memory_per_instance, min_speed, self.max_instance_speed);
+        Self::validate_magnitudes(
+            self.rigid_per_instance.memory(),
+            min_speed,
+            self.max_instance_speed,
+        );
         self.min_instance_speed = min_speed;
+        self
+    }
+
+    /// Declares per-instance demand in rigid dimensions beyond memory
+    /// (`extra[0]` is dimension 1 of the deployment's
+    /// [`ResourceDims`](crate::resources::ResourceDims), and so on). The
+    /// memory demand set by the constructor is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any demand is negative or non-finite.
+    #[must_use]
+    pub fn with_extra_rigid_demand(mut self, extra: impl IntoIterator<Item = f64>) -> Self {
+        let mut values = vec![self.rigid_per_instance.memory().as_mb()];
+        values.extend(extra);
+        let rigid = Resources::new(values);
+        assert!(
+            rigid.first_negative().is_none() && rigid.all_finite(),
+            "rigid demands must be non-negative and finite"
+        );
+        self.rigid_per_instance = rigid;
         self
     }
 
@@ -206,10 +234,16 @@ impl ApplicationSpec {
     }
 
     /// Memory consumed by each started instance (the paper's
-    /// load-independent demand).
+    /// load-independent demand; rigid dimension 0).
     #[inline]
     pub fn memory_per_instance(&self) -> Memory {
-        self.memory_per_instance
+        self.rigid_per_instance.memory()
+    }
+
+    /// The full rigid per-instance demand vector.
+    #[inline]
+    pub fn rigid_per_instance(&self) -> &Resources {
+        &self.rigid_per_instance
     }
 
     /// Maximum number of concurrently running instances.
@@ -266,7 +300,7 @@ impl fmt::Display for ApplicationSpec {
             f,
             "{name} ({}, mem {}, ≤{} inst, speed {}..{})",
             self.kind,
-            self.memory_per_instance,
+            self.rigid_per_instance.memory(),
             self.max_instances,
             self.min_instance_speed,
             self.max_instance_speed
@@ -343,5 +377,28 @@ mod tests {
     #[should_panic(expected = "max_instances must be positive")]
     fn zero_instances_rejected() {
         let _ = ApplicationSpec::transactional(Memory::ZERO, CpuSpeed::from_mhz(1.0), 0);
+    }
+
+    #[test]
+    fn extra_rigid_demand_preserves_memory() {
+        let spec = ApplicationSpec::batch(Memory::from_mb(750.0), CpuSpeed::from_mhz(500.0))
+            .with_extra_rigid_demand([40.0, 1.0]);
+        assert_eq!(spec.memory_per_instance(), Memory::from_mb(750.0));
+        assert_eq!(spec.rigid_per_instance().get(1), 40.0);
+        assert_eq!(spec.rigid_per_instance().get(2), 1.0);
+        assert_eq!(spec.rigid_per_instance().get(3), 0.0);
+    }
+
+    #[test]
+    fn default_rigid_demand_is_memory_only() {
+        let spec = ApplicationSpec::batch(Memory::from_mb(10.0), CpuSpeed::from_mhz(1.0));
+        assert_eq!(spec.rigid_per_instance().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rigid demands must be non-negative")]
+    fn negative_extra_rigid_demand_rejected() {
+        let _ = ApplicationSpec::batch(Memory::ZERO, CpuSpeed::from_mhz(1.0))
+            .with_extra_rigid_demand([-1.0]);
     }
 }

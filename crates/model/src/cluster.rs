@@ -6,6 +6,7 @@ use crate::app::ApplicationSpec;
 use crate::error::ModelError;
 use crate::ids::{AppId, NodeId};
 use crate::node::NodeSpec;
+use crate::resources::{ResourceDims, Resources};
 use crate::units::{CpuSpeed, Memory};
 
 /// The set of physical machines under management.
@@ -19,10 +20,9 @@ use crate::units::{CpuSpeed, Memory};
 ///
 /// let mut cluster = Cluster::new();
 /// for _ in 0..25 {
-///     cluster.add_node(NodeSpec::new(
-///         CpuSpeed::from_mhz(15_600.0),
-///         Memory::from_mb(16_384.0),
-///     ));
+///     cluster.add_node(
+///         NodeSpec::try_new(CpuSpeed::from_mhz(15_600.0), Memory::from_mb(16_384.0)).unwrap(),
+///     );
 /// }
 /// assert_eq!(cluster.len(), 25);
 /// assert_eq!(cluster.total_cpu(), CpuSpeed::from_mhz(390_000.0));
@@ -30,6 +30,10 @@ use crate::units::{CpuSpeed, Memory};
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Cluster {
     nodes: Vec<NodeSpec>,
+    /// The rigid dimension registry every node's (and tenant
+    /// application's) resource vector is interpreted against. Memory-only
+    /// by default, matching the paper.
+    dims: ResourceDims,
 }
 
 impl Cluster {
@@ -42,7 +46,37 @@ impl Cluster {
     pub fn homogeneous(count: usize, spec: NodeSpec) -> Self {
         Self {
             nodes: vec![spec; count],
+            dims: ResourceDims::default(),
         }
+    }
+
+    /// Declares the rigid dimension registry of this cluster (memory-only
+    /// by default). Node and application resource vectors are interpreted
+    /// against it; vectors shorter than the registry are zero-extended.
+    #[must_use]
+    pub fn with_dims(mut self, dims: ResourceDims) -> Self {
+        self.dims = dims;
+        self
+    }
+
+    /// Replaces the rigid dimension registry in place.
+    pub fn set_dims(&mut self, dims: ResourceDims) {
+        self.dims = dims;
+    }
+
+    /// The rigid dimension registry.
+    #[inline]
+    pub fn dims(&self) -> &ResourceDims {
+        &self.dims
+    }
+
+    /// Aggregate rigid capacity of the cluster, per dimension.
+    pub fn total_rigid(&self) -> Resources {
+        let mut total = Resources::new(vec![0.0; self.dims.len()]);
+        for node in &self.nodes {
+            total.add_scaled(node.rigid_capacity(), 1.0);
+        }
+        total
     }
 
     /// Registers a node and returns its id.
@@ -168,7 +202,7 @@ mod tests {
     use super::*;
 
     fn node() -> NodeSpec {
-        NodeSpec::new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0)).unwrap()
     }
 
     #[test]
@@ -197,6 +231,25 @@ mod tests {
         let cluster = Cluster::new();
         assert!(cluster.is_empty());
         assert_eq!(cluster.total_cpu(), CpuSpeed::ZERO);
+        assert!(cluster.dims().is_memory_only());
+    }
+
+    #[test]
+    fn dims_registry_and_rigid_totals() {
+        use crate::resources::{ResourceDims, Resources};
+        let mut cluster = Cluster::new()
+            .with_dims(ResourceDims::with_extra(["disk_mb", "license_slots"]).unwrap());
+        cluster.add_node(
+            NodeSpec::try_with_resources(
+                CpuSpeed::from_mhz(1_000.0),
+                Resources::new(vec![2_000.0, 500.0, 2.0]),
+            )
+            .unwrap(),
+        );
+        cluster.add_node(node()); // memory-only node: zero extra capacity
+        assert_eq!(cluster.dims().len(), 3);
+        assert_eq!(cluster.total_rigid().values(), &[4_000.0, 500.0, 2.0]);
+        assert_eq!(cluster.total_memory(), Memory::from_mb(4_000.0));
     }
 
     #[test]

@@ -16,8 +16,13 @@ pub enum ModelError {
     UnknownApp(AppId),
     /// Attempted to remove an instance that is not placed.
     InstanceNotPlaced { app: AppId, node: NodeId },
-    /// Placing the instance would exceed the node's memory capacity.
+    /// Placing the instance would exceed the node's memory capacity
+    /// (rigid dimension 0).
     MemoryExceeded { node: NodeId },
+    /// Placing the instance would exceed the node's capacity in a rigid
+    /// resource dimension beyond memory (`dim` indexes the cluster's
+    /// [`ResourceDims`](crate::resources::ResourceDims)).
+    ResourceExceeded { node: NodeId, dim: usize },
     /// The load distribution would exceed the node's CPU capacity.
     CpuExceeded { node: NodeId },
     /// The application already runs its maximum number of instances.
@@ -48,6 +53,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::MemoryExceeded { node } => {
                 write!(f, "memory capacity exceeded on {node}")
+            }
+            ModelError::ResourceExceeded { node, dim } => {
+                write!(f, "rigid resource dimension {dim} exceeded on {node}")
             }
             ModelError::CpuExceeded { node } => {
                 write!(f, "cpu capacity exceeded on {node}")

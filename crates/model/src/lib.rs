@@ -21,10 +21,9 @@
 //!
 //! // A node with one 1 GHz CPU and 2 GB of memory (the §4.3 example node).
 //! let mut cluster = Cluster::new();
-//! let n0 = cluster.add_node(NodeSpec::new(
-//!     CpuSpeed::from_mhz(1_000.0),
-//!     Memory::from_mb(2_000.0),
-//! ));
+//! let n0 = cluster.add_node(
+//!     NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0)).unwrap(),
+//! );
 //!
 //! let mut apps = AppSet::new();
 //! let j1 = apps.add(
@@ -52,6 +51,7 @@ pub mod ids;
 pub mod load;
 pub mod node;
 pub mod placement;
+pub mod resources;
 pub mod units;
 
 pub use app::{AntiAffinityGroup, ApplicationSpec, WorkloadKind};
@@ -60,8 +60,9 @@ pub use delta::{diff_placements, PlacementAction};
 pub use error::ModelError;
 pub use ids::{AppId, NodeId};
 pub use load::LoadDistribution;
-pub use node::NodeSpec;
+pub use node::{NodeSpec, NodeSpecError};
 pub use placement::Placement;
+pub use resources::{ResourceDims, ResourceError, Resources};
 pub use units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
 
 /// Convenient glob import of the most commonly used items.
@@ -72,7 +73,8 @@ pub mod prelude {
     pub use crate::error::ModelError;
     pub use crate::ids::{AppId, NodeId};
     pub use crate::load::LoadDistribution;
-    pub use crate::node::NodeSpec;
+    pub use crate::node::{NodeSpec, NodeSpecError};
     pub use crate::placement::Placement;
+    pub use crate::resources::{ResourceDims, ResourceError, Resources};
     pub use crate::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
 }

@@ -192,10 +192,10 @@ mod tests {
 
     fn small_world() -> (Cluster, AppSet, Placement) {
         let mut cluster = Cluster::new();
-        cluster.add_node(NodeSpec::new(
-            CpuSpeed::from_mhz(1_000.0),
-            Memory::from_mb(2_000.0),
-        ));
+        cluster.add_node(
+            NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         apps.add(ApplicationSpec::batch(
             Memory::from_mb(750.0),
@@ -285,10 +285,10 @@ mod tests {
     #[test]
     fn validate_rejects_under_min_speed() {
         let mut cluster = Cluster::new();
-        cluster.add_node(NodeSpec::new(
-            CpuSpeed::from_mhz(1_000.0),
-            Memory::from_mb(2_000.0),
-        ));
+        cluster.add_node(
+            NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
         let mut apps = AppSet::new();
         apps.add(
             ApplicationSpec::batch(Memory::from_mb(10.0), CpuSpeed::from_mhz(500.0))

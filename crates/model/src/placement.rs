@@ -10,6 +10,7 @@ use crate::cluster::{AppSet, Cluster};
 use crate::delta::{diff_placements, PlacementAction};
 use crate::error::ModelError;
 use crate::ids::{AppId, NodeId};
+use crate::resources::Resources;
 use crate::units::Memory;
 
 /// Sparse matrix of instance counts: cell `(m, n)` is the number of
@@ -52,13 +53,16 @@ impl Placement {
     }
 
     /// Adds one instance after validating every placement constraint:
-    /// registration, pinning, instance limit, anti-affinity, and node
-    /// memory.
+    /// registration, pinning, instance limit, anti-affinity, and every
+    /// rigid resource capacity (memory first, then the cluster's extra
+    /// dimensions).
     ///
     /// # Errors
     ///
     /// Returns the specific [`ModelError`] describing the violated
-    /// constraint; on error the placement is unchanged.
+    /// constraint; on error the placement is unchanged. Rigid dimension 0
+    /// reports [`ModelError::MemoryExceeded`], further dimensions
+    /// [`ModelError::ResourceExceeded`].
     pub fn checked_place(
         &mut self,
         app: AppId,
@@ -83,12 +87,24 @@ impl Placement {
                 return Err(ModelError::AntiAffinityViolated { app, other, node });
             }
         }
-        let used = self.memory_used(node, apps)?;
-        if used + spec.memory_per_instance() > node_spec.memory_capacity() {
-            return Err(ModelError::MemoryExceeded { node });
+        let used = self.rigid_used(node, apps)?;
+        if let Some(dim) =
+            used.first_overflow(spec.rigid_per_instance(), node_spec.rigid_capacity())
+        {
+            return Err(Self::rigid_error(node, dim));
         }
         self.place(app, node);
         Ok(())
+    }
+
+    /// Maps an exceeded rigid dimension to its error variant (memory
+    /// keeps its dedicated variant for backwards compatibility).
+    fn rigid_error(node: NodeId, dim: usize) -> ModelError {
+        if dim == crate::resources::ResourceDims::MEMORY {
+            ModelError::MemoryExceeded { node }
+        } else {
+            ModelError::ResourceExceeded { node, dim }
+        }
     }
 
     /// Removes one instance of `app` from `node`.
@@ -160,16 +176,30 @@ impl Placement {
         self.instances_of(app).next().map(|(node, _)| node)
     }
 
-    /// Memory consumed on `node` by all placed instances.
+    /// Memory consumed on `node` by all placed instances (rigid
+    /// dimension 0).
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::UnknownApp`] if a placed application is not
     /// registered in `apps`.
     pub fn memory_used(&self, node: NodeId, apps: &AppSet) -> Result<Memory, ModelError> {
-        let mut used = Memory::ZERO;
+        Ok(self.rigid_used(node, apps)?.memory())
+    }
+
+    /// Rigid resources consumed on `node` by all placed instances, per
+    /// dimension. Accumulates in ascending [`AppId`] order with exactly
+    /// the `used += demand × count` arithmetic of the memory-only model,
+    /// so dimension 0 is bit-identical to the historical `memory_used`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownApp`] if a placed application is not
+    /// registered in `apps`.
+    pub fn rigid_used(&self, node: NodeId, apps: &AppSet) -> Result<Resources, ModelError> {
+        let mut used = Resources::zero();
         for (app, count) in self.apps_on(node) {
-            used += apps.get(app)?.memory_per_instance() * f64::from(count);
+            used.add_scaled(apps.get(app)?.rigid_per_instance(), f64::from(count));
         }
         Ok(used)
     }
@@ -219,9 +249,9 @@ impl Placement {
         }
         // Per-node checks.
         for node in cluster.node_ids() {
-            let used = self.memory_used(node, apps)?;
-            if used > cluster.node(node)?.memory_capacity() {
-                return Err(ModelError::MemoryExceeded { node });
+            let used = self.rigid_used(node, apps)?;
+            if let Some(dim) = used.first_exceeding(cluster.node(node)?.rigid_capacity()) {
+                return Err(Self::rigid_error(node, dim));
             }
             let residents: Vec<(AppId, &ApplicationSpec)> = self
                 .apps_on(node)
@@ -273,10 +303,9 @@ mod tests {
     fn setup() -> (Cluster, AppSet, AppId, AppId) {
         let mut cluster = Cluster::new();
         for _ in 0..2 {
-            cluster.add_node(NodeSpec::new(
-                CpuSpeed::from_mhz(1_000.0),
-                Memory::from_mb(2_000.0),
-            ));
+            cluster.add_node(
+                NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0)).unwrap(),
+            );
         }
         let mut apps = AppSet::new();
         let j1 = apps.add(ApplicationSpec::batch(
@@ -422,6 +451,59 @@ mod tests {
         p.place(j2, n);
         assert_eq!(p.memory_used(n, &apps).unwrap(), Memory::from_mb(1_500.0));
         assert_eq!(p.memory_used(NodeId::new(1), &apps).unwrap(), Memory::ZERO);
+    }
+
+    #[test]
+    fn extra_rigid_dimension_enforced() {
+        use crate::resources::{ResourceDims, Resources};
+        // Two nodes, both with ample memory; only n1 has license slots.
+        let mut cluster =
+            Cluster::new().with_dims(ResourceDims::with_extra(["license_slots"]).unwrap());
+        let n0 = cluster.add_node(
+            NodeSpec::try_with_resources(
+                CpuSpeed::from_mhz(1_000.0),
+                Resources::new(vec![4_000.0]),
+            )
+            .unwrap(),
+        );
+        let n1 = cluster.add_node(
+            NodeSpec::try_with_resources(
+                CpuSpeed::from_mhz(1_000.0),
+                Resources::new(vec![4_000.0, 1.0]),
+            )
+            .unwrap(),
+        );
+        let mut apps = AppSet::new();
+        let licensed = apps.add(
+            ApplicationSpec::batch(Memory::from_mb(100.0), CpuSpeed::from_mhz(500.0))
+                .with_extra_rigid_demand([1.0]),
+        );
+        let mut p = Placement::new();
+        // n0 supplies zero license slots: rejected per-dimension, with
+        // the dimension index in the error.
+        assert_eq!(
+            p.checked_place(licensed, n0, &cluster, &apps),
+            Err(ModelError::ResourceExceeded { node: n0, dim: 1 })
+        );
+        p.checked_place(licensed, n1, &cluster, &apps).unwrap();
+        p.validate(&cluster, &apps).unwrap();
+        assert_eq!(p.rigid_used(n1, &apps).unwrap().values(), &[100.0, 1.0]);
+        // A second licensed tenant exhausts the slot pool on n1.
+        let mut apps2 = apps.clone();
+        let second = apps2.add(
+            ApplicationSpec::batch(Memory::from_mb(100.0), CpuSpeed::from_mhz(500.0))
+                .with_extra_rigid_demand([1.0]),
+        );
+        assert_eq!(
+            p.checked_place(second, n1, &cluster, &apps2),
+            Err(ModelError::ResourceExceeded { node: n1, dim: 1 })
+        );
+        // validate() catches a manually forced violation the same way.
+        p.place(second, n1);
+        assert_eq!(
+            p.validate(&cluster, &apps2),
+            Err(ModelError::ResourceExceeded { node: n1, dim: 1 })
+        );
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! The control cycle: problem construction, the periodic optimization
+//! pass, between-cycle advice, and the baseline schedulers.
+
+use super::*;
+
+impl Simulation {
+    /// Runs the between-event scheduling reaction: a start-only advice
+    /// pass under APC (when enabled), a full reschedule under the
+    /// baselines.
+    pub(super) fn between_cycle_advice(&mut self) {
+        match self.config.scheduler.clone() {
+            SchedulerKind::Apc {
+                config,
+                advice_between_cycles,
+            } => {
+                if advice_between_cycles {
+                    let sink = Arc::clone(&self.trace);
+                    let outcome = {
+                        let problem = self.build_problem();
+                        fill_only_traced(&problem, &config, &*sink)
+                    };
+                    self.apply_outcome(outcome);
+                }
+            }
+            SchedulerKind::Fcfs | SchedulerKind::Edf => self.run_baseline(),
+        }
+    }
+
+    pub(super) fn on_cycle(&mut self) {
+        self.advance_progress();
+        let cycle = self.cycle_index;
+        self.cycle_index += 1;
+        let traced = self.trace.wants(TraceLevel::Decisions);
+        if traced {
+            self.trace.record(&TraceEvent::CycleStart {
+                time: self.now.as_secs(),
+                cycle,
+            });
+        }
+        if self.config.estimate_txn_demand {
+            self.observe_txn_demand();
+        }
+        let mut compute_secs = 0.0;
+        match self.config.scheduler.clone() {
+            SchedulerKind::Apc { config, .. } => {
+                // When several consecutive cycles started with desired ≠
+                // actual, a full re-optimization would pile yet more
+                // operations onto an actuation layer that is already
+                // struggling; fall back to a non-disruptive fill pass for
+                // one cycle and let reconciliation drain the backlog.
+                if self.pending_actions() > 0 {
+                    self.stalled_cycles += 1;
+                } else {
+                    self.stalled_cycles = 0;
+                }
+                let fallback = self.config.actuation.fallback_after > 0
+                    && self.stalled_cycles >= self.config.actuation.fallback_after;
+                let sink = Arc::clone(&self.trace);
+                let started = Instant::now();
+                let outcome = {
+                    let problem = self.build_problem();
+                    if fallback {
+                        fill_only_traced(&problem, &config, &*sink)
+                    } else {
+                        place_traced(&problem, &config, &*sink)
+                    }
+                };
+                compute_secs = started.elapsed().as_secs_f64();
+                if traced {
+                    self.trace.record(&TraceEvent::PhaseSpan {
+                        time: self.now.as_secs(),
+                        cycle,
+                        phase: Phase::Optimize,
+                        wall_secs: compute_secs,
+                    });
+                }
+                if fallback {
+                    self.metrics.actuation.fill_only_fallbacks += 1;
+                    self.stalled_cycles = 0;
+                }
+                let actuate_started = Instant::now();
+                self.apply_outcome(outcome);
+                if traced {
+                    self.trace.record(&TraceEvent::PhaseSpan {
+                        time: self.now.as_secs(),
+                        cycle,
+                        phase: Phase::Actuate,
+                        wall_secs: actuate_started.elapsed().as_secs_f64(),
+                    });
+                }
+            }
+            SchedulerKind::Fcfs | SchedulerKind::Edf => {
+                // Baselines are event-driven; the cycle is only a metric
+                // sampling tick. Still run the scheduler to pick up any
+                // state change (idempotent when nothing changed).
+                self.run_baseline();
+            }
+        }
+        let sample_started = Instant::now();
+        self.record_sample(compute_secs);
+        if traced {
+            self.trace.record(&TraceEvent::PhaseSpan {
+                time: self.now.as_secs(),
+                cycle,
+                phase: Phase::Sample,
+                wall_secs: sample_started.elapsed().as_secs_f64(),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Decision making
+    // ------------------------------------------------------------------
+
+    pub(super) fn build_problem(&self) -> PlacementProblem<'_> {
+        let mut workloads = BTreeMap::new();
+        for (&app, job) in &self.jobs {
+            if !job.is_live() || job.state.remaining_work(&job.profile).as_mcycles() <= 1e-6 {
+                // Jobs whose completion event is pending at this very
+                // instant are no longer placement-relevant.
+                continue;
+            }
+            let delay = if job.is_running() {
+                SimDuration::ZERO
+            } else {
+                self.config.cycle
+            };
+            // The controller sees the (possibly misestimated) profile;
+            // scaling consumed work by the same factor keeps the fraction
+            // done consistent while the remaining work carries the error.
+            let mut factor = self.config.noise.work_factor(app);
+            let mut measured_consumed = false;
+            if self.config.profile_from_history {
+                if let Some(est) = job
+                    .spec
+                    .class()
+                    .and_then(|c| self.class_profiler.estimate(c))
+                {
+                    // Present the class-mean total work. Consumed work is
+                    // *measured* (not estimated), so scale the profile
+                    // only: factor = estimate / truth, floored so the
+                    // presented job is never already "done".
+                    let truth = job.profile.total_work().as_mcycles();
+                    let consumed = job.state.consumed().as_mcycles();
+                    let est_total = est.mean_work().as_mcycles().max(consumed * 1.01 + 1.0);
+                    factor = est_total / truth;
+                    measured_consumed = true;
+                }
+            }
+            let (profile, consumed) = if factor == 1.0 {
+                (Arc::clone(&job.profile), job.state.consumed())
+            } else {
+                let stages = job
+                    .profile
+                    .stages()
+                    .iter()
+                    .map(|s| {
+                        dynaplace_batch::job::JobStage::new(
+                            s.work() * factor,
+                            s.max_speed(),
+                            s.min_speed(),
+                            s.memory(),
+                        )
+                    })
+                    .collect();
+                let consumed = if measured_consumed {
+                    job.state.consumed()
+                } else {
+                    job.state.consumed() * factor
+                };
+                (
+                    Arc::new(dynaplace_batch::job::JobProfile::new(stages)),
+                    consumed,
+                )
+            };
+            workloads.insert(
+                app,
+                WorkloadModel::Batch(
+                    JobSnapshot::new(app, job.spec.goal(), profile, consumed, delay)
+                        .with_parallelism(job.parallelism),
+                ),
+            );
+        }
+        for (&app, txn) in &self.txns {
+            if self.config.static_txn_nodes.is_some() {
+                continue; // statically partitioned: not managed
+            }
+            let rate = txn.pattern.rate_at(self.now) * (1.0 + self.config.noise.txn_rate);
+            let demand = if self.config.estimate_txn_demand {
+                txn.profiler
+                    .estimate_single()
+                    .ok()
+                    .filter(|d| *d > 0.0)
+                    .unwrap_or(txn.demand_per_request)
+            } else {
+                txn.demand_per_request
+            };
+            workloads.insert(
+                app,
+                WorkloadModel::Transactional(TxnPerformanceModel::new(
+                    TxnWorkload::new(rate.max(0.0), demand, txn.floor),
+                    txn.goal,
+                )),
+            );
+        }
+        PlacementProblem::new(
+            &self.effective_cluster,
+            &self.apps,
+            workloads,
+            &self.placement,
+            self.now,
+            self.config.cycle,
+            self.actuation
+                .quarantined_pairs(self.now)
+                .into_iter()
+                .collect(),
+        )
+        .expect("engine state always yields a well-formed problem")
+    }
+
+    pub(super) fn apply_outcome(&mut self, outcome: PlacementOutcome) {
+        if outcome.timed_out {
+            self.metrics.actuation.deadline_truncations += 1;
+        }
+        let actions = outcome.actions.clone();
+        self.apply_transition(outcome.placement, outcome.score.load, &actions);
+    }
+
+    /// Reverse-applies one control action onto `achieved`: the placement
+    /// looks as if the action was never issued. Cells kept alive by a
+    /// reverted stop (or migrate source) are recorded in `kept` so the
+    /// load merge can restore their old consumption.
+    pub(super) fn reverse_apply(
+        achieved: &mut Placement,
+        action: &PlacementAction,
+        kept: &mut std::collections::BTreeSet<(AppId, NodeId)>,
+        counters: &mut crate::metrics::ActuationCounters,
+    ) {
+        match *action {
+            PlacementAction::Start { app, node } => {
+                if achieved.remove(app, node).is_err() {
+                    counters.invariant_skips += 1;
+                }
+            }
+            PlacementAction::Stop { app, node } => {
+                achieved.place(app, node);
+                kept.insert((app, node));
+            }
+            PlacementAction::Migrate { app, from, to } => {
+                if achieved.remove(app, to).is_err() {
+                    counters.invariant_skips += 1;
+                }
+                achieved.place(app, from);
+                kept.insert((app, from));
+            }
+        }
+    }
+
+    pub(super) fn baseline_nodes(&self) -> Vec<NodeCapacity> {
+        let allowed = self.config.batch_nodes.clone();
+        self.effective_cluster
+            .iter()
+            .filter(|(id, _)| {
+                !self.failed_nodes.contains(id) && allowed.as_ref().map_or(true, |v| v.contains(id))
+            })
+            .map(|(id, spec)| NodeCapacity {
+                node: id,
+                cpu: spec.cpu_capacity(),
+                memory: spec.memory_capacity(),
+            })
+            .collect()
+    }
+
+    pub(super) fn run_baseline(&mut self) {
+        let nodes = self.baseline_nodes();
+        // Reservation-based schedulers reserve a job's full speed; a job
+        // faster than any node caps its reservation at the largest node
+        // (it simply runs slower there).
+        let largest = nodes
+            .iter()
+            .map(|n| n.cpu)
+            .fold(CpuSpeed::ZERO, CpuSpeed::max);
+        let jobs: Vec<BaselineJob> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.is_live())
+            .map(|(&app, j)| BaselineJob {
+                app,
+                arrival: j.spec.arrival(),
+                deadline: j.spec.goal().deadline(),
+                memory: j.state.current_memory(&j.profile).unwrap_or(Memory::ZERO),
+                max_speed: j
+                    .state
+                    .current_speed_bounds(&j.profile)
+                    .map_or(CpuSpeed::ZERO, |(_, max)| max)
+                    .min(largest),
+                current_node: j.node,
+            })
+            .collect();
+        let target = match self.config.scheduler {
+            SchedulerKind::Fcfs => fcfs_schedule(&nodes, &jobs),
+            SchedulerKind::Edf => edf_schedule(&nodes, &jobs),
+            SchedulerKind::Apc { .. } => unreachable!("baseline path"),
+        };
+        let actions = self.placement.diff(&target);
+        let mut load = LoadDistribution::new();
+        for job in &jobs {
+            if let Some(node) = target.single_node_of(job.app) {
+                load.set(job.app, node, job.max_speed);
+            }
+        }
+        self.apply_transition(target, load, &actions);
+    }
+}

@@ -1,0 +1,495 @@
+//! The discrete-event cluster simulator.
+//!
+//! Reproduces the evaluation vehicle of §5: a virtualized cluster on
+//! which batch jobs and transactional applications are placed by either
+//! the paper's placement controller (APC) or one of the baseline
+//! schedulers (FCFS, EDF), with VM control operations charged according
+//! to the measured cost model.
+//!
+//! The simulation is event-driven and fully deterministic: job arrivals,
+//! projected job completions, and periodic control cycles are the only
+//! event sources, and all state lives in ordered maps.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dynaplace_apc::optimizer::{fill_only_traced, place_traced, ApcConfig, PlacementOutcome};
+use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
+use dynaplace_batch::baselines::{edf_schedule, fcfs_schedule, BaselineJob, NodeCapacity};
+use dynaplace_batch::class_profiler::JobClassProfiler;
+use dynaplace_batch::hypothetical::{HypotheticalRpf, JobSnapshot};
+use dynaplace_batch::job::JobSpec;
+use dynaplace_batch::state::{JobState, JobStatus};
+use dynaplace_model::app::ApplicationSpec;
+use dynaplace_model::cluster::{AppSet, Cluster};
+use dynaplace_model::delta::PlacementAction;
+use dynaplace_model::ids::{AppId, NodeId};
+use dynaplace_model::load::LoadDistribution;
+use dynaplace_model::placement::Placement;
+use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
+use dynaplace_rpf::goal::ResponseTimeGoal;
+use dynaplace_rpf::value::Rp;
+use dynaplace_trace::{JsonlSink, NoopSink, Phase, TraceConfig, TraceEvent, TraceLevel, TraceSink};
+use dynaplace_txn::model::{TxnPerformanceModel, TxnWorkload};
+use dynaplace_txn::router::RequestRouter;
+use dynaplace_txn::workload::ArrivalPattern;
+
+use crate::actuation::{ActuationConfig, ActuationState, OpAttempt, OpOutcome};
+use crate::costs::{VmCostModel, VmOperation};
+use crate::events::{EventKind, EventQueue};
+use crate::metrics::{CompletionRecord, CycleSample, RunMetrics};
+
+/// A config-derived buffering trace sink paired with the path it is
+/// flushed to at end of run.
+type FileSink = (Arc<JsonlSink>, String);
+
+/// Work remaining below this is considered complete (floating point
+/// slack, in megacycles).
+const COMPLETION_EPS: f64 = 1e-6;
+
+mod config;
+mod cycle;
+mod progress;
+mod reconcile;
+mod sample;
+
+pub use config::{EstimationNoise, NodeOutage, SchedulerKind, SimConfig};
+
+#[derive(Debug)]
+struct Job {
+    spec: JobSpec,
+    profile: Arc<dynaplace_batch::job::JobProfile>,
+    state: JobState,
+    node: Option<NodeId>,
+    allocation: CpuSpeed,
+    /// Progress is frozen until this instant (VM operation in flight).
+    transition_until: SimTime,
+    /// Invalidates stale completion events.
+    generation: u64,
+    arrived: bool,
+    ever_started: bool,
+    /// Concurrent task instances (1 for ordinary jobs).
+    parallelism: u32,
+}
+
+impl Job {
+    fn is_live(&self) -> bool {
+        self.arrived && self.state.status().is_live()
+    }
+
+    fn is_running(&self) -> bool {
+        self.arrived && self.state.status() == JobStatus::Running
+    }
+}
+
+/// A managed transactional application.
+struct TxnApp {
+    demand_per_request: f64,
+    floor: SimDuration,
+    goal: ResponseTimeGoal,
+    pattern: Box<dyn ArrivalPattern + Send>,
+    router: RequestRouter,
+    /// Online per-request demand estimator (work profiler, §3.1).
+    profiler: dynaplace_txn::profiler::WorkProfiler,
+    /// Observation counter driving the deterministic measurement error.
+    observations: u64,
+}
+
+impl std::fmt::Debug for TxnApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnApp")
+            .field("demand_per_request", &self.demand_per_request)
+            .field("floor", &self.floor)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The simulator.
+///
+/// Build with [`Simulation::new`], register workloads with
+/// [`Simulation::add_job`] / [`Simulation::add_txn`], then call
+/// [`Simulation::run`].
+#[derive(Debug)]
+pub struct Simulation {
+    cluster: Cluster,
+    apps: AppSet,
+    config: SimConfig,
+    jobs: BTreeMap<AppId, Job>,
+    txns: BTreeMap<AppId, TxnApp>,
+    /// The *actual* placement: what the (fallible) actuation layer has
+    /// really applied to the cluster.
+    placement: Placement,
+    load: LoadDistribution,
+    /// The *desired* placement: the controller's latest decision. Equal
+    /// to `placement` whenever every operation actuated; the
+    /// reconciliation loop works off the diff when they diverge.
+    desired: Placement,
+    /// The load distribution the controller intended for `desired`.
+    desired_load: LoadDistribution,
+    /// Backoff / quarantine bookkeeping of the actuation layer.
+    actuation: ActuationState,
+    /// Consecutive control cycles that started with unreconciled actions
+    /// (drives the `fill_only` fallback).
+    stalled_cycles: u32,
+    now: SimTime,
+    last_advance: SimTime,
+    events: EventQueue,
+    metrics: RunMetrics,
+    live_jobs: usize,
+    class_profiler: JobClassProfiler,
+    /// The cluster as the schedulers see it (failed nodes zeroed).
+    effective_cluster: Cluster,
+    failed_nodes: std::collections::BTreeSet<NodeId>,
+    /// Decision-provenance sink shared with the optimizer; a [`NoopSink`]
+    /// unless [`SimConfig::trace`] set a path or a test installed one via
+    /// [`Simulation::set_trace_sink`].
+    trace: Arc<dyn TraceSink>,
+    /// The config-derived JSONL sink and its flush path, when tracing to
+    /// a file.
+    trace_file: Option<FileSink>,
+    /// Control cycles started so far (the trace's cycle index).
+    cycle_index: u64,
+}
+
+impl Simulation {
+    /// Creates an empty simulation over `cluster`.
+    pub fn new(cluster: Cluster, config: SimConfig) -> Self {
+        let (trace, trace_file): (Arc<dyn TraceSink>, Option<FileSink>) = match &config.trace.path {
+            Some(path) => {
+                let sink = Arc::new(JsonlSink::new(config.trace.level));
+                (
+                    Arc::clone(&sink) as Arc<dyn TraceSink>,
+                    Some((sink, path.clone())),
+                )
+            }
+            None => (Arc::new(NoopSink), None),
+        };
+        Self {
+            trace,
+            trace_file,
+            cycle_index: 0,
+            effective_cluster: cluster.clone(),
+            cluster,
+            apps: AppSet::new(),
+            config,
+            jobs: BTreeMap::new(),
+            txns: BTreeMap::new(),
+            placement: Placement::new(),
+            load: LoadDistribution::new(),
+            desired: Placement::new(),
+            desired_load: LoadDistribution::new(),
+            actuation: ActuationState::new(),
+            stalled_cycles: 0,
+            now: SimTime::ZERO,
+            last_advance: SimTime::ZERO,
+            events: EventQueue::new(),
+            metrics: RunMetrics::default(),
+            live_jobs: 0,
+            class_profiler: JobClassProfiler::new(3),
+            failed_nodes: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The cluster under simulation.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Enables (or disables) per-cycle placement recording after
+    /// construction — scenario files have no switch for it, but the
+    /// golden regression tests need the records.
+    pub fn record_placements(&mut self, on: bool) {
+        self.config.record_placements = on;
+    }
+
+    /// Installs a decision-provenance sink, replacing whatever
+    /// [`SimConfig::trace`] configured. The caller keeps its own handle
+    /// (e.g. an `Arc<JsonlSink>`) to inspect the buffered events; sinks
+    /// installed this way are *not* flushed to [`SimConfig::trace`]'s
+    /// path at end of run.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = sink;
+        self.trace_file = None;
+    }
+
+    /// Submits a batch job described by `spec`; optionally pinned to a
+    /// subset of nodes. Returns the application id assigned to it.
+    ///
+    /// The job's [`ApplicationSpec`] is derived from its profile: memory
+    /// is the maximum over stages (conservative; the per-stage value
+    /// drives CPU bounds at runtime), speed cap is the maximum stage
+    /// speed.
+    pub fn add_job(&mut self, build: impl FnOnce(AppId) -> JobSpec) -> AppId {
+        self.insert_job(build, None, &[])
+    }
+
+    /// Like [`Simulation::add_job`] with a node restriction.
+    pub fn add_job_pinned(
+        &mut self,
+        build: impl FnOnce(AppId) -> JobSpec,
+        allowed: Option<Vec<NodeId>>,
+    ) -> AppId {
+        self.insert_job(build, allowed, &[])
+    }
+
+    /// Like [`Simulation::add_job`], additionally declaring per-instance
+    /// demand in the cluster's extra rigid dimensions beyond memory, in
+    /// registry order starting at dimension 1 (see
+    /// [`Cluster::dims`]). Demands stay constant across job stages; only
+    /// memory varies per stage.
+    pub fn add_job_with_rigid(
+        &mut self,
+        extra_rigid: &[f64],
+        build: impl FnOnce(AppId) -> JobSpec,
+    ) -> AppId {
+        self.insert_job(build, None, extra_rigid)
+    }
+
+    fn insert_job(
+        &mut self,
+        build: impl FnOnce(AppId) -> JobSpec,
+        allowed: Option<Vec<NodeId>>,
+        extra_rigid: &[f64],
+    ) -> AppId {
+        // Reserve the id first so the spec can reference it.
+        let provisional = AppId::new(self.apps.len() as u32);
+        let spec = build(provisional);
+        assert_eq!(spec.app(), provisional, "job spec must use the given id");
+        let memory = spec
+            .profile()
+            .stages()
+            .iter()
+            .map(|s| s.memory())
+            .fold(Memory::ZERO, Memory::max);
+        let max_speed = spec
+            .profile()
+            .stages()
+            .iter()
+            .map(|s| s.max_speed())
+            .fold(CpuSpeed::ZERO, CpuSpeed::max);
+        let mut app_spec = ApplicationSpec::batch(memory, max_speed);
+        if !extra_rigid.is_empty() {
+            app_spec = app_spec.with_extra_rigid_demand(extra_rigid.iter().copied());
+        }
+        if let Some(nodes) = allowed {
+            app_spec = app_spec.with_allowed_nodes(nodes);
+        }
+        let app = self.apps.add(app_spec);
+        debug_assert_eq!(app, provisional);
+        let profile = Arc::new(spec.profile().clone());
+        let arrival = spec.arrival();
+        self.jobs.insert(
+            app,
+            Job {
+                spec,
+                profile,
+                state: JobState::new(),
+                node: None,
+                allocation: CpuSpeed::ZERO,
+                transition_until: SimTime::ZERO,
+                generation: 0,
+                arrived: false,
+                ever_started: false,
+                parallelism: 1,
+            },
+        );
+        self.events.push(arrival, EventKind::JobArrival(app));
+        app
+    }
+
+    /// Submits a *malleable parallel* job with up to `tasks` concurrent
+    /// task instances, each pinning the profile's stage memory and
+    /// running at up to the stage's maximum speed; the job progresses at
+    /// the sum of its placed tasks' speeds. Only supported under the APC
+    /// scheduler (the FCFS/EDF baselines model single-instance jobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is zero or the scheduler is a baseline.
+    pub fn add_parallel_job(&mut self, tasks: u32, build: impl FnOnce(AppId) -> JobSpec) -> AppId {
+        self.add_parallel_job_with_rigid(tasks, &[], build)
+    }
+
+    /// Like [`Simulation::add_parallel_job`], additionally declaring
+    /// per-task demand in the cluster's extra rigid dimensions beyond
+    /// memory (see [`Simulation::add_job_with_rigid`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is zero or the scheduler is a baseline.
+    pub fn add_parallel_job_with_rigid(
+        &mut self,
+        tasks: u32,
+        extra_rigid: &[f64],
+        build: impl FnOnce(AppId) -> JobSpec,
+    ) -> AppId {
+        assert!(tasks > 0, "tasks must be positive");
+        assert!(
+            matches!(self.config.scheduler, SchedulerKind::Apc { .. }),
+            "parallel jobs require the APC scheduler"
+        );
+        let provisional = AppId::new(self.apps.len() as u32);
+        let spec = build(provisional);
+        assert_eq!(spec.app(), provisional, "job spec must use the given id");
+        let memory = spec
+            .profile()
+            .stages()
+            .iter()
+            .map(|s| s.memory())
+            .fold(Memory::ZERO, Memory::max);
+        let per_task_speed = spec
+            .profile()
+            .stages()
+            .iter()
+            .map(|s| s.max_speed())
+            .fold(CpuSpeed::ZERO, CpuSpeed::max);
+        let mut app_spec = ApplicationSpec::batch_parallel(memory, per_task_speed, tasks);
+        if !extra_rigid.is_empty() {
+            app_spec = app_spec.with_extra_rigid_demand(extra_rigid.iter().copied());
+        }
+        let app = self.apps.add(app_spec);
+        debug_assert_eq!(app, provisional);
+        let profile = Arc::new(spec.profile().clone());
+        let arrival = spec.arrival();
+        self.jobs.insert(
+            app,
+            Job {
+                spec,
+                profile,
+                state: JobState::new(),
+                node: None,
+                allocation: CpuSpeed::ZERO,
+                transition_until: SimTime::ZERO,
+                generation: 0,
+                arrived: false,
+                ever_started: false,
+                parallelism: tasks,
+            },
+        );
+        self.events.push(arrival, EventKind::JobArrival(app));
+        app
+    }
+
+    /// Registers a transactional application. `allowed` optionally pins
+    /// its instances (used for static partitioning).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_txn(
+        &mut self,
+        memory_per_instance: Memory,
+        max_instances: u32,
+        demand_per_request: f64,
+        floor: SimDuration,
+        goal: ResponseTimeGoal,
+        pattern: Box<dyn ArrivalPattern + Send>,
+        allowed: Option<Vec<NodeId>>,
+    ) -> AppId {
+        self.add_txn_with_rigid(
+            &[],
+            memory_per_instance,
+            max_instances,
+            demand_per_request,
+            floor,
+            goal,
+            pattern,
+            allowed,
+        )
+    }
+
+    /// Like [`Simulation::add_txn`], additionally declaring per-instance
+    /// demand in the cluster's extra rigid dimensions beyond memory (see
+    /// [`Simulation::add_job_with_rigid`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_txn_with_rigid(
+        &mut self,
+        extra_rigid: &[f64],
+        memory_per_instance: Memory,
+        max_instances: u32,
+        demand_per_request: f64,
+        floor: SimDuration,
+        goal: ResponseTimeGoal,
+        pattern: Box<dyn ArrivalPattern + Send>,
+        allowed: Option<Vec<NodeId>>,
+    ) -> AppId {
+        let mut spec = ApplicationSpec::transactional(
+            memory_per_instance,
+            CpuSpeed::from_mhz(f64::INFINITY),
+            max_instances,
+        );
+        if !extra_rigid.is_empty() {
+            spec = spec.with_extra_rigid_demand(extra_rigid.iter().copied());
+        }
+        if let Some(nodes) = allowed {
+            spec = spec.with_allowed_nodes(nodes);
+        }
+        let app = self.apps.add(spec);
+        self.txns.insert(
+            app,
+            TxnApp {
+                demand_per_request,
+                floor,
+                goal,
+                pattern,
+                router: RequestRouter::default(),
+                profiler: dynaplace_txn::profiler::WorkProfiler::new(1, 32),
+                observations: 0,
+            },
+        );
+        app
+    }
+
+    /// Runs the simulation to completion (or the horizon) and returns
+    /// the recorded metrics.
+    pub fn run(mut self) -> RunMetrics {
+        // First control cycle fires immediately (places any jobs that
+        // arrived at t = 0 and the transactional applications).
+        self.events.push(SimTime::ZERO, EventKind::ControlCycle);
+        if let Some(h) = self.config.horizon {
+            self.events.push(SimTime::ZERO + h, EventKind::Horizon);
+        }
+        for outage in self.config.node_failures.clone() {
+            self.events.push(
+                SimTime::ZERO + outage.at,
+                EventKind::NodeFailure(outage.node),
+            );
+            if let Some(duration) = outage.duration {
+                self.events.push(
+                    SimTime::ZERO + outage.at + duration,
+                    EventKind::NodeRecovery(outage.node),
+                );
+            }
+        }
+        self.live_jobs = 0;
+
+        while let Some((time, kind)) = self.events.pop() {
+            self.now = time;
+            match kind {
+                EventKind::Horizon => break,
+                EventKind::JobArrival(app) => self.on_arrival(app),
+                EventKind::JobCompletion { app, generation } => self.on_completion(app, generation),
+                EventKind::NodeFailure(node) => self.on_node_failure(node),
+                EventKind::NodeRecovery(node) => self.on_node_recovery(node),
+                EventKind::ActuationRetry => self.on_actuation_retry(),
+                EventKind::ControlCycle => {
+                    self.on_cycle();
+                    // Keep cycling while work remains (or a horizon will
+                    // cut us off).
+                    let pending_arrivals = self.jobs.values().any(|j| !j.arrived);
+                    if self.live_jobs > 0
+                        || pending_arrivals
+                        || (self.config.horizon.is_some() && !self.txns.is_empty())
+                    {
+                        self.events
+                            .push(self.now + self.config.cycle, EventKind::ControlCycle);
+                    }
+                }
+            }
+        }
+        if let Some((sink, path)) = &self.trace_file {
+            if let Err(e) = sink.write_to(path) {
+                eprintln!("warning: failed to write trace to {path}: {e}");
+            }
+        }
+        self.metrics
+    }
+}

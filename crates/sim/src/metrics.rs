@@ -33,6 +33,23 @@ pub struct CycleSample {
     /// desired placement at sample time. Always zero with infallible
     /// actuation.
     pub pending_actions: usize,
+    /// Cluster-wide utilization of each *extra* rigid dimension (beyond
+    /// memory) at sample time, in registry order. Empty for memory-only
+    /// deployments, leaving legacy artifacts unchanged.
+    pub rigid_utilization: Vec<RigidDimSample>,
+}
+
+/// Utilization of one extra rigid resource dimension in one
+/// [`CycleSample`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RigidDimSample {
+    /// Registry name of the dimension (e.g. `disk_mb`).
+    pub dim: String,
+    /// Total demand pinned across the cluster, in the dimension's native
+    /// unit.
+    pub used: f64,
+    /// Total capacity across the scheduler-visible cluster.
+    pub capacity: f64,
 }
 
 /// One completed job (the scatter points of Fig. 5).
@@ -208,7 +225,7 @@ fn decode_id(raw: u64, what: &str) -> Result<u32, JsonError> {
 
 impl ToJson for CycleSample {
     fn to_json(&self) -> Json {
-        obj([
+        let mut fields = vec![
             ("time", self.time.as_secs().to_json()),
             (
                 "batch_hypothetical_rp",
@@ -224,7 +241,13 @@ impl ToJson for CycleSample {
                 self.placement_compute_secs.to_json(),
             ),
             ("pending_actions", self.pending_actions.to_json()),
-        ])
+        ];
+        // Only multi-dimensional deployments carry the field, so
+        // memory-only artifacts stay byte-identical to older writers.
+        if !self.rigid_utilization.is_empty() {
+            fields.push(("rigid_utilization", self.rigid_utilization.to_json()));
+        }
+        obj(fields)
     }
 }
 
@@ -243,6 +266,28 @@ impl FromJson for CycleSample {
             placement_compute_secs: v.field("placement_compute_secs")?,
             // Absent in artifacts written before fallible actuation.
             pending_actions: v.field_or("pending_actions")?,
+            // Absent in memory-only artifacts.
+            rigid_utilization: v.field_or("rigid_utilization")?,
+        })
+    }
+}
+
+impl ToJson for RigidDimSample {
+    fn to_json(&self) -> Json {
+        obj([
+            ("dim", self.dim.to_json()),
+            ("used", self.used.to_json()),
+            ("capacity", self.capacity.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RigidDimSample {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RigidDimSample {
+            dim: v.field("dim")?,
+            used: v.field("used")?,
+            capacity: v.field("capacity")?,
         })
     }
 }
@@ -476,6 +521,7 @@ mod tests {
             waiting_jobs: 0,
             placement_compute_secs: secs,
             pending_actions: 0,
+            rigid_utilization: Vec::new(),
         }
     }
 
@@ -559,6 +605,11 @@ mod tests {
             waiting_jobs: 1,
             placement_compute_secs: 0.0125,
             pending_actions: 2,
+            rigid_utilization: vec![RigidDimSample {
+                dim: "disk_mb".to_string(),
+                used: 2_048.0,
+                capacity: 8_192.0,
+            }],
         });
         m.completions.push(completion(true, 2.5, 0.375));
         m.changes = ChangeCounters {

@@ -33,7 +33,9 @@ pub enum ExampleScenario {
 pub fn paper_example(scenario: ExampleScenario, config: SimConfig) -> Simulation {
     let mut cluster = Cluster::new();
     cluster.add_node(
-        NodeSpec::new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0)).with_name("node"),
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+            .expect("valid node capacities")
+            .with_name("node"),
     );
     let mut sim = Simulation::new(cluster, config);
     let mem = Memory::from_mb(750.0);
@@ -86,7 +88,8 @@ pub fn paper_example(scenario: ExampleScenario, config: SimConfig) -> Simulation
 pub fn experiment_one_cluster() -> Cluster {
     Cluster::homogeneous(
         25,
-        NodeSpec::new(CpuSpeed::from_mhz(4.0 * 3_900.0), Memory::from_mb(16_384.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(4.0 * 3_900.0), Memory::from_mb(16_384.0))
+            .expect("valid node capacities"),
     )
 }
 

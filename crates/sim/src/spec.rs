@@ -2,6 +2,8 @@
 //! serializable description instead of code, so experiments can be
 //! defined in JSON files and run by the `simulate` harness binary.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use dynaplace_json::{obj, FromJson, Json, JsonError, ToJson};
@@ -10,6 +12,7 @@ use dynaplace_batch::job::{JobProfile, JobSpec};
 use dynaplace_model::cluster::Cluster;
 use dynaplace_model::ids::NodeId;
 use dynaplace_model::node::NodeSpec;
+use dynaplace_model::resources::{ResourceDims, Resources};
 use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
 use dynaplace_rpf::goal::{CompletionGoal, ResponseTimeGoal};
 use dynaplace_txn::workload::{ConstantRate, StepPattern};
@@ -27,10 +30,21 @@ use crate::engine::{NodeOutage, SchedulerKind, SimConfig, Simulation};
 pub struct NodeGroupSpec {
     /// How many nodes in this group.
     pub count: usize,
+    /// Optional group name (diagnostics and duplicate detection).
+    #[serde(default)]
+    pub name: Option<String>,
     /// CPU capacity per node, MHz.
     pub cpu_mhz: f64,
     /// Memory per node, MB.
     pub memory_mb: f64,
+    /// Capacity per node in each *extra* rigid dimension, keyed by the
+    /// dimension names [`ScenarioSpec::resources`] declares. Undeclared
+    /// names are a load-time error; declared dimensions missing here
+    /// default to zero capacity. On the wire the block also accepts
+    /// `cpu_mhz` / `memory_mb` entries, which canonicalize to the
+    /// dedicated fields above.
+    #[serde(default)]
+    pub resources: BTreeMap<String, f64>,
 }
 
 /// Which scheduler drives the run.
@@ -80,6 +94,10 @@ pub enum GoalSpec {
 pub struct JobGroupSpec {
     /// Number of jobs submitted.
     pub count: usize,
+    /// Optional group name (diagnostics and duplicate detection; shares
+    /// a namespace with [`TxnSpec::name`]).
+    #[serde(default)]
+    pub name: Option<String>,
     /// Total work per job, megacycles.
     pub work_mcycles: f64,
     /// Maximum speed per task, MHz.
@@ -96,6 +114,12 @@ pub struct JobGroupSpec {
     /// Optional job class tag (for on-the-fly profile estimation).
     #[serde(default)]
     pub class: Option<String>,
+    /// Per-task demand in each *extra* rigid dimension (beyond memory),
+    /// keyed by declared dimension name; missing dimensions demand zero.
+    /// The wire block also accepts a `memory_mb` entry, canonicalized to
+    /// the dedicated field.
+    #[serde(default)]
+    pub resources: BTreeMap<String, f64>,
 }
 
 fn one() -> u32 {
@@ -105,6 +129,10 @@ fn one() -> u32 {
 /// A transactional application.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TxnSpec {
+    /// Optional application name (diagnostics and duplicate detection;
+    /// shares a namespace with [`JobGroupSpec::name`]).
+    #[serde(default)]
+    pub name: Option<String>,
     /// Arrival rate, requests per second. A single value means constant;
     /// multiple (time, rate) steps describe a piecewise-constant curve.
     pub rate: RateSpec,
@@ -118,6 +146,12 @@ pub struct TxnSpec {
     pub memory_mb: f64,
     /// Maximum instances (usually the node count).
     pub max_instances: u32,
+    /// Per-instance demand in each *extra* rigid dimension (beyond
+    /// memory), keyed by declared dimension name; missing dimensions
+    /// demand zero. The wire block also accepts a `memory_mb` entry,
+    /// canonicalized to the dedicated field.
+    #[serde(default)]
+    pub resources: BTreeMap<String, f64>,
 }
 
 /// Constant or stepped arrival rate.
@@ -340,6 +374,29 @@ pub enum ScenarioError {
         /// The non-finite value.
         value: f64,
     },
+    /// Two named entries of the same kind share a name. Jobs and txns
+    /// share one application namespace; node groups have their own.
+    DuplicateName {
+        /// Which list: `nodes` or `applications`.
+        kind: &'static str,
+        /// The repeated name.
+        name: String,
+    },
+    /// The top-level `resources` registry is malformed (an empty name, a
+    /// duplicate, or a restatement of the implicit `memory_mb`).
+    InvalidResources {
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A `resources` block names a dimension the top-level `resources`
+    /// list does not declare — almost always a typo that would otherwise
+    /// silently demand (or supply) nothing.
+    UnknownResource {
+        /// Dotted path of the offending block, e.g. `nodes[1].resources`.
+        field: String,
+        /// The undeclared dimension name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -370,6 +427,18 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::NonFiniteNumber { field, value } => {
                 write!(f, "{field} must be finite, got {value}")
+            }
+            ScenarioError::DuplicateName { kind, name } => {
+                write!(f, "{kind} contain the name {name:?} more than once")
+            }
+            ScenarioError::InvalidResources { message } => {
+                write!(f, "resources: {message}")
+            }
+            ScenarioError::UnknownResource { field, name } => {
+                write!(
+                    f,
+                    "{field} names {name:?}, which the scenario's resources list does not declare"
+                )
             }
         }
     }
@@ -413,6 +482,12 @@ pub struct ScenarioSpec {
     /// Disable the paper's VM operation costs.
     #[serde(default)]
     pub free_vm_costs: bool,
+    /// Extra rigid resource dimensions, in registry order. `memory_mb`
+    /// is always implicit (dimension 0) and must not be restated here.
+    /// An empty list is the classic memory-only model, bit-identical to
+    /// scenarios written before this field existed.
+    #[serde(default)]
+    pub resources: Vec<String>,
     /// Node groups.
     pub nodes: Vec<NodeGroupSpec>,
     /// Batch job groups.
@@ -507,7 +582,71 @@ impl ScenarioSpec {
                 });
             }
         }
+        self.validate_names()?;
+        self.validate_resources()?;
         self.validate_finite()
+    }
+
+    /// Rejects repeated names: node groups among themselves, and jobs +
+    /// txns across their shared application namespace. A repeated name
+    /// is almost always a copy-paste slip that would otherwise make
+    /// per-name diagnostics ambiguous.
+    fn validate_names(&self) -> Result<(), ScenarioError> {
+        fn first_duplicate<'a>(
+            kind: &'static str,
+            names: impl Iterator<Item = &'a String>,
+        ) -> Result<(), ScenarioError> {
+            let mut seen = std::collections::BTreeSet::new();
+            for name in names {
+                if !seen.insert(name.as_str()) {
+                    return Err(ScenarioError::DuplicateName {
+                        kind,
+                        name: name.clone(),
+                    });
+                }
+            }
+            Ok(())
+        }
+        first_duplicate("nodes", self.nodes.iter().filter_map(|g| g.name.as_ref()))?;
+        first_duplicate(
+            "applications",
+            self.jobs
+                .iter()
+                .filter_map(|g| g.name.as_ref())
+                .chain(self.txns.iter().filter_map(|t| t.name.as_ref())),
+        )
+    }
+
+    /// Checks the resource registry constructs and that every per-group
+    /// `resources` block only references declared dimensions.
+    fn validate_resources(&self) -> Result<(), ScenarioError> {
+        if let Err(e) = ResourceDims::with_extra(self.resources.iter().cloned()) {
+            return Err(ScenarioError::InvalidResources {
+                message: e.to_string(),
+            });
+        }
+        let declared = |name: &String| self.resources.contains(name);
+        let check = |field: String, block: &BTreeMap<String, f64>| {
+            for name in block.keys() {
+                if !declared(name) {
+                    return Err(ScenarioError::UnknownResource {
+                        field,
+                        name: name.clone(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        for (i, group) in self.nodes.iter().enumerate() {
+            check(format!("nodes[{i}].resources"), &group.resources)?;
+        }
+        for (i, group) in self.jobs.iter().enumerate() {
+            check(format!("jobs[{i}].resources"), &group.resources)?;
+        }
+        for (i, txn) in self.txns.iter().enumerate() {
+            check(format!("txns[{i}].resources"), &txn.resources)?;
+        }
+        Ok(())
     }
 
     /// The finiteness half of [`ScenarioSpec::validate`]: every number
@@ -523,6 +662,21 @@ impl ScenarioSpec {
         finite("cycle_secs".to_string(), self.cycle_secs)?;
         if let Some(h) = self.horizon_secs {
             finite("horizon_secs".to_string(), h)?;
+        }
+        for (i, group) in self.nodes.iter().enumerate() {
+            for (name, &value) in &group.resources {
+                finite(format!("nodes[{i}].resources.{name}"), value)?;
+            }
+        }
+        for (i, group) in self.jobs.iter().enumerate() {
+            for (name, &value) in &group.resources {
+                finite(format!("jobs[{i}].resources.{name}"), value)?;
+            }
+        }
+        for (i, txn) in self.txns.iter().enumerate() {
+            for (name, &value) in &txn.resources {
+                finite(format!("txns[{i}].resources.{name}"), value)?;
+            }
         }
         for (i, group) in self.jobs.iter().enumerate() {
             finite(format!("jobs[{i}].work_mcycles"), group.work_mcycles)?;
@@ -596,12 +750,32 @@ impl ScenarioSpec {
     pub fn build_checked(&self) -> Result<Simulation, ScenarioError> {
         self.validate()?;
         let mut cluster = Cluster::new();
+        if !self.resources.is_empty() {
+            cluster.set_dims(
+                ResourceDims::with_extra(self.resources.iter().cloned())
+                    .expect("validate() accepted the resource registry"),
+            );
+        }
         for group in &self.nodes {
+            // Memory-only groups keep the scalar constructor's exact
+            // vector shape; declared dimensions missing from the block
+            // contribute zero capacity.
+            let mut rigid = vec![group.memory_mb];
+            rigid.extend(
+                self.resources
+                    .iter()
+                    .map(|name| group.resources.get(name).copied().unwrap_or(0.0)),
+            );
+            let mut spec = NodeSpec::try_with_resources(
+                CpuSpeed::from_mhz(group.cpu_mhz),
+                Resources::new(rigid),
+            )
+            .expect("valid node capacities");
+            if let Some(name) = &group.name {
+                spec = spec.with_name(name.clone());
+            }
             for _ in 0..group.count {
-                cluster.add_node(NodeSpec::new(
-                    CpuSpeed::from_mhz(group.cpu_mhz),
-                    Memory::from_mb(group.memory_mb),
-                ));
+                cluster.add_node(spec.clone());
             }
         }
         let config = SimConfig {
@@ -633,6 +807,7 @@ impl ScenarioSpec {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         for group in &self.jobs {
+            let extra = self.extra_rigid(&group.resources);
             let arrivals = arrival_times(&mut rng, &group.arrivals, group.count);
             for arrival in arrivals {
                 let group = group.clone();
@@ -661,14 +836,15 @@ impl ScenarioSpec {
                     spec
                 };
                 if group.tasks > 1 {
-                    sim.add_parallel_job(group.tasks, build);
+                    sim.add_parallel_job_with_rigid(group.tasks, &extra, build);
                 } else {
-                    sim.add_job(build);
+                    sim.add_job_with_rigid(&extra, build);
                 }
             }
         }
 
         for txn in &self.txns {
+            let extra = self.extra_rigid(&txn.resources);
             let pattern: Box<dyn dynaplace_txn::workload::ArrivalPattern + Send> = match &txn.rate {
                 RateSpec::Constant(rate) => Box::new(ConstantRate(*rate)),
                 RateSpec::Steps(steps) => Box::new(StepPattern::new(
@@ -678,7 +854,8 @@ impl ScenarioSpec {
                         .collect(),
                 )),
             };
-            sim.add_txn(
+            sim.add_txn_with_rigid(
+                &extra,
                 Memory::from_mb(txn.memory_mb),
                 txn.max_instances,
                 txn.demand_mcycles,
@@ -689,6 +866,19 @@ impl ScenarioSpec {
             );
         }
         Ok(sim)
+    }
+
+    /// A group's extra-rigid demand vector in registry order; empty when
+    /// the scenario declares no extra dimensions, so memory-only specs
+    /// take the exact legacy code path.
+    fn extra_rigid(&self, block: &BTreeMap<String, f64>) -> Vec<f64> {
+        if self.resources.is_empty() {
+            return Vec::new();
+        }
+        self.resources
+            .iter()
+            .map(|name| block.get(name).copied().unwrap_or(0.0))
+            .collect()
     }
 }
 
@@ -715,22 +905,76 @@ impl ScenarioSpec {
 // defaults for seed / horizon_secs / free_vm_costs / tasks / class /
 // node_failures.
 
+/// Serializes an extras block (`{name: value}`); callers emit it only
+/// when non-empty so legacy scenarios render byte-identically.
+fn resources_to_json(block: &BTreeMap<String, f64>) -> Json {
+    Json::Obj(
+        block
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_json()))
+            .collect(),
+    )
+}
+
+/// Parses an optional extras block into a name → value map.
+fn resources_from_json(v: Option<&Json>) -> Result<BTreeMap<String, f64>, JsonError> {
+    match v {
+        None | Some(Json::Null) => Ok(BTreeMap::new()),
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(name, value)| Ok((name.clone(), f64::from_json(value)?)))
+            .collect(),
+        Some(other) => Err(JsonError {
+            message: format!("resources must be an object of name: value pairs, got {other:?}"),
+        }),
+    }
+}
+
+/// Canonicalizes one legacy scalar out of an extras block: the value may
+/// sit at the top level (the historical layout) or inside `resources`;
+/// the top level wins when both are present, and the block entry is
+/// consumed either way so only true extras remain in the map.
+fn canonical_scalar(
+    v: &Json,
+    block: &mut BTreeMap<String, f64>,
+    key: &str,
+    context: &str,
+) -> Result<f64, JsonError> {
+    let from_block = block.remove(key);
+    match v.get(key) {
+        Some(value) => f64::from_json(value),
+        None => from_block.ok_or_else(|| JsonError {
+            message: format!("{context} is missing {key}"),
+        }),
+    }
+}
+
 impl ToJson for NodeGroupSpec {
     fn to_json(&self) -> Json {
-        obj([
-            ("count", self.count.to_json()),
-            ("cpu_mhz", self.cpu_mhz.to_json()),
-            ("memory_mb", self.memory_mb.to_json()),
-        ])
+        let mut fields = vec![("count", self.count.to_json())];
+        if let Some(name) = &self.name {
+            fields.push(("name", Json::Str(name.clone())));
+        }
+        fields.push(("cpu_mhz", self.cpu_mhz.to_json()));
+        fields.push(("memory_mb", self.memory_mb.to_json()));
+        if !self.resources.is_empty() {
+            fields.push(("resources", resources_to_json(&self.resources)));
+        }
+        obj(fields)
     }
 }
 
 impl FromJson for NodeGroupSpec {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut resources = resources_from_json(v.get("resources"))?;
+        let cpu_mhz = canonical_scalar(v, &mut resources, "cpu_mhz", "node group")?;
+        let memory_mb = canonical_scalar(v, &mut resources, "memory_mb", "node group")?;
         Ok(NodeGroupSpec {
             count: v.field("count")?,
-            cpu_mhz: v.field("cpu_mhz")?,
-            memory_mb: v.field("memory_mb")?,
+            name: v.field_or("name")?,
+            cpu_mhz,
+            memory_mb,
+            resources,
         })
     }
 }
@@ -820,8 +1064,11 @@ impl FromJson for GoalSpec {
 
 impl ToJson for JobGroupSpec {
     fn to_json(&self) -> Json {
-        obj([
-            ("count", self.count.to_json()),
+        let mut fields = vec![("count", self.count.to_json())];
+        if let Some(name) = &self.name {
+            fields.push(("name", Json::Str(name.clone())));
+        }
+        fields.extend([
             ("work_mcycles", self.work_mcycles.to_json()),
             ("max_speed_mhz", self.max_speed_mhz.to_json()),
             ("memory_mb", self.memory_mb.to_json()),
@@ -829,17 +1076,24 @@ impl ToJson for JobGroupSpec {
             ("arrivals", self.arrivals.to_json()),
             ("tasks", self.tasks.to_json()),
             ("class", self.class.to_json()),
-        ])
+        ]);
+        if !self.resources.is_empty() {
+            fields.push(("resources", resources_to_json(&self.resources)));
+        }
+        obj(fields)
     }
 }
 
 impl FromJson for JobGroupSpec {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut resources = resources_from_json(v.get("resources"))?;
+        let memory_mb = canonical_scalar(v, &mut resources, "memory_mb", "job group")?;
         Ok(JobGroupSpec {
             count: v.field("count")?,
+            name: v.field_or("name")?,
             work_mcycles: v.field("work_mcycles")?,
             max_speed_mhz: v.field("max_speed_mhz")?,
-            memory_mb: v.field("memory_mb")?,
+            memory_mb,
             goal: v.field("goal")?,
             arrivals: v.field("arrivals")?,
             tasks: match v.get("tasks") {
@@ -847,32 +1101,45 @@ impl FromJson for JobGroupSpec {
                 Some(t) => u32::from_json(t)?,
             },
             class: v.field_or("class")?,
+            resources,
         })
     }
 }
 
 impl ToJson for TxnSpec {
     fn to_json(&self) -> Json {
-        obj([
+        let mut fields = Vec::new();
+        if let Some(name) = &self.name {
+            fields.push(("name", Json::Str(name.clone())));
+        }
+        fields.extend([
             ("rate", self.rate.to_json()),
             ("demand_mcycles", self.demand_mcycles.to_json()),
             ("floor_secs", self.floor_secs.to_json()),
             ("goal_secs", self.goal_secs.to_json()),
             ("memory_mb", self.memory_mb.to_json()),
             ("max_instances", self.max_instances.to_json()),
-        ])
+        ]);
+        if !self.resources.is_empty() {
+            fields.push(("resources", resources_to_json(&self.resources)));
+        }
+        obj(fields)
     }
 }
 
 impl FromJson for TxnSpec {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut resources = resources_from_json(v.get("resources"))?;
+        let memory_mb = canonical_scalar(v, &mut resources, "memory_mb", "txn")?;
         Ok(TxnSpec {
+            name: v.field_or("name")?,
             rate: v.field("rate")?,
             demand_mcycles: v.field("demand_mcycles")?,
             floor_secs: v.field("floor_secs")?,
             goal_secs: v.field("goal_secs")?,
-            memory_mb: v.field("memory_mb")?,
+            memory_mb,
             max_instances: v.field("max_instances")?,
+            resources,
         })
     }
 }
@@ -1012,12 +1279,17 @@ impl FromJson for RateSpec {
 
 impl ToJson for ScenarioSpec {
     fn to_json(&self) -> Json {
-        obj([
+        let mut fields = vec![
             ("seed", self.seed.to_json()),
             ("scheduler", self.scheduler.to_json()),
             ("cycle_secs", self.cycle_secs.to_json()),
             ("horizon_secs", self.horizon_secs.to_json()),
             ("free_vm_costs", self.free_vm_costs.to_json()),
+        ];
+        if !self.resources.is_empty() {
+            fields.push(("resources", self.resources.to_json()));
+        }
+        fields.extend([
             ("nodes", self.nodes.to_json()),
             ("jobs", self.jobs.to_json()),
             ("txns", self.txns.to_json()),
@@ -1026,7 +1298,8 @@ impl ToJson for ScenarioSpec {
             ("deadline_secs", self.deadline_secs.to_json()),
             ("sharding", self.sharding.to_json()),
             ("trace", self.trace.to_json()),
-        ])
+        ]);
+        obj(fields)
     }
 }
 
@@ -1038,6 +1311,7 @@ impl FromJson for ScenarioSpec {
             cycle_secs: v.field("cycle_secs")?,
             horizon_secs: v.field_or("horizon_secs")?,
             free_vm_costs: v.field_or("free_vm_costs")?,
+            resources: v.field_or("resources")?,
             nodes: v.field("nodes")?,
             jobs: v.field("jobs")?,
             txns: v.field("txns")?,
@@ -1080,13 +1354,17 @@ mod tests {
             cycle_secs: 10.0,
             horizon_secs: Some(10_000.0),
             free_vm_costs: true,
+            resources: vec![],
             nodes: vec![NodeGroupSpec {
                 count: 2,
+                name: None,
                 cpu_mhz: 2_000.0,
                 memory_mb: 4_000.0,
+                resources: BTreeMap::new(),
             }],
             jobs: vec![JobGroupSpec {
                 count: 4,
+                name: None,
                 work_mcycles: 20_000.0,
                 max_speed_mhz: 1_000.0,
                 memory_mb: 1_000.0,
@@ -1094,6 +1372,7 @@ mod tests {
                 arrivals: ArrivalSpec::Periodic { every_secs: 15.0 },
                 tasks: 1,
                 class: None,
+                resources: BTreeMap::new(),
             }],
             txns: vec![],
             node_failures: vec![],
@@ -1353,14 +1632,140 @@ mod tests {
     fn txn_steps_pattern() {
         let mut spec = minimal(SchedulerSpec::Apc);
         spec.txns = vec![TxnSpec {
+            name: None,
             rate: RateSpec::Steps(vec![(0.0, 10.0), (100.0, 50.0)]),
             demand_mcycles: 10.0,
             floor_secs: 0.005,
             goal_secs: 0.05,
             memory_mb: 500.0,
             max_instances: 2,
+            resources: BTreeMap::new(),
         }];
         let metrics = spec.build().run();
         assert!(metrics.samples.iter().any(|s| s.txn_rp.is_some()));
+    }
+
+    #[test]
+    fn duplicate_names_are_typed_errors() {
+        // Node groups sharing a name.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.nodes[0].name = Some("rack".to_string());
+        spec.nodes.push(spec.nodes[0].clone());
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::DuplicateName {
+                kind: "nodes",
+                name: "rack".to_string(),
+            })
+        );
+
+        // A job and a txn collide in the shared application namespace.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.jobs[0].name = Some("web".to_string());
+        spec.txns = vec![TxnSpec {
+            name: Some("web".to_string()),
+            rate: RateSpec::Constant(5.0),
+            demand_mcycles: 10.0,
+            floor_secs: 0.005,
+            goal_secs: 0.05,
+            memory_mb: 500.0,
+            max_instances: 2,
+            resources: BTreeMap::new(),
+        }];
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::DuplicateName {
+                kind: "applications",
+                name: "web".to_string(),
+            })
+        );
+
+        // Distinct names (and the all-anonymous default) stay valid.
+        spec.txns[0].name = Some("db".to_string());
+        assert_eq!(spec.validate(), Ok(()));
+        assert_eq!(minimal(SchedulerSpec::Apc).validate(), Ok(()));
+    }
+
+    #[test]
+    fn undeclared_resource_is_a_typed_error() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.jobs[0].resources.insert("disk_mb".to_string(), 100.0);
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::UnknownResource {
+                field: "jobs[0].resources".to_string(),
+                name: "disk_mb".to_string(),
+            })
+        );
+        // Declaring the dimension fixes it; nodes default to zero
+        // capacity for it, which is still structurally valid.
+        spec.resources = vec!["disk_mb".to_string()];
+        assert_eq!(spec.validate(), Ok(()));
+        // Restating the implicit memory dimension is rejected.
+        spec.resources = vec!["disk_mb".to_string(), "memory_mb".to_string()];
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::InvalidResources { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_resource_scenario_builds_runs_and_round_trips() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.resources = vec!["disk_mb".to_string(), "net_mbps".to_string()];
+        spec.nodes[0].resources = BTreeMap::from([
+            ("disk_mb".to_string(), 10_000.0),
+            ("net_mbps".to_string(), 1_000.0),
+        ]);
+        spec.jobs[0]
+            .resources
+            .insert("disk_mb".to_string(), 2_000.0);
+        spec.txns = vec![TxnSpec {
+            name: Some("frontend".to_string()),
+            rate: RateSpec::Constant(20.0),
+            demand_mcycles: 10.0,
+            floor_secs: 0.005,
+            goal_secs: 0.05,
+            memory_mb: 500.0,
+            max_instances: 2,
+            resources: BTreeMap::from([("net_mbps".to_string(), 200.0)]),
+        }];
+        let metrics = spec.build().run();
+        assert_eq!(metrics.completions.len(), 4);
+        // Per-dimension utilization is sampled for the extra dimensions.
+        assert!(metrics
+            .samples
+            .iter()
+            .any(|s| s.rigid_utilization.iter().any(|r| r.dim == "disk_mb")));
+        let back = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back.resources, spec.resources);
+        assert_eq!(back.nodes[0].resources, spec.nodes[0].resources);
+        assert_eq!(back.txns[0].resources, spec.txns[0].resources);
+    }
+
+    #[test]
+    fn legacy_scalars_canonicalize_out_of_the_resources_block() {
+        // cpu_mhz / memory_mb may live inside the resources block; they
+        // hoist to the dedicated fields and leave only true extras.
+        let json = r#"{
+            "scheduler": "apc", "cycle_secs": 10.0, "horizon_secs": 500.0,
+            "resources": ["disk_mb"],
+            "nodes": [{ "count": 2,
+                        "resources": { "cpu_mhz": 2000.0, "memory_mb": 4000.0,
+                                       "disk_mb": 8000.0 } }],
+            "jobs": [], "txns": []
+        }"#;
+        let spec = ScenarioSpec::from_json_str(json).unwrap();
+        assert_eq!(spec.nodes[0].cpu_mhz, 2_000.0);
+        assert_eq!(spec.nodes[0].memory_mb, 4_000.0);
+        assert_eq!(
+            spec.nodes[0].resources,
+            BTreeMap::from([("disk_mb".to_string(), 8_000.0)])
+        );
+        // Memory-only scenarios render without any resources fields, so
+        // checked-in legacy files and goldens stay byte-stable.
+        let legacy = minimal(SchedulerSpec::Apc);
+        let text = legacy.to_json_string();
+        assert!(!text.contains("resources"), "{text}");
     }
 }

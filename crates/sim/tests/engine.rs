@@ -27,7 +27,7 @@ fn secs(x: f64) -> SimDuration {
 
 fn one_node_cluster() -> Cluster {
     let mut c = Cluster::new();
-    c.add_node(NodeSpec::new(mhz(1_000.0), mb(2_000.0)));
+    c.add_node(NodeSpec::try_new(mhz(1_000.0), mb(2_000.0)).expect("valid node capacities"));
     c
 }
 

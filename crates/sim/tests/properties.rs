@@ -13,8 +13,10 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
         (1usize..4, 800.0..4_000.0f64, 2_000.0..8_000.0f64).prop_map(|(count, cpu, mem)| {
             NodeGroupSpec {
                 count,
+                name: None,
                 cpu_mhz: cpu,
                 memory_mb: mem,
+                resources: Default::default(),
             }
         });
     let jobs = (
@@ -28,6 +30,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
         .prop_map(
             |(count, work, speed, memory, factor, spacing)| JobGroupSpec {
                 count,
+                name: None,
                 work_mcycles: work,
                 max_speed_mhz: speed,
                 memory_mb: memory,
@@ -37,6 +40,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
                 },
                 tasks: 1,
                 class: None,
+                resources: Default::default(),
             },
         );
     (
@@ -55,6 +59,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
             cycle_secs: 20.0,
             horizon_secs: Some(50_000.0),
             free_vm_costs: false,
+            resources: vec![],
             nodes: vec![nodes],
             jobs,
             txns: vec![],

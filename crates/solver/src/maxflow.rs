@@ -253,6 +253,62 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_edge_carries_nothing() {
+        let mut net = FlowNetwork::new(3);
+        let dead = net.add_edge(0, 1, 0.0);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 5.0);
+        assert_eq!(net.max_flow(0, 2), 2.0);
+        assert_eq!(net.flow_on(dead), 0.0);
+    }
+
+    #[test]
+    fn second_solve_continues_from_residual() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4.0);
+        net.add_edge(1, 2, 4.0);
+        assert_eq!(net.max_flow(0, 2), 4.0);
+        // The network is saturated; a re-solve finds no augmenting path.
+        assert_eq!(net.max_flow(0, 2), 0.0);
+    }
+
+    #[test]
+    fn unit_capacity_bipartite_matching() {
+        // Perfect matching on a 3×3 bipartite graph where the naive
+        // greedy order (each left vertex takes its first neighbor)
+        // needs an augmenting path to recover: L0-{R0,R1}, L1-{R0},
+        // L2-{R1,R2}. Matching of size 3 exists (L0-R1? no: L1 needs
+        // R0, so L0-R1, L2-R2).
+        let mut net = FlowNetwork::new(8);
+        for l in 1..4 {
+            net.add_edge(0, l, 1.0);
+        }
+        for r in 4..7 {
+            net.add_edge(r, 7, 1.0);
+        }
+        net.add_edge(1, 4, 1.0);
+        net.add_edge(1, 5, 1.0);
+        net.add_edge(2, 4, 1.0);
+        net.add_edge(3, 5, 1.0);
+        net.add_edge(3, 6, 1.0);
+        assert!((net.max_flow(0, 7) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-negative")]
+    fn negative_capacity_panics() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn out_of_range_vertex_panics() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
     fn larger_random_ish_network_conserves() {
         // Max flow must not exceed either the source cut or the sink cut.
         let mut net = FlowNetwork::new(8);

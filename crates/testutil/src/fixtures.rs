@@ -126,7 +126,10 @@ impl ProblemFixture {
         let cycle = SimDuration::from_secs(60.0);
         let mut cluster = Cluster::new();
         for &(cpu, mem) in &params.nodes {
-            cluster.add_node(NodeSpec::new(CpuSpeed::from_mhz(cpu), Memory::from_mb(mem)));
+            cluster.add_node(
+                NodeSpec::try_new(CpuSpeed::from_mhz(cpu), Memory::from_mb(mem))
+                    .expect("valid node capacities"),
+            );
         }
         let mut apps = AppSet::new();
         let mut workloads = BTreeMap::new();

@@ -100,21 +100,29 @@ impl PlacementInvariants {
         }
     }
 
-    /// Memory capacity with *effective* per-instance sizes (a batch
-    /// job's current stage may pin less than its spec maximum).
+    /// Rigid capacity in every declared dimension, with *effective*
+    /// per-instance sizes (a batch job's current stage may pin less
+    /// memory than its spec maximum; extra dimensions come from the
+    /// static spec).
     fn check_memory_capacity(&mut self, problem: &PlacementProblem<'_>, placement: &Placement) {
+        let dims = problem.rigid_dims().clone();
         for (node, spec) in problem.cluster.iter() {
-            let mut used = 0.0;
+            let mut used = vec![0.0; dims.len().max(spec.rigid_capacity().len())];
             for (app, count) in placement.apps_on(node) {
-                if let Ok(memory) = problem.try_effective_memory(app) {
-                    used += memory.as_mb() * count as f64;
+                if let Ok(rigid) = problem.try_effective_rigid(app) {
+                    for (d, u) in used.iter_mut().enumerate() {
+                        *u += rigid.get(d) * count as f64;
+                    }
                 }
             }
-            let cap = spec.memory_capacity().as_mb();
-            if used > cap * (1.0 + CAP_EPS) + CAP_EPS {
-                self.violation(format!(
-                    "memory over-committed on {node:?}: {used:.3} MB used of {cap:.3} MB"
-                ));
+            for (d, &u) in used.iter().enumerate() {
+                let cap = spec.rigid_capacity().get(d);
+                if u > cap * (1.0 + CAP_EPS) + CAP_EPS {
+                    let name = if d < dims.len() { dims.name(d) } else { "?" };
+                    self.violation(format!(
+                        "{name} (dim {d}) over-committed on {node:?}: {u:.3} used of {cap:.3}"
+                    ));
+                }
             }
         }
     }

@@ -483,6 +483,23 @@ pub enum TraceEvent {
         /// adopted.
         adopted: bool,
     },
+    /// Cluster-wide utilization of one rigid resource dimension at the
+    /// end of a control cycle. Emitted once per *extra* dimension (the
+    /// engine skips it for memory-only deployments, keeping legacy
+    /// traces byte-identical).
+    RigidUtilization {
+        /// Sim time of the cycle.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// Registry name of the dimension (e.g. `disk_mb`).
+        dim: String,
+        /// Total demand pinned across the cluster, in the dimension's
+        /// native unit.
+        used: f64,
+        /// Total capacity across the cluster.
+        capacity: f64,
+    },
 }
 
 impl TraceEvent {
@@ -518,6 +535,7 @@ impl TraceEvent {
             TraceEvent::CellExit { .. } => "cell_exit",
             TraceEvent::CellEscalated { .. } => "cell_escalated",
             TraceEvent::RebalanceMove { .. } => "rebalance_move",
+            TraceEvent::RigidUtilization { .. } => "rigid_utilization",
         }
     }
 
@@ -766,6 +784,20 @@ impl TraceEvent {
                 ("delta", Json::Num(delta)),
                 ("adopted", Json::Bool(adopted)),
             ]),
+            TraceEvent::RigidUtilization {
+                time,
+                cycle,
+                ref dim,
+                used,
+                capacity,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("dim", Json::Str(dim.clone())),
+                ("used", Json::Num(used)),
+                ("capacity", Json::Num(capacity)),
+            ]),
         }
     }
 
@@ -951,6 +983,13 @@ impl TraceEvent {
                 to_cell: uint(v, "to_cell")?,
                 delta: num(v, "delta")?,
                 adopted: flag(v, "adopted")?,
+            },
+            "rigid_utilization" => TraceEvent::RigidUtilization {
+                time,
+                cycle: uint(v, "cycle")?,
+                dim: text(v, "dim")?.to_string(),
+                used: num(v, "used")?,
+                capacity: num(v, "capacity")?,
             },
             other => {
                 return Err(JsonError {
@@ -1166,6 +1205,19 @@ impl TraceEvent {
                      (satisfaction delta {delta:+.6})",
                     app.index()
                 )
+            }
+            TraceEvent::RigidUtilization {
+                ref dim,
+                used,
+                capacity,
+                ..
+            } => {
+                let pct = if capacity > 0.0 {
+                    used / capacity * 100.0
+                } else {
+                    0.0
+                };
+                format!("  rigid {dim}: {used:.1} of {capacity:.1} pinned ({pct:.1}%)")
             }
         }
     }
@@ -1545,6 +1597,13 @@ mod tests {
                 to_cell: 3,
                 delta: 0.04,
                 adopted: true,
+            },
+            TraceEvent::RigidUtilization {
+                time: 300.0,
+                cycle: 1,
+                dim: "disk_mb".to_string(),
+                used: 1_024.0,
+                capacity: 4_096.0,
             },
         ];
         for ev in events {

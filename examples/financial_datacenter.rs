@@ -22,7 +22,8 @@ fn main() {
     // Eight 4-core machines.
     let cluster = Cluster::homogeneous(
         8,
-        NodeSpec::new(CpuSpeed::from_mhz(12_000.0), Memory::from_mb(16_384.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(12_000.0), Memory::from_mb(16_384.0))
+            .expect("valid node capacities"),
     );
     let mut config = SimConfig::apc_default();
     config.cycle = SimDuration::from_secs(300.0);

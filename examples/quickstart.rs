@@ -19,7 +19,8 @@ fn main() {
     let mut cluster = Cluster::new();
     for i in 0..2 {
         cluster.add_node(
-            NodeSpec::new(CpuSpeed::from_mhz(3_000.0), Memory::from_mb(8_192.0))
+            NodeSpec::try_new(CpuSpeed::from_mhz(3_000.0), Memory::from_mb(8_192.0))
+                .expect("valid node capacities")
                 .with_name(format!("node{i}")),
         );
     }

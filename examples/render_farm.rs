@@ -18,7 +18,8 @@ use dynaplace::sim::engine::{SimConfig, Simulation};
 fn main() {
     let cluster = Cluster::homogeneous(
         6,
-        NodeSpec::new(CpuSpeed::from_mhz(8_000.0), Memory::from_mb(16_384.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(8_000.0), Memory::from_mb(16_384.0))
+            .expect("valid node capacities"),
     );
     let mut config = SimConfig::apc_default();
     config.cycle = SimDuration::from_secs(60.0);

@@ -29,10 +29,10 @@
 //! use dynaplace::prelude::*;
 //!
 //! let mut cluster = Cluster::new();
-//! let node = cluster.add_node(NodeSpec::new(
+//! let node = cluster.add_node(NodeSpec::try_new(
 //!     CpuSpeed::from_mhz(1_000.0),
 //!     Memory::from_mb(2_000.0),
-//! ));
+//! ).expect("valid node capacities"));
 //! let mut apps = AppSet::new();
 //! let job = apps.add(ApplicationSpec::batch(
 //!     Memory::from_mb(750.0),

@@ -102,7 +102,8 @@ fn node_failure_recovers() {
 
     let cluster = Cluster::homogeneous(
         3,
-        NodeSpec::new(CpuSpeed::from_mhz(2_000.0), Memory::from_mb(4_000.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(2_000.0), Memory::from_mb(4_000.0))
+            .expect("valid node capacities"),
     );
     let mut config = SimConfig::apc_default();
     config.cycle = SimDuration::from_secs(10.0);
@@ -153,7 +154,8 @@ fn failed_single_node_halts_progress() {
 
     let cluster = Cluster::homogeneous(
         1,
-        NodeSpec::new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(4_000.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(4_000.0))
+            .expect("valid node capacities"),
     );
     let mut config = SimConfig::apc_default();
     config.cycle = SimDuration::from_secs(5.0);
@@ -220,7 +222,9 @@ fn replacement_after_node_loss_respects_invariants() {
     let mut degraded = Cluster::new();
     for (id, spec) in fixture.cluster.iter() {
         if id == dead {
-            degraded.add_node(NodeSpec::new(CpuSpeed::ZERO, Memory::ZERO));
+            degraded.add_node(
+                NodeSpec::try_new(CpuSpeed::ZERO, Memory::ZERO).expect("valid node capacities"),
+            );
         } else {
             degraded.add_node(spec.clone());
         }

@@ -45,10 +45,10 @@ fn two_stage_profile() -> JobProfile {
 #[test]
 fn stage_speed_caps_are_tracked() {
     let mut cluster = Cluster::new();
-    cluster.add_node(NodeSpec::new(
-        CpuSpeed::from_mhz(4_000.0),
-        Memory::from_mb(8_000.0),
-    ));
+    cluster.add_node(
+        NodeSpec::try_new(CpuSpeed::from_mhz(4_000.0), Memory::from_mb(8_000.0))
+            .expect("valid node capacities"),
+    );
     let mut sim = Simulation::new(cluster, config(1.0));
     let app = sim.add_job(|app| {
         JobSpec::new(
@@ -74,10 +74,10 @@ fn stage_speed_caps_are_tracked() {
 #[test]
 fn coarse_cycle_delays_stage_speedup() {
     let mut cluster = Cluster::new();
-    cluster.add_node(NodeSpec::new(
-        CpuSpeed::from_mhz(4_000.0),
-        Memory::from_mb(8_000.0),
-    ));
+    cluster.add_node(
+        NodeSpec::try_new(CpuSpeed::from_mhz(4_000.0), Memory::from_mb(8_000.0))
+            .expect("valid node capacities"),
+    );
     let mut sim = Simulation::new(cluster, config(10.0));
     let app = sim.add_job(|app| {
         JobSpec::new(
@@ -103,10 +103,10 @@ fn coarse_cycle_delays_stage_speedup() {
 #[test]
 fn multi_stage_jobs_share_fairly() {
     let mut cluster = Cluster::new();
-    cluster.add_node(NodeSpec::new(
-        CpuSpeed::from_mhz(1_200.0),
-        Memory::from_mb(8_000.0),
-    ));
+    cluster.add_node(
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_200.0), Memory::from_mb(8_000.0))
+            .expect("valid node capacities"),
+    );
     let mut sim = Simulation::new(cluster, config(2.0));
     for i in 0..2 {
         sim.add_job(move |app| {

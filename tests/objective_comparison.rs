@@ -25,10 +25,10 @@ use dynaplace::sim::RunMetrics;
 fn run(objective: Objective) -> (AppId, RunMetrics) {
     let mut cluster = Cluster::new();
     // One slot: 1,000 MHz, memory fits exactly one job.
-    cluster.add_node(NodeSpec::new(
-        CpuSpeed::from_mhz(1_000.0),
-        Memory::from_mb(1_000.0),
-    ));
+    cluster.add_node(
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(1_000.0))
+            .expect("valid node capacities"),
+    );
     let config = SimConfig {
         cycle: SimDuration::from_secs(10.0),
         horizon: Some(SimDuration::from_secs(2_000.0)),

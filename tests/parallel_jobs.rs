@@ -16,7 +16,8 @@ use dynaplace::sim::engine::{SimConfig, Simulation};
 fn cluster(nodes: usize) -> Cluster {
     Cluster::homogeneous(
         nodes,
-        NodeSpec::new(CpuSpeed::from_mhz(2_000.0), Memory::from_mb(8_000.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(2_000.0), Memory::from_mb(8_000.0))
+            .expect("valid node capacities"),
     )
 }
 

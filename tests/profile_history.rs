@@ -14,7 +14,8 @@ use dynaplace::sim::engine::{SimConfig, Simulation};
 fn cluster() -> Cluster {
     Cluster::homogeneous(
         2,
-        NodeSpec::new(CpuSpeed::from_mhz(2_000.0), Memory::from_mb(4_000.0)),
+        NodeSpec::try_new(CpuSpeed::from_mhz(2_000.0), Memory::from_mb(4_000.0))
+            .expect("valid node capacities"),
     )
 }
 

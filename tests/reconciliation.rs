@@ -42,13 +42,17 @@ fn flaky_spec(
         cycle_secs: CYCLE_SECS,
         horizon_secs: Some(30_000.0),
         free_vm_costs: false,
+        resources: vec![],
         nodes: vec![NodeGroupSpec {
             count: NODES,
+            name: None,
             cpu_mhz: NODE_CPU_MHZ,
             memory_mb: NODE_MEMORY_MB,
+            resources: Default::default(),
         }],
         jobs: vec![JobGroupSpec {
             count: JOBS,
+            name: None,
             work_mcycles: 300_000.0,
             max_speed_mhz: 1_000.0,
             memory_mb: JOB_MEMORY_MB,
@@ -56,6 +60,7 @@ fn flaky_spec(
             arrivals: ArrivalSpec::Periodic { every_secs: 120.0 },
             tasks: 1,
             class: None,
+            resources: Default::default(),
         }],
         txns: vec![],
         node_failures: outage

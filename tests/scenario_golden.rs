@@ -61,6 +61,16 @@ fn render(metrics: &RunMetrics) -> String {
             out.truncate(out.len() - 1);
             writeln!(out, " pending={}", sample.pending_actions).unwrap();
         }
+        if !sample.rigid_utilization.is_empty() {
+            // Only multi-dimension scenarios sample extra rigid dims;
+            // memory-only goldens stay byte-identical.
+            let dims: Vec<String> = sample
+                .rigid_utilization
+                .iter()
+                .map(|r| format!("{}={:.0}/{:.0}", r.dim, r.used, r.capacity))
+                .collect();
+            writeln!(out, "  rigid: {}", dims.join(" ")).unwrap();
+        }
         for line in render_placement_diff(&previous, &record.placement).lines() {
             writeln!(out, "  {line}").unwrap();
         }
@@ -214,6 +224,88 @@ fn flaky_cluster_matches_golden() {
 fn sharded_cluster_matches_golden() {
     let metrics = run_scenario("sharded_cluster");
     assert_matches_golden("sharded_cluster", &render(&metrics));
+}
+
+#[test]
+fn multi_resource_matches_golden() {
+    let metrics = run_scenario("multi_resource");
+    assert_matches_golden("multi_resource", &render(&metrics));
+}
+
+/// The multi-dimension acceptance bar: the `license_slots` dimension in
+/// `multi_resource.json` must change a decision memory alone would not
+/// force. Each licensed node carries one slot and each `cad` job demands
+/// one, so the checked-in run may never co-locate two `cad` jobs; with
+/// every `resources` block stripped (memory-only, the pre-refactor
+/// model), the optimizer packs them onto the fast nodes.
+#[test]
+fn license_dimension_forces_a_spread_memory_would_not() {
+    use std::collections::BTreeMap;
+
+    use dynaplace::model::ids::NodeId;
+
+    let path = repo_root().join("scenarios/multi_resource.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let spec = ScenarioSpec::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()));
+    assert_eq!(
+        spec.resources,
+        ["disk_mb", "net_mbps", "license_slots"],
+        "scenario must declare three extra rigid dimensions"
+    );
+    let mut memory_only = spec.clone();
+    memory_only.resources.clear();
+    memory_only
+        .nodes
+        .iter_mut()
+        .for_each(|g| g.resources.clear());
+    memory_only
+        .jobs
+        .iter_mut()
+        .for_each(|g| g.resources.clear());
+    memory_only
+        .txns
+        .iter_mut()
+        .for_each(|t| t.resources.clear());
+
+    // The four `cad` jobs are the first job group, so they hold the
+    // first four dense application ids.
+    let max_cad_per_node = |metrics: &RunMetrics| -> u32 {
+        let mut max = 0;
+        for record in &metrics.placements {
+            let mut per_node: BTreeMap<NodeId, u32> = BTreeMap::new();
+            for (app, node, count) in record.placement.iter() {
+                if app.index() < 4 {
+                    *per_node.entry(node).or_default() += count;
+                }
+            }
+            max = max.max(per_node.values().copied().max().unwrap_or(0));
+        }
+        max
+    };
+
+    let run = |spec: &ScenarioSpec| -> RunMetrics {
+        let mut sim = spec.build();
+        sim.record_placements(true);
+        sim.run()
+    };
+    let licensed = run(&spec);
+    let unconstrained = run(&memory_only);
+    assert_eq!(
+        licensed.completions.len(),
+        7,
+        "all four cad and three render jobs must finish despite slot scarcity"
+    );
+    assert_eq!(
+        max_cad_per_node(&licensed),
+        1,
+        "one license slot per node must forbid co-locating cad jobs"
+    );
+    assert!(
+        max_cad_per_node(&unconstrained) >= 2,
+        "without the license dimension, memory alone co-locates cad jobs"
+    );
 }
 
 /// The sharding acceptance bar on quality: cell-scoped solving plus

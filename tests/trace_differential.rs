@@ -126,14 +126,14 @@ fn small_problem(
 #[test]
 fn place_traced_returns_the_same_outcome_bits_as_place() {
     let mut cluster = Cluster::new();
-    let n0 = cluster.add_node(NodeSpec::new(
-        CpuSpeed::from_mhz(1_000.0),
-        Memory::from_mb(1_500.0),
-    ));
-    cluster.add_node(NodeSpec::new(
-        CpuSpeed::from_mhz(800.0),
-        Memory::from_mb(1_500.0),
-    ));
+    let n0 = cluster.add_node(
+        NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(1_500.0))
+            .expect("valid node capacities"),
+    );
+    cluster.add_node(
+        NodeSpec::try_new(CpuSpeed::from_mhz(800.0), Memory::from_mb(1_500.0))
+            .expect("valid node capacities"),
+    );
     let mut apps = AppSet::new();
     let j1 = apps.add(ApplicationSpec::batch(
         Memory::from_mb(700.0),
