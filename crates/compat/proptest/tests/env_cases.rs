@@ -1,0 +1,30 @@
+//! `PROPTEST_CASES` must override every property's case count — the CI
+//! stress tier depends on it. Kept in its own integration-test binary
+//! (its own process) because it mutates the environment, which would
+//! race with any concurrently running property in the same binary.
+
+use proptest::{run_cases, ProptestConfig};
+
+#[test]
+fn proptest_cases_env_overrides_and_restores() {
+    let count_runs = |cases: u32| {
+        let mut runs = 0u32;
+        run_cases(&ProptestConfig::with_cases(cases), "env_probe", |_rng| {
+            runs += 1;
+            Ok(())
+        });
+        runs
+    };
+
+    std::env::set_var("PROPTEST_CASES", "7");
+    assert_eq!(count_runs(100), 7, "the env var overrides the config");
+
+    std::env::set_var("PROPTEST_CASES", "not-a-number");
+    assert_eq!(count_runs(5), 5, "garbage values fall back to the config");
+
+    std::env::set_var("PROPTEST_CASES", "0");
+    assert_eq!(count_runs(5), 1, "zero is clamped to one case");
+
+    std::env::remove_var("PROPTEST_CASES");
+    assert_eq!(count_runs(5), 5, "removal restores the config count");
+}

@@ -1,0 +1,80 @@
+//! Source-compatibility contract of the serde stand-in: the derives
+//! must accept everything the real serde accepts syntactically (full
+//! `#[serde(...)]` attribute forms on structs, enums, fields, and
+//! variants), and the blanket marker traits must satisfy the trait
+//! bounds real downstream code writes. The actual JSON pipeline is
+//! `dynaplace-json`; these tests only guard "the tree keeps compiling
+//! exactly as it would against the genuine crate".
+
+// The no-op derives never read fields the way real serde impls would.
+#![allow(dead_code)]
+
+use serde::{Deserialize, DeserializeOwned, Serialize};
+
+#[derive(Serialize, Deserialize)]
+#[serde(rename_all = "camelCase", deny_unknown_fields)]
+struct Annotated {
+    #[serde(rename = "identifier")]
+    id: u64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    label: Option<String>,
+    #[serde(flatten)]
+    nested: Nested,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Nested {
+    values: Vec<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
+#[serde(tag = "kind", content = "body")]
+enum Tagged<T> {
+    #[serde(rename = "empty")]
+    Empty,
+    Tuple(u32, u32),
+    Struct {
+        #[serde(alias = "payload")]
+        inner: T,
+    },
+}
+
+#[derive(Serialize, Deserialize)]
+struct Unit;
+
+#[derive(Serialize, Deserialize)]
+struct Tupled(u8, #[serde(skip)] u8);
+
+fn requires_serialize<T: Serialize>(_: &T) {}
+fn requires_deserialize<'de, T: Deserialize<'de>>(_: &T) {}
+fn requires_owned<T: DeserializeOwned>(_: &T) {}
+
+#[test]
+fn derived_types_satisfy_every_marker_bound() {
+    let value = Annotated {
+        id: 7,
+        label: None,
+        nested: Nested { values: vec![1.0] },
+    };
+    requires_serialize(&value);
+    requires_deserialize(&value);
+    requires_owned(&value);
+
+    let tagged: Tagged<String> = Tagged::Struct {
+        inner: "x".to_string(),
+    };
+    requires_serialize(&tagged);
+    requires_owned(&tagged);
+    requires_serialize(&Tagged::<u8>::Empty);
+    requires_serialize(&Tagged::<u8>::Tuple(1, 2));
+    requires_serialize(&Unit);
+    requires_serialize(&Tupled(1, 2));
+}
+
+#[test]
+fn blanket_impls_cover_foreign_and_unsized_types() {
+    requires_serialize(&42u32);
+    requires_serialize(&vec![1, 2, 3]);
+    let s: &str = "unsized through a reference";
+    requires_serialize(&s);
+}

@@ -239,9 +239,31 @@ pub(crate) fn distribute_with(
 /// Raw (unclamped) workload demand of `pa` at performance level `u`.
 fn raw_demand(problem: &PlacementProblem<'_>, pa: &PlacedApp<'_>, u: f64) -> f64 {
     match (pa.model, &pa.placed_snapshot) {
-        (_, Some(snap)) => snap.demand_for(problem.now, Rp::new(u)).as_mhz(),
+        (_, Some(snap)) => batch_demand(problem, snap, u),
         (WorkloadModel::Transactional(m), None) => m.demand(Rp::new(u)).as_mhz(),
-        (WorkloadModel::Batch(snap), None) => snap.demand_for(problem.now, Rp::new(u)).as_mhz(),
+        (WorkloadModel::Batch(snap), None) => batch_demand(problem, snap, u),
+    }
+}
+
+/// A batch job's water-filling demand at level `u`.
+///
+/// A job whose *best achievable* performance already sits at the RP floor
+/// (its deadline is hopelessly blown) can never rise, whatever it
+/// receives — `demand_for` would answer "run flat out" at every level,
+/// which lets a dead job outbid healthy applications in the water-filling
+/// and starve them. Such a job is saturated at its maximum achievable
+/// performance (point 2 of the module doc): it contributes nothing here
+/// and is served best-effort from leftover capacity by [`residual_fill`],
+/// exactly like a transactional application stuck at the floor.
+fn batch_demand(
+    problem: &PlacementProblem<'_>,
+    snap: &dynaplace_batch::hypothetical::JobSnapshot,
+    u: f64,
+) -> f64 {
+    if snap.u_max(problem.now) == Rp::MIN {
+        0.0
+    } else {
+        snap.demand_for(problem.now, Rp::new(u)).as_mhz()
     }
 }
 

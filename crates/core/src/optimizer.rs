@@ -734,9 +734,31 @@ pub(crate) fn optimize_scoped(
                 } else {
                     config.disruption_threshold
                 };
-                if objective_cmp(config, &score.satisfaction, &best.satisfaction, threshold)
-                    != std::cmp::Ordering::Greater
-                {
+                let ordering =
+                    objective_cmp(config, &score.satisfaction, &best.satisfaction, threshold);
+                // A job whose deadline is hopelessly blown sits at the RP
+                // floor whether it runs or not — its whole hypothetical
+                // column is flat at the clamp, so the objective is
+                // indifferent between starting it and leaving it queued,
+                // and greedy improvement alone would starve it forever.
+                // Among objective-equal candidates, adopt a pure-start one
+                // that places such a floor-stuck, unplaced application:
+                // starting is non-disruptive, and running it is the only
+                // way it ever leaves the system.
+                let rescues_starving = ordering == std::cmp::Ordering::Equal
+                    && disruptions == 0
+                    && diff.iter().any(|a| match a {
+                        PlacementAction::Start { app, .. } => {
+                            !current.is_placed(*app)
+                                && best
+                                    .satisfaction
+                                    .entries()
+                                    .iter()
+                                    .any(|&(b, u)| b == *app && u == Rp::MIN)
+                        }
+                        _ => false,
+                    });
+                if ordering != std::cmp::Ordering::Greater && !rescues_starving {
                     if sink.wants(TraceLevel::Verbose) {
                         sink.record(&TraceEvent::CandidateRejected {
                             time: now,

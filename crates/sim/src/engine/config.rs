@@ -120,7 +120,22 @@ pub struct SimConfig {
     /// untraced build; with a path, every controller decision is buffered
     /// as a JSONL event stream and flushed there at end of run.
     pub trace: TraceConfig,
+    /// Starvation breaker (unbounded runs only): after this many
+    /// consecutive control cycles in which live jobs exist, nothing else
+    /// is pending, and the system state is provably identical to the
+    /// previous cycle, the run is declared starved — the surviving jobs
+    /// are recorded in [`RunMetrics::starvation`] and the simulation
+    /// terminates instead of cycling forever. A workload where every
+    /// placed job makes progress never trips this. `0` disables the
+    /// breaker (the pre-breaker behavior: such runs never return).
+    pub stall_limit: u32,
 }
+
+/// Default [`SimConfig::stall_limit`]: generous, because slow-moving
+/// controller state (e.g. the online demand profiler accumulating
+/// observations) may legitimately take many identical-looking cycles
+/// before a decision flips.
+pub const DEFAULT_STALL_LIMIT: u32 = 64;
 
 /// Relative estimation errors presented to the placement controller.
 ///
@@ -175,6 +190,7 @@ impl SimConfig {
             record_placements: false,
             actuation: ActuationConfig::default(),
             trace: TraceConfig::default(),
+            stall_limit: DEFAULT_STALL_LIMIT,
         }
     }
 

@@ -38,7 +38,7 @@ use dynaplace_txn::workload::ArrivalPattern;
 use crate::actuation::{ActuationConfig, ActuationState, OpAttempt, OpOutcome};
 use crate::costs::{VmCostModel, VmOperation};
 use crate::events::{EventKind, EventQueue};
-use crate::metrics::{CompletionRecord, CycleSample, RunMetrics};
+use crate::metrics::{CompletionRecord, CycleSample, RunMetrics, StarvationReport};
 
 /// A config-derived buffering trace sink paired with the path it is
 /// flushed to at end of run.
@@ -54,7 +54,7 @@ mod progress;
 mod reconcile;
 mod sample;
 
-pub use config::{EstimationNoise, NodeOutage, SchedulerKind, SimConfig};
+pub use config::{EstimationNoise, NodeOutage, SchedulerKind, SimConfig, DEFAULT_STALL_LIMIT};
 
 #[derive(Debug)]
 struct Job {
@@ -132,6 +132,14 @@ pub struct Simulation {
     /// Consecutive control cycles that started with unreconciled actions
     /// (drives the `fill_only` fallback).
     stalled_cycles: u32,
+    /// Fingerprint of the progress-relevant state at the end of the last
+    /// control cycle, for the starvation breaker. `None` whenever the
+    /// last cycle was disqualified (work pending, events queued, jobs
+    /// progressing).
+    stall_fingerprint: Option<u64>,
+    /// Consecutive control cycles whose fingerprint matched
+    /// `stall_fingerprint` (drives the starvation breaker).
+    no_progress_cycles: u32,
     now: SimTime,
     last_advance: SimTime,
     events: EventQueue,
@@ -181,6 +189,8 @@ impl Simulation {
             desired_load: LoadDistribution::new(),
             actuation: ActuationState::new(),
             stalled_cycles: 0,
+            stall_fingerprint: None,
+            no_progress_cycles: 0,
             now: SimTime::ZERO,
             last_advance: SimTime::ZERO,
             events: EventQueue::new(),
@@ -211,6 +221,32 @@ impl Simulation {
     pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
         self.trace = sink;
         self.trace_file = None;
+    }
+
+    /// The APC optimizer configuration, when this simulation runs the
+    /// APC scheduler; `None` under the FCFS/EDF baselines.
+    pub fn apc_config(&self) -> Option<&ApcConfig> {
+        match &self.config.scheduler {
+            SchedulerKind::Apc { config, .. } => Some(config),
+            _ => None,
+        }
+    }
+
+    /// Replaces the APC optimizer configuration after construction.
+    /// Differential harnesses use this to rerun one scenario under
+    /// varied scoring modes or thread counts without a scenario-file
+    /// switch for each knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulation runs a baseline scheduler — there is
+    /// no APC configuration to replace, and silently ignoring the call
+    /// would make a differential run compare a scheduler to itself.
+    pub fn set_apc_config(&mut self, apc: ApcConfig) {
+        match &mut self.config.scheduler {
+            SchedulerKind::Apc { config, .. } => *config = apc,
+            other => panic!("set_apc_config on a baseline scheduler ({other:?})"),
+        }
     }
 
     /// Submits a batch job described by `spec`; optionally pinned to a
@@ -473,11 +509,13 @@ impl Simulation {
                 EventKind::ControlCycle => {
                     self.on_cycle();
                     // Keep cycling while work remains (or a horizon will
-                    // cut us off).
+                    // cut us off) — unless the starvation breaker proves
+                    // the remaining work can never progress.
                     let pending_arrivals = self.jobs.values().any(|j| !j.arrived);
-                    if self.live_jobs > 0
+                    if (self.live_jobs > 0
                         || pending_arrivals
-                        || (self.config.horizon.is_some() && !self.txns.is_empty())
+                        || (self.config.horizon.is_some() && !self.txns.is_empty()))
+                        && !self.starvation_detected(pending_arrivals)
                     {
                         self.events
                             .push(self.now + self.config.cycle, EventKind::ControlCycle);
@@ -491,5 +529,111 @@ impl Simulation {
             }
         }
         self.metrics
+    }
+
+    /// The starvation breaker: proves that an unbounded run is in a
+    /// zero-progress livelock and should terminate with the survivors
+    /// recorded as starved, instead of scheduling control cycles forever.
+    ///
+    /// The canonical livelock: a job whose deadline is so hopelessly
+    /// blown that its relative performance sits at the floor whatever it
+    /// receives, on a cluster whose capacity a saturated transactional
+    /// application legitimately absorbs. The job may even be *placed* —
+    /// it just receives zero CPU forever, and "run until every job
+    /// completes" never returns.
+    ///
+    /// Called after a control cycle, before the next one is pushed — so
+    /// an empty event queue proves the simulation is waiting on nothing
+    /// but future control cycles (no completions, arrivals, failures,
+    /// recoveries, or actuation retries are coming). In that state the
+    /// progress-relevant world is fingerprinted and consecutive
+    /// identical cycles counted against [`SimConfig::stall_limit`]. Any
+    /// disqualifying condition (or horizon-bounded runs, which terminate
+    /// on their own and must stay bit-identical) resets the counter.
+    fn starvation_detected(&mut self, pending_arrivals: bool) -> bool {
+        let limit = self.config.stall_limit;
+        let armed = limit > 0
+            && self.config.horizon.is_none()
+            && self.live_jobs > 0
+            && !pending_arrivals
+            && self.events.is_empty();
+        if !armed {
+            self.stall_fingerprint = None;
+            self.no_progress_cycles = 0;
+            return false;
+        }
+        let fp = self.progress_fingerprint();
+        if self.stall_fingerprint == Some(fp) {
+            self.no_progress_cycles += 1;
+        } else {
+            self.stall_fingerprint = Some(fp);
+            self.no_progress_cycles = 0;
+        }
+        if self.no_progress_cycles < limit {
+            return false;
+        }
+        let apps: Vec<AppId> = self
+            .jobs
+            .iter()
+            .filter(|(_, job)| job.is_live())
+            .map(|(&app, _)| app)
+            .collect();
+        self.trace.record(&TraceEvent::StarvationBreak {
+            time: self.now.as_secs(),
+            cycles: u64::from(self.no_progress_cycles),
+            apps: apps.clone(),
+        });
+        self.metrics.starvation = Some(StarvationReport {
+            time: self.now,
+            apps,
+        });
+        true
+    }
+
+    /// FNV-1a fingerprint of everything a control cycle can change that
+    /// bears on job progress: both placements, per-job scheduling state
+    /// and consumed work, the actuation stall counter, and the failed
+    /// node set.
+    ///
+    /// Deliberately *excluded*: the transactional work profiler's
+    /// observation counters, which advance every cycle — including them
+    /// would make every fingerprint unique and the breaker would never
+    /// fire. That slow-moving controller state may legitimately flip a
+    /// decision after many outwardly identical cycles is exactly why
+    /// [`SimConfig::stall_limit`] is generous rather than 2.
+    fn progress_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.live_jobs as u64);
+        mix(u64::from(self.stalled_cycles));
+        // `Job::generation` is deliberately excluded: it is an
+        // event-invalidation counter that advances every cycle whether or
+        // not anything changed.
+        for (app, job) in &self.jobs {
+            mix(app.index() as u64);
+            mix(u64::from(job.arrived) | u64::from(job.is_running()) << 1);
+            mix(job.state.consumed().as_mcycles().to_bits());
+            mix(job.allocation.as_mhz().to_bits());
+            mix(match job.node {
+                Some(n) => n.index() as u64,
+                None => u64::MAX,
+            });
+            mix(job.transition_until.as_secs().to_bits());
+        }
+        for placement in [&self.placement, &self.desired] {
+            for (app, node, count) in placement.iter() {
+                mix(app.index() as u64);
+                mix(node.index() as u64);
+                mix(u64::from(count));
+            }
+        }
+        for node in &self.failed_nodes {
+            mix(node.index() as u64);
+        }
+        h
     }
 }

@@ -8,11 +8,23 @@ impl Simulation {
     /// Rebuilds the scheduler-visible cluster from the real one with every
     /// currently failed node's capacity zeroed.
     pub(super) fn rebuild_effective(&mut self) {
-        let mut rebuilt = Cluster::new();
+        // Keep the real cluster's rigid dimension registry: a default
+        // (memory-only) registry would make multi-dim node vectors
+        // inconsistent and be rejected at problem build time.
+        let mut rebuilt = Cluster::new().with_dims(self.cluster.dims().clone());
         for (id, spec) in self.cluster.iter() {
             if self.failed_nodes.contains(&id) {
+                // Zero every capacity but keep the node's rigid vector
+                // dimensionality: a memory-only stand-in would make the
+                // cluster dimensionally inconsistent under a multi-dim
+                // registry and be rejected at problem build time.
+                let zeroed = dynaplace_model::resources::Resources::new(vec![
+                    0.0;
+                    spec.rigid_capacity()
+                        .len()
+                ]);
                 rebuilt.add_node(
-                    dynaplace_model::node::NodeSpec::try_new(CpuSpeed::ZERO, Memory::ZERO)
+                    dynaplace_model::node::NodeSpec::try_with_resources(CpuSpeed::ZERO, zeroed)
                         .expect("valid node capacities")
                         .with_name(format!("{id} (failed)")),
                 );

@@ -39,6 +39,7 @@
 //!     record_placements: false,
 //!     actuation: dynaplace_sim::actuation::ActuationConfig::default(),
 //!     trace: dynaplace_trace::TraceConfig::default(),
+//!     stall_limit: dynaplace_sim::engine::DEFAULT_STALL_LIMIT,
 //! };
 //! let metrics = paper_example(ExampleScenario::S2, config).run();
 //! assert_eq!(metrics.completions.len(), 3);

@@ -139,6 +139,21 @@ pub struct PlacementRecord {
     pub placement: Placement,
 }
 
+/// The starvation breaker fired: live jobs existed but the system made
+/// provably zero progress for [`crate::engine::SimConfig::stall_limit`]
+/// consecutive control cycles with nothing else pending, so the run was
+/// terminated instead of cycling forever. The canonical trigger is a
+/// job whose deadline is so hopelessly blown that its relative
+/// performance sits at the floor whatever it receives, on a cluster
+/// whose capacity a transactional workload legitimately absorbs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StarvationReport {
+    /// When the stall was declared (end of the last identical cycle).
+    pub time: SimTime,
+    /// The live, unfinished jobs at that instant, in id order.
+    pub apps: Vec<AppId>,
+}
+
 /// Everything recorded over one simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -152,6 +167,9 @@ pub struct RunMetrics {
     pub actuation: ActuationCounters,
     /// Per-cycle placements; empty unless recording was enabled.
     pub placements: Vec<PlacementRecord>,
+    /// Set when the run ended because the starvation breaker fired
+    /// rather than because every job completed.
+    pub starvation: Option<StarvationReport>,
 }
 
 impl RunMetrics {
@@ -434,6 +452,33 @@ impl FromJson for PlacementRecord {
     }
 }
 
+impl ToJson for StarvationReport {
+    fn to_json(&self) -> Json {
+        let apps: Vec<Json> = self
+            .apps
+            .iter()
+            .map(|a| (a.index() as u64).to_json())
+            .collect();
+        obj([
+            ("time", self.time.as_secs().to_json()),
+            ("apps", Json::Arr(apps)),
+        ])
+    }
+}
+
+impl FromJson for StarvationReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let apps: Vec<u64> = v.field("apps")?;
+        Ok(StarvationReport {
+            time: SimTime::from_secs(v.field("time")?),
+            apps: apps
+                .into_iter()
+                .map(|a| Ok(AppId::new(decode_id(a, "app")?)))
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
 impl ToJson for RunMetrics {
     fn to_json(&self) -> Json {
         obj([
@@ -442,6 +487,7 @@ impl ToJson for RunMetrics {
             ("changes", self.changes.to_json()),
             ("actuation", self.actuation.to_json()),
             ("placements", self.placements.to_json()),
+            ("starvation", self.starvation.to_json()),
         ])
     }
 }
@@ -456,6 +502,8 @@ impl FromJson for RunMetrics {
             actuation: v.field_or("actuation")?,
             // Absent in artifacts written before placements existed.
             placements: v.field_or("placements")?,
+            // Absent in artifacts written before the starvation breaker.
+            starvation: v.field_or("starvation")?,
         })
     }
 }

@@ -328,7 +328,7 @@ pub fn experiment_three(
 mod tests {
     use super::*;
     use crate::costs::VmCostModel;
-    use crate::engine::SchedulerKind;
+    use crate::engine::{SchedulerKind, DEFAULT_STALL_LIMIT};
     use dynaplace_apc::optimizer::ApcConfig;
 
     fn tiny_apc_config() -> SimConfig {
@@ -349,6 +349,7 @@ mod tests {
             record_placements: false,
             actuation: Default::default(),
             trace: Default::default(),
+            stall_limit: DEFAULT_STALL_LIMIT,
         }
     }
 

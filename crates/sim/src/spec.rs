@@ -397,12 +397,42 @@ pub enum ScenarioError {
         /// The undeclared dimension name.
         name: String,
     },
+    /// A numeric field that must be strictly positive is zero or
+    /// negative: a zero control cycle would never advance time, a
+    /// zero-work job has no best execution time to derive a deadline
+    /// from, and a zero-task job silently degrades to an ordinary one.
+    NonPositiveNumber {
+        /// Dotted path of the offending field, e.g. `cycle_secs`.
+        field: String,
+        /// The non-positive value.
+        value: f64,
+    },
+    /// A capacity, demand, rate, or delay is negative. Negative node
+    /// capacities used to panic inside `build` instead of failing at
+    /// load time; negative backoffs and arrival instants would move
+    /// simulated time backwards.
+    NegativeNumber {
+        /// Dotted path of the offending field, e.g. `nodes[0].memory_mb`.
+        field: String,
+        /// The negative value.
+        value: f64,
+    },
+    /// The node groups sum to more nodes than the `u32` id space (and
+    /// the sharded cell partitioner) can index.
+    TooManyNodes {
+        /// The declared total node count.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScenarioError::NoNodes => write!(f, "scenario needs at least one node group"),
+            ScenarioError::NoNodes => write!(
+                f,
+                "scenario needs at least one node (a non-empty nodes list with a positive \
+                 total count)"
+            ),
             ScenarioError::NodeFailureOutOfRange {
                 failure_index,
                 node,
@@ -438,6 +468,18 @@ impl std::fmt::Display for ScenarioError {
                 write!(
                     f,
                     "{field} names {name:?}, which the scenario's resources list does not declare"
+                )
+            }
+            ScenarioError::NonPositiveNumber { field, value } => {
+                write!(f, "{field} must be > 0, got {value}")
+            }
+            ScenarioError::NegativeNumber { field, value } => {
+                write!(f, "{field} must be >= 0, got {value}")
+            }
+            ScenarioError::TooManyNodes { nodes } => {
+                write!(
+                    f,
+                    "scenario declares {nodes} nodes, more than the u32 node-id space can index"
                 )
             }
         }
@@ -521,21 +563,29 @@ impl ScenarioSpec {
         self.nodes.iter().map(|g| g.count).sum()
     }
 
-    /// Checks the scenario's structural consistency: at least one node,
-    /// every scripted node failure inside the cluster, a convergent
-    /// actuation failure rate, parallel jobs only under APC, a known
-    /// trace level, and finite values everywhere a number feeds
-    /// simulated time (NaN arrivals or deadlines used to surface as
-    /// panics inside the baseline schedulers' sorts).
+    /// Checks the scenario's structural consistency: at least one node
+    /// (an all-`count: 0` fleet is as empty as no `nodes` list at all),
+    /// a node total the `u32` id space can index, every scripted node
+    /// failure inside the cluster, a convergent actuation failure rate,
+    /// parallel jobs only under APC, a known trace level, finite values
+    /// everywhere a number feeds simulated time (NaN arrivals or
+    /// deadlines used to surface as panics inside the baseline
+    /// schedulers' sorts), and sign constraints on every quantity with
+    /// one (negative node capacities used to panic inside `build`; a
+    /// zero `cycle_secs` would spin the control loop without advancing
+    /// time).
     ///
     /// # Errors
     ///
     /// Returns the first violation in field order.
     pub fn validate(&self) -> Result<(), ScenarioError> {
-        if self.nodes.is_empty() {
+        let nodes = self.node_count();
+        if nodes == 0 {
             return Err(ScenarioError::NoNodes);
         }
-        let nodes = self.node_count();
+        if nodes > u32::MAX as usize {
+            return Err(ScenarioError::TooManyNodes { nodes });
+        }
         for (failure_index, failure) in self.node_failures.iter().enumerate() {
             if failure.node as usize >= nodes {
                 return Err(ScenarioError::NodeFailureOutOfRange {
@@ -584,7 +634,8 @@ impl ScenarioSpec {
         }
         self.validate_names()?;
         self.validate_resources()?;
-        self.validate_finite()
+        self.validate_finite()?;
+        self.validate_signs()
     }
 
     /// Rejects repeated names: node groups among themselves, and jobs +
@@ -663,7 +714,14 @@ impl ScenarioSpec {
         if let Some(h) = self.horizon_secs {
             finite("horizon_secs".to_string(), h)?;
         }
+        if let Some(d) = self.deadline_secs {
+            // A NaN deadline used to panic inside Duration::from_secs_f64
+            // mid-build.
+            finite("deadline_secs".to_string(), d)?;
+        }
         for (i, group) in self.nodes.iter().enumerate() {
+            finite(format!("nodes[{i}].cpu_mhz"), group.cpu_mhz)?;
+            finite(format!("nodes[{i}].memory_mb"), group.memory_mb)?;
             for (name, &value) in &group.resources {
                 finite(format!("nodes[{i}].resources.{name}"), value)?;
             }
@@ -681,6 +739,7 @@ impl ScenarioSpec {
         for (i, group) in self.jobs.iter().enumerate() {
             finite(format!("jobs[{i}].work_mcycles"), group.work_mcycles)?;
             finite(format!("jobs[{i}].max_speed_mhz"), group.max_speed_mhz)?;
+            finite(format!("jobs[{i}].memory_mb"), group.memory_mb)?;
             match group.goal {
                 GoalSpec::Factor(f) => finite(format!("jobs[{i}].goal.factor"), f)?,
                 GoalSpec::RelativeSecs(s) => {
@@ -708,6 +767,8 @@ impl ScenarioSpec {
             }
         }
         for (i, txn) in self.txns.iter().enumerate() {
+            finite(format!("txns[{i}].demand_mcycles"), txn.demand_mcycles)?;
+            finite(format!("txns[{i}].memory_mb"), txn.memory_mb)?;
             finite(format!("txns[{i}].floor_secs"), txn.floor_secs)?;
             finite(format!("txns[{i}].goal_secs"), txn.goal_secs)?;
             match &txn.rate {
@@ -726,6 +787,140 @@ impl ScenarioSpec {
                 finite(format!("node_failures[{i}].duration_secs"), d)?;
             }
         }
+        let a = &self.actuation;
+        finite("actuation.latency_jitter".to_string(), a.latency_jitter)?;
+        if let Some(t) = a.timeout_secs {
+            finite("actuation.timeout_secs".to_string(), t)?;
+        }
+        if let Some(t) = a.fail_until_secs {
+            finite("actuation.fail_until_secs".to_string(), t)?;
+        }
+        finite(
+            "actuation.base_backoff_secs".to_string(),
+            a.base_backoff_secs,
+        )?;
+        finite("actuation.backoff_factor".to_string(), a.backoff_factor)?;
+        finite("actuation.max_backoff_secs".to_string(), a.max_backoff_secs)?;
+        finite("actuation.quarantine_secs".to_string(), a.quarantine_secs)?;
+        Ok(())
+    }
+
+    /// The sign half of [`ScenarioSpec::validate`]: strictly positive
+    /// where zero is meaningless (`cycle_secs`, per-job work and speed,
+    /// per-request demand, response-time goals, task and instance
+    /// counts), non-negative everywhere else a negative value would
+    /// either panic mid-build (node capacities) or move simulated time
+    /// backwards (arrival instants, backoffs, outage offsets).
+    fn validate_signs(&self) -> Result<(), ScenarioError> {
+        fn positive(field: String, value: f64) -> Result<(), ScenarioError> {
+            if value > 0.0 {
+                Ok(())
+            } else {
+                Err(ScenarioError::NonPositiveNumber { field, value })
+            }
+        }
+        fn non_negative(field: String, value: f64) -> Result<(), ScenarioError> {
+            if value >= 0.0 {
+                Ok(())
+            } else {
+                Err(ScenarioError::NegativeNumber { field, value })
+            }
+        }
+        positive("cycle_secs".to_string(), self.cycle_secs)?;
+        if let Some(h) = self.horizon_secs {
+            non_negative("horizon_secs".to_string(), h)?;
+        }
+        if let Some(d) = self.deadline_secs {
+            positive("deadline_secs".to_string(), d)?;
+        }
+        for (i, group) in self.nodes.iter().enumerate() {
+            non_negative(format!("nodes[{i}].cpu_mhz"), group.cpu_mhz)?;
+            non_negative(format!("nodes[{i}].memory_mb"), group.memory_mb)?;
+            for (name, &value) in &group.resources {
+                non_negative(format!("nodes[{i}].resources.{name}"), value)?;
+            }
+        }
+        for (i, group) in self.jobs.iter().enumerate() {
+            if group.tasks == 0 {
+                return Err(ScenarioError::NonPositiveNumber {
+                    field: format!("jobs[{i}].tasks"),
+                    value: 0.0,
+                });
+            }
+            positive(format!("jobs[{i}].work_mcycles"), group.work_mcycles)?;
+            positive(format!("jobs[{i}].max_speed_mhz"), group.max_speed_mhz)?;
+            non_negative(format!("jobs[{i}].memory_mb"), group.memory_mb)?;
+            if let GoalSpec::Factor(factor) = group.goal {
+                positive(format!("jobs[{i}].goal.factor"), factor)?;
+            }
+            match &group.arrivals {
+                ArrivalSpec::Exponential { mean_secs } => {
+                    positive(
+                        format!("jobs[{i}].arrivals.exponential.mean_secs"),
+                        *mean_secs,
+                    )?;
+                }
+                ArrivalSpec::Periodic { every_secs } => {
+                    non_negative(
+                        format!("jobs[{i}].arrivals.periodic.every_secs"),
+                        *every_secs,
+                    )?;
+                }
+                ArrivalSpec::At(times) => {
+                    for (j, &t) in times.iter().enumerate() {
+                        non_negative(format!("jobs[{i}].arrivals.at[{j}]"), t)?;
+                    }
+                }
+            }
+            for (name, &value) in &group.resources {
+                non_negative(format!("jobs[{i}].resources.{name}"), value)?;
+            }
+        }
+        for (i, txn) in self.txns.iter().enumerate() {
+            if txn.max_instances == 0 {
+                return Err(ScenarioError::NonPositiveNumber {
+                    field: format!("txns[{i}].max_instances"),
+                    value: 0.0,
+                });
+            }
+            positive(format!("txns[{i}].demand_mcycles"), txn.demand_mcycles)?;
+            non_negative(format!("txns[{i}].floor_secs"), txn.floor_secs)?;
+            positive(format!("txns[{i}].goal_secs"), txn.goal_secs)?;
+            non_negative(format!("txns[{i}].memory_mb"), txn.memory_mb)?;
+            match &txn.rate {
+                RateSpec::Constant(rate) => non_negative(format!("txns[{i}].rate"), *rate)?,
+                RateSpec::Steps(steps) => {
+                    for (j, &(start, rate)) in steps.iter().enumerate() {
+                        non_negative(format!("txns[{i}].rate[{j}].start_secs"), start)?;
+                        non_negative(format!("txns[{i}].rate[{j}].rate"), rate)?;
+                    }
+                }
+            }
+            for (name, &value) in &txn.resources {
+                non_negative(format!("txns[{i}].resources.{name}"), value)?;
+            }
+        }
+        for (i, failure) in self.node_failures.iter().enumerate() {
+            non_negative(format!("node_failures[{i}].at_secs"), failure.at_secs)?;
+            if let Some(d) = failure.duration_secs {
+                non_negative(format!("node_failures[{i}].duration_secs"), d)?;
+            }
+        }
+        let a = &self.actuation;
+        non_negative("actuation.latency_jitter".to_string(), a.latency_jitter)?;
+        if let Some(t) = a.timeout_secs {
+            positive("actuation.timeout_secs".to_string(), t)?;
+        }
+        if let Some(t) = a.fail_until_secs {
+            non_negative("actuation.fail_until_secs".to_string(), t)?;
+        }
+        non_negative(
+            "actuation.base_backoff_secs".to_string(),
+            a.base_backoff_secs,
+        )?;
+        non_negative("actuation.backoff_factor".to_string(), a.backoff_factor)?;
+        non_negative("actuation.max_backoff_secs".to_string(), a.max_backoff_secs)?;
+        non_negative("actuation.quarantine_secs".to_string(), a.quarantine_secs)?;
         Ok(())
     }
 
@@ -1741,6 +1936,174 @@ mod tests {
         assert_eq!(back.resources, spec.resources);
         assert_eq!(back.nodes[0].resources, spec.nodes[0].resources);
         assert_eq!(back.txns[0].resources, spec.txns[0].resources);
+    }
+
+    #[test]
+    fn zero_node_fleet_is_rejected_like_an_empty_one() {
+        // `nodes: [{count: 0, ...}]` parses fine but builds an empty
+        // cluster; it must fail exactly like a missing nodes list.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.nodes[0].count = 0;
+        assert_eq!(spec.validate(), Err(ScenarioError::NoNodes));
+        spec.nodes.clear();
+        assert_eq!(spec.validate(), Err(ScenarioError::NoNodes));
+    }
+
+    #[test]
+    fn node_total_beyond_u32_id_space_is_rejected() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.nodes[0].count = u32::MAX as usize;
+        spec.nodes.push(NodeGroupSpec {
+            count: 2,
+            name: None,
+            cpu_mhz: 1_000.0,
+            memory_mb: 1_000.0,
+            resources: BTreeMap::new(),
+        });
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::TooManyNodes {
+                nodes: u32::MAX as usize + 2,
+            })
+        );
+    }
+
+    #[test]
+    fn zero_cycle_secs_is_rejected() {
+        // A zero control cycle would re-arm forever without advancing
+        // simulated time.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.cycle_secs = 0.0;
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonPositiveNumber { ref field, .. }) if field == "cycle_secs"
+        ));
+    }
+
+    #[test]
+    fn negative_node_capacity_is_a_typed_error_not_a_build_panic() {
+        // Negative capacities used to reach NodeSpec::try_with_resources
+        // and panic via its expect() inside build().
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.nodes[0].memory_mb = -1.0;
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NegativeNumber { ref field, value })
+                if field == "nodes[0].memory_mb" && value == -1.0
+        ));
+        assert!(spec.build_checked().is_err());
+    }
+
+    #[test]
+    fn empty_registry_with_resource_blocks_is_rejected() {
+        // With no top-level `resources` list, any per-group block is
+        // necessarily undeclared: the demand would silently bind to
+        // nothing.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        assert!(spec.resources.is_empty());
+        spec.nodes[0]
+            .resources
+            .insert("gpu_ram_mb".to_string(), 8_000.0);
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::UnknownResource {
+                field: "nodes[0].resources".to_string(),
+                name: "gpu_ram_mb".to_string(),
+            })
+        );
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_max_instances_are_rejected() {
+        // `tasks: 0` used to silently degrade to an ordinary job.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.jobs[0].tasks = 0;
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonPositiveNumber { ref field, .. }) if field == "jobs[0].tasks"
+        ));
+
+        // A txn capped at zero instances can never be placed at all.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.txns = vec![TxnSpec {
+            name: None,
+            rate: RateSpec::Constant(5.0),
+            demand_mcycles: 10.0,
+            floor_secs: 0.005,
+            goal_secs: 0.05,
+            memory_mb: 500.0,
+            max_instances: 0,
+            resources: BTreeMap::new(),
+        }];
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonPositiveNumber { ref field, .. })
+                if field == "txns[0].max_instances"
+        ));
+    }
+
+    #[test]
+    fn degenerate_arrival_processes_are_rejected() {
+        // A non-positive exponential mean draws negative inter-arrival
+        // gaps: simulated time would run backwards.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.jobs[0].arrivals = ArrivalSpec::Exponential { mean_secs: 0.0 };
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonPositiveNumber { ref field, .. })
+                if field == "jobs[0].arrivals.exponential.mean_secs"
+        ));
+        spec.jobs[0].arrivals = ArrivalSpec::At(vec![10.0, -5.0]);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NegativeNumber { ref field, .. })
+                if field == "jobs[0].arrivals.at[1]"
+        ));
+        // An all-at-once burst (zero periodic spacing) stays legal.
+        spec.jobs[0].arrivals = ArrivalSpec::Periodic { every_secs: 0.0 };
+        assert_eq!(spec.validate(), Ok(()));
+    }
+
+    #[test]
+    fn degenerate_optimizer_deadline_is_rejected() {
+        // Duration::from_secs_f64 panics on negatives and NaN; both now
+        // fail at load time instead.
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.deadline_secs = Some(-0.5);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonPositiveNumber { ref field, .. }) if field == "deadline_secs"
+        ));
+        spec.deadline_secs = Some(f64::NAN);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonFiniteNumber { ref field, .. }) if field == "deadline_secs"
+        ));
+    }
+
+    #[test]
+    fn degenerate_actuation_timings_are_rejected() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.actuation.base_backoff_secs = -1.0;
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NegativeNumber { ref field, .. })
+                if field == "actuation.base_backoff_secs"
+        ));
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.actuation.timeout_secs = Some(0.0);
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonPositiveNumber { ref field, .. })
+                if field == "actuation.timeout_secs"
+        ));
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.actuation.quarantine_secs = f64::INFINITY;
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::NonFiniteNumber { ref field, .. })
+                if field == "actuation.quarantine_secs"
+        ));
     }
 
     #[test]

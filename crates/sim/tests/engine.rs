@@ -9,7 +9,7 @@ use dynaplace_model::node::NodeSpec;
 use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
 use dynaplace_rpf::goal::CompletionGoal;
 use dynaplace_sim::costs::VmCostModel;
-use dynaplace_sim::engine::{SchedulerKind, SimConfig, Simulation};
+use dynaplace_sim::engine::{SchedulerKind, SimConfig, Simulation, DEFAULT_STALL_LIMIT};
 use dynaplace_sim::scenario::{experiment_one, experiment_two, paper_example, ExampleScenario};
 
 fn mhz(x: f64) -> CpuSpeed {
@@ -46,6 +46,7 @@ fn config(kind: SchedulerKind) -> SimConfig {
         record_placements: false,
         actuation: Default::default(),
         trace: Default::default(),
+        stall_limit: DEFAULT_STALL_LIMIT,
     }
 }
 
@@ -242,6 +243,7 @@ fn example_s2_starts_j2_earlier_than_s1_under_narrative_config() {
         record_placements: false,
         actuation: Default::default(),
         trace: Default::default(),
+        stall_limit: DEFAULT_STALL_LIMIT,
     };
     let s1 = paper_example(ExampleScenario::S1, narrative()).run();
     let s2 = paper_example(ExampleScenario::S2, narrative()).run();

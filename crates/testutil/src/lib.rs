@@ -12,6 +12,10 @@
 //! - [`fixtures`]: the randomized placement-problem generator used by
 //!   the property and differential suites, so "a random cluster" means
 //!   the same distribution everywhere.
+//! - [`gen`] and [`oracle`]: the scenario fuzzing facility — a
+//!   generator of random valid [`dynaplace_sim::spec::ScenarioSpec`]s
+//!   with a structural shrinker, and whole-run invariant/differential
+//!   oracles over full simulations (DESIGN.md §14).
 //!
 //! This crate is a dev-dependency only; it never ships in the library.
 
@@ -25,6 +29,8 @@ use dynaplace_model::placement::Placement;
 use dynaplace_model::units::CpuSpeed;
 
 pub mod fixtures;
+pub mod gen;
+pub mod oracle;
 
 /// Numeric slack for capacity comparisons, matching the feasibility
 /// epsilon the load distributor itself works to.

@@ -500,6 +500,18 @@ pub enum TraceEvent {
         /// Total capacity across the cluster.
         capacity: f64,
     },
+    /// The engine's starvation breaker fired: live jobs existed but the
+    /// system made provably zero progress for the configured number of
+    /// consecutive control cycles with nothing else pending, so the run
+    /// was terminated and the survivors recorded as starved.
+    StarvationBreak {
+        /// Sim time the stall was declared.
+        time: f64,
+        /// Consecutive provably-identical cycles observed.
+        cycles: u64,
+        /// The live, unfinished applications, in id order.
+        apps: Vec<AppId>,
+    },
 }
 
 impl TraceEvent {
@@ -536,6 +548,7 @@ impl TraceEvent {
             TraceEvent::CellEscalated { .. } => "cell_escalated",
             TraceEvent::RebalanceMove { .. } => "rebalance_move",
             TraceEvent::RigidUtilization { .. } => "rigid_utilization",
+            TraceEvent::StarvationBreak { .. } => "starvation_break",
         }
     }
 
@@ -798,6 +811,19 @@ impl TraceEvent {
                 ("used", Json::Num(used)),
                 ("capacity", Json::Num(capacity)),
             ]),
+            TraceEvent::StarvationBreak {
+                time,
+                cycles,
+                ref apps,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycles", Json::Num(cycles as f64)),
+                (
+                    "apps",
+                    Json::Arr(apps.iter().map(|a| Json::Num(a.index() as f64)).collect()),
+                ),
+            ]),
         }
     }
 
@@ -990,6 +1016,25 @@ impl TraceEvent {
                 dim: text(v, "dim")?.to_string(),
                 used: num(v, "used")?,
                 capacity: num(v, "capacity")?,
+            },
+            "starvation_break" => TraceEvent::StarvationBreak {
+                time,
+                cycles: uint(v, "cycles")?,
+                apps: match v.get("apps") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|item| {
+                            let n = item.as_f64().ok_or_else(|| missing("apps"))?;
+                            if n < 0.0 || n.fract() != 0.0 {
+                                return Err(missing("apps"));
+                            }
+                            u32::try_from(n as u64)
+                                .map(AppId::new)
+                                .map_err(|_| missing("apps"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    _ => return Err(missing("apps")),
+                },
             },
             other => {
                 return Err(JsonError {
@@ -1218,6 +1263,15 @@ impl TraceEvent {
                     0.0
                 };
                 format!("  rigid {dim}: {used:.1} of {capacity:.1} pinned ({pct:.1}%)")
+            }
+            TraceEvent::StarvationBreak {
+                cycles, ref apps, ..
+            } => {
+                let ids: Vec<String> = apps.iter().map(|a| format!("app{}", a.index())).collect();
+                format!(
+                    "STARVATION BREAK after {cycles} identical cycles; starved: {}",
+                    ids.join(", ")
+                )
             }
         }
     }
@@ -1604,6 +1658,11 @@ mod tests {
                 dim: "disk_mb".to_string(),
                 used: 1_024.0,
                 capacity: 4_096.0,
+            },
+            TraceEvent::StarvationBreak {
+                time: 4_200.0,
+                cycles: 64,
+                apps: vec![AppId::new(1), AppId::new(2)],
             },
         ];
         for ev in events {

@@ -29,6 +29,7 @@ fn main() {
             record_placements: false,
             actuation: Default::default(),
             trace: Default::default(),
+            stall_limit: dynaplace::sim::engine::DEFAULT_STALL_LIMIT,
         };
         let metrics = paper_example(scenario, config).run();
         println!("=== Scenario {scenario:?} ===");

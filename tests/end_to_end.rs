@@ -6,7 +6,7 @@
 use dynaplace::apc::optimizer::ApcConfig;
 use dynaplace::model::units::SimDuration;
 use dynaplace::sim::costs::VmCostModel;
-use dynaplace::sim::engine::{SchedulerKind, SimConfig};
+use dynaplace::sim::engine::{SchedulerKind, SimConfig, DEFAULT_STALL_LIMIT};
 use dynaplace::sim::scenario::{
     experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
 };
@@ -174,6 +174,7 @@ fn paper_example_scenarios() {
         record_placements: false,
         actuation: Default::default(),
         trace: Default::default(),
+        stall_limit: DEFAULT_STALL_LIMIT,
     };
     let s1 = paper_example(ExampleScenario::S1, config()).run();
     let s2 = paper_example(ExampleScenario::S2, config()).run();

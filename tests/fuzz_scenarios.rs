@@ -1,0 +1,444 @@
+//! Scenario fuzzing: random valid `ScenarioSpec`s driven through full
+//! simulations under three oracle families (DESIGN.md §14):
+//!
+//! - **Invariant**: whole-run properties re-derived from the spec alone
+//!   (capacity, instance bounds, completion accounting, starvation,
+//!   convergence) on the widest generator profile.
+//! - **Differential**: run pairs whose contracts promise bit-equal
+//!   metrics — sharded(cell ≥ cluster) vs. classic, cached vs. oracle
+//!   scoring, parallel vs. serial, traced vs. noop, JSON-round-tripped
+//!   vs. original — compared field-by-field via `to_bits`.
+//! - **Metamorphic**: transformations that must not change decisions
+//!   (adding a slack rigid dimension) or outcomes (permuting app
+//!   declaration order under a deterministic profile).
+//!
+//! Failures shrink structurally and persist a minimized ready-to-bless
+//! JSON spec (see `tests/repro/README.md`). The per-property case
+//! counts below total 80+ generated scenarios in the tier-1 fast path;
+//! `PROPTEST_CASES=1024` turns the same file into the CI stress sweep.
+
+#![deny(deprecated)]
+
+use std::sync::Arc;
+
+use dynaplace::apc::optimizer::ScoringMode;
+use dynaplace::model::placement::Placement;
+use dynaplace::sim::metrics::RunMetrics;
+use dynaplace::sim::spec::{ScenarioSpec, ShardingSpec};
+use dynaplace::trace::{JsonlSink, TraceLevel, TraceSink};
+use dynaplace_testutil::gen::{self, GenProfile};
+use dynaplace_testutil::oracle::{self, DiffOptions};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Differential oracle body: run the spec twice (baseline and variant)
+/// and demand bit-equality.
+fn assert_equivalent(
+    property: &str,
+    spec: &ScenarioSpec,
+    opts: DiffOptions,
+    variant: impl Fn(&ScenarioSpec) -> RunMetrics + std::panic::RefUnwindSafe,
+) -> TestCaseResult {
+    gen::check_scenario(property, spec, |s| {
+        let base = oracle::run_spec(s);
+        let other = variant(s);
+        match oracle::first_divergence(&base, &other, opts) {
+            None => Ok(()),
+            Some(msg) => Err(msg),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant family, widest profile: every generated spec passes
+    /// `validate()` by construction, builds, runs to completion, and
+    /// satisfies every whole-run invariant its contract implies.
+    #[test]
+    fn generated_scenarios_pass_whole_run_invariants(
+        spec in gen::scenarios(GenProfile::full()),
+    ) {
+        prop_assert_eq!(spec.validate(), Ok(()), "generator emitted an invalid spec");
+        gen::check_scenario("whole_run_invariants", &spec, |s| {
+            oracle::check_run_message(s, &oracle::run_spec(s))
+        })?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharded placement with one cell covering the whole cluster is
+    /// bit-equal to classic placement.
+    #[test]
+    fn sharded_single_cell_equals_classic(spec in gen::scenarios(GenProfile::quick())) {
+        let nodes = spec.node_count();
+        assert_equivalent("sharded_vs_classic", &spec, DiffOptions::default(), |s| {
+            let mut sharded = s.clone();
+            sharded.sharding = Some(ShardingSpec::new(nodes));
+            oracle::run_spec(&sharded)
+        })?;
+    }
+
+    /// Incremental (cached) scoring is bit-equal to from-scratch
+    /// (oracle) scoring over whole runs.
+    #[test]
+    fn cached_scoring_equals_oracle_scoring(spec in gen::scenarios(GenProfile::quick())) {
+        assert_equivalent("cached_vs_oracle_scoring", &spec, DiffOptions::default(), |s| {
+            oracle::run_spec_with(s, |sim| {
+                let mut cfg = sim.apc_config().expect("quick profile is APC-only").clone();
+                cfg.scoring = ScoringMode::FromScratch;
+                sim.set_apc_config(cfg);
+            })
+        })?;
+    }
+
+    /// Multi-threaded placement is bit-equal to serial placement.
+    #[test]
+    fn parallel_placement_equals_serial(spec in gen::scenarios(GenProfile::quick())) {
+        assert_equivalent("parallel_vs_serial", &spec, DiffOptions::default(), |s| {
+            oracle::run_spec_with(s, |sim| {
+                let mut cfg = sim.apc_config().expect("quick profile is APC-only").clone();
+                cfg.threads = 4;
+                sim.set_apc_config(cfg);
+            })
+        })?;
+    }
+
+    /// A verbose trace sink observes without perturbing: traced runs
+    /// are bit-equal to untraced ones.
+    #[test]
+    fn traced_run_equals_noop(spec in gen::scenarios(GenProfile::quick())) {
+        assert_equivalent("traced_vs_noop", &spec, DiffOptions::default(), |s| {
+            oracle::run_spec_with(s, |sim| {
+                let sink = Arc::new(JsonlSink::new(TraceLevel::Verbose));
+                sim.set_trace_sink(sink as Arc<dyn TraceSink>);
+            })
+        })?;
+    }
+
+    /// A spec that survives a JSON round trip (including non-ASCII and
+    /// astral-plane names, the PR 5 surrogate-pair regression) runs
+    /// bit-identically to the original.
+    #[test]
+    fn json_round_trip_preserves_runs(spec in gen::scenarios(GenProfile::full())) {
+        assert_equivalent("json_round_trip", &spec, DiffOptions::default(), |s| {
+            let text = s.to_json_string();
+            let back = ScenarioSpec::from_json_str(&text)
+                .unwrap_or_else(|e| panic!("round trip failed to parse: {e}"));
+            assert_eq!(back.validate(), Ok(()), "round trip broke validity");
+            oracle::run_spec(&back)
+        })?;
+    }
+
+    /// Metamorphic: declaring an extra rigid dimension nothing demands
+    /// never changes any decision (only the utilization samples gain an
+    /// all-zero entry).
+    #[test]
+    fn slack_rigid_dimension_never_changes_decisions(
+        // `quick` rather than `deterministic`: the relation is bitwise
+        // (same seed, same decisions), so multi-node fleets, failures,
+        // and stochastic arrivals all strengthen it rather than
+        // confound it. APC-only, since only APC accepts extra dims.
+        spec in gen::scenarios(GenProfile::quick()),
+    ) {
+        let opts = DiffOptions { ignore_rigid_utilization: true };
+        assert_equivalent("slack_dim_metamorphic", &spec, opts, |s| {
+            let mut widened = s.clone();
+            widened.resources.push("slack_probe".to_string());
+            for group in &mut widened.nodes {
+                group.resources.insert("slack_probe".to_string(), 1e9);
+            }
+            assert_eq!(widened.validate(), Ok(()), "widened spec must stay valid");
+            oracle::run_spec(&widened)
+        })?;
+    }
+
+    /// Metamorphic: under a deterministic profile (no RNG-consuming
+    /// arrivals, no chaos), permuting the declaration order of job
+    /// groups and txns relabels app ids but never changes outcomes —
+    /// the multiset of completion records matches to numeric tolerance
+    /// (permutation reorders float accumulation inside the allocator,
+    /// so bit-equality is promised only by the differential family) and
+    /// the change counters are identical.
+    #[test]
+    fn app_declaration_order_never_changes_outcomes(
+        spec in gen::scenarios(GenProfile::deterministic()),
+    ) {
+        gen::check_scenario("app_order_metamorphic", &spec, |s| {
+            let base = oracle::run_spec(s);
+            let mut reordered = s.clone();
+            reordered.jobs.reverse();
+            reordered.txns.reverse();
+            let other = oracle::run_spec(&reordered);
+            compare_completion_multisets(&base, &other)?;
+            let met = |m: &RunMetrics| m.completions.iter().filter(|c| c.met_deadline).count();
+            if met(&base) != met(&other) {
+                return Err(format!(
+                    "deadline hits changed under declaration reorder: {} vs {}",
+                    met(&base),
+                    met(&other)
+                ));
+            }
+            if base.changes != other.changes {
+                return Err(format!(
+                    "change counters changed under declaration reorder: {:?} vs {:?}",
+                    base.changes, other.changes
+                ));
+            }
+            Ok(())
+        })?;
+    }
+}
+
+/// `a` and `b` agree to relative numeric tolerance. The bound is loose
+/// (1e-3) on purpose: the optimizer's greedy passes visit apps in id
+/// order, so relabeling perturbs allocation splits at the ~1e-5 level
+/// even when every decision is identical. Structural outcomes
+/// (counts, deadline hits, change counters) are compared exactly.
+fn close(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a - b).abs() <= 1e-3 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// App-id-free completion fingerprint: every float field of every
+/// completion record, sorted so relabeled runs align.
+fn completion_multiset(m: &RunMetrics) -> Vec<[f64; 6]> {
+    let mut records: Vec<[f64; 6]> = m
+        .completions
+        .iter()
+        .map(|c| {
+            [
+                c.arrival.as_secs(),
+                c.completion.as_secs(),
+                c.deadline.as_secs(),
+                c.distance.as_secs(),
+                c.rp.value(),
+                c.goal_factor,
+            ]
+        })
+        .collect();
+    records.sort_unstable_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    records
+}
+
+/// Compares two runs' completion multisets field-by-field to relative
+/// tolerance. Arrival times are deterministic and must match exactly;
+/// the derived fields may carry permutation-induced accumulation noise.
+fn compare_completion_multisets(base: &RunMetrics, other: &RunMetrics) -> Result<(), String> {
+    let (a, b) = (completion_multiset(base), completion_multiset(other));
+    if a.len() != b.len() {
+        return Err(format!(
+            "completion count changed under declaration reorder: {} vs {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    const FIELDS: [&str; 6] = [
+        "arrival",
+        "completion",
+        "deadline",
+        "distance",
+        "rp",
+        "goal_factor",
+    ];
+    for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+        if ra[0].to_bits() != rb[0].to_bits() {
+            return Err(format!(
+                "completion {i}: arrival changed under declaration reorder: {} vs {}",
+                ra[0], rb[0]
+            ));
+        }
+        for f in 1..6 {
+            if !close(ra[f], rb[f]) {
+                return Err(format!(
+                    "completion {i}: {} changed under declaration reorder: {} vs {}",
+                    FIELDS[f], ra[f], rb[f]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Known-bug demonstrations: seeded mutations the harness must catch,
+// shrink, and persist (the acceptance gate for the whole facility).
+// ---------------------------------------------------------------------
+
+fn repro_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repro")
+}
+
+/// Seeds a "reconcile leak": every recorded placement also keeps the
+/// previous cycle's instances, as if suspend operations reported
+/// success without ever taking effect. This is the class of bug the
+/// actuation rollback in `reconcile.rs` exists to prevent.
+fn leak_previous_cycle(metrics: &mut RunMetrics) {
+    let mut prev: Option<Placement> = None;
+    for record in &mut metrics.placements {
+        let clean = record.placement.clone();
+        if let Some(ghost) = &prev {
+            for (app, node, count) in ghost.iter() {
+                for _ in 0..count {
+                    record.placement.place(app, node);
+                }
+            }
+        }
+        prev = Some(clean);
+    }
+}
+
+/// The harness catches the seeded reconcile leak, shrinks the failing
+/// spec to the checked-in minimized repro, and the report names the
+/// violated invariant.
+#[test]
+fn seeded_reconcile_leak_is_caught_and_shrunk() {
+    let leaky = |s: &ScenarioSpec| -> Result<(), String> {
+        let mut metrics = oracle::run_spec(s);
+        leak_previous_cycle(&mut metrics);
+        oracle::check_run_message(s, &metrics)
+    };
+    // Deterministic "random" spec: fixed seed sequence, first draw
+    // whose run overlaps placements across cycles (so the leak bites) —
+    // same spec forever for a given generator.
+    let spec = (0u64..64)
+        .map(|i| {
+            let mut rng = TestRng::from_seed(0x0D15_EA5E ^ i.wrapping_mul(0x9E37_79B9));
+            gen::gen_scenario(&mut rng, &GenProfile::full())
+        })
+        .find(|s| leaky(s).is_err())
+        .expect("one of 64 deterministic draws must expose the seeded leak");
+    let first = leaky(&spec).expect_err("the seeded leak must violate whole-run invariants");
+    assert!(
+        first.contains("over capacity") || first.contains("instances, max"),
+        "the leak must surface as a capacity or instance-bound violation, got:\n{first}"
+    );
+
+    let minimized = gen::shrink_spec(&spec, |s| leaky(s).is_err());
+    assert!(
+        leaky(&minimized).is_err(),
+        "shrinking must preserve the failure"
+    );
+    assert!(
+        minimized.to_json_string().len() <= spec.to_json_string().len(),
+        "shrinking must not grow the spec"
+    );
+
+    // The minimized spec is pinned under tests/repro/ — the shrinker is
+    // deterministic, so any drift means generator or shrinker changes
+    // that need a conscious re-bless (see tests/repro/README.md).
+    let pinned = repro_dir().join("reconcile_leak.json");
+    let mut rendered = minimized.to_json_string();
+    rendered.push('\n');
+    if std::env::var_os("UPDATE_REPRO").is_some() {
+        std::fs::write(&pinned, &rendered).expect("write pinned repro");
+    }
+    let expected = std::fs::read_to_string(&pinned).unwrap_or_else(|e| {
+        panic!(
+            "missing pinned repro {} ({e}); run with UPDATE_REPRO=1",
+            pinned.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "minimized reconcile-leak spec drifted from the pinned repro; \
+         rerun with UPDATE_REPRO=1 and review the diff"
+    );
+}
+
+/// The checked-in surrogate-pair repro (astral-plane app name written
+/// as a `😀` escape pair, the exact shape of the PR 5 parser
+/// bug) parses, validates, survives a round trip, and runs clean.
+#[test]
+fn surrogate_pair_repro_round_trips_and_runs() {
+    let path = repro_dir().join("surrogate_pair_name.json");
+    let text = std::fs::read_to_string(&path).expect("checked-in repro spec");
+    let spec = ScenarioSpec::from_json_str(&text).expect("surrogate-pair spec parses");
+    let name = spec.jobs[0].name.as_deref().expect("job keeps its name");
+    assert!(
+        name.contains('\u{1F600}'),
+        "surrogate pair must decode to the astral char, got {name:?}"
+    );
+    let back = ScenarioSpec::from_json_str(&spec.to_json_string()).expect("round trip parses");
+    assert_eq!(
+        back.jobs[0].name.as_deref(),
+        Some(name),
+        "round trip keeps the name"
+    );
+    assert_eq!(spec.validate(), Ok(()));
+    oracle::check_run_message(&spec, &oracle::run_spec(&spec)).expect("repro runs clean");
+}
+
+/// The checked-in starved-floor-job repro: a transient outage blows the
+/// jobs' deadlines so far past recovery that their relative performance
+/// is pinned at the floor whatever they receive, while the
+/// transactional application's saturation demand absorbs the whole node
+/// — so the placed jobs get zero CPU forever and an unbounded run would
+/// never terminate. The engine's starvation breaker must end the run
+/// with a report naming exactly the never-completing jobs (and a
+/// matching decision-trace event), which the whole-run oracle accepts
+/// as a legitimate terminal state.
+#[test]
+fn starved_floor_job_repro_terminates_with_report() {
+    let path = repro_dir().join("starved_floor_job.json");
+    let text = std::fs::read_to_string(&path).expect("checked-in repro spec");
+    let spec = ScenarioSpec::from_json_str(&text).expect("starved repro parses");
+    assert_eq!(spec.validate(), Ok(()));
+
+    let sink = Arc::new(JsonlSink::new(TraceLevel::Decisions));
+    let metrics = oracle::run_spec_with(&spec, |sim| {
+        sim.set_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    });
+
+    let report = metrics
+        .starvation
+        .as_ref()
+        .expect("the starvation breaker must fire on the pinned livelock spec");
+    assert!(!report.apps.is_empty(), "report must name the starved jobs");
+    let completed: std::collections::BTreeSet<_> =
+        metrics.completions.iter().map(|c| c.app.index()).collect();
+    for app in &report.apps {
+        assert!(
+            !completed.contains(&app.index()),
+            "starved app a{} also completed",
+            app.index()
+        );
+    }
+    assert!(
+        sink.to_jsonl().contains("\"ev\":\"starvation_break\""),
+        "the breaker must leave a decision-trace event"
+    );
+    oracle::check_run_message(&spec, &metrics).expect("starved run passes the invariant oracle");
+}
+
+/// Every spec under tests/repro/ is a permanent regression scenario:
+/// it parses, validates, and passes the whole-run invariant oracle.
+#[test]
+fn repro_corpus_passes_invariants() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir(repro_dir()).expect("tests/repro exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable repro spec");
+        let spec = ScenarioSpec::from_json_str(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{} does not validate: {e}", path.display()));
+        oracle::check_run_message(&spec, &oracle::run_spec(&spec))
+            .unwrap_or_else(|e| panic!("{} violates invariants:\n{e}", path.display()));
+        checked += 1;
+    }
+    assert!(
+        checked >= 2,
+        "expected at least two pinned repro specs, found {checked}"
+    );
+}

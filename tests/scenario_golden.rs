@@ -12,6 +12,12 @@
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test --test scenario_golden
 //! ```
+//!
+//! Every run is checked against the whole-run invariants in
+//! `dynaplace_testutil::oracle` before its rendering is compared — or
+//! blessed. A golden is only as good as the run it pins, so a run that
+//! violates the invariants can never be written back as the new
+//! expectation, even under `UPDATE_GOLDEN=1`.
 
 #![deny(deprecated)]
 
@@ -21,7 +27,7 @@ use std::path::PathBuf;
 use dynaplace::model::placement::Placement;
 use dynaplace::sim::metrics::RunMetrics;
 use dynaplace::sim::spec::ScenarioSpec;
-use dynaplace_testutil::render_placement_diff;
+use dynaplace_testutil::{oracle, render_placement_diff};
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -109,9 +115,52 @@ fn render(metrics: &RunMetrics) -> String {
 }
 
 /// Line-by-line comparison with a readable report: names the first
-/// diverging line and shows both versions with two lines of context.
+/// diverging line — and the cycle, app, and field it falls on — and
+/// shows both versions with two lines of context.
 fn assert_matches_golden(name: &str, actual: &str) {
     assert_matches_golden_file(&format!("{name}.txt"), name, actual);
+}
+
+/// Best-effort semantic location of the first diverging line: the cycle
+/// block it falls under (nearest preceding `t=...` header), the app a
+/// placement-diff line names (`aN@nM: x -> y`), and the first
+/// `key=value` token whose value changed between the two versions.
+fn locate_divergence(exp: &[&str], act: &[&str], first_diff: usize) -> String {
+    let mut parts = Vec::new();
+    if let Some(cycle) = exp
+        .iter()
+        .take(first_diff + 1)
+        .rev()
+        .find_map(|l| l.split_whitespace().next().filter(|t| t.starts_with("t=")))
+    {
+        parts.push(format!("cycle {cycle}"));
+    }
+    if let Some(line) = act.get(first_diff).or_else(|| exp.get(first_diff)) {
+        if let Some(tok) = line.split_whitespace().find(|t| {
+            t.starts_with('a') && t[1..].chars().next().is_some_and(|c| c.is_ascii_digit())
+        }) {
+            parts.push(format!("app {}", tok.trim_end_matches(':')));
+        }
+    }
+    if let (Some(e), Some(a)) = (exp.get(first_diff), act.get(first_diff)) {
+        if let Some(field) = e
+            .split_whitespace()
+            .zip(a.split_whitespace())
+            .find(|(x, y)| x != y)
+            .and_then(|(x, y)| {
+                let (xk, _) = x.split_once('=')?;
+                let (yk, _) = y.split_once('=')?;
+                (xk == yk).then(|| xk.to_string())
+            })
+        {
+            parts.push(format!("field {field}"));
+        }
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", parts.join(", "))
+    }
 }
 
 fn assert_matches_golden_file(filename: &str, name: &str, actual: &str) {
@@ -140,9 +189,10 @@ fn assert_matches_golden_file(filename: &str, name: &str, actual: &str) {
         .unwrap_or(exp.len().min(act.len()));
     let lo = first_diff.saturating_sub(2);
     let mut report = format!(
-        "{name} diverges from {} at line {} (expected {} lines, got {}):\n",
+        "{name} diverges from {} at line {}{} (expected {} lines, got {}):\n",
         path.display(),
         first_diff + 1,
+        locate_divergence(&exp, &act, first_diff),
         exp.len(),
         act.len()
     );
@@ -165,15 +215,60 @@ fn assert_matches_golden_file(filename: &str, name: &str, actual: &str) {
     panic!("{report}");
 }
 
-fn run_scenario(name: &str) -> RunMetrics {
+#[test]
+fn divergence_locator_names_cycle_app_and_field() {
+    let exp = vec![
+        "t=0s batch_rp=+0.5 running=1 waiting=0",
+        "  (no change)",
+        "t=10s batch_rp=+0.5 running=1 waiting=0",
+        "  a3@n1: 0 -> 1",
+    ];
+    let mut act = exp.clone();
+    act[2] = "t=10s batch_rp=+0.25 running=1 waiting=0";
+    assert_eq!(
+        locate_divergence(&exp, &act, 2),
+        " (cycle t=10s, field batch_rp)"
+    );
+    let mut act = exp.clone();
+    act[3] = "  a3@n1: 0 -> 2";
+    assert_eq!(
+        locate_divergence(&exp, &act, 3),
+        " (cycle t=10s, app a3@n1)"
+    );
+    // One side shorter than the other: the extra line still locates.
+    assert_eq!(
+        locate_divergence(&exp, &exp[..3], 3),
+        " (cycle t=10s, app a3@n1)"
+    );
+}
+
+fn load_scenario(name: &str) -> ScenarioSpec {
     let path = repo_root().join("scenarios").join(format!("{name}.json"));
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let spec = ScenarioSpec::from_json_str(&text)
-        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()));
+    ScenarioSpec::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()))
+}
+
+/// Checks the run against the fuzz oracle's whole-run invariants. Under
+/// `UPDATE_GOLDEN=1` this runs *before* any golden is written, so a
+/// broken run can never be blessed as the new expectation.
+fn check_invariants(name: &str, spec: &ScenarioSpec, metrics: &RunMetrics) {
+    if let Err(msg) = oracle::check_run_message(spec, metrics) {
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            panic!("refusing to bless {name}: the run violates invariants:\n{msg}");
+        }
+        panic!("{name}: the run violates invariants:\n{msg}");
+    }
+}
+
+fn run_scenario(name: &str) -> RunMetrics {
+    let spec = load_scenario(name);
     let mut sim = spec.build();
     sim.record_placements(true);
-    sim.run()
+    let metrics = sim.run();
+    check_invariants(name, &spec, &metrics);
+    metrics
 }
 
 #[test]
@@ -192,15 +287,13 @@ fn mixed_workload_trace_matches_golden() {
 
     use dynaplace::trace::{JsonlSink, TraceLevel, TraceSink};
 
-    let path = repo_root().join("scenarios/mixed_workload.json");
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let spec = ScenarioSpec::from_json_str(&text)
-        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()));
+    let spec = load_scenario("mixed_workload");
     let mut sim = spec.build();
+    sim.record_placements(true);
     let sink = Arc::new(JsonlSink::new(TraceLevel::Decisions));
     sim.set_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
-    sim.run();
+    let metrics = sim.run();
+    check_invariants("mixed_workload trace", &spec, &metrics);
     assert_matches_golden_file(
         "mixed_workload.trace.jsonl",
         "mixed_workload trace",
@@ -244,11 +337,7 @@ fn license_dimension_forces_a_spread_memory_would_not() {
 
     use dynaplace::model::ids::NodeId;
 
-    let path = repo_root().join("scenarios/multi_resource.json");
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let spec = ScenarioSpec::from_json_str(&text)
-        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()));
+    let spec = load_scenario("multi_resource");
     assert_eq!(
         spec.resources,
         ["disk_mb", "net_mbps", "license_slots"],
@@ -315,11 +404,7 @@ fn license_dimension_forces_a_spread_memory_would_not() {
 /// and keep the mean final relative performance within noise of it.
 #[test]
 fn sharded_cluster_satisfaction_no_worse_than_unsharded() {
-    let path = repo_root().join("scenarios/sharded_cluster.json");
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let spec = ScenarioSpec::from_json_str(&text)
-        .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", path.display()));
+    let spec = load_scenario("sharded_cluster");
     assert!(spec.sharding.is_some(), "scenario must ship sharded");
     let mut unsharded_spec = spec.clone();
     unsharded_spec.sharding = None;
