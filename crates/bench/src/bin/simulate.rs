@@ -1,5 +1,6 @@
 //! Run a declarative scenario:
-//! `simulate <scenario.json> [metrics-out.json] [--trace <trace.jsonl>] [--trace-level <level>]`.
+//! `simulate <scenario.json> [metrics-out.json] [--trace <trace.jsonl>] [--trace-level <level>]
+//! [--no-observation-faults]`.
 //!
 //! Reads a [`dynaplace_sim::spec::ScenarioSpec`], runs it, prints a
 //! summary, and (optionally) writes the full metrics as JSON. Sample
@@ -8,7 +9,9 @@
 //! `--trace` enables decision-provenance tracing to the given JSONL
 //! path, overriding the scenario's own `trace` block; `--trace-level`
 //! picks `decisions` (default) or `verbose`. Render the result with the
-//! `trace_dump` binary.
+//! `trace_dump` binary. `--no-observation-faults` strips the scenario's
+//! `observation` block so the same file can be replayed under perfect
+//! telemetry for an A/B comparison.
 
 use std::process::ExitCode;
 
@@ -16,15 +19,17 @@ use dynaplace_bench::ascii_table;
 use dynaplace_sim::spec::ScenarioSpec;
 
 const USAGE: &str = "usage: simulate <scenario.json> [metrics-out.json] [--trace <trace.jsonl>] \
-     [--trace-level decisions|verbose]";
+     [--trace-level decisions|verbose] [--no-observation-faults]";
 
 fn main() -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut trace_level: Option<String> = None;
+    let mut no_observation_faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--no-observation-faults" => no_observation_faults = true,
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(p),
                 None => {
@@ -66,6 +71,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if no_observation_faults {
+        spec.observation = None;
+    }
     if let Some(trace_path) = trace_path {
         spec.trace.path = Some(trace_path);
     }

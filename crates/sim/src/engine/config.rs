@@ -115,6 +115,12 @@ pub struct SimConfig {
     /// perfect layer: every operation succeeds with exactly the cost
     /// model's latency, bit-identical to a simulator without actuation.
     pub actuation: ActuationConfig,
+    /// The imperfect-telemetry observation layer (heartbeat loss,
+    /// report staleness, demand noise, node-health hysteresis, demand
+    /// estimation, staleness-budget degraded modes). The default models
+    /// perfect telemetry: the engine skips the layer entirely and runs
+    /// are bit-identical to a simulator without an observation layer.
+    pub observation: ObservationConfig,
     /// Decision-provenance tracing. With `path` unset (the default) the
     /// engine installs a no-op sink and the run is bit-identical to an
     /// untraced build; with a path, every controller decision is buffered
@@ -189,6 +195,7 @@ impl SimConfig {
             estimate_txn_demand: false,
             record_placements: false,
             actuation: ActuationConfig::default(),
+            observation: ObservationConfig::default(),
             trace: TraceConfig::default(),
             stall_limit: DEFAULT_STALL_LIMIT,
         }

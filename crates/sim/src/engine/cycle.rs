@@ -13,7 +13,10 @@ impl Simulation {
                 config,
                 advice_between_cycles,
             } => {
-                if advice_between_cycles {
+                // While the last observation cycle breached the staleness
+                // budget in Hold mode, between-cycle reactions hold too:
+                // the controller's picture is too old to act on anywhere.
+                if advice_between_cycles && !self.degraded_hold {
                     let sink = Arc::clone(&self.trace);
                     let outcome = {
                         let problem = self.build_problem();
@@ -43,6 +46,11 @@ impl Simulation {
         let mut compute_secs = 0.0;
         match self.config.scheduler.clone() {
             SchedulerKind::Apc { config, .. } => {
+                // Observation first: heartbeats, health transitions, and
+                // this cycle's report views — the placement pass below
+                // reads the world through them.
+                let degraded = self.observe_cycle(cycle);
+                self.degraded_hold = matches!(degraded, Some(DegradedMode::Hold));
                 // When several consecutive cycles started with desired ≠
                 // actual, a full re-optimization would pile yet more
                 // operations onto an actuation layer that is already
@@ -53,40 +61,52 @@ impl Simulation {
                 } else {
                     self.stalled_cycles = 0;
                 }
-                let fallback = self.config.actuation.fallback_after > 0
-                    && self.stalled_cycles >= self.config.actuation.fallback_after;
-                let sink = Arc::clone(&self.trace);
-                let started = Instant::now();
-                let outcome = {
-                    let problem = self.build_problem();
-                    if fallback {
-                        fill_only_traced(&problem, &config, &*sink)
-                    } else {
-                        place_traced(&problem, &config, &*sink)
+                if self.degraded_hold {
+                    // The observed snapshot is over the staleness budget:
+                    // hold all placement changes this cycle. Already-
+                    // desired state keeps reconciling via retry events.
+                    self.metrics.observation.stale_holds += 1;
+                } else {
+                    let degrade_fill = matches!(degraded, Some(DegradedMode::FillOnly));
+                    let stalled_fallback = self.config.actuation.fallback_after > 0
+                        && self.stalled_cycles >= self.config.actuation.fallback_after;
+                    let fallback = stalled_fallback || degrade_fill;
+                    let sink = Arc::clone(&self.trace);
+                    let started = Instant::now();
+                    let outcome = {
+                        let problem = self.build_problem();
+                        if fallback {
+                            fill_only_traced(&problem, &config, &*sink)
+                        } else {
+                            place_traced(&problem, &config, &*sink)
+                        }
+                    };
+                    compute_secs = started.elapsed().as_secs_f64();
+                    if traced {
+                        self.trace.record(&TraceEvent::PhaseSpan {
+                            time: self.now.as_secs(),
+                            cycle,
+                            phase: Phase::Optimize,
+                            wall_secs: compute_secs,
+                        });
                     }
-                };
-                compute_secs = started.elapsed().as_secs_f64();
-                if traced {
-                    self.trace.record(&TraceEvent::PhaseSpan {
-                        time: self.now.as_secs(),
-                        cycle,
-                        phase: Phase::Optimize,
-                        wall_secs: compute_secs,
-                    });
-                }
-                if fallback {
-                    self.metrics.actuation.fill_only_fallbacks += 1;
-                    self.stalled_cycles = 0;
-                }
-                let actuate_started = Instant::now();
-                self.apply_outcome(outcome);
-                if traced {
-                    self.trace.record(&TraceEvent::PhaseSpan {
-                        time: self.now.as_secs(),
-                        cycle,
-                        phase: Phase::Actuate,
-                        wall_secs: actuate_started.elapsed().as_secs_f64(),
-                    });
+                    if degrade_fill {
+                        self.metrics.observation.fill_only_degrades += 1;
+                    }
+                    if stalled_fallback {
+                        self.metrics.actuation.fill_only_fallbacks += 1;
+                        self.stalled_cycles = 0;
+                    }
+                    let actuate_started = Instant::now();
+                    self.apply_outcome(outcome);
+                    if traced {
+                        self.trace.record(&TraceEvent::PhaseSpan {
+                            time: self.now.as_secs(),
+                            cycle,
+                            phase: Phase::Actuate,
+                            wall_secs: actuate_started.elapsed().as_secs_f64(),
+                        });
+                    }
                 }
             }
             SchedulerKind::Fcfs | SchedulerKind::Edf => {
@@ -125,6 +145,17 @@ impl Simulation {
             } else {
                 self.config.cycle
             };
+            // The observation layer's view of this job: the live truth
+            // under perfect (or inactive) telemetry, else the stale
+            // consumed work and report-noise factor the controller
+            // actually received this cycle.
+            let (base_consumed, obs_factor) = match self.observation.job_view(app) {
+                JobView::Live => (job.state.consumed(), 1.0),
+                JobView::Snapshot {
+                    consumed_mcycles,
+                    factor,
+                } => (Work::from_mcycles(consumed_mcycles), factor),
+            };
             // The controller sees the (possibly misestimated) profile;
             // scaling consumed work by the same factor keeps the fraction
             // done consistent while the remaining work carries the error.
@@ -141,14 +172,18 @@ impl Simulation {
                     // only: factor = estimate / truth, floored so the
                     // presented job is never already "done".
                     let truth = job.profile.total_work().as_mcycles();
-                    let consumed = job.state.consumed().as_mcycles();
+                    let consumed = base_consumed.as_mcycles();
                     let est_total = est.mean_work().as_mcycles().max(consumed * 1.01 + 1.0);
                     factor = est_total / truth;
                     measured_consumed = true;
                 }
             }
+            // Telemetry noise applies on top of whatever estimator is in
+            // play (exactly 1.0 when the layer is off or quiet, keeping
+            // the product bit-identical).
+            factor *= obs_factor;
             let (profile, consumed) = if factor == 1.0 {
-                (Arc::clone(&job.profile), job.state.consumed())
+                (Arc::clone(&job.profile), base_consumed)
             } else {
                 let stages = job
                     .profile
@@ -164,9 +199,9 @@ impl Simulation {
                     })
                     .collect();
                 let consumed = if measured_consumed {
-                    job.state.consumed()
+                    base_consumed
                 } else {
-                    job.state.consumed() * factor
+                    base_consumed * factor
                 };
                 (
                     Arc::new(dynaplace_batch::job::JobProfile::new(stages)),
@@ -185,7 +220,15 @@ impl Simulation {
             if self.config.static_txn_nodes.is_some() {
                 continue; // statically partitioned: not managed
             }
-            let rate = txn.pattern.rate_at(self.now) * (1.0 + self.config.noise.txn_rate);
+            // The observation layer's view of this application's arrival
+            // rate: the live pattern under perfect (or inactive)
+            // telemetry, else the EWMA-smoothed, headroom-inflated
+            // estimate built from the delivered reports.
+            let observed_rate = match self.observation.txn_view(app) {
+                TxnView::Live => txn.pattern.rate_at(self.now),
+                TxnView::Estimate(estimate) => estimate,
+            };
+            let rate = observed_rate * (1.0 + self.config.noise.txn_rate);
             let demand = if self.config.estimate_txn_demand {
                 txn.profiler
                     .estimate_single()
@@ -203,17 +246,35 @@ impl Simulation {
                 )),
             );
         }
+        // The controller plans over the cluster it *believes* in:
+        // identical to the effective (truth-masked) cluster until
+        // telemetry declares a node dead.
+        let believed = self
+            .observed_cluster
+            .as_ref()
+            .unwrap_or(&self.effective_cluster);
+        // Quarantined pairs from the actuation layer, plus a freeze on
+        // every Suspect node: instances already there are left alone, but
+        // no new starts are routed to a node whose heartbeats are
+        // faltering.
+        let mut forbidden: std::collections::BTreeSet<(AppId, NodeId)> = self
+            .actuation
+            .quarantined_pairs(self.now)
+            .into_iter()
+            .collect();
+        for node in self.observation.suspect_nodes() {
+            for &app in workloads.keys() {
+                forbidden.insert((app, node));
+            }
+        }
         PlacementProblem::new(
-            &self.effective_cluster,
+            believed,
             &self.apps,
             workloads,
             &self.placement,
             self.now,
             self.config.cycle,
-            self.actuation
-                .quarantined_pairs(self.now)
-                .into_iter()
-                .collect(),
+            forbidden,
         )
         .expect("engine state always yields a well-formed problem")
     }

@@ -39,6 +39,9 @@ use crate::actuation::{ActuationConfig, ActuationState, OpAttempt, OpOutcome};
 use crate::costs::{VmCostModel, VmOperation};
 use crate::events::{EventKind, EventQueue};
 use crate::metrics::{CompletionRecord, CycleSample, RunMetrics, StarvationReport};
+use crate::observe::{
+    DegradedMode, HealthTransition, JobView, ObservationConfig, ObservationState, TxnView,
+};
 
 /// A config-derived buffering trace sink paired with the path it is
 /// flushed to at end of run.
@@ -53,6 +56,7 @@ mod cycle;
 mod progress;
 mod reconcile;
 mod sample;
+mod telemetry;
 
 pub use config::{EstimationNoise, NodeOutage, SchedulerKind, SimConfig, DEFAULT_STALL_LIMIT};
 
@@ -149,6 +153,20 @@ pub struct Simulation {
     /// The cluster as the schedulers see it (failed nodes zeroed).
     effective_cluster: Cluster,
     failed_nodes: std::collections::BTreeSet<NodeId>,
+    /// The imperfect-telemetry observation layer: node-health beliefs,
+    /// report caches, estimator state, and the per-cycle views the
+    /// controller reads instead of the truth. Inert when
+    /// [`SimConfig::observation`] is the default.
+    observation: ObservationState,
+    /// The cluster as the *controller believes* it: `effective_cluster`
+    /// with believed-dead nodes zeroed. `None` while the believed-dead
+    /// set is empty, so the inactive path borrows `effective_cluster`
+    /// with zero overhead.
+    observed_cluster: Option<Cluster>,
+    /// Whether the last observation cycle breached the staleness budget
+    /// with [`DegradedMode::Hold`]: between-cycle advice passes also
+    /// hold while set.
+    degraded_hold: bool,
     /// Decision-provenance sink shared with the optimizer; a [`NoopSink`]
     /// unless [`SimConfig::trace`] set a path or a test installed one via
     /// [`Simulation::set_trace_sink`].
@@ -198,6 +216,9 @@ impl Simulation {
             live_jobs: 0,
             class_profiler: JobClassProfiler::new(3),
             failed_nodes: std::collections::BTreeSet::new(),
+            observation: ObservationState::new(),
+            observed_cluster: None,
+            degraded_hold: false,
         }
     }
 
@@ -600,7 +621,12 @@ impl Simulation {
     /// would make every fingerprint unique and the breaker would never
     /// fire. That slow-moving controller state may legitimately flip a
     /// decision after many outwardly identical cycles is exactly why
-    /// [`SimConfig::stall_limit`] is generous rather than 2.
+    /// [`SimConfig::stall_limit`] is generous rather than 2. The
+    /// telemetry layer's health counters are excluded for the same
+    /// reason: under permanent heartbeat loss they flap forever, and
+    /// fingerprinting them would let a genuinely starved run cycle
+    /// unbounded. Health flaps that *matter* change the placement (a
+    /// believed death evicts residents), which is fingerprinted.
     fn progress_fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |x: u64| {

@@ -33,17 +33,51 @@ impl Simulation {
             }
         }
         self.effective_cluster = rebuilt;
+        // The controller's believed cluster is derived from the
+        // effective one, so it must track every failure/recovery.
+        self.rebuild_observed();
     }
 
-    pub(super) fn on_node_failure(&mut self, node: NodeId) {
-        self.advance_progress();
-        if !self.failed_nodes.insert(node) {
-            return; // already failed
+    /// Rebuilds the cluster as the *controller believes* it: the
+    /// effective (truth-masked) cluster with every believed-dead node's
+    /// capacity additionally zeroed. `None` while nothing is believed
+    /// dead, so the hot inactive path borrows `effective_cluster`
+    /// directly.
+    pub(super) fn rebuild_observed(&mut self) {
+        if self.observation.believed_dead.is_empty() {
+            self.observed_cluster = None;
+            return;
         }
-        // Zero the node's capacity in the scheduler-visible cluster.
-        self.rebuild_effective();
-        // Evict everything on the failed node: jobs suspend (keeping
-        // their completed work), transactional instances just vanish.
+        let mut rebuilt = Cluster::new().with_dims(self.effective_cluster.dims().clone());
+        for (id, spec) in self.effective_cluster.iter() {
+            if self.observation.believed_dead.contains(&id) {
+                let zeroed = dynaplace_model::resources::Resources::new(vec![
+                    0.0;
+                    spec.rigid_capacity()
+                        .len()
+                ]);
+                rebuilt.add_node(
+                    dynaplace_model::node::NodeSpec::try_with_resources(CpuSpeed::ZERO, zeroed)
+                        .expect("valid node capacities")
+                        .with_name(format!("{id} (believed dead)")),
+                );
+            } else {
+                rebuilt.add_node(spec.clone());
+            }
+        }
+        self.observed_cluster = Some(rebuilt);
+    }
+
+    /// Evicts every resident of `node` from the actual placement and
+    /// load (jobs suspend, keeping their completed work; transactional
+    /// instances just vanish), purges the node from the controller's
+    /// standing decision so reconciliation stops aiming at it, and
+    /// reprojects job completions. Shared between true node failures
+    /// and telemetry-declared (believed) deaths — the caller decides
+    /// which cluster view to rebuild and whether the scheduler reacts
+    /// immediately. Idempotent: evicting an already-empty node touches
+    /// nothing and counts no skips.
+    pub(super) fn evict_node_residents(&mut self, node: NodeId) {
         let victims: Vec<AppId> = self.placement.apps_on(node).map(|(app, _)| app).collect();
         for app in victims {
             while self.placement.count(app, node) > 0 {
@@ -79,6 +113,17 @@ impl Simulation {
         for app in ids {
             self.reschedule_completion(app);
         }
+    }
+
+    pub(super) fn on_node_failure(&mut self, node: NodeId) {
+        self.advance_progress();
+        if !self.failed_nodes.insert(node) {
+            return; // already failed
+        }
+        // Zero the node's capacity in the scheduler-visible cluster,
+        // then evict everything on it.
+        self.rebuild_effective();
+        self.evict_node_residents(node);
         // Let the scheduler react immediately.
         self.between_cycle_advice();
     }
@@ -405,11 +450,21 @@ impl Simulation {
             load
         } else {
             let mut merged = LoadDistribution::new();
-            for (app, node, _count) in achieved.iter() {
+            for (app, node, count) in achieved.iter() {
                 if kept.contains(&(app, node)) {
                     continue;
                 }
-                let v = load.get(app, node);
+                // The intended speed was computed for the *intended*
+                // instance count; a partially-applied add (e.g. one of a
+                // parallel job's tasks failing to start) leaves fewer, so
+                // clamp to what the surviving instances may legally run.
+                let mut v = load.get(app, node);
+                if let Ok(spec) = self.apps.get(app) {
+                    let max = spec.max_instance_speed().as_mhz() * f64::from(count);
+                    if max.is_finite() {
+                        v = v.min(CpuSpeed::from_mhz(max));
+                    }
+                }
                 if v.as_mhz() > 0.0 {
                     merged.set(app, node, v);
                 }

@@ -10,6 +10,8 @@
 //! - [`engine::Simulation`] — the event-driven simulator;
 //! - [`costs::VmCostModel`] — the §5 cost model;
 //! - [`actuation`] — the fallible actuation layer (failure/backoff/quarantine);
+//! - [`observe`] — the imperfect-telemetry observation layer
+//!   (heartbeats, node-health hysteresis, demand estimation);
 //! - [`scenario`] — builders for the §4.3 example and Experiments 1–3;
 //! - [`metrics::RunMetrics`] — everything the paper's figures plot.
 //!
@@ -38,6 +40,7 @@
 //!     estimate_txn_demand: false,
 //!     record_placements: false,
 //!     actuation: dynaplace_sim::actuation::ActuationConfig::default(),
+//!     observation: dynaplace_sim::observe::ObservationConfig::default(),
 //!     trace: dynaplace_trace::TraceConfig::default(),
 //!     stall_limit: dynaplace_sim::engine::DEFAULT_STALL_LIMIT,
 //! };
@@ -53,13 +56,18 @@ pub mod costs;
 pub mod engine;
 pub mod events;
 pub mod metrics;
+pub mod observe;
 pub mod scenario;
 pub mod spec;
 
 pub use actuation::{ActuationConfig, ActuationState, OpOutcome};
 pub use costs::{VmCostModel, VmOperation};
 pub use engine::{NodeOutage, SchedulerKind, SimConfig, Simulation};
-pub use metrics::{ActuationCounters, ChangeCounters, CompletionRecord, CycleSample, RunMetrics};
+pub use metrics::{
+    ActuationCounters, ChangeCounters, CompletionRecord, CycleSample, ObservationCounters,
+    RunMetrics,
+};
+pub use observe::{DegradedMode, NodeHealth, ObservationConfig, ObservationState};
 pub use scenario::{
     experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
 };

@@ -128,6 +128,40 @@ impl ActuationCounters {
     }
 }
 
+/// Counters of the imperfect-telemetry observation layer: heartbeat and
+/// report transport faults, node-health transitions, and staleness-
+/// budget degradations. All-zero whenever the observation configuration
+/// is the default (perfect-telemetry) one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservationCounters {
+    /// Node heartbeats lost in transport.
+    pub missed_heartbeats: u64,
+    /// Application state reports lost in transport (the controller
+    /// reused its cached previous report).
+    pub lost_reports: u64,
+    /// Healthy → Suspect transitions (node frozen for new placements).
+    pub suspects: u64,
+    /// Suspect → Dead transitions (residents evicted, capacity zeroed
+    /// in the controller's believed cluster).
+    pub deaths: u64,
+    /// Suspect/Dead → Healthy transitions after heartbeats resumed.
+    pub reinstatements: u64,
+    /// Control cycles where placement changes were held because the
+    /// observed snapshot was older than the staleness budget.
+    pub stale_holds: u64,
+    /// Control cycles dropped to a non-disruptive `fill_only` pass by
+    /// the staleness budget (distinct from the actuation layer's
+    /// `fill_only_fallbacks`).
+    pub fill_only_degrades: u64,
+}
+
+impl ObservationCounters {
+    /// Total transport losses (heartbeats + reports).
+    pub fn lost_total(&self) -> u64 {
+        self.missed_heartbeats + self.lost_reports
+    }
+}
+
 /// The placement in effect at the end of one control cycle. Only
 /// recorded when [`crate::engine::SimConfig::record_placements`] is set
 /// (golden-file regression tests diff consecutive records).
@@ -165,6 +199,9 @@ pub struct RunMetrics {
     pub changes: ChangeCounters,
     /// Actuation-layer counters (failures, retries, quarantines).
     pub actuation: ActuationCounters,
+    /// Observation-layer counters (transport faults, health
+    /// transitions, staleness degradations).
+    pub observation: ObservationCounters,
     /// Per-cycle placements; empty unless recording was enabled.
     pub placements: Vec<PlacementRecord>,
     /// Set when the run ended because the starvation breaker fired
@@ -392,6 +429,34 @@ impl FromJson for ActuationCounters {
     }
 }
 
+impl ToJson for ObservationCounters {
+    fn to_json(&self) -> Json {
+        obj([
+            ("missed_heartbeats", self.missed_heartbeats.to_json()),
+            ("lost_reports", self.lost_reports.to_json()),
+            ("suspects", self.suspects.to_json()),
+            ("deaths", self.deaths.to_json()),
+            ("reinstatements", self.reinstatements.to_json()),
+            ("stale_holds", self.stale_holds.to_json()),
+            ("fill_only_degrades", self.fill_only_degrades.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ObservationCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ObservationCounters {
+            missed_heartbeats: v.field_or("missed_heartbeats")?,
+            lost_reports: v.field_or("lost_reports")?,
+            suspects: v.field_or("suspects")?,
+            deaths: v.field_or("deaths")?,
+            reinstatements: v.field_or("reinstatements")?,
+            stale_holds: v.field_or("stale_holds")?,
+            fill_only_degrades: v.field_or("fill_only_degrades")?,
+        })
+    }
+}
+
 impl ToJson for PlacementRecord {
     fn to_json(&self) -> Json {
         let instances: Vec<Json> = self
@@ -481,14 +546,21 @@ impl FromJson for StarvationReport {
 
 impl ToJson for RunMetrics {
     fn to_json(&self) -> Json {
-        obj([
+        let mut fields = vec![
             ("samples", self.samples.to_json()),
             ("completions", self.completions.to_json()),
             ("changes", self.changes.to_json()),
             ("actuation", self.actuation.to_json()),
-            ("placements", self.placements.to_json()),
-            ("starvation", self.starvation.to_json()),
-        ])
+        ];
+        // Only runs with an active observation layer carry the field, so
+        // perfect-telemetry artifacts stay byte-identical to older
+        // writers.
+        if self.observation != ObservationCounters::default() {
+            fields.push(("observation", self.observation.to_json()));
+        }
+        fields.push(("placements", self.placements.to_json()));
+        fields.push(("starvation", self.starvation.to_json()));
+        obj(fields)
     }
 }
 
@@ -500,6 +572,9 @@ impl FromJson for RunMetrics {
             changes: v.field("changes")?,
             // Absent in artifacts written before fallible actuation.
             actuation: v.field_or("actuation")?,
+            // Absent in perfect-telemetry artifacts (and everything
+            // written before the observation layer).
+            observation: v.field_or("observation")?,
             // Absent in artifacts written before placements existed.
             placements: v.field_or("placements")?,
             // Absent in artifacts written before the starvation breaker.
@@ -676,12 +751,23 @@ mod tests {
             deadline_truncations: 0,
             invariant_skips: 0,
         };
+        m.observation = ObservationCounters {
+            missed_heartbeats: 12,
+            lost_reports: 7,
+            suspects: 3,
+            deaths: 1,
+            reinstatements: 1,
+            stale_holds: 2,
+            fill_only_degrades: 1,
+        };
         let text = m.to_json().pretty();
         let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.samples, m.samples);
         assert_eq!(back.completions, m.completions);
         assert_eq!(back.changes, m.changes);
         assert_eq!(back.actuation, m.actuation);
+        assert_eq!(back.observation, m.observation);
+        assert_eq!(back.observation.lost_total(), 19);
     }
 
     #[test]
@@ -695,5 +781,20 @@ mod tests {
         let back = RunMetrics::from_json(&json).unwrap();
         assert_eq!(back.actuation, ActuationCounters::default());
         assert_eq!(back.actuation.unapplied_total(), 0);
+    }
+
+    #[test]
+    fn observation_counters_absent_in_old_artifacts_default_to_zero() {
+        // Perfect-telemetry runs omit the field entirely (byte-stable
+        // artifacts), and artifacts written before the observation layer
+        // never had it; both decode to all-zero counters.
+        let m = RunMetrics::default();
+        let text = m.to_json().pretty();
+        assert!(
+            !text.contains("observation"),
+            "all-zero counters must not be emitted: {text}"
+        );
+        let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.observation, ObservationCounters::default());
     }
 }

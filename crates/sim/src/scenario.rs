@@ -348,6 +348,7 @@ mod tests {
             estimate_txn_demand: false,
             record_placements: false,
             actuation: Default::default(),
+            observation: Default::default(),
             trace: Default::default(),
             stall_limit: DEFAULT_STALL_LIMIT,
         }

@@ -24,6 +24,7 @@ use dynaplace_trace::{TraceConfig, TraceLevel};
 use crate::actuation::ActuationConfig;
 use crate::costs::VmCostModel;
 use crate::engine::{NodeOutage, SchedulerKind, SimConfig, Simulation};
+use crate::observe::{DegradedMode, ObservationConfig};
 
 /// A group of identical nodes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -253,6 +254,84 @@ impl ActuationSpec {
     }
 }
 
+/// The imperfect-telemetry observation layer, in scenario-file units.
+/// Absent means perfect telemetry — the engine skips the layer entirely
+/// and runs bit-identically to a simulator without one (APC only, like
+/// `sharding`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationSpec {
+    /// Per-source/per-cycle report loss probability, `[0, 1)`.
+    pub heartbeat_loss: f64,
+    /// Maximum app-report delivery lag, control cycles.
+    pub max_staleness_cycles: u32,
+    /// Relative multiplicative noise bound on demand values, `[0, 1)`.
+    pub noise: f64,
+    /// Transport faults stop at this instant; `None` = whole run.
+    pub loss_until_secs: Option<f64>,
+    /// Seed for the loss/staleness/noise draws.
+    pub seed: u64,
+    /// Consecutive misses before Healthy → Suspect; at least 1.
+    pub suspect_after: u32,
+    /// Consecutive misses before Suspect → Dead; `> suspect_after`.
+    pub dead_after: u32,
+    /// Consecutive delivered heartbeats before reinstatement; at
+    /// least 1.
+    pub reinstate_after: u32,
+    /// EWMA smoothing factor for txn demand, `(0, 1]`; `1.0` = off.
+    pub ewma_alpha: f64,
+    /// Safety-margin inflation on presented txn demand; `>= 0`.
+    pub headroom: f64,
+    /// Degrade when the snapshot is older than this many cycles;
+    /// `0` disables the budget.
+    pub staleness_budget_cycles: u32,
+    /// Budget-breach behavior: `"hold"` or `"fill_only"`.
+    pub degraded_mode: String,
+}
+
+impl Default for ObservationSpec {
+    fn default() -> Self {
+        let c = ObservationConfig::default();
+        Self {
+            heartbeat_loss: c.heartbeat_loss,
+            max_staleness_cycles: c.max_staleness_cycles,
+            noise: c.noise,
+            loss_until_secs: c.loss_until.map(|t| t.as_secs()),
+            seed: c.seed,
+            suspect_after: c.suspect_after,
+            dead_after: c.dead_after,
+            reinstate_after: c.reinstate_after,
+            ewma_alpha: c.ewma_alpha,
+            headroom: c.headroom,
+            staleness_budget_cycles: c.staleness_budget_cycles,
+            degraded_mode: c.degraded_mode.name().to_string(),
+        }
+    }
+}
+
+impl ObservationSpec {
+    /// The engine-side [`ObservationConfig`] this block denotes. An
+    /// unrecognized `degraded_mode` (already rejected by `validate`)
+    /// falls back to `Hold`.
+    pub fn to_config(&self) -> ObservationConfig {
+        ObservationConfig {
+            heartbeat_loss: self.heartbeat_loss,
+            max_staleness_cycles: self.max_staleness_cycles,
+            noise: self.noise,
+            loss_until: self.loss_until_secs.map(SimTime::from_secs),
+            seed: self.seed,
+            suspect_after: self.suspect_after,
+            dead_after: self.dead_after,
+            reinstate_after: self.reinstate_after,
+            ewma_alpha: self.ewma_alpha,
+            headroom: self.headroom,
+            staleness_budget_cycles: self.staleness_budget_cycles,
+            // `validate` has already rejected unknown names.
+            degraded_mode: DegradedMode::from_name(&self.degraded_mode)
+                .unwrap_or(DegradedMode::Hold),
+        }
+    }
+}
+
 /// Decision-provenance tracing (see `dynaplace-trace`), in scenario-file
 /// form. Absent, or present without a `path`, means tracing is off and
 /// the run is bit-identical to an untraced one.
@@ -365,6 +444,13 @@ pub enum ScenarioError {
         /// What is wrong with it.
         message: String,
     },
+    /// The `observation` block is structurally invalid or used with a
+    /// baseline scheduler (only the APC control loop reads the observed
+    /// snapshot).
+    InvalidObservation {
+        /// What is wrong with it.
+        message: String,
+    },
     /// A numeric field that feeds simulated time is NaN or infinite.
     /// Letting these through used to panic deep inside the baseline
     /// schedulers' comparison sorts instead of failing at load time.
@@ -454,6 +540,9 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidSharding { message } => {
                 write!(f, "sharding: {message}")
+            }
+            ScenarioError::InvalidObservation { message } => {
+                write!(f, "observation: {message}")
             }
             ScenarioError::NonFiniteNumber { field, value } => {
                 write!(f, "{field} must be finite, got {value}")
@@ -552,6 +641,11 @@ pub struct ScenarioSpec {
     /// Cell-sharded placement (APC only); absent = classic single-cell.
     #[serde(default)]
     pub sharding: Option<ShardingSpec>,
+    /// The imperfect-telemetry observation layer (APC only); absent =
+    /// perfect telemetry, bit-identical to scenarios written before the
+    /// layer existed.
+    #[serde(default)]
+    pub observation: Option<ObservationSpec>,
     /// Decision-provenance tracing; defaults to off.
     #[serde(default)]
     pub trace: TraceSpec,
@@ -632,10 +726,74 @@ impl ScenarioSpec {
                 });
             }
         }
+        self.validate_observation()?;
         self.validate_names()?;
         self.validate_resources()?;
         self.validate_finite()?;
         self.validate_signs()
+    }
+
+    /// Rejects degenerate observation-layer parameters: probabilities
+    /// that can never recover (a loss rate of 1.0 means telemetry is
+    /// permanently dark), thresholds that break the state machine's
+    /// ordering (`dead_after <= suspect_after` would skip Suspect), and
+    /// a smoothing factor of zero (the estimate would never track
+    /// demand at all).
+    fn validate_observation(&self) -> Result<(), ScenarioError> {
+        let Some(o) = &self.observation else {
+            return Ok(());
+        };
+        let bad = |message: String| Err(ScenarioError::InvalidObservation { message });
+        if self.scheduler != SchedulerSpec::Apc {
+            return bad("only the apc scheduler supports an observation layer".to_string());
+        }
+        if !(0.0..1.0).contains(&o.heartbeat_loss) {
+            return bad(format!(
+                "heartbeat_loss must be in [0, 1), got {}",
+                o.heartbeat_loss
+            ));
+        }
+        if !o.noise.is_finite() || !(0.0..1.0).contains(&o.noise) {
+            return bad(format!("noise must be in [0, 1), got {}", o.noise));
+        }
+        if !o.ewma_alpha.is_finite() || o.ewma_alpha <= 0.0 || o.ewma_alpha > 1.0 {
+            return bad(format!(
+                "ewma_alpha must be in (0, 1], got {}",
+                o.ewma_alpha
+            ));
+        }
+        if !o.headroom.is_finite() || o.headroom < 0.0 {
+            return bad(format!(
+                "headroom must be finite and >= 0, got {}",
+                o.headroom
+            ));
+        }
+        if o.suspect_after == 0 {
+            return bad("suspect_after must be at least 1".to_string());
+        }
+        if o.dead_after <= o.suspect_after {
+            return bad(format!(
+                "dead_after ({}) must exceed suspect_after ({})",
+                o.dead_after, o.suspect_after
+            ));
+        }
+        if o.reinstate_after == 0 {
+            return bad("reinstate_after must be at least 1".to_string());
+        }
+        if let Some(until) = o.loss_until_secs {
+            if !until.is_finite() || until < 0.0 {
+                return bad(format!(
+                    "loss_until_secs must be finite and >= 0, got {until}"
+                ));
+            }
+        }
+        if DegradedMode::from_name(&o.degraded_mode).is_none() {
+            return bad(format!(
+                "degraded_mode must be hold|fill_only, got {:?}",
+                o.degraded_mode
+            ));
+        }
+        Ok(())
     }
 
     /// Rejects repeated names: node groups among themselves, and jobs +
@@ -995,6 +1153,11 @@ impl ScenarioSpec {
             },
             node_failures: self.node_failures.iter().map(|f| f.to_outage()).collect(),
             actuation: self.actuation.to_config(),
+            observation: self
+                .observation
+                .as_ref()
+                .map(ObservationSpec::to_config)
+                .unwrap_or_default(),
             trace: self.trace.to_config(),
             ..SimConfig::apc_default()
         };
@@ -1411,6 +1574,50 @@ impl FromJson for ActuationSpec {
     }
 }
 
+impl ToJson for ObservationSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("heartbeat_loss", self.heartbeat_loss.to_json()),
+            ("max_staleness_cycles", self.max_staleness_cycles.to_json()),
+            ("noise", self.noise.to_json()),
+            ("loss_until_secs", self.loss_until_secs.to_json()),
+            ("seed", self.seed.to_json()),
+            ("suspect_after", self.suspect_after.to_json()),
+            ("dead_after", self.dead_after.to_json()),
+            ("reinstate_after", self.reinstate_after.to_json()),
+            ("ewma_alpha", self.ewma_alpha.to_json()),
+            ("headroom", self.headroom.to_json()),
+            (
+                "staleness_budget_cycles",
+                self.staleness_budget_cycles.to_json(),
+            ),
+            ("degraded_mode", Json::Str(self.degraded_mode.clone())),
+        ])
+    }
+}
+
+impl FromJson for ObservationSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let d = ObservationSpec::default();
+        Ok(ObservationSpec {
+            heartbeat_loss: v.field_or_else("heartbeat_loss", || d.heartbeat_loss)?,
+            max_staleness_cycles: v
+                .field_or_else("max_staleness_cycles", || d.max_staleness_cycles)?,
+            noise: v.field_or_else("noise", || d.noise)?,
+            loss_until_secs: v.field_or("loss_until_secs")?,
+            seed: v.field_or_else("seed", || d.seed)?,
+            suspect_after: v.field_or_else("suspect_after", || d.suspect_after)?,
+            dead_after: v.field_or_else("dead_after", || d.dead_after)?,
+            reinstate_after: v.field_or_else("reinstate_after", || d.reinstate_after)?,
+            ewma_alpha: v.field_or_else("ewma_alpha", || d.ewma_alpha)?,
+            headroom: v.field_or_else("headroom", || d.headroom)?,
+            staleness_budget_cycles: v
+                .field_or_else("staleness_budget_cycles", || d.staleness_budget_cycles)?,
+            degraded_mode: v.field_or_else("degraded_mode", || d.degraded_mode.clone())?,
+        })
+    }
+}
+
 impl ToJson for TraceSpec {
     fn to_json(&self) -> Json {
         obj([
@@ -1492,8 +1699,11 @@ impl ToJson for ScenarioSpec {
             ("actuation", self.actuation.to_json()),
             ("deadline_secs", self.deadline_secs.to_json()),
             ("sharding", self.sharding.to_json()),
-            ("trace", self.trace.to_json()),
         ]);
+        if let Some(observation) = &self.observation {
+            fields.push(("observation", observation.to_json()));
+        }
+        fields.push(("trace", self.trace.to_json()));
         obj(fields)
     }
 }
@@ -1514,6 +1724,7 @@ impl FromJson for ScenarioSpec {
             actuation: v.field_or_else("actuation", ActuationSpec::default)?,
             deadline_secs: v.field_or("deadline_secs")?,
             sharding: v.field_or("sharding")?,
+            observation: v.field_or("observation")?,
             trace: v.field_or_else("trace", TraceSpec::default)?,
         })
     }
@@ -1574,6 +1785,7 @@ mod tests {
             actuation: ActuationSpec::default(),
             deadline_secs: None,
             sharding: None,
+            observation: None,
             trace: TraceSpec::default(),
         }
     }
@@ -2103,6 +2315,93 @@ mod tests {
             spec.validate(),
             Err(ScenarioError::NonFiniteNumber { ref field, .. })
                 if field == "actuation.quarantine_secs"
+        ));
+    }
+
+    #[test]
+    fn partial_observation_block_fills_defaults_and_activates() {
+        let json = r#"{
+            "scheduler": "apc", "cycle_secs": 10.0, "horizon_secs": 500.0,
+            "nodes": [{ "count": 2, "cpu_mhz": 2000.0, "memory_mb": 4000.0 }],
+            "jobs": [], "txns": [],
+            "observation": { "heartbeat_loss": 0.2, "seed": 9 }
+        }"#;
+        let spec = ScenarioSpec::from_json_str(json).unwrap();
+        let o = spec.observation.as_ref().unwrap();
+        assert_eq!(o.heartbeat_loss, 0.2);
+        assert_eq!(o.seed, 9);
+        // Unstated knobs take the exactly-off defaults.
+        assert_eq!(o.suspect_after, ObservationConfig::default().suspect_after);
+        assert_eq!(o.dead_after, ObservationConfig::default().dead_after);
+        assert_eq!(o.ewma_alpha, 1.0);
+        assert_eq!(o.degraded_mode, "hold");
+        assert!(o.to_config().is_active());
+        // No block at all renders without the key, keeping legacy
+        // scenario files byte-stable, and builds an inactive config.
+        let legacy = minimal(SchedulerSpec::Apc);
+        assert!(!legacy.to_json_string().contains("observation"));
+        assert!(!ObservationConfig::default().is_active());
+    }
+
+    #[test]
+    fn observation_round_trips_through_json() {
+        let mut spec = minimal(SchedulerSpec::Apc);
+        spec.observation = Some(ObservationSpec {
+            heartbeat_loss: 0.3,
+            max_staleness_cycles: 2,
+            noise: 0.1,
+            loss_until_secs: Some(400.0),
+            seed: 11,
+            suspect_after: 2,
+            dead_after: 5,
+            reinstate_after: 3,
+            ewma_alpha: 0.5,
+            headroom: 0.1,
+            staleness_budget_cycles: 1,
+            degraded_mode: "fill_only".to_string(),
+        });
+        let text = spec.to_json_string();
+        let back = ScenarioSpec::from_json_str(&text).unwrap();
+        assert_eq!(back.observation, spec.observation);
+    }
+
+    #[test]
+    fn degenerate_observation_blocks_are_rejected() {
+        type Mutation = fn(&mut ObservationSpec);
+        let cases: &[(&str, Mutation)] = &[
+            ("heartbeat_loss", |o| o.heartbeat_loss = 1.0),
+            ("heartbeat_loss", |o| o.heartbeat_loss = -0.1),
+            ("noise", |o| o.noise = 1.5),
+            ("noise", |o| o.noise = f64::NAN),
+            ("ewma_alpha", |o| o.ewma_alpha = 0.0),
+            ("ewma_alpha", |o| o.ewma_alpha = 1.5),
+            ("headroom", |o| o.headroom = -0.5),
+            ("suspect_after", |o| o.suspect_after = 0),
+            ("dead_after", |o| o.dead_after = 2),
+            ("reinstate_after", |o| o.reinstate_after = 0),
+            ("loss_until_secs", |o| o.loss_until_secs = Some(-1.0)),
+            ("degraded_mode", |o| o.degraded_mode = "panic".to_string()),
+        ];
+        for (what, mutate) in cases {
+            let mut spec = minimal(SchedulerSpec::Apc);
+            let mut o = ObservationSpec::default();
+            mutate(&mut o);
+            spec.observation = Some(o);
+            assert!(
+                matches!(
+                    spec.validate(),
+                    Err(ScenarioError::InvalidObservation { .. })
+                ),
+                "{what} should be rejected"
+            );
+        }
+        // And the layer is APC-only, like sharding.
+        let mut spec = minimal(SchedulerSpec::Fcfs);
+        spec.observation = Some(ObservationSpec::default());
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::InvalidObservation { ref message })
+                if message.contains("apc")
         ));
     }
 

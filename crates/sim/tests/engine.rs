@@ -45,6 +45,7 @@ fn config(kind: SchedulerKind) -> SimConfig {
         estimate_txn_demand: false,
         record_placements: false,
         actuation: Default::default(),
+        observation: Default::default(),
         trace: Default::default(),
         stall_limit: DEFAULT_STALL_LIMIT,
     }
@@ -242,6 +243,7 @@ fn example_s2_starts_j2_earlier_than_s1_under_narrative_config() {
         estimate_txn_demand: false,
         record_placements: false,
         actuation: Default::default(),
+        observation: Default::default(),
         trace: Default::default(),
         stall_limit: DEFAULT_STALL_LIMIT,
     };

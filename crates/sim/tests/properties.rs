@@ -67,6 +67,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
             actuation: Default::default(),
             deadline_secs: None,
             sharding: None,
+            observation: None,
             trace: Default::default(),
         })
 }

@@ -29,8 +29,8 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use dynaplace_sim::spec::{
-    ActuationSpec, ArrivalSpec, GoalSpec, JobGroupSpec, NodeFailureSpec, NodeGroupSpec, RateSpec,
-    ScenarioSpec, SchedulerSpec, ShardingSpec, TraceSpec, TxnSpec,
+    ActuationSpec, ArrivalSpec, GoalSpec, JobGroupSpec, NodeFailureSpec, NodeGroupSpec,
+    ObservationSpec, RateSpec, ScenarioSpec, SchedulerSpec, ShardingSpec, TraceSpec, TxnSpec,
 };
 use proptest::{Strategy, TestCaseError, TestCaseResult, TestRng};
 
@@ -57,6 +57,9 @@ pub struct GenProfile {
     pub failures: bool,
     /// Draw fallible-actuation configs (always with a `fail_until`).
     pub chaos: bool,
+    /// Draw imperfect-telemetry observation configs (APC only, always
+    /// with a `loss_until` so telemetry provably recovers).
+    pub observation: bool,
     /// Draw cell-sharded placement configs (APC only).
     pub sharding: bool,
     /// Draw multi-task parallel jobs (APC only).
@@ -100,6 +103,7 @@ impl GenProfile {
             max_extra_dims: 2,
             failures: true,
             chaos: true,
+            observation: true,
             sharding: true,
             parallel_jobs: true,
             stochastic_arrivals: true,
@@ -122,6 +126,7 @@ impl GenProfile {
             max_extra_dims: 1,
             failures: true,
             chaos: false,
+            observation: false,
             sharding: false,
             parallel_jobs: true,
             stochastic_arrivals: true,
@@ -151,6 +156,7 @@ impl GenProfile {
             max_extra_dims: 1,
             failures: false,
             chaos: false,
+            observation: false,
             sharding: false,
             parallel_jobs: false,
             stochastic_arrivals: false,
@@ -505,6 +511,30 @@ pub fn gen_scenario(rng: &mut TestRng, profile: &GenProfile) -> ScenarioSpec {
         ActuationSpec::default()
     };
 
+    // Observation faults: always bounded by `loss_until`, so after it
+    // telemetry is perfect, the health machine reinstates every
+    // false-positive death, and the convergence oracle has a provable
+    // grace window. Modest loss rates keep Dead declarations rare but
+    // reachable within typical horizons.
+    let observation = if profile.observation && apc && chance(rng, 2) {
+        Some(ObservationSpec {
+            heartbeat_loss: f8(rng, 0.125, 0.5),
+            max_staleness_cycles: int(rng, 0, 2) as u32,
+            noise: f8(rng, 0.0, 0.25),
+            loss_until_secs: Some(f8(rng, 500.0, 2_000.0)),
+            seed: rng.next_u64() & 0xFFFF,
+            suspect_after: int(rng, 1, 2) as u32,
+            dead_after: int(rng, 3, 5) as u32,
+            reinstate_after: int(rng, 1, 3) as u32,
+            ewma_alpha: f8(rng, 0.25, 1.0),
+            headroom: f8(rng, 0.0, 0.25),
+            staleness_budget_cycles: int(rng, 0, 2) as u32,
+            degraded_mode: if chance(rng, 2) { "hold" } else { "fill_only" }.to_string(),
+        })
+    } else {
+        None
+    };
+
     let sharding = if profile.sharding && apc && chance(rng, 3) {
         Some(ShardingSpec {
             cell_size: int(rng, 1, node_count + 1),
@@ -540,6 +570,7 @@ pub fn gen_scenario(rng: &mut TestRng, profile: &GenProfile) -> ScenarioSpec {
         // the fuzz harness never draws one.
         deadline_secs: None,
         sharding,
+        observation,
         trace: TraceSpec {
             path: None,
             level: if chance(rng, 4) {
@@ -623,6 +654,11 @@ fn mutations(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
     if spec.sharding.is_some() {
         let mut s = spec.clone();
         s.sharding = None;
+        out.push(s);
+    }
+    if spec.observation.is_some() {
+        let mut s = spec.clone();
+        s.observation = None;
         out.push(s);
     }
     if spec.trace != TraceSpec::default() {

@@ -115,16 +115,39 @@ fn dim_name(spec: &ScenarioSpec, d: usize) -> &str {
 /// Grace instant after which the reconciliation loop must have drained
 /// every pending action: the actuation fault window end, plus full
 /// quarantine and backoff decay, plus a few control cycles to flush.
+/// With an observation layer, also past its transport-fault window plus
+/// enough cycles for the health machine to reinstate every
+/// false-positive death and for stale reports to age out. `None` when
+/// either layer's faults are unbounded (no `fail_until` / `loss_until`).
 fn convergence_grace(spec: &ScenarioSpec) -> Option<f64> {
-    if spec.actuation == ActuationSpec::default() {
-        return Some(0.0);
-    }
-    spec.actuation.fail_until_secs.map(|fail_until| {
-        fail_until
-            + spec.actuation.quarantine_secs
-            + 4.0 * spec.actuation.max_backoff_secs
-            + 5.0 * spec.cycle_secs
-    })
+    let actuation = if spec.actuation == ActuationSpec::default() {
+        0.0
+    } else {
+        spec.actuation.fail_until_secs.map(|fail_until| {
+            fail_until
+                + spec.actuation.quarantine_secs
+                + 4.0 * spec.actuation.max_backoff_secs
+                + 5.0 * spec.cycle_secs
+        })?
+    };
+    let observation = match &spec.observation {
+        Some(o) if o.heartbeat_loss > 0.0 || o.max_staleness_cycles > 0 || o.noise > 0.0 => {
+            let settle = f64::from(
+                o.dead_after
+                    + o.reinstate_after
+                    + o.max_staleness_cycles
+                    + o.staleness_budget_cycles
+                    + 5,
+            );
+            o.loss_until_secs
+                .map(|until| until + settle * spec.cycle_secs)?
+        }
+        // Estimator-only configs (smoothing, headroom) never destabilize
+        // reconciliation: they change what is desired, not whether the
+        // desired state is reachable.
+        _ => 0.0,
+    };
+    Some(actuation.max(observation))
 }
 
 /// Checks every whole-run invariant the spec's contract implies.
@@ -299,6 +322,76 @@ pub fn check_run(spec: &ScenarioSpec, metrics: &RunMetrics) -> Result<(), Vec<St
         }
     }
 
+    // Observation-layer accounting. Without an `observation` block the
+    // counters must stay untouched (exactly-off contract). With one,
+    // the health machine's hysteresis implies hard arithmetic bounds:
+    // every suspect episode consumed at least `suspect_after`
+    // consecutive misses (episodes that ended in a believed death
+    // consumed at least `dead_after`), episodes are disjoint in misses,
+    // and deaths/reinstatements only ever happen to suspects. A lossless
+    // config (`heartbeat_loss == 0`) can never miss anything at all —
+    // truth node failures are not telemetry loss.
+    let obs = &metrics.observation;
+    match &spec.observation {
+        None => {
+            if *obs != Default::default() {
+                violations.push(format!(
+                    "observation counters moved without an observation block: {obs:?}"
+                ));
+            }
+        }
+        Some(o) => {
+            if obs.deaths > obs.suspects {
+                violations.push(format!(
+                    "{} believed deaths but only {} suspect transitions",
+                    obs.deaths, obs.suspects
+                ));
+            }
+            if obs.reinstatements > obs.suspects {
+                violations.push(format!(
+                    "{} reinstatements but only {} suspect transitions",
+                    obs.reinstatements, obs.suspects
+                ));
+            } else if obs.deaths <= obs.suspects {
+                let floor = obs.deaths * u64::from(o.dead_after)
+                    + (obs.suspects - obs.deaths) * u64::from(o.suspect_after);
+                if obs.missed_heartbeats < floor {
+                    violations.push(format!(
+                        "{} missed heartbeats cannot explain {} suspects / {} deaths \
+                         (hysteresis floor {floor})",
+                        obs.missed_heartbeats, obs.suspects, obs.deaths
+                    ));
+                }
+            }
+            if o.heartbeat_loss == 0.0 && (obs.lost_total() != 0 || obs.suspects != 0) {
+                violations.push(format!(
+                    "lossless telemetry lost {} reports / suspected {} nodes",
+                    obs.lost_total(),
+                    obs.suspects
+                ));
+            }
+            if o.max_staleness_cycles == 0 && (obs.stale_holds != 0 || obs.fill_only_degrades != 0)
+            {
+                violations.push(format!(
+                    "never-stale telemetry degraded anyway: {} holds, {} fill-only cycles",
+                    obs.stale_holds, obs.fill_only_degrades
+                ));
+            }
+            if o.degraded_mode == "hold" && obs.fill_only_degrades != 0 {
+                violations.push(format!(
+                    "hold-mode run recorded {} fill-only degrades",
+                    obs.fill_only_degrades
+                ));
+            }
+            if o.degraded_mode == "fill_only" && obs.stale_holds != 0 {
+                violations.push(format!(
+                    "fill_only-mode run recorded {} stale holds",
+                    obs.stale_holds
+                ));
+            }
+        }
+    }
+
     if violations.is_empty() {
         Ok(())
     } else {
@@ -370,6 +463,12 @@ pub fn first_divergence(a: &RunMetrics, b: &RunMetrics, opts: DiffOptions) -> Op
         return Some(format!(
             "actuation counters differ: {:?} vs {:?}",
             a.actuation, b.actuation
+        ));
+    }
+    if a.observation != b.observation {
+        return Some(format!(
+            "observation counters differ: {:?} vs {:?}",
+            a.observation, b.observation
         ));
     }
     if a.placements.len() != b.placements.len() {

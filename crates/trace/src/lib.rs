@@ -512,6 +512,81 @@ pub enum TraceEvent {
         /// The live, unfinished applications, in id order.
         apps: Vec<AppId>,
     },
+    /// A node's heartbeat report was lost in the observation layer's
+    /// lossy transport this control cycle.
+    HeartbeatMissed {
+        /// Sim time of the observation pass.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// Node whose heartbeat was lost.
+        node: NodeId,
+        /// Consecutive misses including this one.
+        consecutive: u64,
+    },
+    /// The node-health state machine moved a node from Healthy to
+    /// Suspect: new placements are routed around it but residents stay.
+    NodeSuspected {
+        /// Sim time of the transition.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// The suspected node.
+        node: NodeId,
+        /// Consecutive misses that crossed the suspect threshold.
+        misses: u64,
+    },
+    /// The node-health state machine declared a node dead on telemetry
+    /// evidence: its residents are evicted and its capacity leaves the
+    /// controller's believed cluster. The simulated truth is untouched.
+    NodeDeclaredDead {
+        /// Sim time of the transition.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// The believed-dead node.
+        node: NodeId,
+        /// Consecutive misses that crossed the death threshold.
+        misses: u64,
+    },
+    /// Heartbeats resumed for long enough that a Suspect or believed-dead
+    /// node was reinstated into the controller's believed cluster.
+    NodeReinstated {
+        /// Sim time of the transition.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// The reinstated node.
+        node: NodeId,
+    },
+    /// The snapshot's oldest report exceeded the staleness budget, so
+    /// the controller degraded this cycle instead of acting on it.
+    StaleHold {
+        /// Sim time of the decision.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// Age of the oldest report in the snapshot, in cycles.
+        age_cycles: u64,
+        /// The configured staleness budget, in cycles.
+        budget: u64,
+        /// Degraded mode applied (`hold` / `fill_only`).
+        mode: &'static str,
+    },
+    /// The demand estimator produced a smoothed/inflated estimate that
+    /// differs from the raw observed transactional rate.
+    DemandEstimate {
+        /// Sim time of the observation pass.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// The transactional application.
+        app: AppId,
+        /// True instantaneous arrival rate at observation time.
+        observed: f64,
+        /// The estimate the controller plans against.
+        estimate: f64,
+    },
 }
 
 impl TraceEvent {
@@ -520,7 +595,9 @@ impl TraceEvent {
         match self {
             TraceEvent::NodeEnter { .. }
             | TraceEvent::NodeExit { .. }
-            | TraceEvent::CandidateRejected { .. } => TraceLevel::Verbose,
+            | TraceEvent::CandidateRejected { .. }
+            | TraceEvent::HeartbeatMissed { .. }
+            | TraceEvent::DemandEstimate { .. } => TraceLevel::Verbose,
             _ => TraceLevel::Decisions,
         }
     }
@@ -549,6 +626,12 @@ impl TraceEvent {
             TraceEvent::RebalanceMove { .. } => "rebalance_move",
             TraceEvent::RigidUtilization { .. } => "rigid_utilization",
             TraceEvent::StarvationBreak { .. } => "starvation_break",
+            TraceEvent::HeartbeatMissed { .. } => "heartbeat_missed",
+            TraceEvent::NodeSuspected { .. } => "node_suspected",
+            TraceEvent::NodeDeclaredDead { .. } => "node_declared_dead",
+            TraceEvent::NodeReinstated { .. } => "node_reinstated",
+            TraceEvent::StaleHold { .. } => "stale_hold",
+            TraceEvent::DemandEstimate { .. } => "demand_estimate",
         }
     }
 
@@ -824,6 +907,76 @@ impl TraceEvent {
                     Json::Arr(apps.iter().map(|a| Json::Num(a.index() as f64)).collect()),
                 ),
             ]),
+            TraceEvent::HeartbeatMissed {
+                time,
+                cycle,
+                node,
+                consecutive,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("consecutive", Json::Num(consecutive as f64)),
+            ]),
+            TraceEvent::NodeSuspected {
+                time,
+                cycle,
+                node,
+                misses,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("misses", Json::Num(misses as f64)),
+            ]),
+            TraceEvent::NodeDeclaredDead {
+                time,
+                cycle,
+                node,
+                misses,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("node", Json::Num(node.index() as f64)),
+                ("misses", Json::Num(misses as f64)),
+            ]),
+            TraceEvent::NodeReinstated { time, cycle, node } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("node", Json::Num(node.index() as f64)),
+            ]),
+            TraceEvent::StaleHold {
+                time,
+                cycle,
+                age_cycles,
+                budget,
+                mode,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("age_cycles", Json::Num(age_cycles as f64)),
+                ("budget", Json::Num(budget as f64)),
+                ("mode", Json::Str(mode.to_string())),
+            ]),
+            TraceEvent::DemandEstimate {
+                time,
+                cycle,
+                app,
+                observed,
+                estimate,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("app", Json::Num(app.index() as f64)),
+                ("observed", Json::Num(observed)),
+                ("estimate", Json::Num(estimate)),
+            ]),
         }
     }
 
@@ -1035,6 +1188,43 @@ impl TraceEvent {
                         .collect::<Result<_, _>>()?,
                     _ => return Err(missing("apps")),
                 },
+            },
+            "heartbeat_missed" => TraceEvent::HeartbeatMissed {
+                time,
+                cycle: uint(v, "cycle")?,
+                node: NodeId::new(id(v, "node")?),
+                consecutive: uint(v, "consecutive")?,
+            },
+            "node_suspected" => TraceEvent::NodeSuspected {
+                time,
+                cycle: uint(v, "cycle")?,
+                node: NodeId::new(id(v, "node")?),
+                misses: uint(v, "misses")?,
+            },
+            "node_declared_dead" => TraceEvent::NodeDeclaredDead {
+                time,
+                cycle: uint(v, "cycle")?,
+                node: NodeId::new(id(v, "node")?),
+                misses: uint(v, "misses")?,
+            },
+            "node_reinstated" => TraceEvent::NodeReinstated {
+                time,
+                cycle: uint(v, "cycle")?,
+                node: NodeId::new(id(v, "node")?),
+            },
+            "stale_hold" => TraceEvent::StaleHold {
+                time,
+                cycle: uint(v, "cycle")?,
+                age_cycles: uint(v, "age_cycles")?,
+                budget: uint(v, "budget")?,
+                mode: intern(v, "mode", &["hold", "fill_only"])?,
+            },
+            "demand_estimate" => TraceEvent::DemandEstimate {
+                time,
+                cycle: uint(v, "cycle")?,
+                app: AppId::new(id(v, "app")?),
+                observed: num(v, "observed")?,
+                estimate: num(v, "estimate")?,
             },
             other => {
                 return Err(JsonError {
@@ -1271,6 +1461,50 @@ impl TraceEvent {
                 format!(
                     "STARVATION BREAK after {cycles} identical cycles; starved: {}",
                     ids.join(", ")
+                )
+            }
+            TraceEvent::HeartbeatMissed {
+                node, consecutive, ..
+            } => {
+                format!(
+                    "    heartbeat from node{} lost ({consecutive} consecutive)",
+                    node.index()
+                )
+            }
+            TraceEvent::NodeSuspected { node, misses, .. } => {
+                format!(
+                    "  SUSPECT node{} after {misses} missed heartbeats — frozen for new placements",
+                    node.index()
+                )
+            }
+            TraceEvent::NodeDeclaredDead { node, misses, .. } => {
+                format!(
+                    "  DECLARE node{} dead after {misses} missed heartbeats — evicting residents",
+                    node.index()
+                )
+            }
+            TraceEvent::NodeReinstated { node, .. } => {
+                format!("  REINSTATE node{} — heartbeats recovered", node.index())
+            }
+            TraceEvent::StaleHold {
+                age_cycles,
+                budget,
+                mode,
+                ..
+            } => {
+                format!(
+                    "  STALE snapshot ({age_cycles} cycles old, budget {budget}) — degrading to {mode}"
+                )
+            }
+            TraceEvent::DemandEstimate {
+                app,
+                observed,
+                estimate,
+                ..
+            } => {
+                format!(
+                    "    demand estimate for app{}: {estimate:.3} (true rate {observed:.3})",
+                    app.index()
                 )
             }
         }
@@ -1663,6 +1897,43 @@ mod tests {
                 time: 4_200.0,
                 cycles: 64,
                 apps: vec![AppId::new(1), AppId::new(2)],
+            },
+            TraceEvent::HeartbeatMissed {
+                time: 300.0,
+                cycle: 1,
+                node: NodeId::new(2),
+                consecutive: 3,
+            },
+            TraceEvent::NodeSuspected {
+                time: 300.0,
+                cycle: 1,
+                node: NodeId::new(2),
+                misses: 2,
+            },
+            TraceEvent::NodeDeclaredDead {
+                time: 600.0,
+                cycle: 2,
+                node: NodeId::new(2),
+                misses: 4,
+            },
+            TraceEvent::NodeReinstated {
+                time: 1_200.0,
+                cycle: 4,
+                node: NodeId::new(2),
+            },
+            TraceEvent::StaleHold {
+                time: 600.0,
+                cycle: 2,
+                age_cycles: 3,
+                budget: 1,
+                mode: "fill_only",
+            },
+            TraceEvent::DemandEstimate {
+                time: 300.0,
+                cycle: 1,
+                app: AppId::new(3),
+                observed: 42.5,
+                estimate: 51.0,
             },
         ];
         for ev in events {

@@ -28,6 +28,7 @@ fn main() {
             estimate_txn_demand: false,
             record_placements: false,
             actuation: Default::default(),
+            observation: Default::default(),
             trace: Default::default(),
             stall_limit: dynaplace::sim::engine::DEFAULT_STALL_LIMIT,
         };

@@ -173,6 +173,7 @@ fn paper_example_scenarios() {
         estimate_txn_demand: false,
         record_placements: false,
         actuation: Default::default(),
+        observation: Default::default(),
         trace: Default::default(),
         stall_limit: DEFAULT_STALL_LIMIT,
     };

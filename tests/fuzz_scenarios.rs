@@ -7,7 +7,8 @@
 //! - **Differential**: run pairs whose contracts promise bit-equal
 //!   metrics — sharded(cell ≥ cluster) vs. classic, cached vs. oracle
 //!   scoring, parallel vs. serial, traced vs. noop, JSON-round-tripped
-//!   vs. original — compared field-by-field via `to_bits`.
+//!   vs. original, zero-fault observation vs. no observation layer —
+//!   compared field-by-field via `to_bits`.
 //! - **Metamorphic**: transformations that must not change decisions
 //!   (adding a slack rigid dimension) or outcomes (permuting app
 //!   declaration order under a deterministic profile).
@@ -24,8 +25,9 @@ use std::sync::Arc;
 use dynaplace::apc::optimizer::ScoringMode;
 use dynaplace::model::placement::Placement;
 use dynaplace::sim::metrics::RunMetrics;
-use dynaplace::sim::spec::{ScenarioSpec, ShardingSpec};
-use dynaplace::trace::{JsonlSink, TraceLevel, TraceSink};
+use dynaplace::sim::spec::{ObservationSpec, ScenarioSpec, SchedulerSpec, ShardingSpec};
+use dynaplace::trace::{JsonlSink, TraceEvent, TraceLevel, TraceSink};
+use dynaplace_json::Json;
 use dynaplace_testutil::gen::{self, GenProfile};
 use dynaplace_testutil::oracle::{self, DiffOptions};
 use proptest::prelude::*;
@@ -132,6 +134,34 @@ proptest! {
         })?;
     }
 
+    /// An *active* observation layer with nothing lossy, noisy, or stale
+    /// (non-default seed flips it on; every fault knob stays zero) runs
+    /// the full telemetry code path — draws, health machine, views —
+    /// yet is bit-equal to no observation layer at all. This is the
+    /// exactly-off contract's sharp edge: perfect telemetry must be
+    /// indistinguishable from unmodeled telemetry.
+    #[test]
+    fn zero_fault_observation_equals_disabled(spec in gen::scenarios(GenProfile::quick())) {
+        assert_equivalent("zero_fault_observation", &spec, DiffOptions::default(), |s| {
+            let mut observed = s.clone();
+            observed.observation = Some(ObservationSpec {
+                seed: s.seed ^ 0x0B5E,
+                ..Default::default()
+            });
+            assert_eq!(
+                observed.validate(),
+                Ok(()),
+                "zero-fault observation block must stay valid"
+            );
+            let config = observed.observation.as_ref().expect("just set").to_config();
+            assert!(
+                config.is_active(),
+                "a non-default seed must activate the observation layer"
+            );
+            oracle::run_spec(&observed)
+        })?;
+    }
+
     /// Metamorphic: declaring an extra rigid dimension nothing demands
     /// never changes any decision (only the utilization samples gain an
     /// all-zero entry).
@@ -190,6 +220,132 @@ proptest! {
             Ok(())
         })?;
     }
+}
+
+/// Full-width profile restricted to APC (the only scheduler that
+/// accepts an `observation` block), for the telemetry fuzz families.
+fn apc_full() -> GenProfile {
+    GenProfile {
+        schedulers: vec![SchedulerSpec::Apc],
+        ..GenProfile::full()
+    }
+}
+
+/// Guarantees a spec exercises the observation layer: roughly half the
+/// `apc_full` draws carry a generated block already; the rest get a
+/// deterministic flapping-telemetry window that provably closes
+/// (`loss_until`), so the convergence oracle still applies.
+fn force_observation(mut spec: ScenarioSpec) -> ScenarioSpec {
+    if spec.observation.is_none() {
+        spec.observation = Some(ObservationSpec {
+            heartbeat_loss: 0.375,
+            max_staleness_cycles: 1,
+            noise: 0.125,
+            loss_until_secs: Some(25.0 * spec.cycle_secs),
+            seed: spec.seed ^ 0xFA11,
+            ..Default::default()
+        });
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Convergence under recovering telemetry: every spec runs with a
+    /// bounded flapping-telemetry window, and the whole-run oracle
+    /// demands that once the window closes the health machine settles
+    /// and desired == actual within the grace window — every
+    /// false-positive death must fully reconcile. The oracle also
+    /// enforces the health machine's arithmetic: hysteresis floors on
+    /// missed heartbeats, and deaths/reinstatements never exceeding
+    /// suspect transitions.
+    #[test]
+    fn recovering_telemetry_reconverges(spec in gen::scenarios(apc_full())) {
+        let spec = force_observation(spec);
+        prop_assert_eq!(spec.validate(), Ok(()), "forced observation block must stay valid");
+        gen::check_scenario("telemetry_reconvergence", &spec, |s| {
+            oracle::check_run_message(s, &oracle::run_spec(s))
+        })?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Telemetry-safety invariant, checked event-by-event against the
+    /// verbose decision trace: the health machine never suspects a node
+    /// with fewer than `suspect_after` consecutive missed heartbeats,
+    /// never declares one dead with fewer than `dead_after`, and every
+    /// `heartbeat_missed` event's own consecutive count is consistent
+    /// with the miss/delivery history the trace implies.
+    #[test]
+    fn deaths_require_consecutive_misses(spec in gen::scenarios(apc_full())) {
+        let spec = force_observation(spec);
+        let obs = spec.observation.clone().expect("observation forced on");
+        gen::check_scenario("death_needs_consecutive_misses", &spec, |s| {
+            let sink = Arc::new(JsonlSink::new(TraceLevel::Verbose));
+            oracle::run_spec_with(s, |sim| {
+                sim.set_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+            });
+            check_health_trace(&sink.lines(), obs.suspect_after, obs.dead_after)
+        })?;
+    }
+}
+
+/// Replays a verbose trace through a shadow copy of the per-node miss
+/// counter and rejects any health transition the configured hysteresis
+/// does not license.
+fn check_health_trace(lines: &[String], suspect_after: u32, dead_after: u32) -> Result<(), String> {
+    let mut consecutive: std::collections::BTreeMap<usize, u64> = Default::default();
+    for line in lines {
+        let v = Json::parse(line).map_err(|e| format!("unparseable trace line: {e}\n{line}"))?;
+        let event = TraceEvent::from_json(&v)
+            .map_err(|e| format!("undecodable trace event: {e}\n{line}"))?;
+        match event {
+            TraceEvent::HeartbeatMissed {
+                node,
+                consecutive: c,
+                ..
+            } => {
+                let prev = consecutive.get(&node.index()).copied().unwrap_or(0);
+                // A delivered heartbeat (never traced) resets the count,
+                // so each miss either restarts at 1 or extends the run.
+                if c != 1 && c != prev + 1 {
+                    return Err(format!(
+                        "node{} reports {c} consecutive misses after a run of {prev}",
+                        node.index()
+                    ));
+                }
+                consecutive.insert(node.index(), c);
+            }
+            TraceEvent::NodeSuspected { node, misses, .. } => {
+                let seen = consecutive.get(&node.index()).copied().unwrap_or(0);
+                if misses < u64::from(suspect_after) || misses != seen {
+                    return Err(format!(
+                        "node{} suspected at {misses} misses (threshold {suspect_after}, \
+                         trace shows {seen})",
+                        node.index()
+                    ));
+                }
+            }
+            TraceEvent::NodeDeclaredDead { node, misses, .. } => {
+                let seen = consecutive.get(&node.index()).copied().unwrap_or(0);
+                if misses < u64::from(dead_after) || misses != seen {
+                    return Err(format!(
+                        "node{} declared dead at {misses} misses (threshold {dead_after}, \
+                         trace shows {seen})",
+                        node.index()
+                    ));
+                }
+            }
+            TraceEvent::NodeReinstated { node, .. } => {
+                consecutive.insert(node.index(), 0);
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// `a` and `b` agree to relative numeric tolerance. The bound is loose

@@ -10,7 +10,7 @@ use dynaplace::model::NodeId;
 use dynaplace::sim::metrics::RunMetrics;
 use dynaplace::sim::spec::{
     ActuationSpec, ArrivalSpec, GoalSpec, JobGroupSpec, NodeFailureSpec, NodeGroupSpec,
-    ScenarioSpec, SchedulerSpec,
+    ObservationSpec, ScenarioSpec, SchedulerSpec,
 };
 use proptest::prelude::*;
 
@@ -86,6 +86,7 @@ fn flaky_spec(
         },
         deadline_secs: None,
         sharding: None,
+        observation: None,
         trace: Default::default(),
     }
 }
@@ -224,6 +225,124 @@ fn actuation_seed_matters() {
         a.actuation, b.actuation,
         "distinct seeds should produce distinct fault schedules"
     );
+}
+
+// ---------------------------------------------------------------------
+// False-positive believed deaths: the observation layer's node-health
+// machine can evict residents from a perfectly healthy node and later
+// reinstate it. These regressions pin the engine paths that become
+// reachable only then — eviction of residents that were never actually
+// failed, reinstatement racing the desired/actual machinery, and
+// believed deaths overlapping true outages.
+// ---------------------------------------------------------------------
+
+/// `flaky_spec` with infallible actuation and a lossy-telemetry window
+/// ending at `FAIL_UNTIL_SECS` instead: every fault is a false belief.
+fn observed_spec(
+    seed: u64,
+    obs_seed: u64,
+    loss: f64,
+    outage: Option<(f64, u32, f64)>,
+) -> ScenarioSpec {
+    let mut spec = flaky_spec(seed, 0, 0.0, outage);
+    spec.actuation = Default::default();
+    spec.observation = Some(ObservationSpec {
+        heartbeat_loss: loss,
+        loss_until_secs: Some(FAIL_UNTIL_SECS),
+        seed: obs_seed,
+        ..Default::default()
+    });
+    spec
+}
+
+/// The instant by which a recovered observation layer must have settled:
+/// end of telemetry loss, plus worst-case death-then-reinstatement
+/// hysteresis, plus scheduling slack — in whole cycles.
+const OBSERVATION_GRACE_SECS: f64 = (4 + 2 + 5) as f64 * CYCLE_SECS;
+
+/// False-positive believed deaths evict healthy nodes' residents, yet
+/// once telemetry recovers every node is reinstated, desired == actual,
+/// and every job still completes.
+#[test]
+fn false_positive_deaths_reconverge() {
+    let spec = observed_spec(11, 5, 0.55, None);
+    assert_eq!(spec.validate(), Ok(()));
+    let metrics = run(&spec);
+
+    let obs = &metrics.observation;
+    assert!(
+        obs.deaths >= 1 && obs.reinstatements >= 1,
+        "the regression must actually exercise believed death and reinstatement: {obs:?}"
+    );
+    assert_eq!(
+        metrics.completions.len(),
+        JOBS,
+        "every job completes despite false-positive evictions"
+    );
+    let settled = FAIL_UNTIL_SECS + OBSERVATION_GRACE_SECS;
+    for s in &metrics.samples {
+        if s.time.as_secs() >= settled {
+            assert_eq!(
+                s.pending_actions,
+                0,
+                "unreconciled actions at t={:.0}s after telemetry recovered",
+                s.time.as_secs()
+            );
+        }
+    }
+}
+
+/// A believed death can land on a node that is *also* truly down (its
+/// residents already evicted by the outage path), and a true recovery
+/// can race reinstatement. Both orders must be graceful no-ops, not
+/// panics, and the run still converges.
+#[test]
+fn believed_death_overlapping_true_outage_is_graceful() {
+    let spec = observed_spec(7, 3, 0.55, Some((600.0, 1, 1_500.0)));
+    assert_eq!(spec.validate(), Ok(()));
+    let metrics = run(&spec);
+
+    assert!(
+        metrics.observation.deaths >= 1,
+        "the overlap regression needs at least one believed death: {:?}",
+        metrics.observation
+    );
+    assert_eq!(metrics.completions.len(), JOBS);
+    let settled = last_fault_secs(&spec).max(FAIL_UNTIL_SECS) + OBSERVATION_GRACE_SECS + GRACE_SECS;
+    for s in &metrics.samples {
+        if s.time.as_secs() >= settled {
+            assert_eq!(s.pending_actions, 0, "unreconciled at t={:?}", s.time);
+        }
+    }
+}
+
+/// Observation faults compose with fallible actuation: evictions issued
+/// on believed deaths go through the same fallible operation queue, and
+/// the combined system still converges once both fault windows close.
+#[test]
+fn observation_and_actuation_faults_compose() {
+    let mut spec = flaky_spec(19, 29, 0.3, None);
+    spec.observation = Some(ObservationSpec {
+        heartbeat_loss: 0.5,
+        loss_until_secs: Some(FAIL_UNTIL_SECS),
+        seed: 13,
+        ..Default::default()
+    });
+    assert_eq!(spec.validate(), Ok(()));
+    let metrics = run(&spec);
+
+    assert!(
+        metrics.observation.missed_heartbeats > 0,
+        "telemetry faults must fire: {:?}",
+        metrics.observation
+    );
+    assert_eq!(metrics.completions.len(), JOBS);
+    let settled = FAIL_UNTIL_SECS + GRACE_SECS + OBSERVATION_GRACE_SECS;
+    for s in &metrics.samples {
+        if s.time.as_secs() >= settled {
+            assert_eq!(s.pending_actions, 0, "unreconciled at t={:?}", s.time);
+        }
+    }
 }
 
 /// The checked-in flaky golden scenario meets the acceptance bar

@@ -110,6 +110,24 @@ fn render(metrics: &RunMetrics) -> String {
         )
         .unwrap();
     }
+    if metrics.observation != Default::default() {
+        // And again: the observation line only appears once a run
+        // exercised the imperfect-telemetry layer.
+        let o = &metrics.observation;
+        writeln!(
+            out,
+            "observation: missed={} lost={} suspects={} deaths={} reinstatements={} \
+             stale_holds={} fill_only={}",
+            o.missed_heartbeats,
+            o.lost_reports,
+            o.suspects,
+            o.deaths,
+            o.reinstatements,
+            o.stale_holds,
+            o.fill_only_degrades,
+        )
+        .unwrap();
+    }
     writeln!(out, "completions: {}", metrics.completions.len()).unwrap();
     out
 }
@@ -323,6 +341,62 @@ fn sharded_cluster_matches_golden() {
 fn multi_resource_matches_golden() {
     let metrics = run_scenario("multi_resource");
     assert_matches_golden("multi_resource", &render(&metrics));
+}
+
+#[test]
+fn noisy_telemetry_matches_golden() {
+    let metrics = run_scenario("noisy_telemetry");
+    assert_matches_golden("noisy_telemetry", &render(&metrics));
+}
+
+/// The imperfect-telemetry acceptance bar: the checked-in scenario must
+/// actually flap (suspects, false-positive deaths, reinstatements, and
+/// stale holds all occur), yet every job completes and the controller is
+/// fully reconciled once the lossy-transport window closes and the
+/// health machine's hysteresis has drained.
+#[test]
+fn noisy_telemetry_flaps_and_recovers() {
+    let spec = load_scenario("noisy_telemetry");
+    let obs_spec = spec
+        .observation
+        .clone()
+        .expect("scenario ships an observation block");
+    let metrics = run_scenario("noisy_telemetry");
+
+    let o = &metrics.observation;
+    assert!(
+        o.suspects > 0 && o.deaths > 0 && o.reinstatements > 0 && o.stale_holds > 0,
+        "the golden scenario must exercise the whole health machine: {o:?}"
+    );
+    assert_eq!(
+        metrics.completions.len(),
+        spec.jobs.iter().map(|g| g.count).sum::<usize>(),
+        "every job completes despite flapping telemetry"
+    );
+    let hysteresis = f64::from(
+        obs_spec.dead_after + obs_spec.reinstate_after + obs_spec.staleness_budget_cycles + 5,
+    );
+    let settled =
+        obs_spec.loss_until_secs.expect("bounded loss window") + hysteresis * spec.cycle_secs;
+    for s in &metrics.samples {
+        if s.time.as_secs() >= settled {
+            assert_eq!(
+                s.pending_actions,
+                0,
+                "unreconciled actions at t={:.0}s after telemetry recovered",
+                s.time.as_secs()
+            );
+        }
+    }
+
+    // The exactly-off contract, as `simulate --no-observation-faults`
+    // applies it: stripping the block yields a clean perfect-telemetry
+    // run whose counters never move.
+    let mut perfect = spec.clone();
+    perfect.observation = None;
+    let clean = perfect.build().run();
+    assert_eq!(clean.observation, Default::default());
+    assert_eq!(clean.completions.len(), metrics.completions.len());
 }
 
 /// The multi-dimension acceptance bar: the `license_slots` dimension in
