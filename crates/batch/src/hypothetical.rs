@@ -183,10 +183,11 @@ impl JobSnapshot {
         }
         let target = u.min(self.u_max(now));
         let completion = self.goal.completion_for(target);
-        // `u_max` is clamped at the RP floor, so for hopelessly late jobs
-        // the floor's completion time can still lie in the past; no
-        // schedule can beat the earliest feasible completion, so demand
-        // tops out at the run-flat-out average speed.
+        // For hopelessly late jobs a target's completion time can still
+        // lie in the past (healthy targets) or round-trip slightly early
+        // (banded `u_max`); no schedule can beat the earliest feasible
+        // completion, so demand tops out at the run-flat-out average
+        // speed.
         let available = completion.max(self.earliest_completion(now)) - now;
         debug_assert!(
             available.is_positive(),
@@ -236,7 +237,17 @@ impl JobColumn {
         let cap = job.u_max(now);
         let mut w = Vec::with_capacity(grid.len());
         let mut v = Vec::with_capacity(grid.len());
-        for &u in grid {
+        for (i, &u) in grid.iter().enumerate() {
+            if i == 0 && cap.is_sub_floor() {
+                // A hopeless job (u_max below the healthy floor) anchors
+                // its bottom row at the band bottom: zero allocation means
+                // it never completes (infinite lateness), so the lowest
+                // segment interpolates lateness between `Rp::MIN` and the
+                // banded `u_max` instead of collapsing onto a flat floor.
+                w.push(0.0);
+                v.push(Rp::MIN.value());
+                continue;
+            }
             let target = Rp::new(u).min(cap);
             w.push(job.demand_for(now, target).as_mhz());
             v.push(target.value());
@@ -806,10 +817,53 @@ mod tests {
 
     #[test]
     fn zero_allocation_hits_floor_row() {
+        // A healthy job's bottom row is the flat sampling floor, exactly
+        // as before the sub-floor band existed.
         let (j1, _, _) = example_jobs(4.0);
-        let hypo = HypotheticalRpf::new(t(0.0), &[j1]);
+        let hypo = HypotheticalRpf::new(t(0.0), std::slice::from_ref(&j1));
         let ps = hypo.performances(CpuSpeed::ZERO);
-        assert!(ps[0].1.value() <= RP_FLOOR + 1e-9);
+        assert_eq!(ps[0].1, Rp::FLOOR);
+        // A hopeless job's bottom row is the band bottom instead: zero
+        // allocation means infinite lateness.
+        let hypo = HypotheticalRpf::new(t(300.0), &[j1]);
+        let ps = hypo.performances(CpuSpeed::ZERO);
+        assert_eq!(ps[0].1, Rp::MIN);
+    }
+
+    #[test]
+    fn hopeless_bottom_row_interpolates_lateness() {
+        // j1 viewed from t=300 is hopeless: earliest completion t=304,
+        // raw u = (20−304)/20 = −14.2, well below the floor.
+        let (j1, _, _) = example_jobs(4.0);
+        let now = t(300.0);
+        let cap = j1.u_max(now);
+        assert!(cap.is_sub_floor() && cap > Rp::MIN);
+        let hypo = HypotheticalRpf::new(now, &[j1]);
+        // The lowest segment is no longer flat: partial allocations land
+        // strictly between the band bottom and the banded u_max.
+        let zero = hypo.performances(CpuSpeed::ZERO)[0].1;
+        let half = hypo.performances(mhz(500.0))[0].1;
+        let full = hypo.performances(mhz(1_000.0))[0].1;
+        assert_eq!(zero, Rp::MIN);
+        assert!(zero < half && half < full, "{zero} {half} {full}");
+        assert!(half.is_sub_floor() && full.is_sub_floor());
+        assert!(full.approx_eq(cap, 1e-9));
+    }
+
+    #[test]
+    fn hopeless_jobs_order_by_lateness() {
+        // Two hopeless jobs with different latenesses must get strictly
+        // ordered utility, never a shared flat clamp.
+        let (j1, _, j3) = example_jobs(4.0);
+        let now = t(300.0);
+        let (u1, u3) = (j1.u_max(now), j3.u_max(now));
+        assert!(u1.is_sub_floor() && u3.is_sub_floor());
+        // j3's goal is tighter, so it is strictly later.
+        assert!(u1 > u3);
+        let hypo = HypotheticalRpf::new(now, &[j1, j3]);
+        let ps = hypo.performances(mhz(1e9));
+        assert!(ps[0].1 > ps[1].1, "latenesses must stay ordered");
+        assert!(ps[0].1.sub_floor_lateness().unwrap() < ps[1].1.sub_floor_lateness().unwrap());
     }
 
     #[test]

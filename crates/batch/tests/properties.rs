@@ -75,8 +75,15 @@ proptest! {
         let hypo = HypotheticalRpf::new(now, &snaps);
         let ps = hypo.performances(CpuSpeed::from_mhz(omega));
         for ((_, u), snap) in ps.iter().zip(&snaps) {
-            prop_assert!(*u <= snap.u_max(now).max(Rp::new(dynaplace_rpf::RP_FLOOR)));
-            prop_assert!(u.value() >= dynaplace_rpf::RP_FLOOR - 1e-9);
+            let u_max = snap.u_max(now);
+            prop_assert!(*u <= u_max.max(Rp::FLOOR));
+            // Healthy jobs never dip below the flat sampling floor;
+            // hopeless jobs live in the sub-floor band above Rp::MIN.
+            if u_max >= Rp::FLOOR {
+                prop_assert!(u.value() >= dynaplace_rpf::RP_FLOOR - 1e-9);
+            } else {
+                prop_assert!(*u >= Rp::MIN);
+            }
         }
     }
 

@@ -12,6 +12,12 @@
 //! `trace_dump` binary. `--no-observation-faults` strips the scenario's
 //! `observation` block so the same file can be replayed under perfect
 //! telemetry for an A/B comparison.
+//!
+//! `--strict` turns the run into a regression gate: the process exits
+//! nonzero if the starvation breaker fired (a should-never-fire
+//! controller diagnostic) or if a horizon-free run ended without every
+//! submitted job completing. CI replays every pinned repro under
+//! `tests/repro/` with this flag.
 
 use std::process::ExitCode;
 
@@ -19,17 +25,19 @@ use dynaplace_bench::ascii_table;
 use dynaplace_sim::spec::ScenarioSpec;
 
 const USAGE: &str = "usage: simulate <scenario.json> [metrics-out.json] [--trace <trace.jsonl>] \
-     [--trace-level decisions|verbose] [--no-observation-faults]";
+     [--trace-level decisions|verbose] [--no-observation-faults] [--strict]";
 
 fn main() -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut trace_level: Option<String> = None;
     let mut no_observation_faults = false;
+    let mut strict = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-observation-faults" => no_observation_faults = true,
+            "--strict" => strict = true,
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(p),
                 None => {
@@ -131,6 +139,30 @@ fn main() -> ExitCode {
     }
     if let Some(trace) = traced_to {
         println!("decision trace written to {trace}");
+    }
+    if strict {
+        let mut failures = Vec::new();
+        if let Some(s) = &metrics.starvation {
+            failures.push(format!(
+                "starvation breaker fired at t={:.3}s after {} starved app(s): {:?}",
+                s.time.as_secs(),
+                s.apps.len(),
+                s.apps
+            ));
+        }
+        if spec.horizon_secs.is_none() && metrics.completions.len() != spec.job_count() {
+            failures.push(format!(
+                "horizon-free run drained {} of {} submitted jobs",
+                metrics.completions.len(),
+                spec.job_count()
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("strict check failed: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -8,7 +8,9 @@
 //! 1. Bisect the highest uniform performance level `u` such that every
 //!    placed application's CPU demand at `u` can be routed onto the nodes
 //!    hosting its instances (respecting per-instance speed caps and node
-//!    capacities).
+//!    capacities). When not even the healthy floor fits and a hopeless
+//!    (sub-floor) job is placed, the bisection continues into the
+//!    sub-floor band, where hopeless demand scales down by lateness.
 //! 2. Applications that cannot individually improve beyond `u` —
 //!    saturated at their maximum achievable performance or blocked by a
 //!    saturated node — are *fixed* at their demand.
@@ -22,7 +24,7 @@ use dynaplace_model::load::LoadDistribution;
 use dynaplace_model::placement::Placement;
 use dynaplace_model::units::{CpuSpeed, SimDuration, Work};
 use dynaplace_rpf::model::PerformanceModel;
-use dynaplace_rpf::value::{Rp, RP_FLOOR};
+use dynaplace_rpf::value::{Rp, RP_FLOOR, RP_MIN};
 use dynaplace_solver::bisect::bisect_max;
 use dynaplace_solver::maxflow::FlowNetwork;
 
@@ -176,9 +178,38 @@ pub(crate) fn distribute_with(
         if apps.iter().all(|pa| pa.fixed.is_some()) {
             break;
         }
-        let result = bisect_max(RP_FLOOR, 1.0, U_TOL, |u| {
+        // Phase 1: the healthy range `[RP_FLOOR, 1]`, exactly as before
+        // the sub-floor band existed (same endpoints, so the bisection's
+        // midpoint sequence — and every healthy run's bits — are
+        // unchanged).
+        let healthy = bisect_max(RP_FLOOR, 1.0, U_TOL, |u| {
             routable(&apps, &effective(&apps, u), &capacities)
-        })?;
+        });
+        let result = match healthy {
+            Some(r) => r,
+            // Phase 2: not even the floor fits. When a floating hopeless
+            // job is present that is expected — its flat-out bid can
+            // exceed capacity — and the fair level lives in the sub-floor
+            // band, where each hopeless job's demand scales down by
+            // lateness (worst-off drained first). Without a hopeless job
+            // this is a genuinely infeasible placement and must keep
+            // propagating as `None`.
+            None => {
+                let hopeless_floating = apps.iter().any(|pa| {
+                    pa.fixed.is_none()
+                        && pa
+                            .placed_snapshot
+                            .as_ref()
+                            .is_some_and(|s| s.u_max(problem.now).is_sub_floor())
+                });
+                if !hopeless_floating {
+                    return None;
+                }
+                bisect_max(RP_MIN, RP_FLOOR, U_TOL, |u| {
+                    routable(&apps, &effective(&apps, u), &capacities)
+                })?
+            }
+        };
         let u_star = result.accepted;
         let base = effective(&apps, u_star);
 
@@ -237,33 +268,19 @@ pub(crate) fn distribute_with(
 }
 
 /// Raw (unclamped) workload demand of `pa` at performance level `u`.
+///
+/// Batch demand is `demand_for` across the *whole* `Rp` range, including
+/// the sub-floor band: a hopeless job bids flat-out at every healthy
+/// level and scales down by lateness at banded levels, so the
+/// water-filling itself drains the worst-off jobs first. (Historically
+/// hopeless jobs had their demand zeroed here to contain the flat-clamp
+/// starvation livelock; the sub-floor band made that shim redundant and
+/// it was removed.)
 fn raw_demand(problem: &PlacementProblem<'_>, pa: &PlacedApp<'_>, u: f64) -> f64 {
     match (pa.model, &pa.placed_snapshot) {
-        (_, Some(snap)) => batch_demand(problem, snap, u),
+        (_, Some(snap)) => snap.demand_for(problem.now, Rp::new(u)).as_mhz(),
         (WorkloadModel::Transactional(m), None) => m.demand(Rp::new(u)).as_mhz(),
-        (WorkloadModel::Batch(snap), None) => batch_demand(problem, snap, u),
-    }
-}
-
-/// A batch job's water-filling demand at level `u`.
-///
-/// A job whose *best achievable* performance already sits at the RP floor
-/// (its deadline is hopelessly blown) can never rise, whatever it
-/// receives — `demand_for` would answer "run flat out" at every level,
-/// which lets a dead job outbid healthy applications in the water-filling
-/// and starve them. Such a job is saturated at its maximum achievable
-/// performance (point 2 of the module doc): it contributes nothing here
-/// and is served best-effort from leftover capacity by [`residual_fill`],
-/// exactly like a transactional application stuck at the floor.
-fn batch_demand(
-    problem: &PlacementProblem<'_>,
-    snap: &dynaplace_batch::hypothetical::JobSnapshot,
-    u: f64,
-) -> f64 {
-    if snap.u_max(problem.now) == Rp::MIN {
-        0.0
-    } else {
-        snap.demand_for(problem.now, Rp::new(u)).as_mhz()
+        (WorkloadModel::Batch(snap), None) => snap.demand_for(problem.now, Rp::new(u)).as_mhz(),
     }
 }
 
@@ -632,6 +649,73 @@ mod tests {
         // its demand asks for (it needs 900 MHz to finish by t=10).
         assert!(load.get(tiny, n0) <= mhz(100.0) + mhz(0.1));
         assert!(load.get(big, n0) >= mhz(890.0));
+    }
+
+    /// Two hopeless jobs with different latenesses get strictly ordered
+    /// utility and CPU from the sub-floor band: the worse-off job (the
+    /// one that would finish later) bids more at every banded level, so
+    /// the phase-2 water-filling gives it strictly more CPU, and the
+    /// hypothetical function at the resulting aggregate scores the two
+    /// strictly apart — never a shared flat clamp. (Under the old
+    /// flat-clamp shims both demands were zeroed and the placement was
+    /// indifferent between them.)
+    #[test]
+    fn hopeless_jobs_get_ordered_cpu_and_utility() {
+        let mut cluster = Cluster::new();
+        let n0 = cluster.add_node(
+            NodeSpec::try_new(mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node capacities"),
+        );
+        let mut apps = AppSet::new();
+        let late = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
+        let later = apps.add(ApplicationSpec::batch(Memory::from_mb(750.0), mhz(1_000.0)));
+        let mut placement = Placement::new();
+        placement.place(late, n0);
+        placement.place(later, n0);
+        // 40,000 Mc at ≤1,000 MHz → 40 s minimum, against deadlines of
+        // 3 s and 1 s: raw u_max = −12.3 and −39, both sub-floor, and the
+        // flat-out bids (1,000 MHz each) cannot both fit the node.
+        let snap_late = batch_snapshot(late, 40_000.0, 1_000.0, 3.0);
+        let snap_later = batch_snapshot(later, 40_000.0, 1_000.0, 1.0);
+        let now = SimTime::ZERO;
+        assert!(snap_late.u_max(now).is_sub_floor());
+        assert!(snap_later.u_max(now).is_sub_floor());
+        assert!(snap_late.u_max(now) > snap_later.u_max(now));
+        let mut workloads = BTreeMap::new();
+        workloads.insert(late, WorkloadModel::Batch(snap_late.clone()));
+        workloads.insert(later, WorkloadModel::Batch(snap_later.clone()));
+        let world = World {
+            cluster,
+            apps,
+            workloads,
+            placement,
+        };
+        let load = distribute(&world.problem(), &world.placement).unwrap();
+        let cpu_late = load.get(late, n0);
+        let cpu_later = load.get(later, n0);
+        // The whole node is used draining them...
+        assert!(
+            (cpu_late + cpu_later).approx_eq(mhz(1_000.0), 1.0),
+            "{cpu_late} + {cpu_later}"
+        );
+        // ...and the worse-off job gets strictly more of it (3× here:
+        // demands at a common banded level scale inversely with the
+        // deadline-proportional time left).
+        assert!(
+            cpu_later > cpu_late + mhz(100.0),
+            "later job must outdraw: {cpu_later} vs {cpu_late}"
+        );
+        // Utility at the drained aggregate stays strictly ordered too.
+        let hypo =
+            dynaplace_batch::hypothetical::HypotheticalRpf::new(now, &[snap_late, snap_later]);
+        let ps = hypo.performances(cpu_late + cpu_later);
+        assert!(ps[0].1.is_sub_floor() && ps[1].1.is_sub_floor());
+        assert!(
+            ps[0].1 > ps[1].1,
+            "utilities must order by lateness: {} vs {}",
+            ps[0].1,
+            ps[1].1
+        );
     }
 
     /// A transactional app spanning two nodes absorbs the capacity its

@@ -529,8 +529,10 @@ pub(crate) fn justifying_delta(
             .entries()
             .iter()
             .zip(b.entries())
+            .find(|((_, x), (_, y))| {
+                x.cmp_with_tolerance(*y, tolerance) != std::cmp::Ordering::Equal
+            })
             .map(|((_, x), (_, y))| x.value() - y.value())
-            .find(|d| d.abs() > tolerance)
             .unwrap_or(0.0),
         Objective::TotalPerformance => {
             let sum = |v: &SatisfactionVector| -> f64 {
@@ -736,29 +738,17 @@ pub(crate) fn optimize_scoped(
                 };
                 let ordering =
                     objective_cmp(config, &score.satisfaction, &best.satisfaction, threshold);
-                // A job whose deadline is hopelessly blown sits at the RP
-                // floor whether it runs or not — its whole hypothetical
-                // column is flat at the clamp, so the objective is
-                // indifferent between starting it and leaving it queued,
-                // and greedy improvement alone would starve it forever.
-                // Among objective-equal candidates, adopt a pure-start one
-                // that places such a floor-stuck, unplaced application:
-                // starting is non-disruptive, and running it is the only
-                // way it ever leaves the system.
-                let rescues_starving = ordering == std::cmp::Ordering::Equal
-                    && disruptions == 0
-                    && diff.iter().any(|a| match a {
-                        PlacementAction::Start { app, .. } => {
-                            !current.is_placed(*app)
-                                && best
-                                    .satisfaction
-                                    .entries()
-                                    .iter()
-                                    .any(|&(b, u)| b == *app && u == Rp::MIN)
-                        }
-                        _ => false,
-                    });
-                if ordering != std::cmp::Ordering::Greater && !rescues_starving {
+                // No special case for hopelessly late jobs: the sub-floor
+                // band keeps their utility strictly decreasing in
+                // lateness, so a candidate that starts (or speeds up) a
+                // hopeless job improves the objective by an honest,
+                // tolerance-visible margin — band values compare by
+                // decompressed lateness, where one cycle of progress is
+                // worth `cycle / relative_goal`, the same scale healthy
+                // jobs move at. (An objective-equal "rescues starving
+                // jobs" tie-break used to live here to contain the flat
+                // clamp's indifference.)
+                if ordering != std::cmp::Ordering::Greater {
                     if sink.wants(TraceLevel::Verbose) {
                         sink.record(&TraceEvent::CandidateRejected {
                             time: now,

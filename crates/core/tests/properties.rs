@@ -331,7 +331,7 @@ proptest! {
         ));
         let m = TxnPerformanceModel::new(TxnWorkload::new(rate, demand, floor), goal);
         let u = Rp::new(u.min(m.max_performance().value() - 1e-6));
-        if u <= Rp::MIN {
+        if u <= Rp::FLOOR {
             return Ok(());
         }
         let omega = m.demand(u);

@@ -84,18 +84,29 @@ impl CompletionGoal {
         self.deadline - self.desired_start
     }
 
-    /// Relative performance of completing at `completion` (eq. 2),
-    /// clamped into the representable range.
+    /// Relative performance of completing at `completion` (eq. 2).
+    ///
+    /// Healthy values (raw `u ≥ RP_FLOOR`) are returned exactly as the
+    /// historical clamped arithmetic produced them; raw values below the
+    /// floor are squash-compressed into the sub-floor band so hopeless
+    /// completions stay strictly ordered by lateness (DESIGN.md §6).
     pub fn performance_at(&self, completion: SimTime) -> Rp {
         let num = (self.deadline - completion).as_secs();
-        Rp::new(num / self.relative_goal().as_secs())
+        let raw = num / self.relative_goal().as_secs();
+        if raw >= crate::value::RP_FLOOR {
+            Rp::new(raw)
+        } else {
+            Rp::banded_from_lateness(crate::value::RP_FLOOR - raw)
+        }
     }
 
     /// Inverse of eq. 2: the completion time that yields relative
     /// performance `u`, `t(u) = τ − u·(τ − τ_start)` (the paper's `t_m(u)`
-    /// in §4.2).
+    /// in §4.2). Sub-floor band values decompress to their raw lateness
+    /// first, so this inverts [`CompletionGoal::performance_at`] across
+    /// the whole range (`Rp::MIN` maps to an infinitely late completion).
     pub fn completion_for(&self, u: Rp) -> SimTime {
-        self.deadline - SimDuration::from_secs(u.value() * self.relative_goal().as_secs())
+        self.deadline - SimDuration::from_secs(u.effective() * self.relative_goal().as_secs())
     }
 
     /// Signed distance to the deadline for a completion time: positive
@@ -129,9 +140,15 @@ impl ResponseTimeGoal {
     }
 
     /// Relative performance of an observed response time (eq. 1):
-    /// `u = (τ − t)/τ`.
+    /// `u = (τ − t)/τ`, clamped at the healthy floor.
+    ///
+    /// Transactional scoring deliberately does not use the sub-floor
+    /// band: requests are memoryless (there is no lateness to drain), and
+    /// deep overload must score exactly [`Rp::FLOOR`] so it stays
+    /// consistent with the router's no-capacity outcome.
     pub fn performance_at(&self, response_time: SimDuration) -> Rp {
-        Rp::new((self.goal - response_time).as_secs() / self.goal.as_secs())
+        let raw = (self.goal - response_time).as_secs() / self.goal.as_secs();
+        Rp::new(raw.max(crate::value::RP_FLOOR))
     }
 
     /// Inverse of eq. 1: the response time that yields `u`,
@@ -200,7 +217,30 @@ mod tests {
     #[test]
     fn response_goal_floor_clamps() {
         let g = ResponseTimeGoal::new(d(0.01));
-        // Absurdly slow response clamps at the RP floor instead of -inf.
-        assert_eq!(g.performance_at(d(1e9)), Rp::MIN);
+        // Absurdly slow response clamps at the healthy floor (never the
+        // sub-floor band): txn scoring is memoryless.
+        assert_eq!(g.performance_at(d(1e9)), Rp::FLOOR);
+    }
+
+    #[test]
+    fn completion_goal_bands_below_floor() {
+        let g = CompletionGoal::new(t(0.0), t(10.0));
+        // raw u = (10 − completion)/10; floor crossed at completion 110 s.
+        assert_eq!(g.performance_at(t(110.0)), Rp::FLOOR);
+        let a = g.performance_at(t(120.0));
+        let b = g.performance_at(t(200.0));
+        assert!(a.is_sub_floor() && b.is_sub_floor());
+        // Later completion → strictly lower banded utility.
+        assert!(Rp::FLOOR > a && a > b && b > Rp::MIN);
+        // completion_for inverts the band.
+        for c in [120.0, 200.0, 5_000.0] {
+            let u = g.performance_at(t(c));
+            assert!(
+                (g.completion_for(u).as_secs() - c).abs() <= 1e-6 * c,
+                "completion {c} round-tripped to {}",
+                g.completion_for(u).as_secs()
+            );
+        }
+        assert_eq!(g.completion_for(Rp::MIN).as_secs(), f64::INFINITY);
     }
 }

@@ -30,4 +30,4 @@ pub use goal::{CompletionGoal, ResponseTimeGoal};
 pub use model::{PerformanceModel, SampledRpf};
 pub use satisfaction::{SatisfactionVector, DEFAULT_EPSILON};
 pub use utility::{SatisfactionCurve, UtilityModel};
-pub use value::{Rp, RP_CEIL, RP_FLOOR};
+pub use value::{Rp, RP_CEIL, RP_FLOOR, RP_MIN, SUB_FLOOR_BAND};

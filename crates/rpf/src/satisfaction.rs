@@ -91,6 +91,13 @@ impl SatisfactionVector {
     /// values, with per-element tolerance `epsilon`: elements closer than
     /// `epsilon` are treated as equal and the comparison moves on.
     ///
+    /// Per-element comparison happens on the decompressed axis
+    /// ([`Rp::cmp_with_tolerance`]): healthy-range pairs behave exactly
+    /// as the historical absolute check, while sub-floor band pairs
+    /// compare by lateness so `epsilon` does not erase band-scale deltas
+    /// (which would make the objective indifferent to draining hopeless
+    /// jobs — the starvation livelock this band exists to fix).
+    ///
     /// `Greater` means `self` is the better system state under the
     /// paper's extended max-min objective.
     ///
@@ -106,13 +113,9 @@ impl SatisfactionVector {
             "satisfaction vectors must cover the same applications"
         );
         for ((_, a), (_, b)) in self.entries.iter().zip(&other.entries) {
-            let diff = a.value() - b.value();
-            if diff.abs() > epsilon {
-                return if diff > 0.0 {
-                    Ordering::Greater
-                } else {
-                    Ordering::Less
-                };
+            match a.cmp_with_tolerance(*b, epsilon) {
+                Ordering::Equal => continue,
+                ord => return ord,
             }
         }
         Ordering::Equal
@@ -211,5 +214,27 @@ mod tests {
     #[should_panic(expected = "same applications")]
     fn mismatched_lengths_panic() {
         let _ = sv(&[0.1]).compare(&sv(&[0.1, 0.2]), DEFAULT_EPSILON);
+    }
+
+    #[test]
+    fn sub_floor_band_is_not_flat_to_the_objective() {
+        // Two hopeless jobs, latenesses 1000 vs 1001 (raw-u units): the
+        // stored encodings differ by far less than DEFAULT_EPSILON, but
+        // the objective must still prefer the less-late state.
+        let less_late = SatisfactionVector::from_entries(vec![(
+            AppId::new(0),
+            Rp::banded_from_lateness(1000.0),
+        )]);
+        let more_late = SatisfactionVector::from_entries(vec![(
+            AppId::new(1),
+            Rp::banded_from_lateness(1001.0),
+        )]);
+        let delta =
+            (less_late.worst().unwrap().1.value() - more_late.worst().unwrap().1.value()).abs();
+        assert!(delta < DEFAULT_EPSILON);
+        assert_eq!(
+            less_late.compare(&more_late, DEFAULT_EPSILON),
+            Ordering::Greater
+        );
     }
 }

@@ -62,8 +62,14 @@ impl SatisfactionCurve {
 
     /// The linear identity: utility ≡ relative performance (the implicit
     /// model used when no satisfaction data exists).
+    ///
+    /// The knot at `(RP_FLOOR, RP_FLOOR)` keeps the healthy segment
+    /// `[RP_FLOOR, RP_CEIL]` arithmetic bit-identical to the historical
+    /// two-point curve; the extra segment below it extends the identity
+    /// across the sub-floor band down to `RP_MIN`.
     pub fn identity() -> Self {
         Self::new(vec![
+            (crate::value::RP_MIN, crate::value::RP_MIN),
             (crate::value::RP_FLOOR, crate::value::RP_FLOOR),
             (crate::value::RP_CEIL, crate::value::RP_CEIL),
         ])
@@ -125,7 +131,7 @@ mod tests {
     #[test]
     fn identity_is_identity() {
         let c = SatisfactionCurve::identity();
-        for u in [-5.0, -1.0, 0.0, 0.5, 1.0] {
+        for u in [-10.5, -10.0, -5.0, -1.0, 0.0, 0.5, 1.0] {
             assert!((c.utility(Rp::new(u)) - u).abs() < 1e-12);
         }
     }

@@ -131,9 +131,11 @@ pub struct SimConfig {
     /// is pending, and the system state is provably identical to the
     /// previous cycle, the run is declared starved — the surviving jobs
     /// are recorded in [`RunMetrics::starvation`] and the simulation
-    /// terminates instead of cycling forever. A workload where every
-    /// placed job makes progress never trips this. `0` disables the
-    /// breaker (the pre-breaker behavior: such runs never return).
+    /// terminates instead of cycling forever. Since the sub-floor
+    /// utility band made hopeless-job starvation impossible by
+    /// construction, this is a should-never-fire diagnostic: a trip
+    /// indicates a controller regression, not a legitimate workload
+    /// outcome. `0` disables the breaker (such runs then never return).
     pub stall_limit: u32,
 }
 

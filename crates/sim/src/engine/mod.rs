@@ -552,16 +552,23 @@ impl Simulation {
         self.metrics
     }
 
-    /// The starvation breaker: proves that an unbounded run is in a
-    /// zero-progress livelock and should terminate with the survivors
-    /// recorded as starved, instead of scheduling control cycles forever.
+    /// The starvation breaker: a **should-never-fire diagnostic** that
+    /// proves an unbounded run is in a zero-progress livelock and
+    /// terminates it with the survivors recorded as starved, instead of
+    /// scheduling control cycles forever.
     ///
-    /// The canonical livelock: a job whose deadline is so hopelessly
-    /// blown that its relative performance sits at the floor whatever it
-    /// receives, on a cluster whose capacity a saturated transactional
-    /// application legitimately absorbs. The job may even be *placed* —
-    /// it just receives zero CPU forever, and "run until every job
-    /// completes" never returns.
+    /// Historically this was a live containment shim: a job whose
+    /// deadline was so hopelessly blown that its relative performance
+    /// sat flat at the clamp floor whatever it received could be starved
+    /// forever by a saturated transactional application, and the breaker
+    /// was the only way such a run terminated. The sub-floor utility
+    /// band ([`dynaplace_rpf::SUB_FLOOR_BAND`]) removed the root cause:
+    /// hopeless jobs now carry strictly decreasing utility, so the
+    /// optimizer's max-min objective drains them instead of stalling.
+    /// The breaker remains solely as a tripwire for regressions in that
+    /// guarantee — a firing is a bug in the controller, not an expected
+    /// workload outcome, and `tests/repro/starved_floor_job.json` pins
+    /// the canonical ex-livelock as a must-drain acceptance test.
     ///
     /// Called after a control cycle, before the next one is pushed — so
     /// an empty event queue proves the simulation is waiting on nothing

@@ -148,8 +148,10 @@ impl Simulation {
             let outcome = txn.router.route(&workload, &allocations);
             let rp = match outcome.mean_response {
                 Some(t) if !outcome.is_overloaded() => txn.goal.performance_at(t),
-                // Overload (or no capacity): report the floor.
-                _ => Rp::MIN,
+                // Overload (or no capacity): report the healthy floor.
+                // Txn flows are memoryless, so they never accrue the
+                // lateness that would place them in the sub-floor band.
+                _ => Rp::FLOOR,
             };
             rp_sum += rp.value();
             rp_count += 1;

@@ -657,6 +657,19 @@ impl ScenarioSpec {
         self.nodes.iter().map(|g| g.count).sum()
     }
 
+    /// Total number of batch jobs the scenario will submit: each group
+    /// spawns [`JobGroupSpec::count`] instances, except explicit
+    /// [`ArrivalSpec::At`] groups, which spawn one per listed instant.
+    pub fn job_count(&self) -> usize {
+        self.jobs
+            .iter()
+            .map(|g| match &g.arrivals {
+                ArrivalSpec::At(times) => times.len(),
+                _ => g.count,
+            })
+            .sum()
+    }
+
     /// Checks the scenario's structural consistency: at least one node
     /// (an all-`count: 0` fleet is as empty as no `nodes` list at all),
     /// a node total the `u32` id space can index, every scripted node

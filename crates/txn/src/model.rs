@@ -139,19 +139,24 @@ impl TxnPerformanceModel {
 
 impl PerformanceModel for TxnPerformanceModel {
     fn performance(&self, omega: CpuSpeed) -> Rp {
+        // Overload scores exactly the healthy floor, never the sub-floor
+        // band: txn requests are memoryless, so there is no accumulated
+        // lateness to drain, and `ResponseTimeGoal::performance_at`
+        // clamps at the floor for the same reason.
         match self.workload.response_time(omega) {
             Some(t) => self.goal.performance_at(t),
-            None => Rp::MIN,
+            None => Rp::FLOOR,
         }
     }
 
     fn demand(&self, u: Rp) -> CpuSpeed {
         let u = u.min(self.max_performance());
         // The RP floor is a plateau: every allocation from zero up to the
-        // overload-exit point scores Rp::MIN, so the *cheapest* allocation
-        // achieving the floor is zero (the leftmost point of the plateau,
-        // consistent with SampledRpf's inverse).
-        if u <= Rp::MIN {
+        // overload-exit point scores Rp::FLOOR, so the *cheapest*
+        // allocation achieving the floor — or any sub-floor band target —
+        // is zero (the leftmost point of the plateau, consistent with
+        // SampledRpf's inverse).
+        if u <= Rp::FLOOR {
             return CpuSpeed::ZERO;
         }
         let target = self.goal.response_for(u);
@@ -229,8 +234,8 @@ mod tests {
         // At the floor, u = (20-5)/20 = 0.75 = u_max.
         assert!(m.max_performance().approx_eq(Rp::new(0.75), 1e-9));
         assert!(m.performance(mhz(1e6)).approx_eq(Rp::new(0.75), 1e-9));
-        // Overloaded → floor value.
-        assert_eq!(m.performance(mhz(900.0)), Rp::MIN);
+        // Overloaded → the healthy floor, never the sub-floor band.
+        assert_eq!(m.performance(mhz(900.0)), Rp::FLOOR);
     }
 
     #[test]
@@ -259,7 +264,7 @@ mod tests {
     fn performance_is_monotone() {
         let m = model();
         let mut prev = Rp::MIN;
-        for omega in [0.0, 500.0, 1_001.0, 1_200.0, 2_000.0, 5_000.0, 1e6] {
+        for omega in [0.0, 500.0, 1_000.5, 1_001.0, 1_200.0, 2_000.0, 5_000.0, 1e6] {
             let u = m.performance(mhz(omega));
             assert!(u >= prev, "performance dropped at {omega} MHz");
             prev = u;

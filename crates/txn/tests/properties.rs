@@ -86,7 +86,7 @@ proptest! {
         ));
         let m = TxnPerformanceModel::new(workload, goal);
         let target = Rp::new(u).min(m.max_performance());
-        if target <= Rp::MIN {
+        if target <= Rp::FLOOR {
             return Ok(());
         }
         let back = m.performance(m.demand(target));
