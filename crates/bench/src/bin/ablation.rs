@@ -11,16 +11,14 @@
 //! Environment knobs: `ABLATION_JOBS` (default 300), `ABLATION_SEED` (42).
 
 use dynaplace_apc::optimizer::ApcConfig;
+use dynaplace_apc::PolicyHandle;
 use dynaplace_bench::{ascii_table, write_csv};
-use dynaplace_sim::engine::{SchedulerKind, SimConfig};
+use dynaplace_sim::engine::SimConfig;
 use dynaplace_sim::scenario::experiment_two;
 
 fn run(jobs: usize, seed: u64, config: ApcConfig, advice: bool, ia: f64) -> (f64, u64) {
     let sim_config = SimConfig {
-        scheduler: SchedulerKind::Apc {
-            config,
-            advice_between_cycles: advice,
-        },
+        scheduler: PolicyHandle::apc_with(config, advice),
         ..SimConfig::apc_default()
     };
     let metrics = experiment_two(seed, jobs, ia, sim_config).run();

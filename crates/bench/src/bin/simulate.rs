@@ -18,6 +18,10 @@
 //! controller diagnostic) or if a horizon-free run ended without every
 //! submitted job completing. CI replays every pinned repro under
 //! `tests/repro/` with this flag.
+//!
+//! `--scheduler <name>` overrides the scenario's own scheduler with any
+//! policy registered in the `dynaplace-apc` registry; `--list-policies`
+//! prints the registry (name, class, description) and exits.
 
 use std::process::ExitCode;
 
@@ -25,12 +29,32 @@ use dynaplace_bench::ascii_table;
 use dynaplace_sim::spec::ScenarioSpec;
 
 const USAGE: &str = "usage: simulate <scenario.json> [metrics-out.json] [--trace <trace.jsonl>] \
-     [--trace-level decisions|verbose] [--no-observation-faults] [--strict]";
+     [--trace-level decisions|verbose] [--no-observation-faults] [--strict] \
+     [--scheduler <policy>] | simulate --list-policies";
+
+/// Prints the global policy registry as a table.
+fn list_policies() {
+    let rows: Vec<Vec<String>> = dynaplace_apc::policy_handles()
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.name().to_string(),
+                p.class().name().to_string(),
+                p.description().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["policy", "class", "description"], &rows)
+    );
+}
 
 fn main() -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut trace_level: Option<String> = None;
+    let mut scheduler: Option<String> = None;
     let mut no_observation_faults = false;
     let mut strict = false;
     let mut args = std::env::args().skip(1);
@@ -38,6 +62,17 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--no-observation-faults" => no_observation_faults = true,
             "--strict" => strict = true,
+            "--list-policies" => {
+                list_policies();
+                return ExitCode::SUCCESS;
+            }
+            "--scheduler" => match args.next() {
+                Some(name) => scheduler = Some(name),
+                None => {
+                    eprintln!("--scheduler needs a policy name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(p),
                 None => {
@@ -81,6 +116,13 @@ fn main() -> ExitCode {
     };
     if no_observation_faults {
         spec.observation = None;
+    }
+    if let Some(name) = scheduler {
+        spec.scheduler = name;
+        if let Err(e) = spec.validate() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
     if let Some(trace_path) = trace_path {
         spec.trace.path = Some(trace_path);

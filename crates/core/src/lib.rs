@@ -82,6 +82,7 @@ pub mod cache;
 pub mod evaluate;
 pub mod load;
 pub mod optimizer;
+pub mod policy;
 pub mod problem;
 pub mod shard;
 
@@ -92,5 +93,9 @@ pub use optimizer::{
     fill_only, fill_only_traced, place, place_traced, ApcConfig, ApcConfigBuilder, ConfigError,
     Objective, OptimizerStats, PlacementOutcome, ScoringMode,
 };
+pub use policy::registry::{
+    policy_handles, policy_names, register_policy, resolve as resolve_policy, PolicyRegistry,
+};
+pub use policy::{ApcPolicy, PlacementPolicy, PolicyClass, PolicyHandle};
 pub use problem::{PlacementProblem, ProblemError, WorkloadModel};
 pub use shard::ShardingPolicy;

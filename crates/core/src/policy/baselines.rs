@@ -1,0 +1,439 @@
+//! Reservation-based baseline policies: FCFS, EDF, and the static
+//! partition, adapted onto the [`PlacementPolicy`] trait.
+//!
+//! These wrap the *existing* `dynaplace-batch` schedulers
+//! ([`fcfs_schedule`] / [`edf_schedule`]) rather than reimplementing
+//! them: the adapter derives the scheduler's inputs from the
+//! [`PlacementProblem`] exactly the way the engine's old baseline arm
+//! derived them from its internal job table — arrival is the goal's
+//! desired start, memory is the current stage's pinned memory, the
+//! per-job speed cap is the current stage maximum clamped to the
+//! largest node, and the incumbent node comes from the problem's
+//! current placement.
+//!
+//! Baselines *reserve*: a placed job is charged its full capped maximum
+//! speed, with no fractional sharing and no utility model, so the
+//! returned satisfaction vector is empty — only APC reasons about
+//! satisfaction at placement time.
+
+use dynaplace_batch::baselines::{edf_schedule, fcfs_schedule, BaselineJob, NodeCapacity};
+use dynaplace_model::ids::AppId;
+use dynaplace_model::load::LoadDistribution;
+use dynaplace_model::placement::Placement;
+use dynaplace_model::units::{CpuSpeed, Memory};
+use dynaplace_rpf::satisfaction::SatisfactionVector;
+use dynaplace_trace::TraceSink;
+use dynaplace_txn::model::TxnPerformanceModel;
+
+use crate::evaluate::PlacementScore;
+use crate::optimizer::{OptimizerStats, PlacementOutcome};
+use crate::policy::predprio::CAP_EPS;
+use crate::policy::{PlacementPolicy, PolicyClass};
+use crate::problem::{PlacementProblem, WorkloadModel};
+
+/// Scheduler-visible nodes: every cluster node with any capacity at
+/// all. Failed nodes enter the problem as zero-capacity stand-ins, so
+/// this reproduces the engine's old "skip failed nodes" filter.
+fn node_capacities(problem: &PlacementProblem<'_>) -> Vec<NodeCapacity> {
+    problem
+        .cluster
+        .iter()
+        .filter(|(_, spec)| {
+            spec.cpu_capacity().as_mhz() > 0.0 || spec.memory_capacity().as_mb() > 0.0
+        })
+        .map(|(node, spec)| NodeCapacity {
+            node,
+            cpu: spec.cpu_capacity(),
+            memory: spec.memory_capacity(),
+        })
+        .collect()
+}
+
+/// Largest single-node CPU capacity — the cap on any one job's
+/// reservation, since baselines never split a job across nodes.
+fn largest_cpu(nodes: &[NodeCapacity]) -> CpuSpeed {
+    nodes.iter().fold(CpuSpeed::ZERO, |max, n| {
+        if n.cpu.as_mhz() > max.as_mhz() {
+            n.cpu
+        } else {
+            max
+        }
+    })
+}
+
+/// Derives the baseline scheduler's job list from the problem, in app
+/// id order.
+fn baseline_jobs(problem: &PlacementProblem<'_>, largest: CpuSpeed) -> Vec<BaselineJob> {
+    problem
+        .workloads
+        .iter()
+        .filter_map(|(&app, model)| match model {
+            WorkloadModel::Batch(snap) => Some(BaselineJob {
+                app,
+                arrival: snap.goal().desired_start(),
+                deadline: snap.goal().deadline(),
+                memory: problem.try_effective_memory(app).unwrap_or(Memory::ZERO),
+                max_speed: CpuSpeed::from_mhz(snap.max_speed().as_mhz().min(largest.as_mhz())),
+                current_node: problem.current.single_node_of(app),
+            }),
+            WorkloadModel::Transactional(_) => None,
+        })
+        .collect()
+}
+
+/// Wraps a reservation target placement as a [`PlacementOutcome`]:
+/// every placed job is charged its capped maximum speed, actions are
+/// the diff from the problem's current placement, and the satisfaction
+/// vector is empty (baselines have no utility model).
+///
+/// Charges are clamped to what the hosting node still has free (in app
+/// id order, after any load already routed): the schedulers fit *new*
+/// jobs within capacity, but incumbents keep their nodes
+/// unconditionally, so a node that shrank under its residents — or a
+/// cluster-wide speed cap larger than the incumbent's node — must not
+/// yield a physically impossible load distribution.
+fn reservation_outcome(
+    problem: &PlacementProblem<'_>,
+    jobs: &[BaselineJob],
+    target: Placement,
+    mut load: LoadDistribution,
+) -> PlacementOutcome {
+    let mut free: std::collections::BTreeMap<_, f64> = problem
+        .cluster
+        .iter()
+        .map(|(node, spec)| {
+            (
+                node,
+                spec.cpu_capacity().as_mhz() - load.node_total(node).as_mhz(),
+            )
+        })
+        .collect();
+    for job in jobs {
+        if let Some(node) = target.single_node_of(job.app) {
+            let room = free.entry(node).or_insert(0.0);
+            let alloc = job.max_speed.as_mhz().min(*room).max(0.0);
+            if alloc > 0.0 {
+                load.set(job.app, node, CpuSpeed::from_mhz(alloc));
+                *room -= alloc;
+            }
+        }
+    }
+    let actions = problem.current.diff(&target);
+    PlacementOutcome {
+        placement: target,
+        score: PlacementScore {
+            load,
+            satisfaction: SatisfactionVector::from_entries(Vec::new()),
+        },
+        actions,
+        stats: OptimizerStats::default(),
+        timed_out: false,
+    }
+}
+
+/// First-come-first-served with strict queue order: jobs run to
+/// completion at full speed, the queue head blocks (§5.2's FCFS
+/// baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsPolicy;
+
+impl PlacementPolicy for FcfsPolicy {
+    fn name(&self) -> &str {
+        "fcfs"
+    }
+
+    fn description(&self) -> &str {
+        "first-come-first-served reservations, strict queue order"
+    }
+
+    fn class(&self) -> PolicyClass {
+        PolicyClass::Baseline
+    }
+
+    fn place(&self, problem: &PlacementProblem<'_>, _sink: &dyn TraceSink) -> PlacementOutcome {
+        let nodes = node_capacities(problem);
+        let jobs = baseline_jobs(problem, largest_cpu(&nodes));
+        let target = fcfs_schedule(&nodes, &jobs);
+        reservation_outcome(problem, &jobs, target, LoadDistribution::new())
+    }
+}
+
+/// Earliest-deadline-first with preemption: urgent jobs may evict
+/// strictly-later-deadline residents (§5.2's EDF baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdfPolicy;
+
+impl PlacementPolicy for EdfPolicy {
+    fn name(&self) -> &str {
+        "edf"
+    }
+
+    fn description(&self) -> &str {
+        "earliest-deadline-first reservations with preemption"
+    }
+
+    fn class(&self) -> PolicyClass {
+        PolicyClass::Baseline
+    }
+
+    fn place(&self, problem: &PlacementProblem<'_>, _sink: &dyn TraceSink) -> PlacementOutcome {
+        let nodes = node_capacities(problem);
+        let jobs = baseline_jobs(problem, largest_cpu(&nodes));
+        let target = edf_schedule(&nodes, &jobs);
+        reservation_outcome(problem, &jobs, target, LoadDistribution::new())
+    }
+}
+
+/// The paper's Experiment Three non-sharing configuration as a single
+/// policy: a node prefix sized to the transactional saturation demand
+/// is reserved for transactional instances (water-filled in id order),
+/// and batch jobs run FCFS on the remaining nodes only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticPartitionPolicy;
+
+impl PlacementPolicy for StaticPartitionPolicy {
+    fn name(&self) -> &str {
+        "static-partition"
+    }
+
+    fn description(&self) -> &str {
+        "txn nodes sized to saturation demand, batch FCFS on the rest"
+    }
+
+    fn class(&self) -> PolicyClass {
+        PolicyClass::Baseline
+    }
+
+    fn place(&self, problem: &PlacementProblem<'_>, _sink: &dyn TraceSink) -> PlacementOutcome {
+        let nodes = node_capacities(problem);
+
+        let txns: Vec<(AppId, TxnPerformanceModel)> = problem
+            .workloads
+            .iter()
+            .filter_map(|(&app, model)| match model {
+                WorkloadModel::Transactional(txn) => Some((app, *txn)),
+                WorkloadModel::Batch(_) => None,
+            })
+            .collect();
+        let demand: f64 = txns
+            .iter()
+            .map(|(_, txn)| txn.workload().saturation_allocation().as_mhz())
+            .sum();
+
+        // Smallest node-id-ordered prefix whose CPU covers the
+        // transactional saturation demand.
+        let mut prefix_len = 0;
+        let mut covered = 0.0;
+        while covered + CAP_EPS < demand && prefix_len < nodes.len() {
+            covered += nodes[prefix_len].cpu.as_mhz();
+            prefix_len += 1;
+        }
+        let (txn_nodes, batch_nodes) = nodes.split_at(prefix_len);
+
+        // Water-fill transactional demand over the prefix, one checked
+        // instance per (app, node) visit, respecting memory, rigid
+        // dims, pinning, forbidden pairs, and instance limits.
+        let mut placement = Placement::new();
+        let mut load = LoadDistribution::new();
+        let mut free: Vec<f64> = txn_nodes.iter().map(|n| n.cpu.as_mhz()).collect();
+        let mut rigid_used = vec![dynaplace_model::resources::Resources::zero(); txn_nodes.len()];
+        for &(app, txn) in &txns {
+            let Ok(rigid) = problem.try_effective_rigid(app) else {
+                continue;
+            };
+            let max_instances = problem
+                .apps
+                .get(app)
+                .map(|s| s.max_instances())
+                .unwrap_or(0);
+            let mut remaining = txn.workload().saturation_allocation().as_mhz();
+            let mut instances = 0u32;
+            for (i, cap) in txn_nodes.iter().enumerate() {
+                if remaining <= CAP_EPS || instances >= max_instances {
+                    break;
+                }
+                let alloc = remaining.min(free[i]);
+                if alloc <= CAP_EPS {
+                    continue;
+                }
+                if !problem.allows_node(app, cap.node) {
+                    continue;
+                }
+                let spec = problem
+                    .cluster
+                    .node(cap.node)
+                    .expect("capacity list only names cluster nodes");
+                if rigid_used[i]
+                    .first_overflow(&rigid, spec.rigid_capacity())
+                    .is_some()
+                {
+                    continue;
+                }
+                if placement
+                    .checked_place(app, cap.node, problem.cluster, problem.apps)
+                    .is_err()
+                {
+                    continue;
+                }
+                rigid_used[i].add_scaled(&rigid, 1.0);
+                load.add(app, cap.node, CpuSpeed::from_mhz(alloc));
+                free[i] -= alloc;
+                remaining -= alloc;
+                instances += 1;
+            }
+        }
+
+        // Batch jobs: FCFS over the non-transactional suffix. A job
+        // currently inside the prefix loses its incumbent claim (the
+        // partition owns those nodes).
+        let largest = largest_cpu(batch_nodes);
+        let mut jobs = baseline_jobs(problem, largest);
+        for job in &mut jobs {
+            if let Some(node) = job.current_node {
+                if txn_nodes.iter().any(|n| n.node == node) {
+                    job.current_node = None;
+                }
+            }
+        }
+        let batch_target = fcfs_schedule(batch_nodes, &jobs);
+        for (app, node, count) in batch_target.iter() {
+            for _ in 0..count {
+                placement.place(app, node);
+            }
+        }
+        reservation_outcome(problem, &jobs, placement, load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use dynaplace_batch::hypothetical::JobSnapshot;
+    use dynaplace_batch::job::JobProfile;
+    use dynaplace_model::app::ApplicationSpec;
+    use dynaplace_model::cluster::{AppSet, Cluster};
+    use dynaplace_model::node::NodeSpec;
+    use dynaplace_model::units::{SimDuration, SimTime, Work};
+    use dynaplace_rpf::goal::{CompletionGoal, ResponseTimeGoal};
+    use dynaplace_trace::NoopSink;
+    use dynaplace_txn::model::TxnWorkload;
+
+    use super::*;
+
+    fn one_job_problem() -> (Cluster, AppSet, BTreeMap<AppId, WorkloadModel>, Placement) {
+        let mut cluster = Cluster::new();
+        cluster.add_node(
+            NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+                .expect("valid node"),
+        );
+        let mut apps = AppSet::new();
+        let job = apps.add(ApplicationSpec::batch(
+            Memory::from_mb(500.0),
+            CpuSpeed::from_mhz(800.0),
+        ));
+        let mut workloads = BTreeMap::new();
+        workloads.insert(
+            job,
+            WorkloadModel::Batch(JobSnapshot::new(
+                job,
+                CompletionGoal::new(SimTime::ZERO, SimTime::from_secs(100.0)),
+                Arc::new(JobProfile::single_stage(
+                    Work::from_mcycles(8_000.0),
+                    CpuSpeed::from_mhz(800.0),
+                    Memory::from_mb(500.0),
+                )),
+                Work::ZERO,
+                SimDuration::from_secs(1.0),
+            )),
+        );
+        (cluster, apps, workloads, Placement::new())
+    }
+
+    #[test]
+    fn fcfs_places_the_only_job_at_full_speed() {
+        let (cluster, apps, workloads, current) = one_job_problem();
+        let job = *workloads.keys().next().expect("one job");
+        let problem = PlacementProblem::new(
+            &cluster,
+            &apps,
+            workloads,
+            &current,
+            SimTime::ZERO,
+            SimDuration::from_secs(1.0),
+            Default::default(),
+        )
+        .expect("valid problem");
+        let outcome = FcfsPolicy.place(&problem, &NoopSink);
+        assert_eq!(outcome.placement.total_instances(job), 1);
+        assert_eq!(outcome.score.load.app_total(job).as_mhz(), 800.0);
+        assert!(outcome.actions.len() == 1, "one boot expected");
+    }
+
+    #[test]
+    fn static_partition_reserves_a_txn_prefix() {
+        let mut cluster = Cluster::new();
+        for _ in 0..2 {
+            cluster.add_node(
+                NodeSpec::try_new(CpuSpeed::from_mhz(1_000.0), Memory::from_mb(2_000.0))
+                    .expect("valid node"),
+            );
+        }
+        let mut apps = AppSet::new();
+        let txn = apps.add(ApplicationSpec::transactional(
+            Memory::from_mb(400.0),
+            CpuSpeed::from_mhz(f64::INFINITY),
+            2,
+        ));
+        let job = apps.add(ApplicationSpec::batch(
+            Memory::from_mb(500.0),
+            CpuSpeed::from_mhz(800.0),
+        ));
+        let mut workloads = BTreeMap::new();
+        workloads.insert(
+            txn,
+            WorkloadModel::Transactional(TxnPerformanceModel::new(
+                TxnWorkload::new(10.0, 40.0, SimDuration::from_secs(0.01)),
+                ResponseTimeGoal::new(SimDuration::from_secs(0.1)),
+            )),
+        );
+        workloads.insert(
+            job,
+            WorkloadModel::Batch(JobSnapshot::new(
+                job,
+                CompletionGoal::new(SimTime::ZERO, SimTime::from_secs(100.0)),
+                Arc::new(JobProfile::single_stage(
+                    Work::from_mcycles(8_000.0),
+                    CpuSpeed::from_mhz(800.0),
+                    Memory::from_mb(500.0),
+                )),
+                Work::ZERO,
+                SimDuration::from_secs(1.0),
+            )),
+        );
+        let current = Placement::new();
+        let problem = PlacementProblem::new(
+            &cluster,
+            &apps,
+            workloads,
+            &current,
+            SimTime::ZERO,
+            SimDuration::from_secs(1.0),
+            Default::default(),
+        )
+        .expect("valid problem");
+        let outcome = StaticPartitionPolicy.place(&problem, &NoopSink);
+        // Saturation demand = 10·40 + 40/0.01 = 4,400 MHz > one node, so
+        // both prefix slots host the txn; the job is squeezed out
+        // entirely (the partition owns every node).
+        assert!(outcome.placement.total_instances(txn) >= 1);
+        let txn_node = outcome
+            .placement
+            .instances_of(txn)
+            .next()
+            .map(|(n, _)| n)
+            .expect("txn placed");
+        assert_eq!(outcome.placement.count(job, txn_node), 0);
+    }
+}

@@ -1,0 +1,443 @@
+//! The Predicate / Priority plugin surface: composable node *vetoes*
+//! and node *scores* that greedy policies are assembled from.
+//!
+//! The shape follows the classic scheduler-plugin split (spark-sched's
+//! `predprio`, Kubernetes' predicates/priorities): to place one
+//! application instance, a policy
+//!
+//! 1. runs every [`Predicate`] against every candidate node — one veto
+//!    removes the node;
+//! 2. sums every [`Priority`] score over the survivors;
+//! 3. picks the highest total, breaking ties toward the lowest node id
+//!    (so composition order never changes the choice and outcomes stay
+//!    deterministic).
+//!
+//! Predicates cover the hard constraints the optimizer enforces
+//! internally: rigid-dimension fit ([`RigidFit`]), forbidden /
+//! quarantined pairs and suspect-node freezes plus pinning
+//! ([`Admissible`] — the engine routes quarantine and suspect freezes
+//! into [`PlacementProblem::forbidden`](crate::problem::PlacementProblem),
+//! so honoring `allows_node` honors them all), CPU floors
+//! ([`CpuFloor`]), exhausted nodes ([`UsefulCpu`]), and anti-affinity
+//! ([`SharedNodeAffinity`]).
+//! Priorities are soft preferences: [`Spread`], [`Pack`], and
+//! Snippet-2-style [`WorkloadTypeWeights`].
+
+use dynaplace_model::ids::{AppId, NodeId};
+use dynaplace_model::placement::Placement;
+use dynaplace_model::resources::Resources;
+use dynaplace_model::units::CpuSpeed;
+
+use crate::problem::{PlacementProblem, WorkloadModel};
+
+/// Numeric slack for capacity comparisons, matching the optimizer's
+/// feasibility epsilon.
+pub(crate) const CAP_EPS: f64 = 1e-6;
+
+/// Mutable per-node accounting a greedy policy threads through its
+/// placement loop: what is still free on the node as instances land.
+#[derive(Debug, Clone)]
+pub struct NodeLedger {
+    /// The node.
+    pub node: NodeId,
+    /// CPU not yet reserved by this policy's own decisions.
+    pub cpu_free: CpuSpeed,
+    /// Full CPU capacity of the node.
+    pub cpu_capacity: CpuSpeed,
+    /// Rigid demand (memory first) already committed by this policy.
+    pub rigid_used: Resources,
+    /// Rigid capacity of the node (memory first).
+    pub rigid_capacity: Resources,
+}
+
+impl NodeLedger {
+    /// A fresh ledger with nothing committed.
+    pub fn new(node: NodeId, cpu: CpuSpeed, rigid: Resources) -> Self {
+        NodeLedger {
+            node,
+            cpu_free: cpu,
+            cpu_capacity: cpu,
+            rigid_used: Resources::zero(),
+            rigid_capacity: rigid,
+        }
+    }
+
+    /// Commits one instance: `rigid` pinned, `cpu` reserved.
+    pub fn commit(&mut self, rigid: &Resources, cpu: CpuSpeed) {
+        self.rigid_used.add_scaled(rigid, 1.0);
+        self.cpu_free = CpuSpeed::from_mhz((self.cpu_free.as_mhz() - cpu.as_mhz()).max(0.0));
+    }
+
+    /// Fraction of CPU still free (1.0 on an empty node; 0.0 when the
+    /// node has no CPU at all).
+    pub fn cpu_free_fraction(&self) -> f64 {
+        let cap = self.cpu_capacity.as_mhz();
+        if cap <= 0.0 {
+            0.0
+        } else {
+            self.cpu_free.as_mhz() / cap
+        }
+    }
+
+    /// Fraction of memory (rigid dimension 0) still free.
+    pub fn memory_free_fraction(&self) -> f64 {
+        let cap = self.rigid_capacity.get(0);
+        if cap <= 0.0 {
+            0.0
+        } else {
+            (cap - self.rigid_used.get(0)).max(0.0) / cap
+        }
+    }
+}
+
+/// Builds one ledger per cluster node, in node-id order. Failed nodes
+/// appear as zero-capacity stand-ins in the problem's cluster and
+/// therefore never admit anything with positive demand.
+pub fn node_ledgers(problem: &PlacementProblem<'_>) -> Vec<NodeLedger> {
+    problem
+        .cluster
+        .iter()
+        .map(|(node, spec)| {
+            NodeLedger::new(node, spec.cpu_capacity(), spec.rigid_capacity().clone())
+        })
+        .collect()
+}
+
+/// What one application asks of a node, derived once per app from the
+/// problem (effective per-instance sizes: a batch job's *current stage*
+/// memory, not its spec maximum).
+#[derive(Debug, Clone)]
+pub struct AppRequest {
+    /// The application.
+    pub app: AppId,
+    /// Per-instance rigid demand (memory first).
+    pub rigid: Resources,
+    /// Minimum useful per-instance CPU (zero for transactional apps).
+    pub min_speed: CpuSpeed,
+    /// Maximum useful per-instance CPU (for transactional apps: the
+    /// saturation allocation — more is wasted).
+    pub max_speed: CpuSpeed,
+    /// Whether the application is a batch job.
+    pub is_batch: bool,
+}
+
+/// Derives the request for a live application in the problem.
+///
+/// # Panics
+///
+/// Panics if `app` is not one of the problem's live applications (a
+/// policy iterating `problem.workloads` can never trip this).
+pub fn app_request(problem: &PlacementProblem<'_>, app: AppId) -> AppRequest {
+    let rigid = problem
+        .try_effective_rigid(app)
+        .expect("live app has a rigid demand");
+    let (min_speed, bound) = problem
+        .try_effective_speed_bounds(app)
+        .expect("live app has speed bounds");
+    let model = &problem.workloads[&app];
+    let (max_speed, is_batch) = match model {
+        WorkloadModel::Batch(_) => (bound, true),
+        // An unbounded per-instance ceiling is useless to a greedy
+        // policy; the saturation allocation is where extra CPU stops
+        // helping the transactional workload.
+        WorkloadModel::Transactional(txn) => (txn.workload().saturation_allocation(), false),
+    };
+    AppRequest {
+        app,
+        rigid,
+        min_speed,
+        max_speed,
+        is_batch,
+    }
+}
+
+/// A hard constraint: `admits` returning `false` vetoes the node for
+/// this request. Predicates must be deterministic and side-effect free.
+pub trait Predicate: Send + Sync + std::fmt::Debug {
+    /// Stable name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Whether `node` may host one more instance of the request, given
+    /// the placement built so far.
+    fn admits(
+        &self,
+        problem: &PlacementProblem<'_>,
+        request: &AppRequest,
+        node: &NodeLedger,
+        placement: &Placement,
+    ) -> bool;
+}
+
+/// A soft preference: higher is better. Scores are summed across the
+/// priority list; policies weight a priority by listing it with a
+/// multiplier baked into its score. Priorities must be deterministic.
+pub trait Priority: Send + Sync + std::fmt::Debug {
+    /// Stable name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Score for placing one instance of the request on `node`.
+    fn score(&self, problem: &PlacementProblem<'_>, request: &AppRequest, node: &NodeLedger)
+        -> f64;
+}
+
+/// Vetoes nodes whose remaining rigid capacity (memory plus every extra
+/// dimension) cannot pin one more instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RigidFit;
+
+impl Predicate for RigidFit {
+    fn name(&self) -> &'static str {
+        "rigid-fit"
+    }
+
+    fn admits(
+        &self,
+        _problem: &PlacementProblem<'_>,
+        request: &AppRequest,
+        node: &NodeLedger,
+        _placement: &Placement,
+    ) -> bool {
+        node.rigid_used
+            .first_overflow(&request.rigid, &node.rigid_capacity)
+            .is_none()
+    }
+}
+
+/// Vetoes nodes the problem forbids for the app: quarantined
+/// (app, node) pairs, suspect-node freezes (both routed into
+/// `problem.forbidden` by the engine), and pinning (`allowed_nodes`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Admissible;
+
+impl Predicate for Admissible {
+    fn name(&self) -> &'static str {
+        "admissible"
+    }
+
+    fn admits(
+        &self,
+        problem: &PlacementProblem<'_>,
+        request: &AppRequest,
+        node: &NodeLedger,
+        _placement: &Placement,
+    ) -> bool {
+        problem.allows_node(request.app, node.node)
+    }
+}
+
+/// Vetoes nodes without enough free CPU to honour the request's
+/// minimum useful speed (always admits zero-minimum requests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuFloor;
+
+impl Predicate for CpuFloor {
+    fn name(&self) -> &'static str {
+        "cpu-floor"
+    }
+
+    fn admits(
+        &self,
+        _problem: &PlacementProblem<'_>,
+        request: &AppRequest,
+        node: &NodeLedger,
+        _placement: &Placement,
+    ) -> bool {
+        node.cpu_free.as_mhz() + CAP_EPS >= request.min_speed.as_mhz()
+    }
+}
+
+/// Vetoes nodes whose free CPU is exhausted when the request wants any
+/// CPU at all. Without this, best-fit scores like [`Pack`] rate a full
+/// node as perfectly packed (nothing would remain after a zero grant)
+/// and greedy loops elect it, allocate nothing, and give up.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UsefulCpu;
+
+impl Predicate for UsefulCpu {
+    fn name(&self) -> &'static str {
+        "useful-cpu"
+    }
+
+    fn admits(
+        &self,
+        _problem: &PlacementProblem<'_>,
+        request: &AppRequest,
+        node: &NodeLedger,
+        _placement: &Placement,
+    ) -> bool {
+        request.max_speed.as_mhz() <= CAP_EPS || node.cpu_free.as_mhz() > CAP_EPS
+    }
+}
+
+/// The affinity hook: vetoes nodes hosting an application the request
+/// may not share a node with (anti-affinity groups, checked both ways).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedNodeAffinity;
+
+impl Predicate for SharedNodeAffinity {
+    fn name(&self) -> &'static str {
+        "shared-node-affinity"
+    }
+
+    fn admits(
+        &self,
+        problem: &PlacementProblem<'_>,
+        request: &AppRequest,
+        node: &NodeLedger,
+        placement: &Placement,
+    ) -> bool {
+        let Ok(spec) = problem.apps.get(request.app) else {
+            return false;
+        };
+        placement.apps_on(node.node).all(|(other, _)| {
+            other == request.app
+                || problem
+                    .apps
+                    .get(other)
+                    .map(|o| spec.may_share_node_with(o) && o.may_share_node_with(spec))
+                    .unwrap_or(false)
+        })
+    }
+}
+
+/// The standard hard-constraint stack every zoo policy runs:
+/// [`Admissible`], [`RigidFit`], [`CpuFloor`], [`UsefulCpu`],
+/// [`SharedNodeAffinity`].
+pub fn default_predicates() -> Vec<Box<dyn Predicate>> {
+    vec![
+        Box::new(Admissible),
+        Box::new(RigidFit),
+        Box::new(CpuFloor),
+        Box::new(UsefulCpu),
+        Box::new(SharedNodeAffinity),
+    ]
+}
+
+/// Prefers emptier nodes (score = free CPU fraction): spreads load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spread;
+
+impl Priority for Spread {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+
+    fn score(
+        &self,
+        _problem: &PlacementProblem<'_>,
+        _request: &AppRequest,
+        node: &NodeLedger,
+    ) -> f64 {
+        node.cpu_free_fraction()
+    }
+}
+
+/// Prefers fuller nodes that still fit (best-fit: score = how little
+/// CPU would remain after granting the request): packs load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pack;
+
+impl Priority for Pack {
+    fn name(&self) -> &'static str {
+        "pack"
+    }
+
+    fn score(
+        &self,
+        _problem: &PlacementProblem<'_>,
+        request: &AppRequest,
+        node: &NodeLedger,
+    ) -> f64 {
+        let granted = request.max_speed.as_mhz().min(node.cpu_free.as_mhz());
+        let cap = node.cpu_capacity.as_mhz();
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        -((node.cpu_free.as_mhz() - granted) / cap)
+    }
+}
+
+/// Workload-type-weighted free-resource score, after SNIPPETS.md
+/// Snippet 2's fair planner: compute-heavy (batch) requests weight free
+/// CPU over free memory, storage/latency-bound (transactional) requests
+/// weight free memory over free CPU.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadTypeWeights {
+    /// (cpu weight, memory weight) for batch requests.
+    pub batch: (f64, f64),
+    /// (cpu weight, memory weight) for transactional requests.
+    pub txn: (f64, f64),
+}
+
+impl Default for WorkloadTypeWeights {
+    fn default() -> Self {
+        WorkloadTypeWeights {
+            batch: (0.7, 0.3),
+            txn: (0.3, 0.7),
+        }
+    }
+}
+
+impl Priority for WorkloadTypeWeights {
+    fn name(&self) -> &'static str {
+        "workload-type-weights"
+    }
+
+    fn score(
+        &self,
+        _problem: &PlacementProblem<'_>,
+        request: &AppRequest,
+        node: &NodeLedger,
+    ) -> f64 {
+        let (w_cpu, w_mem) = if request.is_batch {
+            self.batch
+        } else {
+            self.txn
+        };
+        w_cpu * node.cpu_free_fraction() + w_mem * node.memory_free_fraction()
+    }
+}
+
+/// Runs the full predicate stack on one node.
+pub fn admits_all(
+    predicates: &[Box<dyn Predicate>],
+    problem: &PlacementProblem<'_>,
+    request: &AppRequest,
+    node: &NodeLedger,
+    placement: &Placement,
+) -> bool {
+    predicates
+        .iter()
+        .all(|p| p.admits(problem, request, node, placement))
+}
+
+/// The selection kernel: index (into `ledgers`) of the admitted node
+/// with the highest summed priority score, ties broken toward the
+/// lowest index (node-id order). `None` when every node is vetoed.
+pub fn best_node(
+    predicates: &[Box<dyn Predicate>],
+    priorities: &[Box<dyn Priority>],
+    problem: &PlacementProblem<'_>,
+    request: &AppRequest,
+    ledgers: &[NodeLedger],
+    placement: &Placement,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, ledger) in ledgers.iter().enumerate() {
+        if !admits_all(predicates, problem, request, ledger, placement) {
+            continue;
+        }
+        let score: f64 = priorities
+            .iter()
+            .map(|p| p.score(problem, request, ledger))
+            .sum();
+        let better = match best {
+            None => true,
+            Some((_, incumbent)) => score.total_cmp(&incumbent) == std::cmp::Ordering::Greater,
+        };
+        if better {
+            best = Some((i, score));
+        }
+    }
+    best.map(|(i, _)| i)
+}

@@ -1,0 +1,224 @@
+//! The string-keyed policy registry: scenario JSON, the `simulate`
+//! CLI, and the shootout harness all resolve policies by name here.
+//!
+//! # Naming rules
+//!
+//! Canonical names are lowercase kebab-case and come from
+//! [`PlacementPolicy::name`](super::PlacementPolicy::name). Aliases map alternate spellings
+//! (`"vbp"`, `"static_partition"`, …) onto a canonical name; resolution
+//! lowercases its input first, so lookups are case-insensitive.
+//! Registering a policy or alias under a taken name replaces the old
+//! entry — last registration wins, which lets tests and downstream
+//! crates shadow a builtin.
+//!
+//! The global registry starts out populated with the builtins (see
+//! [`PolicyRegistry::builtin`]) and is shared process-wide;
+//! [`register_policy`] extends it at runtime, e.g. from `main` before
+//! running a scenario.
+
+use std::collections::BTreeMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::optimizer::ApcConfig;
+use crate::policy::baselines::{EdfPolicy, FcfsPolicy, StaticPartitionPolicy};
+use crate::policy::zoo::{DfrsPolicy, VectorBinPackingPolicy, YieldMaxPolicy};
+use crate::policy::PolicyHandle;
+
+/// A name → [`PolicyHandle`] table with an alias layer.
+#[derive(Debug, Default)]
+pub struct PolicyRegistry {
+    canonical: BTreeMap<String, PolicyHandle>,
+    aliases: BTreeMap<String, String>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The builtin policy set: `apc` (default configuration,
+    /// between-cycle advice on), the paper's baselines (`fcfs`, `edf`,
+    /// `static-partition`) and the zoo (`vector-bin-packing`,
+    /// `yield-max`, `dfrs`), plus spelling aliases for each.
+    pub fn builtin() -> Self {
+        let mut reg = Self::new();
+        reg.register(PolicyHandle::apc_with(ApcConfig::default(), true));
+        reg.register(PolicyHandle::new(FcfsPolicy));
+        reg.register(PolicyHandle::new(EdfPolicy));
+        reg.register(PolicyHandle::new(StaticPartitionPolicy));
+        reg.register(PolicyHandle::new(VectorBinPackingPolicy));
+        reg.register(PolicyHandle::new(YieldMaxPolicy));
+        reg.register(PolicyHandle::new(DfrsPolicy));
+        for (alias, canonical) in [
+            ("static_partition", "static-partition"),
+            ("static", "static-partition"),
+            ("vbp", "vector-bin-packing"),
+            ("vector_bin_packing", "vector-bin-packing"),
+            ("yield_max", "yield-max"),
+            ("yield", "yield-max"),
+            ("dynamic-fractional", "dfrs"),
+        ] {
+            reg.register_alias(alias, canonical);
+        }
+        reg
+    }
+
+    /// Registers a policy under its own [`PlacementPolicy::name`](super::PlacementPolicy::name),
+    /// replacing any previous entry with that name.
+    pub fn register(&mut self, handle: PolicyHandle) {
+        self.canonical.insert(handle.name().to_owned(), handle);
+    }
+
+    /// Maps `alias` onto `canonical` (no check that the target exists
+    /// yet — aliases may be registered first).
+    pub fn register_alias(&mut self, alias: &str, canonical: &str) {
+        self.aliases.insert(alias.to_owned(), canonical.to_owned());
+    }
+
+    /// Resolves a (case-insensitive) name or alias to its policy.
+    pub fn resolve(&self, name: &str) -> Option<PolicyHandle> {
+        let key = name.to_ascii_lowercase();
+        let key = self.aliases.get(&key).map_or(key.as_str(), String::as_str);
+        self.canonical.get(key).cloned()
+    }
+
+    /// Canonical policy names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.canonical.keys().cloned().collect()
+    }
+
+    /// All registered policies, in canonical-name order.
+    pub fn handles(&self) -> Vec<PolicyHandle> {
+        self.canonical.values().cloned().collect()
+    }
+
+    /// Did-you-mean: the known name or alias closest to `name` by edit
+    /// distance, when it is close enough to plausibly be a typo (within
+    /// one third of the input's length, minimum 2). Ties break
+    /// lexicographically.
+    pub fn suggest(&self, name: &str) -> Option<String> {
+        let input = name.to_ascii_lowercase();
+        let budget = (input.len() / 3).max(2);
+        let mut best: Option<(usize, &str)> = None;
+        for candidate in self.canonical.keys().chain(self.aliases.keys()) {
+            let d = edit_distance(&input, candidate);
+            let better = match best {
+                None => d <= budget,
+                Some((incumbent, _)) => d < incumbent,
+            };
+            if better {
+                best = Some((d, candidate));
+            }
+        }
+        best.map(|(_, s)| s.to_owned())
+    }
+}
+
+/// Classic Levenshtein distance, small inputs only.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The process-wide registry, lazily initialized with the builtins.
+fn global() -> &'static RwLock<PolicyRegistry> {
+    static GLOBAL: OnceLock<RwLock<PolicyRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(PolicyRegistry::builtin()))
+}
+
+/// Resolves a name or alias against the global registry.
+pub fn resolve(name: &str) -> Option<PolicyHandle> {
+    global()
+        .read()
+        .expect("policy registry poisoned")
+        .resolve(name)
+}
+
+/// Registers a policy in the global registry (last registration wins).
+pub fn register_policy(handle: PolicyHandle) {
+    global()
+        .write()
+        .expect("policy registry poisoned")
+        .register(handle);
+}
+
+/// Canonical names in the global registry, sorted.
+pub fn policy_names() -> Vec<String> {
+    global().read().expect("policy registry poisoned").names()
+}
+
+/// All globally registered policies, in canonical-name order.
+pub fn policy_handles() -> Vec<PolicyHandle> {
+    global().read().expect("policy registry poisoned").handles()
+}
+
+/// Did-you-mean suggestion against the global registry.
+pub fn suggest(name: &str) -> Option<String> {
+    global()
+        .read()
+        .expect("policy registry poisoned")
+        .suggest(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyClass;
+
+    #[test]
+    fn builtin_registers_the_full_zoo() {
+        let reg = PolicyRegistry::builtin();
+        let names = reg.names();
+        for expected in [
+            "apc",
+            "dfrs",
+            "edf",
+            "fcfs",
+            "static-partition",
+            "vector-bin-packing",
+            "yield-max",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+        assert!(names.len() >= 7);
+    }
+
+    #[test]
+    fn aliases_and_case_fold_resolve() {
+        let reg = PolicyRegistry::builtin();
+        assert_eq!(reg.resolve("vbp").unwrap().name(), "vector-bin-packing");
+        assert_eq!(reg.resolve("APC").unwrap().name(), "apc");
+        assert_eq!(
+            reg.resolve("static_partition").unwrap().name(),
+            "static-partition"
+        );
+        assert!(reg.resolve("nope").is_none());
+    }
+
+    #[test]
+    fn suggestions_catch_typos_but_not_garbage() {
+        let reg = PolicyRegistry::builtin();
+        assert_eq!(reg.suggest("apx").as_deref(), Some("apc"));
+        assert_eq!(reg.suggest("fcsf").as_deref(), Some("fcfs"));
+        assert_eq!(reg.suggest("qqqqqqqqqqqq"), None);
+    }
+
+    #[test]
+    fn every_builtin_reports_a_class_and_description() {
+        for handle in PolicyRegistry::builtin().handles() {
+            assert!(!handle.description().is_empty(), "{}", handle.name());
+            let _ = matches!(handle.class(), PolicyClass::Apc | PolicyClass::Baseline);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The policy zoo: three greedy policies assembled from the
+//! [`predprio`](crate::policy::predprio) Predicate/Priority stages.
+//!
+//! - [`VectorBinPackingPolicy`]: first-fit-decreasing over the dominant
+//!   normalized resource fraction with a best-fit ([`Pack`]) node score —
+//!   the greedy vector-bin-packing heuristic from *Resource Allocation
+//!   using Virtual Clusters*.
+//! - [`YieldMaxPolicy`]: the same paper's yield-maximization shape —
+//!   reserve every admitted job's minimum speed, then scale each job's
+//!   surplus by a common per-node yield factor so surplus capacity is
+//!   shared proportionally.
+//! - [`DfrsPolicy`]: dynamic fractional resource scheduling after
+//!   *Dynamic Fractional Resource Scheduling vs. Batch Scheduling* —
+//!   arrival-order first-fit admission, then a per-node equal-share
+//!   water-fill of the CPU left over once minima are reserved.
+//!
+//! All three place through [`Placement::checked_place`], the model's
+//! authoritative gate (pinning, instance limits, anti-affinity, spec
+//! rigid capacity); the predicate stack is the cheap veto in front of
+//! it. They are deterministic: apps iterate in id or arrival order,
+//! nodes in id order, ties break low, floats compare via `total_cmp`.
+
+use dynaplace_model::load::LoadDistribution;
+use dynaplace_model::placement::Placement;
+use dynaplace_model::units::CpuSpeed;
+use dynaplace_rpf::satisfaction::SatisfactionVector;
+use dynaplace_trace::TraceSink;
+
+use crate::evaluate::PlacementScore;
+use crate::optimizer::{OptimizerStats, PlacementOutcome};
+use crate::policy::predprio::{
+    app_request, best_node, default_predicates, node_ledgers, AppRequest, NodeLedger, Pack,
+    Predicate, Priority, Spread, WorkloadTypeWeights, CAP_EPS,
+};
+use crate::policy::{PlacementPolicy, PolicyClass};
+use crate::problem::PlacementProblem;
+
+/// One placed instance awaiting its CPU share: ledger index, request,
+/// reserved minimum, and the extra CPU it could still use.
+struct Resident {
+    ledger: usize,
+    request: AppRequest,
+    min_mhz: f64,
+    extra_mhz: f64,
+}
+
+/// Commits one instance on `ledgers[idx]` through the model's checked
+/// gate. Returns `false` (placing nothing) when the model rejects what
+/// the predicates admitted — e.g. spec rigid demand exceeding the
+/// effective demand the ledger tracks.
+fn try_place(
+    problem: &PlacementProblem<'_>,
+    request: &AppRequest,
+    ledgers: &mut [NodeLedger],
+    placement: &mut Placement,
+    idx: usize,
+    reserve: CpuSpeed,
+) -> bool {
+    let node = ledgers[idx].node;
+    if placement
+        .checked_place(request.app, node, problem.cluster, problem.apps)
+        .is_err()
+    {
+        return false;
+    }
+    ledgers[idx].commit(&request.rigid, reserve);
+    true
+}
+
+/// Water-fills a transactional app's saturation demand across admitted
+/// nodes: repeatedly place an instance on the best-scoring node, route
+/// `min(remaining, free, per-instance cap)` to it, until the demand is
+/// covered or instances/nodes run out.
+fn route_txn_demand(
+    problem: &PlacementProblem<'_>,
+    request: &AppRequest,
+    predicates: &[Box<dyn Predicate>],
+    priorities: &[Box<dyn Priority>],
+    ledgers: &mut [NodeLedger],
+    placement: &mut Placement,
+    load: &mut LoadDistribution,
+) {
+    let Ok(spec) = problem.apps.get(request.app) else {
+        return;
+    };
+    let per_instance_cap = spec.max_instance_speed().as_mhz();
+    let mut remaining = request.max_speed.as_mhz();
+    while remaining > CAP_EPS && placement.total_instances(request.app) < spec.max_instances() {
+        let Some(i) = best_node(predicates, priorities, problem, request, ledgers, placement)
+        else {
+            break;
+        };
+        let alloc = remaining
+            .min(ledgers[i].cpu_free.as_mhz())
+            .min(per_instance_cap);
+        if alloc <= CAP_EPS {
+            break;
+        }
+        let alloc = CpuSpeed::from_mhz(alloc);
+        if !try_place(problem, request, ledgers, placement, i, alloc) {
+            break;
+        }
+        load.add(request.app, ledgers[i].node, alloc);
+        remaining -= alloc.as_mhz();
+    }
+}
+
+/// Wraps the accumulated placement/load as an outcome. Baseline-class
+/// policies publish no satisfaction vector — only APC reasons about
+/// utility at placement time.
+fn zoo_outcome(
+    problem: &PlacementProblem<'_>,
+    placement: Placement,
+    load: LoadDistribution,
+) -> PlacementOutcome {
+    let actions = problem.current.diff(&placement);
+    PlacementOutcome {
+        placement,
+        score: PlacementScore {
+            load,
+            satisfaction: SatisfactionVector::from_entries(Vec::new()),
+        },
+        actions,
+        stats: OptimizerStats::default(),
+        timed_out: false,
+    }
+}
+
+/// Live-app requests in app-id order.
+fn requests(problem: &PlacementProblem<'_>) -> Vec<AppRequest> {
+    problem
+        .workloads
+        .keys()
+        .map(|&app| app_request(problem, app))
+        .collect()
+}
+
+/// Greedy vector bin packing: sort requests by their dominant
+/// cluster-normalized resource fraction (CPU or any rigid dimension),
+/// largest first, and best-fit each one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VectorBinPackingPolicy;
+
+impl PlacementPolicy for VectorBinPackingPolicy {
+    fn name(&self) -> &str {
+        "vector-bin-packing"
+    }
+
+    fn description(&self) -> &str {
+        "greedy vector bin packing: dominant-fraction-decreasing, best-fit"
+    }
+
+    fn class(&self) -> PolicyClass {
+        PolicyClass::Baseline
+    }
+
+    fn place(&self, problem: &PlacementProblem<'_>, _sink: &dyn TraceSink) -> PlacementOutcome {
+        let mut ledgers = node_ledgers(problem);
+        let predicates = default_predicates();
+        let priorities: Vec<Box<dyn Priority>> = vec![Box::new(Pack)];
+
+        // Cluster-wide totals normalize each demand dimension so they
+        // compare; a dimension nobody provides contributes nothing.
+        let cpu_total: f64 = ledgers.iter().map(|l| l.cpu_capacity.as_mhz()).sum();
+        let dims = ledgers
+            .iter()
+            .map(|l| l.rigid_capacity.len())
+            .max()
+            .unwrap_or(1);
+        let rigid_totals: Vec<f64> = (0..dims)
+            .map(|d| ledgers.iter().map(|l| l.rigid_capacity.get(d)).sum())
+            .collect();
+        let dominant = |r: &AppRequest| -> f64 {
+            let mut frac: f64 = if cpu_total > 0.0 {
+                r.max_speed.as_mhz() / cpu_total
+            } else {
+                0.0
+            };
+            for (d, &total) in rigid_totals.iter().enumerate() {
+                if total > 0.0 {
+                    frac = frac.max(r.rigid.get(d) / total);
+                }
+            }
+            frac
+        };
+
+        let mut ordered = requests(problem);
+        ordered.sort_by(|a, b| {
+            dominant(b)
+                .total_cmp(&dominant(a))
+                .then_with(|| a.app.cmp(&b.app))
+        });
+
+        let mut placement = Placement::new();
+        let mut load = LoadDistribution::new();
+        for request in &ordered {
+            if request.is_batch {
+                let Some(i) = best_node(
+                    &predicates,
+                    &priorities,
+                    problem,
+                    request,
+                    &ledgers,
+                    &placement,
+                ) else {
+                    continue;
+                };
+                // CpuFloor already guaranteed free covers the minimum;
+                // grant everything useful that fits.
+                let alloc = request.max_speed.as_mhz().min(ledgers[i].cpu_free.as_mhz());
+                if alloc <= CAP_EPS {
+                    continue;
+                }
+                let alloc = CpuSpeed::from_mhz(alloc);
+                if try_place(problem, request, &mut ledgers, &mut placement, i, alloc) {
+                    load.add(request.app, ledgers[i].node, alloc);
+                }
+            } else {
+                route_txn_demand(
+                    problem,
+                    request,
+                    &predicates,
+                    &priorities,
+                    &mut ledgers,
+                    &mut placement,
+                    &mut load,
+                );
+            }
+        }
+        zoo_outcome(problem, placement, load)
+    }
+}
+
+/// Yield maximization: transactional demand is routed first (it is
+/// latency-critical), every admitted batch job reserves its minimum
+/// speed on the emptiest admitting node, and each node's leftover CPU
+/// then scales all its residents' surplus by one common yield factor
+/// `y = min(1, free / Σ(max − min))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YieldMaxPolicy;
+
+impl PlacementPolicy for YieldMaxPolicy {
+    fn name(&self) -> &str {
+        "yield-max"
+    }
+
+    fn description(&self) -> &str {
+        "reserve minima, then scale batch surplus by a per-node yield factor"
+    }
+
+    fn class(&self) -> PolicyClass {
+        PolicyClass::Baseline
+    }
+
+    fn place(&self, problem: &PlacementProblem<'_>, _sink: &dyn TraceSink) -> PlacementOutcome {
+        let mut ledgers = node_ledgers(problem);
+        let predicates = default_predicates();
+        let priorities: Vec<Box<dyn Priority>> =
+            vec![Box::new(Spread), Box::new(WorkloadTypeWeights::default())];
+
+        let mut placement = Placement::new();
+        let mut load = LoadDistribution::new();
+        let mut residents: Vec<Resident> = Vec::new();
+
+        for request in requests(problem) {
+            if request.is_batch {
+                let Some(i) = best_node(
+                    &predicates,
+                    &priorities,
+                    problem,
+                    &request,
+                    &ledgers,
+                    &placement,
+                ) else {
+                    continue;
+                };
+                let min = request.min_speed.as_mhz();
+                let ceiling = request.max_speed.as_mhz().min(ledgers[i].cpu_free.as_mhz());
+                if ceiling <= CAP_EPS && min <= CAP_EPS {
+                    continue;
+                }
+                if try_place(
+                    problem,
+                    &request,
+                    &mut ledgers,
+                    &mut placement,
+                    i,
+                    CpuSpeed::from_mhz(min),
+                ) {
+                    residents.push(Resident {
+                        ledger: i,
+                        min_mhz: min,
+                        extra_mhz: (ceiling - min).max(0.0),
+                        request,
+                    });
+                }
+            } else {
+                route_txn_demand(
+                    problem,
+                    &request,
+                    &predicates,
+                    &priorities,
+                    &mut ledgers,
+                    &mut placement,
+                    &mut load,
+                );
+            }
+        }
+
+        // One yield factor per node over the CPU left after minima.
+        for (i, ledger) in ledgers.iter().enumerate() {
+            let surplus: f64 = residents
+                .iter()
+                .filter(|r| r.ledger == i)
+                .map(|r| r.extra_mhz)
+                .sum();
+            let y = if surplus > CAP_EPS {
+                (ledger.cpu_free.as_mhz() / surplus).min(1.0)
+            } else {
+                0.0
+            };
+            for r in residents.iter().filter(|r| r.ledger == i) {
+                let alloc = r.min_mhz + y * r.extra_mhz;
+                if alloc > 0.0 {
+                    load.add(r.request.app, ledger.node, CpuSpeed::from_mhz(alloc));
+                }
+            }
+        }
+        zoo_outcome(problem, placement, load)
+    }
+}
+
+/// Equal-share water-fill of `free` MHz across residents capped at
+/// their surplus demands. Returns the grant per resident, in order.
+fn water_fill(mut free: f64, caps: &[f64]) -> Vec<f64> {
+    let mut grants = vec![0.0; caps.len()];
+    let mut active: Vec<usize> = (0..caps.len()).filter(|&j| caps[j] > CAP_EPS).collect();
+    while !active.is_empty() && free > CAP_EPS {
+        let share = free / active.len() as f64;
+        let (capped, rest): (Vec<usize>, Vec<usize>) = active
+            .iter()
+            .copied()
+            .partition(|&j| caps[j] - grants[j] <= share);
+        if capped.is_empty() {
+            for &j in &rest {
+                grants[j] += share;
+            }
+            break;
+        }
+        for &j in &capped {
+            free -= caps[j] - grants[j];
+            grants[j] = caps[j];
+        }
+        active = rest;
+    }
+    grants
+}
+
+/// Dynamic fractional resource scheduling: admit batch jobs in arrival
+/// order (first-fit by node id) reserving their minima, admit
+/// transactional instances the same way, then water-fill each node's
+/// remaining CPU equally across its residents up to their demand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DfrsPolicy;
+
+impl PlacementPolicy for DfrsPolicy {
+    fn name(&self) -> &str {
+        "dfrs"
+    }
+
+    fn description(&self) -> &str {
+        "dynamic fractional scheduling: arrival-order admission, water-filled CPU"
+    }
+
+    fn class(&self) -> PolicyClass {
+        PolicyClass::Baseline
+    }
+
+    fn place(&self, problem: &PlacementProblem<'_>, _sink: &dyn TraceSink) -> PlacementOutcome {
+        let mut ledgers = node_ledgers(problem);
+        let predicates = default_predicates();
+        // First-fit: no priorities, so ties fall to the lowest node id.
+        let priorities: Vec<Box<dyn Priority>> = Vec::new();
+
+        let mut placement = Placement::new();
+        let mut load = LoadDistribution::new();
+        let mut residents: Vec<Resident> = Vec::new();
+
+        // Arrival order: batch jobs by desired start (tie: app id);
+        // transactional apps are standing services and admit first.
+        let mut ordered = requests(problem);
+        ordered.sort_by(|a, b| {
+            let arrival = |r: &AppRequest| {
+                if r.is_batch {
+                    match &problem.workloads[&r.app] {
+                        crate::problem::WorkloadModel::Batch(snap) => {
+                            snap.goal().desired_start().as_secs()
+                        }
+                        crate::problem::WorkloadModel::Transactional(_) => f64::NEG_INFINITY,
+                    }
+                } else {
+                    f64::NEG_INFINITY
+                }
+            };
+            arrival(a)
+                .total_cmp(&arrival(b))
+                .then_with(|| a.app.cmp(&b.app))
+        });
+
+        for request in ordered {
+            if request.is_batch {
+                let Some(i) = best_node(
+                    &predicates,
+                    &priorities,
+                    problem,
+                    &request,
+                    &ledgers,
+                    &placement,
+                ) else {
+                    continue;
+                };
+                let min = request.min_speed.as_mhz();
+                let ceiling = request.max_speed.as_mhz().min(ledgers[i].cpu_free.as_mhz());
+                if ceiling <= CAP_EPS && min <= CAP_EPS {
+                    continue;
+                }
+                if try_place(
+                    problem,
+                    &request,
+                    &mut ledgers,
+                    &mut placement,
+                    i,
+                    CpuSpeed::from_mhz(min),
+                ) {
+                    residents.push(Resident {
+                        ledger: i,
+                        min_mhz: min,
+                        extra_mhz: (ceiling - min).max(0.0),
+                        request,
+                    });
+                }
+            } else {
+                // One resident per instance; each targets what is left
+                // of the saturation demand, capped per instance.
+                let Ok(spec) = problem.apps.get(request.app) else {
+                    continue;
+                };
+                let cap = spec.max_instance_speed().as_mhz();
+                let mut remaining = request.max_speed.as_mhz();
+                while remaining > CAP_EPS
+                    && placement.total_instances(request.app) < spec.max_instances()
+                {
+                    let Some(i) = best_node(
+                        &predicates,
+                        &priorities,
+                        problem,
+                        &request,
+                        &ledgers,
+                        &placement,
+                    ) else {
+                        break;
+                    };
+                    let target = remaining.min(ledgers[i].cpu_free.as_mhz()).min(cap);
+                    if target <= CAP_EPS {
+                        break;
+                    }
+                    if !try_place(
+                        problem,
+                        &request,
+                        &mut ledgers,
+                        &mut placement,
+                        i,
+                        CpuSpeed::ZERO,
+                    ) {
+                        break;
+                    }
+                    residents.push(Resident {
+                        ledger: i,
+                        min_mhz: 0.0,
+                        extra_mhz: target,
+                        request: request.clone(),
+                    });
+                    remaining -= target;
+                }
+            }
+        }
+
+        // Per-node equal-share water-fill of the CPU left once minima
+        // are reserved.
+        for (i, ledger) in ledgers.iter().enumerate() {
+            let node_residents: Vec<&Resident> =
+                residents.iter().filter(|r| r.ledger == i).collect();
+            if node_residents.is_empty() {
+                continue;
+            }
+            let caps: Vec<f64> = node_residents.iter().map(|r| r.extra_mhz).collect();
+            let grants = water_fill(ledger.cpu_free.as_mhz(), &caps);
+            for (r, grant) in node_residents.iter().zip(&grants) {
+                let alloc = r.min_mhz + grant;
+                if alloc > 0.0 {
+                    load.add(r.request.app, ledger.node, CpuSpeed::from_mhz(alloc));
+                }
+            }
+        }
+        zoo_outcome(problem, placement, load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_fill_splits_equally_and_respects_caps() {
+        let grants = water_fill(90.0, &[100.0, 20.0, 100.0]);
+        // 20 is saturated; the remaining 70 splits 35/35.
+        assert!((grants[1] - 20.0).abs() < 1e-9);
+        assert!((grants[0] - 35.0).abs() < 1e-9);
+        assert!((grants[2] - 35.0).abs() < 1e-9);
+        assert!(grants.iter().sum::<f64>() <= 90.0 + 1e-9);
+    }
+
+    #[test]
+    fn water_fill_never_exceeds_the_budget_or_caps() {
+        let caps = [5.0, 0.0, 40.0, 12.5];
+        let grants = water_fill(30.0, &caps);
+        assert!(grants.iter().sum::<f64>() <= 30.0 + 1e-9);
+        for (g, c) in grants.iter().zip(&caps) {
+            assert!(g <= c, "grant {g} exceeds cap {c}");
+        }
+    }
+}

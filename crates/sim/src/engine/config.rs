@@ -4,6 +4,14 @@
 use super::*;
 
 /// Which decision maker drives the cluster.
+///
+/// Retired in favor of the open [`PolicyHandle`] surface: any policy in
+/// the registry (or a custom [`dynaplace_apc::PlacementPolicy`]) can
+/// drive the engine now, not just these three.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `PolicyHandle` (e.g. `PolicyHandle::apc_with`, `dynaplace_apc::resolve_policy`) instead"
+)]
 #[derive(Debug, Clone)]
 pub enum SchedulerKind {
     /// The paper's placement controller, running a full optimization
@@ -21,6 +29,20 @@ pub enum SchedulerKind {
     Fcfs,
     /// Earliest Deadline First (preemptive, first fit).
     Edf,
+}
+
+#[allow(deprecated)]
+impl From<SchedulerKind> for PolicyHandle {
+    fn from(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Apc {
+                config,
+                advice_between_cycles,
+            } => PolicyHandle::apc_with(config, advice_between_cycles),
+            SchedulerKind::Fcfs => PolicyHandle::new(FcfsPolicy),
+            SchedulerKind::Edf => PolicyHandle::new(EdfPolicy),
+        }
+    }
 }
 
 /// One scripted node outage: the node's capacity drops to zero at
@@ -74,8 +96,11 @@ pub struct SimConfig {
     pub horizon: Option<SimDuration>,
     /// VM operation cost model.
     pub costs: VmCostModel,
-    /// The decision maker.
-    pub scheduler: SchedulerKind,
+    /// The decision maker: any [`dynaplace_apc::PlacementPolicy`] behind
+    /// a shared handle — resolve one by name via
+    /// [`dynaplace_apc::resolve_policy`], or wrap a custom policy with
+    /// [`PolicyHandle::new`].
+    pub scheduler: PolicyHandle,
     /// Nodes batch jobs may use under the baseline schedulers; `None`
     /// means all nodes. (The APC path uses per-application pinning
     /// instead.)
@@ -185,10 +210,7 @@ impl SimConfig {
             cycle: SimDuration::from_secs(600.0),
             horizon: None,
             costs: VmCostModel::default(),
-            scheduler: SchedulerKind::Apc {
-                config: ApcConfig::default(),
-                advice_between_cycles: true,
-            },
+            scheduler: PolicyHandle::apc_with(ApcConfig::default(), true),
             batch_nodes: None,
             static_txn_nodes: None,
             noise: EstimationNoise::NONE,
@@ -206,7 +228,7 @@ impl SimConfig {
     /// Same timing/costs but FCFS scheduling.
     pub fn fcfs_default() -> Self {
         Self {
-            scheduler: SchedulerKind::Fcfs,
+            scheduler: PolicyHandle::new(FcfsPolicy),
             ..Self::apc_default()
         }
     }
@@ -214,7 +236,7 @@ impl SimConfig {
     /// Same timing/costs but EDF scheduling.
     pub fn edf_default() -> Self {
         Self {
-            scheduler: SchedulerKind::Edf,
+            scheduler: PolicyHandle::new(EdfPolicy),
             ..Self::apc_default()
         }
     }
@@ -266,17 +288,29 @@ mod tests {
 
     #[test]
     fn config_constructors_pick_schedulers() {
-        assert!(matches!(
-            SimConfig::apc_default().scheduler,
-            SchedulerKind::Apc { .. }
-        ));
-        assert!(matches!(
-            SimConfig::fcfs_default().scheduler,
-            SchedulerKind::Fcfs
-        ));
-        assert!(matches!(
-            SimConfig::edf_default().scheduler,
-            SchedulerKind::Edf
-        ));
+        assert_eq!(SimConfig::apc_default().scheduler.name(), "apc");
+        assert!(SimConfig::apc_default().scheduler.advises_between_cycles());
+        assert_eq!(SimConfig::fcfs_default().scheduler.name(), "fcfs");
+        assert_eq!(SimConfig::edf_default().scheduler.name(), "edf");
+        assert_eq!(
+            SimConfig::fcfs_default().scheduler.class(),
+            PolicyClass::Baseline
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn scheduler_kind_shim_converts_to_handles() {
+        let apc: PolicyHandle = SchedulerKind::Apc {
+            config: ApcConfig::default(),
+            advice_between_cycles: false,
+        }
+        .into();
+        assert_eq!(apc.name(), "apc");
+        assert!(!apc.advises_between_cycles());
+        let fcfs: PolicyHandle = SchedulerKind::Fcfs.into();
+        assert_eq!(fcfs.name(), "fcfs");
+        let edf: PolicyHandle = SchedulerKind::Edf.into();
+        assert_eq!(edf.name(), "edf");
     }
 }

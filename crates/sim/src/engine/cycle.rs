@@ -8,24 +8,22 @@ impl Simulation {
     /// pass under APC (when enabled), a full reschedule under the
     /// baselines.
     pub(super) fn between_cycle_advice(&mut self) {
-        match self.config.scheduler.clone() {
-            SchedulerKind::Apc {
-                config,
-                advice_between_cycles,
-            } => {
+        let policy = self.config.scheduler.clone();
+        match policy.class() {
+            PolicyClass::Apc => {
                 // While the last observation cycle breached the staleness
                 // budget in Hold mode, between-cycle reactions hold too:
                 // the controller's picture is too old to act on anywhere.
-                if advice_between_cycles && !self.degraded_hold {
+                if policy.advises_between_cycles() && !self.degraded_hold {
                     let sink = Arc::clone(&self.trace);
                     let outcome = {
                         let problem = self.build_problem();
-                        fill_only_traced(&problem, &config, &*sink)
+                        policy.fill_only(&problem, &*sink)
                     };
                     self.apply_outcome(outcome);
                 }
             }
-            SchedulerKind::Fcfs | SchedulerKind::Edf => self.run_baseline(),
+            PolicyClass::Baseline => self.run_baseline_policy(),
         }
     }
 
@@ -44,8 +42,17 @@ impl Simulation {
             self.observe_txn_demand();
         }
         let mut compute_secs = 0.0;
-        match self.config.scheduler.clone() {
-            SchedulerKind::Apc { config, .. } => {
+        let policy = self.config.scheduler.clone();
+        if self.trace.wants(TraceLevel::Verbose) {
+            self.trace.record(&TraceEvent::PolicyInvoked {
+                time: self.now.as_secs(),
+                cycle,
+                policy: policy.name().to_owned(),
+                class: policy.class().name().to_owned(),
+            });
+        }
+        match policy.class() {
+            PolicyClass::Apc => {
                 // Observation first: heartbeats, health transitions, and
                 // this cycle's report views — the placement pass below
                 // reads the world through them.
@@ -76,9 +83,9 @@ impl Simulation {
                     let outcome = {
                         let problem = self.build_problem();
                         if fallback {
-                            fill_only_traced(&problem, &config, &*sink)
+                            policy.fill_only(&problem, &*sink)
                         } else {
-                            place_traced(&problem, &config, &*sink)
+                            policy.place(&problem, &*sink)
                         }
                     };
                     compute_secs = started.elapsed().as_secs_f64();
@@ -109,11 +116,11 @@ impl Simulation {
                     }
                 }
             }
-            SchedulerKind::Fcfs | SchedulerKind::Edf => {
+            PolicyClass::Baseline => {
                 // Baselines are event-driven; the cycle is only a metric
                 // sampling tick. Still run the scheduler to pick up any
                 // state change (idempotent when nothing changed).
-                self.run_baseline();
+                self.run_baseline_policy();
             }
         }
         let sample_started = Instant::now();
@@ -317,59 +324,121 @@ impl Simulation {
         }
     }
 
-    pub(super) fn baseline_nodes(&self) -> Vec<NodeCapacity> {
-        let allowed = self.config.batch_nodes.clone();
-        self.effective_cluster
-            .iter()
-            .filter(|(id, _)| {
-                !self.failed_nodes.contains(id) && allowed.as_ref().map_or(true, |v| v.contains(id))
-            })
-            .map(|(id, spec)| NodeCapacity {
-                node: id,
-                cpu: spec.cpu_capacity(),
-                memory: spec.memory_capacity(),
-            })
-            .collect()
+    /// Runs a baseline-class policy over the full (event-driven)
+    /// reschedule path: build a truth-view problem, let the policy place
+    /// it, and actuate the diff against the current placement.
+    pub(super) fn run_baseline_policy(&mut self) {
+        let policy = self.config.scheduler.clone();
+        let sink = Arc::clone(&self.trace);
+        let masked = self.baseline_cluster();
+        let outcome = {
+            let cluster = masked.as_ref().unwrap_or(&self.effective_cluster);
+            let problem = self.build_baseline_problem(cluster);
+            policy.place(&problem, &*sink)
+        };
+        self.apply_outcome(outcome);
     }
 
-    pub(super) fn run_baseline(&mut self) {
-        let nodes = self.baseline_nodes();
-        // Reservation-based schedulers reserve a job's full speed; a job
-        // faster than any node caps its reservation at the largest node
-        // (it simply runs slower there).
-        let largest = nodes
-            .iter()
-            .map(|n| n.cpu)
-            .fold(CpuSpeed::ZERO, CpuSpeed::max);
-        let jobs: Vec<BaselineJob> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| j.is_live())
-            .map(|(&app, j)| BaselineJob {
-                app,
-                arrival: j.spec.arrival(),
-                deadline: j.spec.goal().deadline(),
-                memory: j.state.current_memory(&j.profile).unwrap_or(Memory::ZERO),
-                max_speed: j
-                    .state
-                    .current_speed_bounds(&j.profile)
-                    .map_or(CpuSpeed::ZERO, |(_, max)| max)
-                    .min(largest),
-                current_node: j.node,
-            })
-            .collect();
-        let target = match self.config.scheduler {
-            SchedulerKind::Fcfs => fcfs_schedule(&nodes, &jobs),
-            SchedulerKind::Edf => edf_schedule(&nodes, &jobs),
-            SchedulerKind::Apc { .. } => unreachable!("baseline path"),
-        };
-        let actions = self.placement.diff(&target);
-        let mut load = LoadDistribution::new();
-        for job in &jobs {
-            if let Some(node) = target.single_node_of(job.app) {
-                load.set(job.app, node, job.max_speed);
+    /// The cluster a baseline policy schedules over: the effective
+    /// (failure-masked) cluster with every node outside
+    /// [`SimConfig::batch_nodes`] additionally zeroed. `None` when no
+    /// restriction is configured, so the hot path borrows
+    /// `effective_cluster` directly.
+    pub(super) fn baseline_cluster(&self) -> Option<Cluster> {
+        let allowed = self.config.batch_nodes.as_ref()?;
+        let mut rebuilt = Cluster::new().with_dims(self.effective_cluster.dims().clone());
+        for (id, spec) in self.effective_cluster.iter() {
+            if allowed.contains(&id) {
+                rebuilt.add_node(spec.clone());
+            } else {
+                // Zero every capacity but keep the rigid vector's
+                // dimensionality, exactly like a failed node: the
+                // baselines skip capacity-less nodes entirely.
+                let zeroed = dynaplace_model::resources::Resources::new(vec![
+                    0.0;
+                    spec.rigid_capacity()
+                        .len()
+                ]);
+                rebuilt.add_node(
+                    dynaplace_model::node::NodeSpec::try_with_resources(CpuSpeed::ZERO, zeroed)
+                        .expect("valid node capacities")
+                        .with_name(format!("{id} (off-limits)")),
+                );
             }
         }
-        self.apply_transition(target, load, &actions);
+        Some(rebuilt)
+    }
+
+    /// The placement problem a baseline policy sees: the simulated truth
+    /// (no estimation noise, no observation layer, no class-profile
+    /// estimates) over all live jobs and — unless statically partitioned
+    /// away — the transactional applications. Matches the historical
+    /// reservation-scheduler inputs: the controller-side estimators are
+    /// an APC-path feature.
+    pub(super) fn build_baseline_problem<'a>(
+        &'a self,
+        cluster: &'a Cluster,
+    ) -> PlacementProblem<'a> {
+        let mut workloads = BTreeMap::new();
+        for (&app, job) in &self.jobs {
+            if !job.is_live() {
+                continue;
+            }
+            let delay = if job.is_running() {
+                SimDuration::ZERO
+            } else {
+                self.config.cycle
+            };
+            workloads.insert(
+                app,
+                WorkloadModel::Batch(
+                    JobSnapshot::new(
+                        app,
+                        job.spec.goal(),
+                        Arc::clone(&job.profile),
+                        job.state.consumed(),
+                        delay,
+                    )
+                    .with_parallelism(job.parallelism),
+                ),
+            );
+        }
+        for (&app, txn) in &self.txns {
+            if self.config.static_txn_nodes.is_some() {
+                continue; // statically partitioned: not managed
+            }
+            let rate = txn.pattern.rate_at(self.now) * (1.0 + self.config.noise.txn_rate);
+            let demand = if self.config.estimate_txn_demand {
+                txn.profiler
+                    .estimate_single()
+                    .ok()
+                    .filter(|d| *d > 0.0)
+                    .unwrap_or(txn.demand_per_request)
+            } else {
+                txn.demand_per_request
+            };
+            workloads.insert(
+                app,
+                WorkloadModel::Transactional(TxnPerformanceModel::new(
+                    TxnWorkload::new(rate.max(0.0), demand, txn.floor),
+                    txn.goal,
+                )),
+            );
+        }
+        let forbidden: std::collections::BTreeSet<(AppId, NodeId)> = self
+            .actuation
+            .quarantined_pairs(self.now)
+            .into_iter()
+            .collect();
+        PlacementProblem::new(
+            cluster,
+            &self.apps,
+            workloads,
+            &self.placement,
+            self.now,
+            self.config.cycle,
+            forbidden,
+        )
+        .expect("engine state always yields a well-formed problem")
     }
 }

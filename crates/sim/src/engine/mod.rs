@@ -1,10 +1,11 @@
 //! The discrete-event cluster simulator.
 //!
 //! Reproduces the evaluation vehicle of §5: a virtualized cluster on
-//! which batch jobs and transactional applications are placed by either
-//! the paper's placement controller (APC) or one of the baseline
-//! schedulers (FCFS, EDF), with VM control operations charged according
-//! to the measured cost model.
+//! which batch jobs and transactional applications are placed by a
+//! pluggable [`dynaplace_apc::PlacementPolicy`] — the paper's placement
+//! controller (APC), one of the reservation baselines (FCFS, EDF,
+//! static partition), or any policy from the registry — with VM control
+//! operations charged according to the measured cost model.
 //!
 //! The simulation is event-driven and fully deterministic: job arrivals,
 //! projected job completions, and periodic control cycles are the only
@@ -14,9 +15,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dynaplace_apc::optimizer::{fill_only_traced, place_traced, ApcConfig, PlacementOutcome};
+use dynaplace_apc::optimizer::{ApcConfig, PlacementOutcome};
+use dynaplace_apc::policy::baselines::{EdfPolicy, FcfsPolicy};
+use dynaplace_apc::policy::{PolicyClass, PolicyHandle};
 use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
-use dynaplace_batch::baselines::{edf_schedule, fcfs_schedule, BaselineJob, NodeCapacity};
 use dynaplace_batch::class_profiler::JobClassProfiler;
 use dynaplace_batch::hypothetical::{HypotheticalRpf, JobSnapshot};
 use dynaplace_batch::job::JobSpec;
@@ -58,7 +60,9 @@ mod reconcile;
 mod sample;
 mod telemetry;
 
-pub use config::{EstimationNoise, NodeOutage, SchedulerKind, SimConfig, DEFAULT_STALL_LIMIT};
+#[allow(deprecated)]
+pub use config::SchedulerKind;
+pub use config::{EstimationNoise, NodeOutage, SimConfig, DEFAULT_STALL_LIMIT};
 
 #[derive(Debug)]
 struct Job {
@@ -244,13 +248,10 @@ impl Simulation {
         self.trace_file = None;
     }
 
-    /// The APC optimizer configuration, when this simulation runs the
-    /// APC scheduler; `None` under the FCFS/EDF baselines.
+    /// The APC optimizer configuration, when this simulation runs an
+    /// APC-backed policy; `None` under the baselines.
     pub fn apc_config(&self) -> Option<&ApcConfig> {
-        match &self.config.scheduler {
-            SchedulerKind::Apc { config, .. } => Some(config),
-            _ => None,
-        }
+        self.config.scheduler.apc_config()
     }
 
     /// Replaces the APC optimizer configuration after construction.
@@ -264,9 +265,12 @@ impl Simulation {
     /// no APC configuration to replace, and silently ignoring the call
     /// would make a differential run compare a scheduler to itself.
     pub fn set_apc_config(&mut self, apc: ApcConfig) {
-        match &mut self.config.scheduler {
-            SchedulerKind::Apc { config, .. } => *config = apc,
-            other => panic!("set_apc_config on a baseline scheduler ({other:?})"),
+        match self.config.scheduler.with_apc_config(apc) {
+            Some(handle) => self.config.scheduler = handle,
+            None => panic!(
+                "set_apc_config on a baseline scheduler ({:?})",
+                self.config.scheduler
+            ),
         }
     }
 
@@ -383,7 +387,7 @@ impl Simulation {
     ) -> AppId {
         assert!(tasks > 0, "tasks must be positive");
         assert!(
-            matches!(self.config.scheduler, SchedulerKind::Apc { .. }),
+            self.config.scheduler.class() == PolicyClass::Apc,
             "parallel jobs require the APC scheduler"
         );
         let provisional = AppId::new(self.apps.len() as u32);

@@ -173,8 +173,8 @@ impl Simulation {
     /// re-issuing the missing operations through the actuation layer.
     /// Runs on every actuation-retry event; a no-op when nothing diverged.
     pub(super) fn reconcile(&mut self) {
-        match self.config.scheduler {
-            SchedulerKind::Apc { .. } => {
+        match self.config.scheduler.class() {
+            PolicyClass::Apc => {
                 let target = self.surviving_desired();
                 let actions = self.placement.diff(&target);
                 if actions.is_empty() {
@@ -207,7 +207,7 @@ impl Simulation {
                     });
                 }
             }
-            SchedulerKind::Fcfs | SchedulerKind::Edf => self.run_baseline(),
+            PolicyClass::Baseline => self.run_baseline_policy(),
         }
     }
 

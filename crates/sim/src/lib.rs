@@ -2,10 +2,12 @@
 //! workloads.
 //!
 //! Reproduces the evaluation environment of the paper's §5: a
-//! virtualized cluster whose placement is driven by the Application
-//! Placement Controller (`dynaplace-apc`) or by the FCFS / EDF baseline
-//! schedulers, with VM control operations (boot, suspend, resume,
-//! migrate) charged at the latencies the paper measured.
+//! virtualized cluster whose placement is driven by any
+//! [`dynaplace_apc::PlacementPolicy`] — the Application Placement
+//! Controller, the reservation baselines (FCFS, EDF, static partition),
+//! or a policy resolved from the registry by name — with VM control
+//! operations (boot, suspend, resume, migrate) charged at the latencies
+//! the paper measured.
 //!
 //! - [`engine::Simulation`] — the event-driven simulator;
 //! - [`costs::VmCostModel`] — the §5 cost model;
@@ -18,20 +20,18 @@
 //! # Example
 //!
 //! ```
-//! use dynaplace_sim::engine::{SchedulerKind, SimConfig};
+//! use dynaplace_sim::engine::SimConfig;
 //! use dynaplace_sim::scenario::{paper_example, ExampleScenario};
 //! use dynaplace_sim::costs::VmCostModel;
 //! use dynaplace_apc::optimizer::ApcConfig;
+//! use dynaplace_apc::PolicyHandle;
 //! use dynaplace_model::units::SimDuration;
 //!
 //! let config = SimConfig {
 //!     cycle: SimDuration::from_secs(1.0),
 //!     horizon: Some(SimDuration::from_secs(60.0)),
 //!     costs: VmCostModel::free(),
-//!     scheduler: SchedulerKind::Apc {
-//!         config: ApcConfig::paper_narrative(),
-//!         advice_between_cycles: false,
-//!     },
+//!     scheduler: PolicyHandle::apc_with(ApcConfig::paper_narrative(), false),
 //!     batch_nodes: None,
 //!     static_txn_nodes: None,
 //!     noise: dynaplace_sim::engine::EstimationNoise::NONE,
@@ -62,7 +62,9 @@ pub mod spec;
 
 pub use actuation::{ActuationConfig, ActuationState, OpOutcome};
 pub use costs::{VmCostModel, VmOperation};
-pub use engine::{NodeOutage, SchedulerKind, SimConfig, Simulation};
+#[allow(deprecated)]
+pub use engine::SchedulerKind;
+pub use engine::{NodeOutage, SimConfig, Simulation};
 pub use metrics::{
     ActuationCounters, ChangeCounters, CompletionRecord, CycleSample, ObservationCounters,
     RunMetrics,

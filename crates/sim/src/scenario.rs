@@ -328,18 +328,16 @@ pub fn experiment_three(
 mod tests {
     use super::*;
     use crate::costs::VmCostModel;
-    use crate::engine::{SchedulerKind, DEFAULT_STALL_LIMIT};
+    use crate::engine::DEFAULT_STALL_LIMIT;
     use dynaplace_apc::optimizer::ApcConfig;
+    use dynaplace_apc::PolicyHandle;
 
     fn tiny_apc_config() -> SimConfig {
         SimConfig {
             cycle: SimDuration::from_secs(1.0),
             horizon: Some(SimDuration::from_secs(100.0)),
             costs: VmCostModel::free(),
-            scheduler: SchedulerKind::Apc {
-                config: ApcConfig::paper_narrative(),
-                advice_between_cycles: false,
-            },
+            scheduler: PolicyHandle::apc_with(ApcConfig::paper_narrative(), false),
             batch_nodes: None,
             static_txn_nodes: None,
             noise: crate::engine::EstimationNoise::NONE,

@@ -21,9 +21,12 @@ use rand::{Rng, SeedableRng};
 
 use dynaplace_trace::{TraceConfig, TraceLevel};
 
+use dynaplace_apc::policy::registry as policy_registry;
+use dynaplace_apc::{PolicyClass, PolicyHandle};
+
 use crate::actuation::ActuationConfig;
 use crate::costs::VmCostModel;
-use crate::engine::{NodeOutage, SchedulerKind, SimConfig, Simulation};
+use crate::engine::{NodeOutage, SimConfig, Simulation};
 use crate::observe::{DegradedMode, ObservationConfig};
 
 /// A group of identical nodes.
@@ -49,6 +52,14 @@ pub struct NodeGroupSpec {
 }
 
 /// Which scheduler drives the run.
+///
+/// Retired: [`ScenarioSpec::scheduler`] is a policy *name* now, resolved
+/// against the [`dynaplace_apc::PolicyRegistry`], so any registered
+/// policy (builtin or custom) can drive a scenario.
+#[deprecated(
+    since = "0.6.0",
+    note = "set `ScenarioSpec::scheduler` to a registry policy name (e.g. \"apc\", \"fcfs\") instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "lowercase")]
 pub enum SchedulerSpec {
@@ -58,6 +69,25 @@ pub enum SchedulerSpec {
     Fcfs,
     /// Earliest Deadline First.
     Edf,
+}
+
+#[allow(deprecated)]
+impl SchedulerSpec {
+    /// The registry name this variant maps to.
+    pub fn policy_name(&self) -> &'static str {
+        match self {
+            SchedulerSpec::Apc => "apc",
+            SchedulerSpec::Fcfs => "fcfs",
+            SchedulerSpec::Edf => "edf",
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<SchedulerSpec> for String {
+    fn from(spec: SchedulerSpec) -> Self {
+        spec.policy_name().to_string()
+    }
 }
 
 /// How job arrival times are generated.
@@ -427,6 +457,14 @@ pub enum ScenarioError {
         /// The offending rate.
         rate: f64,
     },
+    /// `scheduler` names no policy in the registry.
+    UnknownPolicy {
+        /// The unresolvable name.
+        name: String,
+        /// The closest registered name or alias, when one is plausibly
+        /// a typo away.
+        suggestion: Option<String>,
+    },
     /// `jobs[group_index]` asks for parallel tasks under a baseline
     /// scheduler, which only models single-instance jobs.
     ParallelJobsNeedApc {
@@ -531,6 +569,17 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::FailureRateOutOfRange { rate } => {
                 write!(f, "actuation.failure_rate must be in [0, 1), got {rate}")
             }
+            ScenarioError::UnknownPolicy { name, suggestion } => {
+                write!(f, "unknown scheduler policy {name:?}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean {s:?}?)")?;
+                }
+                write!(
+                    f,
+                    "; registered policies: {}",
+                    policy_registry::policy_names().join(", ")
+                )
+            }
             ScenarioError::ParallelJobsNeedApc { group_index } => write!(
                 f,
                 "jobs[{group_index}] uses parallel tasks, which only the apc scheduler supports"
@@ -603,8 +652,12 @@ pub struct ScenarioSpec {
     /// RNG seed for stochastic arrival processes.
     #[serde(default)]
     pub seed: u64,
-    /// The scheduler.
-    pub scheduler: SchedulerSpec,
+    /// The scheduler: a policy name (or alias) resolved against the
+    /// [`dynaplace_apc::PolicyRegistry`] — `"apc"`, `"fcfs"`, `"edf"`,
+    /// `"static-partition"`, `"vector-bin-packing"`, `"yield-max"`,
+    /// `"dfrs"`, or any policy registered at runtime. Unknown names are
+    /// a validate-time [`ScenarioError::UnknownPolicy`].
+    pub scheduler: String,
     /// Control cycle length, seconds.
     pub cycle_secs: f64,
     /// Optional hard stop, seconds.
@@ -686,6 +739,8 @@ impl ScenarioSpec {
     ///
     /// Returns the first violation in field order.
     pub fn validate(&self) -> Result<(), ScenarioError> {
+        let policy = self.resolve_scheduler()?;
+        let is_apc = policy.class() == PolicyClass::Apc;
         let nodes = self.node_count();
         if nodes == 0 {
             return Err(ScenarioError::NoNodes);
@@ -707,7 +762,7 @@ impl ScenarioSpec {
                 rate: self.actuation.failure_rate,
             });
         }
-        if self.scheduler != SchedulerSpec::Apc {
+        if !is_apc {
             for (group_index, group) in self.jobs.iter().enumerate() {
                 if group.tasks > 1 {
                     return Err(ScenarioError::ParallelJobsNeedApc { group_index });
@@ -720,7 +775,7 @@ impl ScenarioSpec {
             });
         }
         if let Some(sharding) = &self.sharding {
-            if self.scheduler != SchedulerSpec::Apc {
+            if !is_apc {
                 return Err(ScenarioError::InvalidSharding {
                     message: "only the apc scheduler supports sharding".to_string(),
                 });
@@ -739,7 +794,7 @@ impl ScenarioSpec {
                 });
             }
         }
-        self.validate_observation()?;
+        self.validate_observation(is_apc)?;
         self.validate_names()?;
         self.validate_resources()?;
         self.validate_finite()?;
@@ -752,12 +807,12 @@ impl ScenarioSpec {
     /// ordering (`dead_after <= suspect_after` would skip Suspect), and
     /// a smoothing factor of zero (the estimate would never track
     /// demand at all).
-    fn validate_observation(&self) -> Result<(), ScenarioError> {
+    fn validate_observation(&self, is_apc: bool) -> Result<(), ScenarioError> {
         let Some(o) = &self.observation else {
             return Ok(());
         };
         let bad = |message: String| Err(ScenarioError::InvalidObservation { message });
-        if self.scheduler != SchedulerSpec::Apc {
+        if !is_apc {
             return bad("only the apc scheduler supports an observation layer".to_string());
         }
         if !(0.0..1.0).contains(&o.heartbeat_loss) {
@@ -1095,6 +1150,21 @@ impl ScenarioSpec {
         Ok(())
     }
 
+    /// Resolves [`ScenarioSpec::scheduler`] against the global policy
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownPolicy`] (with a did-you-mean suggestion
+    /// where one is plausible) when the name matches no registered
+    /// policy or alias.
+    pub fn resolve_scheduler(&self) -> Result<PolicyHandle, ScenarioError> {
+        policy_registry::resolve(&self.scheduler).ok_or_else(|| ScenarioError::UnknownPolicy {
+            name: self.scheduler.clone(),
+            suggestion: policy_registry::suggest(&self.scheduler),
+        })
+    }
+
     /// Materializes the scenario into a ready-to-run [`Simulation`].
     ///
     /// # Panics
@@ -1152,17 +1222,20 @@ impl ScenarioSpec {
             } else {
                 VmCostModel::default()
             },
-            scheduler: match self.scheduler {
-                SchedulerSpec::Apc => SchedulerKind::Apc {
-                    config: dynaplace_apc::optimizer::ApcConfig::builder()
+            scheduler: {
+                let policy = self
+                    .resolve_scheduler()
+                    .expect("validate() resolved the scheduler");
+                if policy.class() == PolicyClass::Apc {
+                    let apc = dynaplace_apc::optimizer::ApcConfig::builder()
                         .deadline(self.deadline_secs.map(std::time::Duration::from_secs_f64))
                         .sharding(self.sharding.as_ref().map(ShardingSpec::to_policy))
                         .build()
-                        .expect("validated scenario yields a valid APC config"),
-                    advice_between_cycles: true,
-                },
-                SchedulerSpec::Fcfs => SchedulerKind::Fcfs,
-                SchedulerSpec::Edf => SchedulerKind::Edf,
+                        .expect("validated scenario yields a valid APC config");
+                    policy.with_apc_config(apc).unwrap_or(policy)
+                } else {
+                    policy
+                }
             },
             node_failures: self.node_failures.iter().map(|f| f.to_outage()).collect(),
             actuation: self.actuation.to_config(),
@@ -1350,19 +1423,14 @@ impl FromJson for NodeGroupSpec {
     }
 }
 
+#[allow(deprecated)]
 impl ToJson for SchedulerSpec {
     fn to_json(&self) -> Json {
-        Json::Str(
-            match self {
-                SchedulerSpec::Apc => "apc",
-                SchedulerSpec::Fcfs => "fcfs",
-                SchedulerSpec::Edf => "edf",
-            }
-            .to_string(),
-        )
+        Json::Str(self.policy_name().to_string())
     }
 }
 
+#[allow(deprecated)]
 impl FromJson for SchedulerSpec {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         match v.as_str() {
@@ -1766,10 +1834,10 @@ fn arrival_times(rng: &mut StdRng, spec: &ArrivalSpec, count: usize) -> Vec<SimT
 mod tests {
     use super::*;
 
-    fn minimal(scheduler: SchedulerSpec) -> ScenarioSpec {
+    fn minimal(scheduler: &str) -> ScenarioSpec {
         ScenarioSpec {
             seed: 1,
-            scheduler,
+            scheduler: scheduler.to_string(),
             cycle_secs: 10.0,
             horizon_secs: Some(10_000.0),
             free_vm_costs: true,
@@ -1805,15 +1873,38 @@ mod tests {
 
     #[test]
     fn builds_and_runs_every_scheduler() {
-        for scheduler in [SchedulerSpec::Apc, SchedulerSpec::Fcfs, SchedulerSpec::Edf] {
+        for scheduler in ["apc", "fcfs", "edf"] {
             let metrics = minimal(scheduler).build().run();
             assert_eq!(metrics.completions.len(), 4, "{scheduler:?}");
         }
     }
 
     #[test]
+    fn unknown_policy_is_a_typed_error_with_a_suggestion() {
+        let spec = minimal("apx");
+        match spec.build_checked() {
+            Err(ScenarioError::UnknownPolicy { name, suggestion }) => {
+                assert_eq!(name, "apx");
+                assert_eq!(suggestion.as_deref(), Some("apc"));
+            }
+            Err(other) => panic!("expected UnknownPolicy, got {other:?}"),
+            Ok(_) => panic!("expected UnknownPolicy, got a simulation"),
+        }
+        let msg = spec.validate().unwrap_err().to_string();
+        assert!(msg.contains("did you mean \"apc\"?"), "{msg}");
+        assert!(msg.contains("registered policies"), "{msg}");
+    }
+
+    #[test]
+    fn aliases_resolve_in_scenarios() {
+        // The registry's alias layer works end to end from a spec.
+        let metrics = minimal("VBP").build().run();
+        assert_eq!(metrics.completions.len(), 4);
+    }
+
+    #[test]
     fn round_trips_through_json() {
-        let spec = minimal(SchedulerSpec::Apc);
+        let spec = minimal("apc");
         let json = spec.to_json_string();
         let back = ScenarioSpec::from_json_str(&json).unwrap();
         let a = spec.build().run();
@@ -1826,7 +1917,7 @@ mod tests {
 
     #[test]
     fn explicit_arrivals_and_relative_goals() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.jobs[0].arrivals = ArrivalSpec::At(vec![0.0, 5.0, 7.5]);
         spec.jobs[0].count = 3;
         spec.jobs[0].goal = GoalSpec::RelativeSecs(500.0);
@@ -1837,7 +1928,7 @@ mod tests {
 
     #[test]
     fn parallel_group_under_apc() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.jobs[0].tasks = 2;
         spec.jobs[0].count = 2;
         let metrics = spec.build().run();
@@ -1846,7 +1937,7 @@ mod tests {
 
     #[test]
     fn out_of_range_node_failure_is_a_typed_error() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.node_failures = vec![NodeFailureSpec {
             at_secs: 30.0,
             node: 7, // cluster has 2 nodes
@@ -1866,7 +1957,7 @@ mod tests {
 
     #[test]
     fn failure_rate_of_one_is_rejected() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.actuation.failure_rate = 1.0;
         assert_eq!(
             spec.validate(),
@@ -1876,7 +1967,7 @@ mod tests {
 
     #[test]
     fn parallel_jobs_under_baseline_rejected_at_load_time() {
-        let mut spec = minimal(SchedulerSpec::Fcfs);
+        let mut spec = minimal("fcfs");
         spec.jobs[0].tasks = 2;
         assert_eq!(
             spec.validate(),
@@ -1886,7 +1977,7 @@ mod tests {
 
     #[test]
     fn sharding_block_round_trips_and_validates() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.sharding = Some(ShardingSpec::new(1));
         let back = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
         assert_eq!(back.sharding, spec.sharding);
@@ -1907,13 +1998,13 @@ mod tests {
             spec.validate(),
             Err(ScenarioError::InvalidSharding { .. })
         ));
-        let mut baseline = minimal(SchedulerSpec::Fcfs);
+        let mut baseline = minimal("fcfs");
         baseline.sharding = Some(ShardingSpec::new(1));
         assert!(matches!(
             baseline.validate(),
             Err(ScenarioError::InvalidSharding { .. })
         ));
-        let mut nan = minimal(SchedulerSpec::Apc);
+        let mut nan = minimal("apc");
         nan.sharding = Some(ShardingSpec {
             cell_size: 1,
             rebalance_moves: 2,
@@ -1927,7 +2018,7 @@ mod tests {
 
     #[test]
     fn sharded_scenario_builds_and_completes_jobs() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.sharding = Some(ShardingSpec::new(1));
         let metrics = spec.build().run();
         assert_eq!(metrics.completions.len(), 4);
@@ -1965,7 +2056,7 @@ mod tests {
     fn actuation_block_defaults_to_exactly_off() {
         // A scenario without an actuation block gets the exactly-off
         // default, and the default round-trips unchanged.
-        let spec = minimal(SchedulerSpec::Apc);
+        let spec = minimal("apc");
         let back = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
         assert_eq!(back.actuation, ActuationSpec::default());
         assert_eq!(back.deadline_secs, None);
@@ -1982,7 +2073,7 @@ mod tests {
     #[test]
     fn trace_block_defaults_to_off_and_round_trips() {
         // No trace block: off, and the default round-trips unchanged.
-        let spec = minimal(SchedulerSpec::Apc);
+        let spec = minimal("apc");
         let back = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
         assert_eq!(back.trace, TraceSpec::default());
         assert_eq!(back.trace.path, None);
@@ -1995,7 +2086,7 @@ mod tests {
 
     #[test]
     fn unknown_trace_level_is_a_typed_error() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.trace.level = "chatty".to_string();
         assert_eq!(
             spec.validate(),
@@ -2011,7 +2102,7 @@ mod tests {
     fn non_finite_times_are_rejected_at_load_time() {
         // A NaN explicit arrival used to reach the FCFS/EDF sort and
         // panic mid-run; now it is a typed load-time error.
-        let mut spec = minimal(SchedulerSpec::Fcfs);
+        let mut spec = minimal("fcfs");
         spec.jobs[0].arrivals = ArrivalSpec::At(vec![0.0, f64::NAN]);
         assert!(matches!(
             spec.validate(),
@@ -2019,7 +2110,7 @@ mod tests {
                 if field == "jobs[0].arrivals.at[1]" && value.is_nan()
         ));
 
-        let mut spec = minimal(SchedulerSpec::Edf);
+        let mut spec = minimal("edf");
         spec.jobs[0].goal = GoalSpec::RelativeSecs(f64::INFINITY);
         assert!(matches!(
             spec.validate(),
@@ -2027,7 +2118,7 @@ mod tests {
                 if field == "jobs[0].goal.relative_secs"
         ));
 
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.cycle_secs = f64::NAN;
         assert!(matches!(
             spec.validate(),
@@ -2037,7 +2128,7 @@ mod tests {
 
     #[test]
     fn transient_failure_recovers_and_jobs_complete() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.free_vm_costs = false;
         spec.node_failures = vec![NodeFailureSpec {
             at_secs: 40.0,
@@ -2050,7 +2141,7 @@ mod tests {
 
     #[test]
     fn txn_steps_pattern() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.txns = vec![TxnSpec {
             name: None,
             rate: RateSpec::Steps(vec![(0.0, 10.0), (100.0, 50.0)]),
@@ -2068,7 +2159,7 @@ mod tests {
     #[test]
     fn duplicate_names_are_typed_errors() {
         // Node groups sharing a name.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.nodes[0].name = Some("rack".to_string());
         spec.nodes.push(spec.nodes[0].clone());
         assert_eq!(
@@ -2080,7 +2171,7 @@ mod tests {
         );
 
         // A job and a txn collide in the shared application namespace.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.jobs[0].name = Some("web".to_string());
         spec.txns = vec![TxnSpec {
             name: Some("web".to_string()),
@@ -2103,12 +2194,12 @@ mod tests {
         // Distinct names (and the all-anonymous default) stay valid.
         spec.txns[0].name = Some("db".to_string());
         assert_eq!(spec.validate(), Ok(()));
-        assert_eq!(minimal(SchedulerSpec::Apc).validate(), Ok(()));
+        assert_eq!(minimal("apc").validate(), Ok(()));
     }
 
     #[test]
     fn undeclared_resource_is_a_typed_error() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.jobs[0].resources.insert("disk_mb".to_string(), 100.0);
         assert_eq!(
             spec.validate(),
@@ -2131,7 +2222,7 @@ mod tests {
 
     #[test]
     fn multi_resource_scenario_builds_runs_and_round_trips() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.resources = vec!["disk_mb".to_string(), "net_mbps".to_string()];
         spec.nodes[0].resources = BTreeMap::from([
             ("disk_mb".to_string(), 10_000.0),
@@ -2167,7 +2258,7 @@ mod tests {
     fn zero_node_fleet_is_rejected_like_an_empty_one() {
         // `nodes: [{count: 0, ...}]` parses fine but builds an empty
         // cluster; it must fail exactly like a missing nodes list.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.nodes[0].count = 0;
         assert_eq!(spec.validate(), Err(ScenarioError::NoNodes));
         spec.nodes.clear();
@@ -2176,7 +2267,7 @@ mod tests {
 
     #[test]
     fn node_total_beyond_u32_id_space_is_rejected() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.nodes[0].count = u32::MAX as usize;
         spec.nodes.push(NodeGroupSpec {
             count: 2,
@@ -2197,7 +2288,7 @@ mod tests {
     fn zero_cycle_secs_is_rejected() {
         // A zero control cycle would re-arm forever without advancing
         // simulated time.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.cycle_secs = 0.0;
         assert!(matches!(
             spec.validate(),
@@ -2209,7 +2300,7 @@ mod tests {
     fn negative_node_capacity_is_a_typed_error_not_a_build_panic() {
         // Negative capacities used to reach NodeSpec::try_with_resources
         // and panic via its expect() inside build().
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.nodes[0].memory_mb = -1.0;
         assert!(matches!(
             spec.validate(),
@@ -2224,7 +2315,7 @@ mod tests {
         // With no top-level `resources` list, any per-group block is
         // necessarily undeclared: the demand would silently bind to
         // nothing.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         assert!(spec.resources.is_empty());
         spec.nodes[0]
             .resources
@@ -2241,7 +2332,7 @@ mod tests {
     #[test]
     fn zero_tasks_and_zero_max_instances_are_rejected() {
         // `tasks: 0` used to silently degrade to an ordinary job.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.jobs[0].tasks = 0;
         assert!(matches!(
             spec.validate(),
@@ -2249,7 +2340,7 @@ mod tests {
         ));
 
         // A txn capped at zero instances can never be placed at all.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.txns = vec![TxnSpec {
             name: None,
             rate: RateSpec::Constant(5.0),
@@ -2271,7 +2362,7 @@ mod tests {
     fn degenerate_arrival_processes_are_rejected() {
         // A non-positive exponential mean draws negative inter-arrival
         // gaps: simulated time would run backwards.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.jobs[0].arrivals = ArrivalSpec::Exponential { mean_secs: 0.0 };
         assert!(matches!(
             spec.validate(),
@@ -2293,7 +2384,7 @@ mod tests {
     fn degenerate_optimizer_deadline_is_rejected() {
         // Duration::from_secs_f64 panics on negatives and NaN; both now
         // fail at load time instead.
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.deadline_secs = Some(-0.5);
         assert!(matches!(
             spec.validate(),
@@ -2308,21 +2399,21 @@ mod tests {
 
     #[test]
     fn degenerate_actuation_timings_are_rejected() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.actuation.base_backoff_secs = -1.0;
         assert!(matches!(
             spec.validate(),
             Err(ScenarioError::NegativeNumber { ref field, .. })
                 if field == "actuation.base_backoff_secs"
         ));
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.actuation.timeout_secs = Some(0.0);
         assert!(matches!(
             spec.validate(),
             Err(ScenarioError::NonPositiveNumber { ref field, .. })
                 if field == "actuation.timeout_secs"
         ));
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.actuation.quarantine_secs = f64::INFINITY;
         assert!(matches!(
             spec.validate(),
@@ -2351,14 +2442,14 @@ mod tests {
         assert!(o.to_config().is_active());
         // No block at all renders without the key, keeping legacy
         // scenario files byte-stable, and builds an inactive config.
-        let legacy = minimal(SchedulerSpec::Apc);
+        let legacy = minimal("apc");
         assert!(!legacy.to_json_string().contains("observation"));
         assert!(!ObservationConfig::default().is_active());
     }
 
     #[test]
     fn observation_round_trips_through_json() {
-        let mut spec = minimal(SchedulerSpec::Apc);
+        let mut spec = minimal("apc");
         spec.observation = Some(ObservationSpec {
             heartbeat_loss: 0.3,
             max_staleness_cycles: 2,
@@ -2396,7 +2487,7 @@ mod tests {
             ("degraded_mode", |o| o.degraded_mode = "panic".to_string()),
         ];
         for (what, mutate) in cases {
-            let mut spec = minimal(SchedulerSpec::Apc);
+            let mut spec = minimal("apc");
             let mut o = ObservationSpec::default();
             mutate(&mut o);
             spec.observation = Some(o);
@@ -2409,7 +2500,7 @@ mod tests {
             );
         }
         // And the layer is APC-only, like sharding.
-        let mut spec = minimal(SchedulerSpec::Fcfs);
+        let mut spec = minimal("fcfs");
         spec.observation = Some(ObservationSpec::default());
         assert!(matches!(
             spec.validate(),
@@ -2439,7 +2530,7 @@ mod tests {
         );
         // Memory-only scenarios render without any resources fields, so
         // checked-in legacy files and goldens stay byte-stable.
-        let legacy = minimal(SchedulerSpec::Apc);
+        let legacy = minimal("apc");
         let text = legacy.to_json_string();
         assert!(!text.contains("resources"), "{text}");
     }

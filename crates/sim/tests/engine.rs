@@ -3,13 +3,14 @@
 #![deny(deprecated)]
 
 use dynaplace_apc::optimizer::ApcConfig;
+use dynaplace_apc::PolicyHandle;
 use dynaplace_batch::job::{JobProfile, JobSpec};
 use dynaplace_model::cluster::Cluster;
 use dynaplace_model::node::NodeSpec;
 use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
 use dynaplace_rpf::goal::CompletionGoal;
 use dynaplace_sim::costs::VmCostModel;
-use dynaplace_sim::engine::{SchedulerKind, SimConfig, Simulation, DEFAULT_STALL_LIMIT};
+use dynaplace_sim::engine::{SimConfig, Simulation, DEFAULT_STALL_LIMIT};
 use dynaplace_sim::scenario::{experiment_one, experiment_two, paper_example, ExampleScenario};
 
 fn mhz(x: f64) -> CpuSpeed {
@@ -31,7 +32,7 @@ fn one_node_cluster() -> Cluster {
     c
 }
 
-fn config(kind: SchedulerKind) -> SimConfig {
+fn config(kind: PolicyHandle) -> SimConfig {
     SimConfig {
         cycle: secs(1.0),
         horizon: Some(secs(500.0)),
@@ -51,11 +52,16 @@ fn config(kind: SchedulerKind) -> SimConfig {
     }
 }
 
-fn apc() -> SchedulerKind {
-    SchedulerKind::Apc {
-        config: ApcConfig::default(),
-        advice_between_cycles: true,
-    }
+fn apc() -> PolicyHandle {
+    PolicyHandle::apc_with(ApcConfig::default(), true)
+}
+
+fn fcfs() -> PolicyHandle {
+    dynaplace_apc::resolve_policy("fcfs").expect("fcfs is builtin")
+}
+
+fn edf() -> PolicyHandle {
+    dynaplace_apc::resolve_policy("edf").expect("edf is builtin")
 }
 
 fn simple_job(
@@ -80,7 +86,7 @@ fn simple_job(
 /// says it should (work conservation).
 #[test]
 fn single_job_completes_on_schedule() {
-    for kind in [apc(), SchedulerKind::Fcfs, SchedulerKind::Edf] {
+    for kind in [apc(), fcfs(), edf()] {
         let mut sim = Simulation::new(one_node_cluster(), config(kind));
         let app = simple_job(&mut sim, 4_000.0, 1_000.0, 750.0, 0.0, 100.0);
         let m = sim.run();
@@ -117,7 +123,7 @@ fn boot_cost_delays_completion() {
 /// FCFS never suspends or migrates, ever.
 #[test]
 fn fcfs_makes_no_changes() {
-    let mut sim = Simulation::new(one_node_cluster(), config(SchedulerKind::Fcfs));
+    let mut sim = Simulation::new(one_node_cluster(), config(fcfs()));
     for i in 0..6 {
         simple_job(&mut sim, 2_000.0, 500.0, 750.0, i as f64 * 0.5, 500.0);
     }
@@ -133,7 +139,7 @@ fn fcfs_makes_no_changes() {
 /// resumes it.
 #[test]
 fn edf_preempts_and_resumes() {
-    let mut sim = Simulation::new(one_node_cluster(), config(SchedulerKind::Edf));
+    let mut sim = Simulation::new(one_node_cluster(), config(edf()));
     // Two long jobs with late deadlines fill the node (memory).
     simple_job(&mut sim, 50_000.0, 500.0, 750.0, 0.0, 400.0);
     simple_job(&mut sim, 50_000.0, 500.0, 750.0, 0.0, 400.0);
@@ -160,7 +166,7 @@ fn edf_preempts_and_resumes() {
 /// completed jobs (equality when no idling happens mid-cycle).
 #[test]
 fn work_conservation() {
-    let kinds = [apc(), SchedulerKind::Fcfs, SchedulerKind::Edf];
+    let kinds = [apc(), fcfs(), edf()];
     for kind in kinds {
         let mut sim = Simulation::new(one_node_cluster(), config(kind));
         let total_work = 3.0 * 2_000.0;
@@ -202,7 +208,7 @@ fn runs_are_deterministic() {
 /// Suspended jobs make no progress while suspended.
 #[test]
 fn suspension_freezes_progress() {
-    let mut sim = Simulation::new(one_node_cluster(), config(SchedulerKind::Edf));
+    let mut sim = Simulation::new(one_node_cluster(), config(edf()));
     // Long job, preempted by a stream of urgent jobs.
     let victim = simple_job(&mut sim, 100_000.0, 1_000.0, 1_500.0, 0.0, 5_000.0);
     for i in 0..3 {
@@ -231,10 +237,7 @@ fn example_s2_starts_j2_earlier_than_s1_under_narrative_config() {
         cycle: secs(1.0),
         horizon: Some(secs(100.0)),
         costs: VmCostModel::free(),
-        scheduler: SchedulerKind::Apc {
-            config: ApcConfig::paper_narrative(),
-            advice_between_cycles: false,
-        },
+        scheduler: PolicyHandle::apc_with(ApcConfig::paper_narrative(), false),
         batch_nodes: None,
         static_txn_nodes: None,
         noise: dynaplace_sim::engine::EstimationNoise::NONE,

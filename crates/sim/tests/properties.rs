@@ -3,9 +3,7 @@
 
 #![deny(deprecated)]
 
-use dynaplace_sim::spec::{
-    ArrivalSpec, GoalSpec, JobGroupSpec, NodeGroupSpec, ScenarioSpec, SchedulerSpec,
-};
+use dynaplace_sim::spec::{ArrivalSpec, GoalSpec, JobGroupSpec, NodeGroupSpec, ScenarioSpec};
 use proptest::prelude::*;
 
 fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
@@ -46,9 +44,9 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
     (
         any::<u64>(),
         prop_oneof![
-            Just(SchedulerSpec::Apc),
-            Just(SchedulerSpec::Fcfs),
-            Just(SchedulerSpec::Edf)
+            Just("apc".to_string()),
+            Just("fcfs".to_string()),
+            Just("edf".to_string())
         ],
         nodes,
         proptest::collection::vec(jobs, 1..3),

@@ -30,7 +30,7 @@ use std::path::PathBuf;
 
 use dynaplace_sim::spec::{
     ActuationSpec, ArrivalSpec, GoalSpec, JobGroupSpec, NodeFailureSpec, NodeGroupSpec,
-    ObservationSpec, RateSpec, ScenarioSpec, SchedulerSpec, ShardingSpec, TraceSpec, TxnSpec,
+    ObservationSpec, RateSpec, ScenarioSpec, ShardingSpec, TraceSpec, TxnSpec,
 };
 use proptest::{Strategy, TestCaseError, TestCaseResult, TestRng};
 
@@ -38,8 +38,8 @@ use proptest::{Strategy, TestCaseError, TestCaseResult, TestRng};
 /// regimes; tests that need something else can build their own.
 #[derive(Debug, Clone)]
 pub struct GenProfile {
-    /// Schedulers to draw from (repeats weight the draw).
-    pub schedulers: Vec<SchedulerSpec>,
+    /// Registry policy names to draw from (repeats weight the draw).
+    pub schedulers: Vec<String>,
     /// Maximum heterogeneous node groups (at least one is generated).
     pub max_node_groups: usize,
     /// Maximum nodes per group (at least one).
@@ -88,13 +88,22 @@ impl GenProfile {
     /// Everything on: the widest scenario space the oracles accept.
     pub fn full() -> Self {
         GenProfile {
-            schedulers: vec![
-                SchedulerSpec::Apc,
-                SchedulerSpec::Apc,
-                SchedulerSpec::Apc,
-                SchedulerSpec::Fcfs,
-                SchedulerSpec::Edf,
-            ],
+            // APC triple-weighted (it is the system under test), then
+            // every baseline in the registry so the whole-run oracles
+            // sweep the full policy zoo.
+            schedulers: [
+                "apc",
+                "apc",
+                "apc",
+                "fcfs",
+                "edf",
+                "static-partition",
+                "vector-bin-packing",
+                "yield-max",
+                "dfrs",
+            ]
+            .map(str::to_string)
+            .to_vec(),
             max_node_groups: 2,
             max_nodes_per_group: 3,
             max_job_groups: 3,
@@ -117,7 +126,7 @@ impl GenProfile {
     /// each spec several times over.
     pub fn quick() -> Self {
         GenProfile {
-            schedulers: vec![SchedulerSpec::Apc],
+            schedulers: vec!["apc".to_string()],
             max_node_groups: 2,
             max_nodes_per_group: 2,
             max_job_groups: 2,
@@ -147,7 +156,7 @@ impl GenProfile {
     /// forced.
     pub fn deterministic() -> Self {
         GenProfile {
-            schedulers: vec![SchedulerSpec::Apc],
+            schedulers: vec!["apc".to_string()],
             max_node_groups: 1,
             max_nodes_per_group: 1,
             max_job_groups: 3,
@@ -239,8 +248,8 @@ const DIM_PALETTE: &[&str] = &["disk_mb", "net_mbps", "license_slots", "gpu_ram_
 /// the invariants the construction guarantees; [`scenarios`] wraps this
 /// as a [`Strategy`].
 pub fn gen_scenario(rng: &mut TestRng, profile: &GenProfile) -> ScenarioSpec {
-    let scheduler = *pick(rng, &profile.schedulers);
-    let apc = scheduler == SchedulerSpec::Apc;
+    let scheduler = pick(rng, &profile.schedulers).clone();
+    let apc = scheduler == "apc";
     let cycle_secs = f8(rng, 60.0, 300.0);
 
     // Extra rigid dimensions. The FCFS/EDF baselines are memory-only

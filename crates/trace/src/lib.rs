@@ -573,6 +573,19 @@ pub enum TraceEvent {
         /// Degraded mode applied (`hold` / `fill_only`).
         mode: &'static str,
     },
+    /// The engine handed this cycle's placement problem to a policy.
+    /// Verbose-level: policy identity is config-static, so decision-level
+    /// traces stay byte-identical to the pre-registry format.
+    PolicyInvoked {
+        /// Sim time of the cycle.
+        time: f64,
+        /// Control-cycle index.
+        cycle: u64,
+        /// Registry name of the invoked policy (e.g. `apc`, `fcfs`).
+        policy: String,
+        /// Policy class (`apc` / `baseline`).
+        class: String,
+    },
     /// The demand estimator produced a smoothed/inflated estimate that
     /// differs from the raw observed transactional rate.
     DemandEstimate {
@@ -597,6 +610,7 @@ impl TraceEvent {
             | TraceEvent::NodeExit { .. }
             | TraceEvent::CandidateRejected { .. }
             | TraceEvent::HeartbeatMissed { .. }
+            | TraceEvent::PolicyInvoked { .. }
             | TraceEvent::DemandEstimate { .. } => TraceLevel::Verbose,
             _ => TraceLevel::Decisions,
         }
@@ -631,6 +645,7 @@ impl TraceEvent {
             TraceEvent::NodeDeclaredDead { .. } => "node_declared_dead",
             TraceEvent::NodeReinstated { .. } => "node_reinstated",
             TraceEvent::StaleHold { .. } => "stale_hold",
+            TraceEvent::PolicyInvoked { .. } => "policy_invoked",
             TraceEvent::DemandEstimate { .. } => "demand_estimate",
         }
     }
@@ -963,6 +978,18 @@ impl TraceEvent {
                 ("budget", Json::Num(budget as f64)),
                 ("mode", Json::Str(mode.to_string())),
             ]),
+            TraceEvent::PolicyInvoked {
+                time,
+                cycle,
+                ref policy,
+                ref class,
+            } => obj([
+                ("ev", ev),
+                ("time", Json::Num(time)),
+                ("cycle", Json::Num(cycle as f64)),
+                ("policy", Json::Str(policy.clone())),
+                ("class", Json::Str(class.clone())),
+            ]),
             TraceEvent::DemandEstimate {
                 time,
                 cycle,
@@ -1218,6 +1245,12 @@ impl TraceEvent {
                 age_cycles: uint(v, "age_cycles")?,
                 budget: uint(v, "budget")?,
                 mode: intern(v, "mode", &["hold", "fill_only"])?,
+            },
+            "policy_invoked" => TraceEvent::PolicyInvoked {
+                time,
+                cycle: uint(v, "cycle")?,
+                policy: text(v, "policy")?.to_string(),
+                class: text(v, "class")?.to_string(),
             },
             "demand_estimate" => TraceEvent::DemandEstimate {
                 time,
@@ -1495,6 +1528,13 @@ impl TraceEvent {
                 format!(
                     "  STALE snapshot ({age_cycles} cycles old, budget {budget}) — degrading to {mode}"
                 )
+            }
+            TraceEvent::PolicyInvoked {
+                ref policy,
+                ref class,
+                ..
+            } => {
+                format!("  policy {policy} ({class}) invoked")
             }
             TraceEvent::DemandEstimate {
                 app,
@@ -1934,6 +1974,12 @@ mod tests {
                 app: AppId::new(3),
                 observed: 42.5,
                 estimate: 51.0,
+            },
+            TraceEvent::PolicyInvoked {
+                time: 600.0,
+                cycle: 1,
+                policy: "vector-bin-packing".to_string(),
+                class: "baseline".to_string(),
             },
         ];
         for ev in events {

@@ -16,10 +16,7 @@ fn main() {
             cycle: SimDuration::from_secs(1.0),
             horizon: Some(SimDuration::from_secs(60.0)),
             costs: VmCostModel::free(),
-            scheduler: SchedulerKind::Apc {
-                config: ApcConfig::paper_narrative(),
-                advice_between_cycles: false,
-            },
+            scheduler: PolicyHandle::apc_with(ApcConfig::paper_narrative(), false),
             batch_nodes: None,
             static_txn_nodes: None,
             noise: dynaplace::sim::engine::EstimationNoise::NONE,

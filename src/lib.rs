@@ -95,12 +95,18 @@ pub mod prelude {
         ApcConfigBuilder, ConfigError, Objective, OptimizerStats, PlacementOutcome,
         PlacementProblem, PlacementScore, ProblemError, ScoringMode, ShardingPolicy, WorkloadModel,
     };
+    pub use dynaplace_apc::{
+        policy_handles, policy_names, register_policy, resolve_policy, ApcPolicy, PlacementPolicy,
+        PolicyClass, PolicyHandle,
+    };
     pub use dynaplace_batch::hypothetical::JobSnapshot;
     pub use dynaplace_batch::job::{JobProfile, JobSpec, JobStage};
     pub use dynaplace_model::prelude::*;
     pub use dynaplace_rpf::goal::CompletionGoal;
     pub use dynaplace_sim::costs::VmCostModel;
-    pub use dynaplace_sim::engine::{SchedulerKind, SimConfig, Simulation};
+    #[allow(deprecated)]
+    pub use dynaplace_sim::engine::SchedulerKind;
+    pub use dynaplace_sim::engine::{SimConfig, Simulation};
     pub use dynaplace_sim::spec::{ScenarioSpec, ShardingSpec};
     pub use dynaplace_trace::{JsonlSink, NoopSink, TraceEvent, TraceLevel, TraceSink};
     pub use dynaplace_txn::model::TxnPerformanceModel;

@@ -4,9 +4,10 @@
 #![deny(deprecated)]
 
 use dynaplace::apc::optimizer::ApcConfig;
+use dynaplace::apc::PolicyHandle;
 use dynaplace::model::units::SimDuration;
 use dynaplace::sim::costs::VmCostModel;
-use dynaplace::sim::engine::{SchedulerKind, SimConfig, DEFAULT_STALL_LIMIT};
+use dynaplace::sim::engine::{SimConfig, DEFAULT_STALL_LIMIT};
 use dynaplace::sim::scenario::{
     experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
 };
@@ -161,10 +162,7 @@ fn paper_example_scenarios() {
         cycle: SimDuration::from_secs(1.0),
         horizon: Some(SimDuration::from_secs(100.0)),
         costs: VmCostModel::free(),
-        scheduler: SchedulerKind::Apc {
-            config: ApcConfig::paper_narrative(),
-            advice_between_cycles: false,
-        },
+        scheduler: PolicyHandle::apc_with(ApcConfig::paper_narrative(), false),
         batch_nodes: None,
         static_txn_nodes: None,
         noise: dynaplace::sim::engine::EstimationNoise::NONE,

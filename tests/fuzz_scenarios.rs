@@ -25,7 +25,7 @@ use std::sync::Arc;
 use dynaplace::apc::optimizer::ScoringMode;
 use dynaplace::model::placement::Placement;
 use dynaplace::sim::metrics::RunMetrics;
-use dynaplace::sim::spec::{ObservationSpec, ScenarioSpec, SchedulerSpec, ShardingSpec};
+use dynaplace::sim::spec::{ObservationSpec, ScenarioSpec, ShardingSpec};
 use dynaplace::trace::{JsonlSink, TraceEvent, TraceLevel, TraceSink};
 use dynaplace_json::Json;
 use dynaplace_testutil::gen::{self, GenProfile};
@@ -280,7 +280,7 @@ fn crosses_floor(m: &RunMetrics) -> bool {
 /// accepts an `observation` block), for the telemetry fuzz families.
 fn apc_full() -> GenProfile {
     GenProfile {
-        schedulers: vec![SchedulerSpec::Apc],
+        schedulers: vec!["apc".to_string()],
         ..GenProfile::full()
     }
 }

@@ -12,6 +12,7 @@
 #![deny(deprecated)]
 
 use dynaplace::apc::optimizer::{ApcConfig, Objective};
+use dynaplace::apc::PolicyHandle;
 use dynaplace::batch::job::{JobProfile, JobSpec};
 use dynaplace::model::cluster::Cluster;
 use dynaplace::model::node::NodeSpec;
@@ -19,7 +20,7 @@ use dynaplace::model::units::*;
 use dynaplace::model::AppId;
 use dynaplace::rpf::goal::CompletionGoal;
 use dynaplace::sim::costs::VmCostModel;
-use dynaplace::sim::engine::{SchedulerKind, SimConfig, Simulation};
+use dynaplace::sim::engine::{SimConfig, Simulation};
 use dynaplace::sim::RunMetrics;
 
 fn run(objective: Objective) -> (AppId, RunMetrics) {
@@ -33,13 +34,13 @@ fn run(objective: Objective) -> (AppId, RunMetrics) {
         cycle: SimDuration::from_secs(10.0),
         horizon: Some(SimDuration::from_secs(2_000.0)),
         costs: VmCostModel::free(),
-        scheduler: SchedulerKind::Apc {
-            config: ApcConfig::builder()
+        scheduler: PolicyHandle::apc_with(
+            ApcConfig::builder()
                 .objective(objective)
                 .build()
                 .expect("valid comparison config"),
-            advice_between_cycles: true,
-        },
+            true,
+        ),
         ..SimConfig::apc_default()
     };
     let mut sim = Simulation::new(cluster, config);

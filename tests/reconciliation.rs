@@ -10,7 +10,7 @@ use dynaplace::model::NodeId;
 use dynaplace::sim::metrics::RunMetrics;
 use dynaplace::sim::spec::{
     ActuationSpec, ArrivalSpec, GoalSpec, JobGroupSpec, NodeFailureSpec, NodeGroupSpec,
-    ObservationSpec, ScenarioSpec, SchedulerSpec,
+    ObservationSpec, ScenarioSpec,
 };
 use proptest::prelude::*;
 
@@ -38,7 +38,7 @@ fn flaky_spec(
 ) -> ScenarioSpec {
     ScenarioSpec {
         seed,
-        scheduler: SchedulerSpec::Apc,
+        scheduler: "apc".to_string(),
         cycle_secs: CYCLE_SECS,
         horizon_secs: Some(30_000.0),
         free_vm_costs: false,
