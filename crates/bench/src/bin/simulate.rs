@@ -22,6 +22,19 @@
 //! `--scheduler <name>` overrides the scenario's own scheduler with any
 //! policy registered in the `dynaplace-apc` registry; `--list-policies`
 //! prints the registry (name, class, description) and exits.
+//!
+//! `--generate` runs the scenario through the streaming control plane:
+//! submissions (including any generative `"workload"` block) are drawn
+//! lazily from a [`dynaplace_sim::WorkloadSource`] and per-job state is
+//! retired as jobs finish (aggregate metrics retention), so day-long
+//! traces with hundreds of thousands of generated jobs run in constant
+//! memory. Per-job completion records are folded into totals in this
+//! mode, so the metrics JSON carries `totals` instead of `completions`.
+//!
+//! `--max-rss-mb <MB>` turns the process's peak resident set (Linux
+//! `VmHWM`) into a gate: exit nonzero if the run exceeded the bound. CI
+//! uses this as the constant-memory guard for `--generate` runs — a
+//! relaxed bound on every push, a tight one nightly.
 
 use std::process::ExitCode;
 
@@ -30,7 +43,16 @@ use dynaplace_sim::spec::ScenarioSpec;
 
 const USAGE: &str = "usage: simulate <scenario.json> [metrics-out.json] [--trace <trace.jsonl>] \
      [--trace-level decisions|verbose] [--no-observation-faults] [--strict] \
-     [--scheduler <policy>] | simulate --list-policies";
+     [--scheduler <policy>] [--generate] [--max-rss-mb <MB>] | simulate --list-policies";
+
+/// Peak resident set size of this process in MB, from `/proc/self/status`
+/// (`VmHWM`). `None` off Linux or when the field is unreadable.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
 
 /// Prints the global policy registry as a table.
 fn list_policies() {
@@ -57,11 +79,21 @@ fn main() -> ExitCode {
     let mut scheduler: Option<String> = None;
     let mut no_observation_faults = false;
     let mut strict = false;
+    let mut generate = false;
+    let mut max_rss_mb: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-observation-faults" => no_observation_faults = true,
             "--strict" => strict = true,
+            "--generate" => generate = true,
+            "--max-rss-mb" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(mb) if mb > 0.0 => max_rss_mb = Some(mb),
+                _ => {
+                    eprintln!("--max-rss-mb needs a positive number of megabytes\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list-policies" => {
                 list_policies();
                 return ExitCode::SUCCESS;
@@ -137,13 +169,27 @@ fn main() -> ExitCode {
 
     let traced_to = spec.trace.path.clone();
     let started = std::time::Instant::now();
-    let metrics = spec.build().run();
+    let metrics = if generate {
+        // Streaming control plane: submissions drawn lazily, finished
+        // jobs retired — constant memory regardless of trace length.
+        let mut sim = match spec.build_streaming_checked() {
+            Ok(sim) => sim,
+            Err(e) => {
+                eprintln!("invalid scenario {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        sim.set_retention(dynaplace_sim::MetricsRetention::Aggregate);
+        sim.run()
+    } else {
+        spec.build().run()
+    };
     let elapsed = started.elapsed();
 
     let rows = vec![
         vec![
             "jobs completed".into(),
-            format!("{}", metrics.completions.len()),
+            format!("{}", metrics.completed_jobs()),
         ],
         vec![
             "deadlines met".into(),
@@ -169,6 +215,11 @@ fn main() -> ExitCode {
         vec!["samples".into(), format!("{}", metrics.samples.len())],
         vec!["wall clock".into(), format!("{elapsed:.2?}")],
     ];
+    let mut rows = rows;
+    let peak = peak_rss_mb();
+    if let Some(mb) = peak {
+        rows.push(vec!["peak rss".into(), format!("{mb:.1}MB")]);
+    }
     println!("{}", ascii_table(&["metric", "value"], &rows));
 
     if let Some(out) = out {
@@ -192,11 +243,12 @@ fn main() -> ExitCode {
                 s.apps
             ));
         }
-        if spec.horizon_secs.is_none() && metrics.completions.len() != spec.job_count() {
+        let expected = spec.job_count() + spec.generated_job_cap();
+        if spec.horizon_secs.is_none() && metrics.completed_jobs() != expected {
             failures.push(format!(
                 "horizon-free run drained {} of {} submitted jobs",
-                metrics.completions.len(),
-                spec.job_count()
+                metrics.completed_jobs(),
+                expected
             ));
         }
         if !failures.is_empty() {
@@ -204,6 +256,18 @@ fn main() -> ExitCode {
                 eprintln!("strict check failed: {f}");
             }
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(bound) = max_rss_mb {
+        match peak {
+            Some(mb) if mb > bound => {
+                eprintln!("memory guard failed: peak rss {mb:.1}MB exceeds the {bound:.1}MB bound");
+                return ExitCode::FAILURE;
+            }
+            Some(_) => {}
+            None => {
+                eprintln!("memory guard skipped: VmHWM unavailable on this platform");
+            }
         }
     }
     ExitCode::SUCCESS

@@ -138,12 +138,23 @@ impl Cluster {
 
 /// The set of applications known to the placement controller.
 ///
-/// Applications receive dense [`AppId`]s in registration order. Completed
-/// jobs stay registered (their ids remain valid in historical records) but
-/// are excluded from placement by the caller.
+/// Applications receive dense [`AppId`]s in registration order. In
+/// lock-step simulations completed jobs stay registered (their ids
+/// remain valid in historical records) but are excluded from placement
+/// by the caller. Constant-memory streaming runs instead [`retire`]
+/// finished applications, freeing their slots for reuse; [`add`] hands
+/// out the smallest free id first so the id space stays dense no matter
+/// how many applications pass through over a run's lifetime.
+///
+/// [`retire`]: AppSet::retire
+/// [`add`]: AppSet::add
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AppSet {
-    apps: Vec<ApplicationSpec>,
+    apps: Vec<Option<ApplicationSpec>>,
+    /// Vacant slot indices (retired ids), kept sorted so reuse is
+    /// deterministic: the smallest free id is always handed out first.
+    free: std::collections::BTreeSet<u32>,
+    live: usize,
 }
 
 impl AppSet {
@@ -152,11 +163,68 @@ impl AppSet {
         Self::default()
     }
 
-    /// Registers an application and returns its id.
+    /// The id the next [`AppSet::add`] call will hand out.
+    pub fn peek_next_id(&self) -> AppId {
+        match self.free.iter().next() {
+            Some(&slot) => AppId::new(slot),
+            None => AppId::new(self.apps.len() as u32),
+        }
+    }
+
+    /// Registers an application and returns its id (the smallest free
+    /// slot, or a fresh one at the end).
     pub fn add(&mut self, spec: ApplicationSpec) -> AppId {
-        let id = AppId::new(self.apps.len() as u32);
-        self.apps.push(spec);
-        id
+        match self.free.pop_first() {
+            Some(slot) => {
+                self.apps[slot as usize] = Some(spec);
+                self.live += 1;
+                AppId::new(slot)
+            }
+            None => {
+                let id = AppId::new(self.apps.len() as u32);
+                self.apps.push(Some(spec));
+                self.live += 1;
+                id
+            }
+        }
+    }
+
+    /// Registers an application under a caller-chosen id, growing the
+    /// slot table as needed. Replaces any previous occupant.
+    pub fn insert_at(&mut self, id: AppId, spec: ApplicationSpec) {
+        let idx = id.index();
+        if idx >= self.apps.len() {
+            for vacant in self.apps.len()..idx {
+                self.free.insert(vacant as u32);
+            }
+            self.apps.resize_with(idx + 1, || None);
+        }
+        if self.apps[idx].replace(spec).is_none() {
+            self.live += 1;
+        }
+        self.free.remove(&(idx as u32));
+    }
+
+    /// Reserves ids `0..count` for later [`AppSet::insert_at`] calls:
+    /// grows the slot table without marking the empty slots free, so
+    /// [`AppSet::add`] / [`AppSet::peek_next_id`] skip past them. Lets a
+    /// workload source pre-assign a block of ids while the engine keeps
+    /// assigning fresh ids above the block.
+    pub fn reserve(&mut self, count: u32) {
+        if count as usize > self.apps.len() {
+            self.apps.resize_with(count as usize, || None);
+        }
+    }
+
+    /// Unregisters an application, freeing its id for reuse by a later
+    /// [`AppSet::add`]. Returns the removed spec, or `None` if the id
+    /// was not registered.
+    pub fn retire(&mut self, id: AppId) -> Option<ApplicationSpec> {
+        let slot = self.apps.get_mut(id.index())?;
+        let spec = slot.take()?;
+        self.live -= 1;
+        self.free.insert(id.index() as u32);
+        Some(spec)
     }
 
     /// Looks up an application.
@@ -165,22 +233,25 @@ impl AppSet {
     ///
     /// Returns [`ModelError::UnknownApp`] if the id is not registered.
     pub fn get(&self, id: AppId) -> Result<&ApplicationSpec, ModelError> {
-        self.apps.get(id.index()).ok_or(ModelError::UnknownApp(id))
+        self.apps
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(ModelError::UnknownApp(id))
     }
 
     /// Returns whether the application id is registered.
     pub fn contains(&self, id: AppId) -> bool {
-        id.index() < self.apps.len()
+        matches!(self.apps.get(id.index()), Some(Some(_)))
     }
 
     /// Number of registered applications.
     pub fn len(&self) -> usize {
-        self.apps.len()
+        self.live
     }
 
     /// Whether no applications are registered.
     pub fn is_empty(&self) -> bool {
-        self.apps.is_empty()
+        self.live == 0
     }
 
     /// Iterates over `(id, spec)` pairs in id order.
@@ -188,12 +259,12 @@ impl AppSet {
         self.apps
             .iter()
             .enumerate()
-            .map(|(i, a)| (AppId::new(i as u32), a))
+            .filter_map(|(i, a)| a.as_ref().map(|a| (AppId::new(i as u32), a)))
     }
 
     /// All application ids in order.
     pub fn app_ids(&self) -> impl Iterator<Item = AppId> + '_ {
-        (0..self.apps.len()).map(|i| AppId::new(i as u32))
+        self.iter().map(|(id, _)| id)
     }
 }
 
@@ -267,5 +338,67 @@ mod tests {
         assert!(apps.get(AppId::new(1)).is_err());
         assert_eq!(apps.iter().count(), 1);
         assert!(!apps.is_empty());
+    }
+
+    fn batch_app(mb: f64) -> ApplicationSpec {
+        ApplicationSpec::batch(Memory::from_mb(mb), CpuSpeed::from_mhz(500.0))
+    }
+
+    #[test]
+    fn retire_frees_smallest_id_first() {
+        let mut apps = AppSet::new();
+        let a = apps.add(batch_app(100.0));
+        let b = apps.add(batch_app(200.0));
+        let c = apps.add(batch_app(300.0));
+        assert_eq!(apps.peek_next_id(), AppId::new(3));
+        assert!(apps.retire(c).is_some());
+        assert!(apps.retire(a).is_some());
+        assert_eq!(apps.len(), 1);
+        assert!(!apps.contains(a));
+        assert!(apps.get(a).is_err());
+        assert!(apps.contains(b));
+        // Smallest free slot (0) is reused before slot 2.
+        assert_eq!(apps.peek_next_id(), AppId::new(0));
+        assert_eq!(apps.add(batch_app(400.0)), AppId::new(0));
+        assert_eq!(apps.peek_next_id(), AppId::new(2));
+        assert_eq!(apps.add(batch_app(500.0)), AppId::new(2));
+        assert_eq!(apps.peek_next_id(), AppId::new(3));
+        // Retiring an unknown id is a no-op.
+        assert!(apps.retire(AppId::new(9)).is_none());
+        let ids: Vec<AppId> = apps.app_ids().collect();
+        assert_eq!(ids, vec![AppId::new(0), AppId::new(1), AppId::new(2)]);
+    }
+
+    #[test]
+    fn insert_at_grows_and_tracks_vacancies() {
+        let mut apps = AppSet::new();
+        apps.insert_at(AppId::new(2), batch_app(100.0));
+        assert_eq!(apps.len(), 1);
+        assert!(apps.contains(AppId::new(2)));
+        assert!(!apps.contains(AppId::new(0)));
+        // The skipped slots are free and handed out smallest-first.
+        assert_eq!(apps.peek_next_id(), AppId::new(0));
+        assert_eq!(apps.add(batch_app(200.0)), AppId::new(0));
+        assert_eq!(apps.add(batch_app(300.0)), AppId::new(1));
+        assert_eq!(apps.add(batch_app(400.0)), AppId::new(3));
+        // Replacing an occupied slot keeps the count stable.
+        apps.insert_at(AppId::new(2), batch_app(900.0));
+        assert_eq!(apps.len(), 4);
+    }
+
+    #[test]
+    fn reserve_keeps_fresh_ids_above_the_block() {
+        let mut apps = AppSet::new();
+        apps.reserve(3);
+        // Reserved slots are empty but not free: fresh ids start above.
+        assert_eq!(apps.len(), 0);
+        assert_eq!(apps.peek_next_id(), AppId::new(3));
+        assert_eq!(apps.add(batch_app(100.0)), AppId::new(3));
+        // The reserved block is still available for explicit placement,
+        // and retiring a reserved id returns it to the free pool.
+        apps.insert_at(AppId::new(1), batch_app(200.0));
+        assert_eq!(apps.len(), 2);
+        apps.retire(AppId::new(1));
+        assert_eq!(apps.peek_next_id(), AppId::new(1));
     }
 }

@@ -86,6 +86,22 @@ impl From<(SimDuration, NodeId)> for NodeOutage {
     }
 }
 
+/// What the engine keeps of per-job completion history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MetricsRetention {
+    /// Keep a [`CompletionRecord`] per job (the classic behavior; memory
+    /// grows with the number of jobs submitted).
+    #[default]
+    Full,
+    /// Fold completions into [`RunMetrics::totals`] and retire finished
+    /// jobs entirely — their map entries are dropped and their
+    /// application ids recycled, so memory stays bounded by the number
+    /// of *concurrently live* jobs. Only meaningful for streaming runs;
+    /// per-cycle samples are still kept (they grow with run length, not
+    /// job count).
+    Aggregate,
+}
+
 /// Simulation-wide configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -162,6 +178,12 @@ pub struct SimConfig {
     /// indicates a controller regression, not a legitimate workload
     /// outcome. `0` disables the breaker (such runs then never return).
     pub stall_limit: u32,
+    /// Completion-history retention. [`MetricsRetention::Full`] (the
+    /// default) keeps every per-job record; [`MetricsRetention::Aggregate`]
+    /// folds completions into running totals and retires finished jobs so
+    /// long streaming runs hold memory proportional to concurrency, not
+    /// job count.
+    pub retention: MetricsRetention,
 }
 
 /// Default [`SimConfig::stall_limit`]: generous, because slow-moving
@@ -222,6 +244,7 @@ impl SimConfig {
             observation: ObservationConfig::default(),
             trace: TraceConfig::default(),
             stall_limit: DEFAULT_STALL_LIMIT,
+            retention: MetricsRetention::Full,
         }
     }
 

@@ -21,7 +21,7 @@ use dynaplace_apc::policy::{PolicyClass, PolicyHandle};
 use dynaplace_apc::problem::{PlacementProblem, WorkloadModel};
 use dynaplace_batch::class_profiler::JobClassProfiler;
 use dynaplace_batch::hypothetical::{HypotheticalRpf, JobSnapshot};
-use dynaplace_batch::job::JobSpec;
+use dynaplace_batch::job::{JobProfile, JobSpec};
 use dynaplace_batch::state::{JobState, JobStatus};
 use dynaplace_model::app::ApplicationSpec;
 use dynaplace_model::cluster::{AppSet, Cluster};
@@ -30,7 +30,7 @@ use dynaplace_model::ids::{AppId, NodeId};
 use dynaplace_model::load::LoadDistribution;
 use dynaplace_model::placement::Placement;
 use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
-use dynaplace_rpf::goal::ResponseTimeGoal;
+use dynaplace_rpf::goal::{CompletionGoal, ResponseTimeGoal};
 use dynaplace_rpf::value::Rp;
 use dynaplace_trace::{JsonlSink, NoopSink, Phase, TraceConfig, TraceEvent, TraceLevel, TraceSink};
 use dynaplace_txn::model::{TxnPerformanceModel, TxnWorkload};
@@ -44,6 +44,7 @@ use crate::metrics::{CompletionRecord, CycleSample, RunMetrics, StarvationReport
 use crate::observe::{
     DegradedMode, HealthTransition, JobView, ObservationConfig, ObservationState, TxnView,
 };
+use crate::source::{GoalSubmission, JobSubmission, Submission, TxnSubmission, WorkloadSource};
 
 /// A config-derived buffering trace sink paired with the path it is
 /// flushed to at end of run.
@@ -62,7 +63,7 @@ mod telemetry;
 
 #[allow(deprecated)]
 pub use config::SchedulerKind;
-pub use config::{EstimationNoise, NodeOutage, SimConfig, DEFAULT_STALL_LIMIT};
+pub use config::{EstimationNoise, MetricsRetention, NodeOutage, SimConfig, DEFAULT_STALL_LIMIT};
 
 #[derive(Debug)]
 struct Job {
@@ -151,6 +152,9 @@ pub struct Simulation {
     now: SimTime,
     last_advance: SimTime,
     events: EventQueue,
+    /// The lazily drained workload source (streaming mode); `None` when
+    /// every submission was registered up front (lock-step mode).
+    source: Option<Box<dyn WorkloadSource>>,
     metrics: RunMetrics,
     live_jobs: usize,
     class_profiler: JobClassProfiler,
@@ -216,6 +220,7 @@ impl Simulation {
             now: SimTime::ZERO,
             last_advance: SimTime::ZERO,
             events: EventQueue::new(),
+            source: None,
             metrics: RunMetrics::default(),
             live_jobs: 0,
             class_profiler: JobClassProfiler::new(3),
@@ -282,7 +287,7 @@ impl Simulation {
     /// drives CPU bounds at runtime), speed cap is the maximum stage
     /// speed.
     pub fn add_job(&mut self, build: impl FnOnce(AppId) -> JobSpec) -> AppId {
-        self.insert_job(build, None, &[])
+        self.insert_job(None, build, None, &[])
     }
 
     /// Like [`Simulation::add_job`] with a node restriction.
@@ -291,7 +296,7 @@ impl Simulation {
         build: impl FnOnce(AppId) -> JobSpec,
         allowed: Option<Vec<NodeId>>,
     ) -> AppId {
-        self.insert_job(build, allowed, &[])
+        self.insert_job(None, build, allowed, &[])
     }
 
     /// Like [`Simulation::add_job`], additionally declaring per-instance
@@ -304,17 +309,20 @@ impl Simulation {
         extra_rigid: &[f64],
         build: impl FnOnce(AppId) -> JobSpec,
     ) -> AppId {
-        self.insert_job(build, None, extra_rigid)
+        self.insert_job(None, build, None, extra_rigid)
     }
 
     fn insert_job(
         &mut self,
+        id: Option<AppId>,
         build: impl FnOnce(AppId) -> JobSpec,
         allowed: Option<Vec<NodeId>>,
         extra_rigid: &[f64],
     ) -> AppId {
-        // Reserve the id first so the spec can reference it.
-        let provisional = AppId::new(self.apps.len() as u32);
+        // Resolve the id first so the spec can reference it: the
+        // caller's pre-assigned id (streamed replay), or the smallest
+        // unreserved free slot.
+        let provisional = id.unwrap_or_else(|| self.apps.peek_next_id());
         let spec = build(provisional);
         assert_eq!(spec.app(), provisional, "job spec must use the given id");
         let memory = spec
@@ -336,8 +344,8 @@ impl Simulation {
         if let Some(nodes) = allowed {
             app_spec = app_spec.with_allowed_nodes(nodes);
         }
-        let app = self.apps.add(app_spec);
-        debug_assert_eq!(app, provisional);
+        let app = provisional;
+        self.apps.insert_at(app, app_spec);
         let profile = Arc::new(spec.profile().clone());
         let arrival = spec.arrival();
         self.jobs.insert(
@@ -385,12 +393,22 @@ impl Simulation {
         extra_rigid: &[f64],
         build: impl FnOnce(AppId) -> JobSpec,
     ) -> AppId {
+        self.insert_parallel_job(None, tasks, extra_rigid, build)
+    }
+
+    fn insert_parallel_job(
+        &mut self,
+        id: Option<AppId>,
+        tasks: u32,
+        extra_rigid: &[f64],
+        build: impl FnOnce(AppId) -> JobSpec,
+    ) -> AppId {
         assert!(tasks > 0, "tasks must be positive");
         assert!(
             self.config.scheduler.class() == PolicyClass::Apc,
             "parallel jobs require the APC scheduler"
         );
-        let provisional = AppId::new(self.apps.len() as u32);
+        let provisional = id.unwrap_or_else(|| self.apps.peek_next_id());
         let spec = build(provisional);
         assert_eq!(spec.app(), provisional, "job spec must use the given id");
         let memory = spec
@@ -409,8 +427,8 @@ impl Simulation {
         if !extra_rigid.is_empty() {
             app_spec = app_spec.with_extra_rigid_demand(extra_rigid.iter().copied());
         }
-        let app = self.apps.add(app_spec);
-        debug_assert_eq!(app, provisional);
+        let app = provisional;
+        self.apps.insert_at(app, app_spec);
         let profile = Arc::new(spec.profile().clone());
         let arrival = spec.arrival();
         self.jobs.insert(
@@ -472,6 +490,32 @@ impl Simulation {
         pattern: Box<dyn ArrivalPattern + Send>,
         allowed: Option<Vec<NodeId>>,
     ) -> AppId {
+        self.insert_txn(
+            None,
+            extra_rigid,
+            memory_per_instance,
+            max_instances,
+            demand_per_request,
+            floor,
+            goal,
+            pattern,
+            allowed,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_txn(
+        &mut self,
+        id: Option<AppId>,
+        extra_rigid: &[f64],
+        memory_per_instance: Memory,
+        max_instances: u32,
+        demand_per_request: f64,
+        floor: SimDuration,
+        goal: ResponseTimeGoal,
+        pattern: Box<dyn ArrivalPattern + Send>,
+        allowed: Option<Vec<NodeId>>,
+    ) -> AppId {
         let mut spec = ApplicationSpec::transactional(
             memory_per_instance,
             CpuSpeed::from_mhz(f64::INFINITY),
@@ -483,7 +527,8 @@ impl Simulation {
         if let Some(nodes) = allowed {
             spec = spec.with_allowed_nodes(nodes);
         }
-        let app = self.apps.add(spec);
+        let app = id.unwrap_or_else(|| self.apps.peek_next_id());
+        self.apps.insert_at(app, spec);
         self.txns.insert(
             app,
             TxnApp {
@@ -497,6 +542,89 @@ impl Simulation {
             },
         );
         app
+    }
+
+    /// Attaches a streaming [`WorkloadSource`]: its submissions are
+    /// admitted lazily just before their arrival instant instead of
+    /// being registered up front, so memory stays bounded however long
+    /// the stream runs. The source's pre-assigned id block is reserved
+    /// immediately, keeping automatically assigned ids above it.
+    pub fn attach_source(&mut self, source: Box<dyn WorkloadSource>) {
+        self.apps.reserve(source.reserved_ids());
+        self.source = Some(source);
+    }
+
+    /// Overrides the completion-record retention policy after
+    /// construction (see [`MetricsRetention`]).
+    pub fn set_retention(&mut self, retention: MetricsRetention) {
+        self.config.retention = retention;
+    }
+
+    /// Admits one streamed submission. This is the single construction
+    /// path shared by lock-step builds and streaming injection, so both
+    /// modes register bit-identical applications under identical ids.
+    pub(crate) fn admit(&mut self, submission: Submission) {
+        match submission {
+            Submission::Job(job) => self.admit_job(job),
+            Submission::Txn(txn) => self.admit_txn(txn),
+        }
+    }
+
+    fn admit_job(&mut self, sub: JobSubmission) {
+        let JobSubmission {
+            id,
+            arrival,
+            work_mcycles,
+            max_speed_mhz,
+            memory_mb,
+            goal,
+            tasks,
+            class,
+            extra_rigid,
+        } = sub;
+        let build = move |app| {
+            let profile = JobProfile::single_stage(
+                Work::from_mcycles(work_mcycles),
+                CpuSpeed::from_mhz(max_speed_mhz),
+                Memory::from_mb(memory_mb),
+            );
+            let goal = match goal {
+                // Parallel jobs: the "best execution time" the factor
+                // multiplies is the parallel one.
+                GoalSubmission::Factor(f) => CompletionGoal::from_goal_factor(
+                    arrival,
+                    profile.min_execution_time() / f64::from(tasks),
+                    f,
+                ),
+                GoalSubmission::RelativeSecs(secs) => {
+                    CompletionGoal::new(arrival, arrival + SimDuration::from_secs(secs))
+                }
+            };
+            let mut spec = JobSpec::new(app, profile, arrival, goal);
+            if let Some(class) = class {
+                spec = spec.with_class(class);
+            }
+            spec
+        };
+        if tasks > 1 {
+            self.insert_parallel_job(id, tasks, &extra_rigid, build);
+        } else {
+            self.insert_job(id, build, None, &extra_rigid);
+        }
+    }
+
+    fn admit_txn(&mut self, sub: TxnSubmission) {
+        self.insert_txn(
+            sub.id,
+            &sub.extra_rigid,
+            Memory::from_mb(sub.memory_mb),
+            sub.max_instances,
+            sub.demand_mcycles,
+            SimDuration::from_secs(sub.floor_secs),
+            ResponseTimeGoal::new(SimDuration::from_secs(sub.goal_secs)),
+            sub.pattern,
+            None,
+        );
     }
 
     /// Runs the simulation to completion (or the horizon) and returns
@@ -522,7 +650,7 @@ impl Simulation {
         }
         self.live_jobs = 0;
 
-        while let Some((time, kind)) = self.events.pop() {
+        while let Some((time, kind)) = self.next_event() {
             self.now = time;
             match kind {
                 EventKind::Horizon => break,
@@ -536,7 +664,8 @@ impl Simulation {
                     // Keep cycling while work remains (or a horizon will
                     // cut us off) — unless the starvation breaker proves
                     // the remaining work can never progress.
-                    let pending_arrivals = self.jobs.values().any(|j| !j.arrived);
+                    let pending_arrivals = self.jobs.values().any(|j| !j.arrived)
+                        || self.source.as_mut().is_some_and(|s| s.peek().is_some());
                     if (self.live_jobs > 0
                         || pending_arrivals
                         || (self.config.horizon.is_some() && !self.txns.is_empty()))
@@ -554,6 +683,30 @@ impl Simulation {
             }
         }
         self.metrics
+    }
+
+    /// Pops the next event, first admitting every sourced submission due
+    /// at or before it (streaming mode). Admitted arrivals enter the
+    /// queue in the arrival class, which orders ahead of every other
+    /// same-instant event — exactly where a lock-step run, which queues
+    /// all arrivals before anything else, would have fired them.
+    fn next_event(&mut self) -> Option<(SimTime, EventKind)> {
+        if let Some(mut source) = self.source.take() {
+            loop {
+                let due = match (source.peek(), self.events.peek_time()) {
+                    (Some(s), Some(q)) => s <= q,
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if !due {
+                    break;
+                }
+                let submission = source.next().expect("peek promised a submission");
+                self.admit(submission);
+            }
+            self.source = Some(source);
+        }
+        self.events.pop()
     }
 
     /// The starvation breaker: a **should-never-fire diagnostic** that

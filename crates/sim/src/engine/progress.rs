@@ -24,7 +24,12 @@ impl Simulation {
 
     pub(super) fn on_completion(&mut self, app: AppId, generation: u64) {
         {
-            let job = &self.jobs[&app];
+            // Under aggregate retention a finished job leaves the map
+            // entirely, so a projection it scheduled may outlive it —
+            // that is ordinary staleness, not an invariant breach.
+            let Some(job) = self.jobs.get(&app) else {
+                return;
+            };
             if !job.is_running() || job.generation != generation {
                 return; // stale projection (or completed inline already)
             }
@@ -110,7 +115,15 @@ impl Simulation {
             goal_factor: goal.relative_goal().as_secs() / best.as_secs(),
             met_deadline: self.now <= goal.deadline(),
         };
-        self.metrics.completions.push(record);
+        match self.config.retention {
+            MetricsRetention::Full => self.metrics.completions.push(record),
+            MetricsRetention::Aggregate => {
+                self.metrics
+                    .totals
+                    .get_or_insert_with(Default::default)
+                    .fold(&record);
+            }
+        }
         if let Some(class) = self.jobs[&app].spec.class() {
             let total = self.jobs[&app].profile.total_work();
             self.class_profiler.record_completion(class, total);
@@ -122,6 +135,13 @@ impl Simulation {
         self.desired.evict(app);
         self.desired_load.evict(app);
         self.actuation.forget_app(app);
+        if self.config.retention == MetricsRetention::Aggregate {
+            // Constant-memory mode: drop the finished job's state and
+            // recycle its application id instead of keeping a tombstone
+            // for every job the stream ever produced.
+            self.jobs.remove(&app);
+            self.apps.retire(app);
+        }
     }
 
     // ------------------------------------------------------------------

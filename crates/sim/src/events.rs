@@ -1,4 +1,19 @@
 //! The discrete-event queue.
+//!
+//! The control plane is driven by a typed [`SimEvent`] stream drained
+//! from a deterministic priority queue. Ordering is by
+//! `(time, class, seq)`:
+//!
+//! - `time` — earliest first (total order over finite `f64` seconds);
+//! - `class` — at equal times, job arrivals fire before every other
+//!   event kind. In lock-step runs this is a no-op (all arrivals are
+//!   scheduled before the control-cycle chain starts, so their `seq`s
+//!   are already globally smallest); in streaming runs it restores the
+//!   same arrival-before-cycle semantics for arrivals injected lazily
+//!   from a [`crate::source::WorkloadSource`];
+//! - `seq` — the insertion sequence, a deterministic tie-break that
+//!   makes same-instant, same-class events fire in scheduling order
+//!   regardless of heap internals, run count, or solver thread count.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -9,7 +24,7 @@ use dynaplace_model::units::SimTime;
 /// What happens at an event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)] // variant fields are self-describing
-pub enum EventKind {
+pub enum SimEvent {
     /// A job is submitted (index into the scenario's job list).
     JobArrival(AppId),
     /// A running job is projected to finish. Stale completions are
@@ -20,7 +35,7 @@ pub enum EventKind {
     /// as the metric sampling tick for the baseline schedulers).
     ControlCycle,
     /// A node fails: its capacity drops to zero and every instance on it
-    /// is evicted. Permanent unless a matching [`EventKind::NodeRecovery`]
+    /// is evicted. Permanent unless a matching [`SimEvent::NodeRecovery`]
     /// is scheduled.
     NodeFailure(NodeId),
     /// A transiently failed node recovers: its capacity is restored and
@@ -34,16 +49,32 @@ pub enum EventKind {
     Horizon,
 }
 
+/// Backwards-compatible alias for the pre-refactor name.
+pub type EventKind = SimEvent;
+
+impl SimEvent {
+    /// The same-instant ordering class: arrivals (0) fire before all
+    /// other event kinds (1) at an equal timestamp. See the module docs
+    /// for why this preserves lock-step ordering bit-for-bit.
+    fn class(&self) -> u8 {
+        match self {
+            SimEvent::JobArrival(_) => 0,
+            _ => 1,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     time: SimTime,
+    class: u8,
     seq: u64,
-    kind: EventKind,
+    kind: SimEvent,
 }
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.class == other.class && self.seq == other.seq
     }
 }
 impl Eq for Entry {}
@@ -51,11 +82,13 @@ impl Eq for Entry {}
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert for earliest-first, with the
-        // insertion sequence as a deterministic tie-break.
+        // event class and insertion sequence as deterministic
+        // tie-breaks.
         other
             .time
             .as_secs()
             .total_cmp(&self.time.as_secs())
+            .then_with(|| other.class.cmp(&self.class))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -68,7 +101,8 @@ impl PartialOrd for Entry {
 
 /// A deterministic earliest-first event queue.
 ///
-/// Events at the same instant fire in insertion order.
+/// Events at the same instant fire arrivals-first, then in insertion
+/// order.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Entry>,
@@ -82,14 +116,20 @@ impl EventQueue {
     }
 
     /// Schedules `kind` at `time`.
-    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+    pub fn push(&mut self, time: SimTime, kind: SimEvent) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, kind });
+        let class = kind.class();
+        self.heap.push(Entry {
+            time,
+            class,
+            seq,
+            kind,
+        });
     }
 
     /// Removes and returns the earliest event.
-    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+    pub fn pop(&mut self) -> Option<(SimTime, SimEvent)> {
         self.heap.pop().map(|e| (e.time, e.kind))
     }
 
@@ -120,9 +160,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(t(5.0), EventKind::ControlCycle);
-        q.push(t(1.0), EventKind::Horizon);
-        q.push(t(3.0), EventKind::JobArrival(AppId::new(0)));
+        q.push(t(5.0), SimEvent::ControlCycle);
+        q.push(t(1.0), SimEvent::Horizon);
+        q.push(t(3.0), SimEvent::JobArrival(AppId::new(0)));
         assert_eq!(q.pop().unwrap().0, t(1.0));
         assert_eq!(q.pop().unwrap().0, t(3.0));
         assert_eq!(q.pop().unwrap().0, t(5.0));
@@ -132,20 +172,85 @@ mod tests {
     #[test]
     fn same_time_fires_in_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(t(2.0), EventKind::JobArrival(AppId::new(1)));
-        q.push(t(2.0), EventKind::JobArrival(AppId::new(2)));
-        q.push(t(2.0), EventKind::ControlCycle);
-        assert_eq!(q.pop().unwrap().1, EventKind::JobArrival(AppId::new(1)));
-        assert_eq!(q.pop().unwrap().1, EventKind::JobArrival(AppId::new(2)));
-        assert_eq!(q.pop().unwrap().1, EventKind::ControlCycle);
+        q.push(t(2.0), SimEvent::JobArrival(AppId::new(1)));
+        q.push(t(2.0), SimEvent::JobArrival(AppId::new(2)));
+        q.push(t(2.0), SimEvent::ControlCycle);
+        assert_eq!(q.pop().unwrap().1, SimEvent::JobArrival(AppId::new(1)));
+        assert_eq!(q.pop().unwrap().1, SimEvent::JobArrival(AppId::new(2)));
+        assert_eq!(q.pop().unwrap().1, SimEvent::ControlCycle);
+    }
+
+    #[test]
+    fn same_time_arrivals_fire_before_other_classes() {
+        // A late-scheduled arrival (high seq — as happens when a
+        // streaming source injects it lazily) still fires before
+        // same-instant non-arrival events.
+        let mut q = EventQueue::new();
+        q.push(t(7.0), SimEvent::ControlCycle);
+        q.push(t(7.0), SimEvent::NodeFailure(NodeId::new(3)));
+        q.push(t(7.0), SimEvent::JobArrival(AppId::new(9)));
+        assert_eq!(q.pop().unwrap().1, SimEvent::JobArrival(AppId::new(9)));
+        assert_eq!(q.pop().unwrap().1, SimEvent::ControlCycle);
+        assert_eq!(q.pop().unwrap().1, SimEvent::NodeFailure(NodeId::new(3)));
+    }
+
+    #[test]
+    fn same_timestamp_completion_and_failure_resolve_deterministically() {
+        // Satellite: a completion and a node failure in the same
+        // instant must resolve identically across runs via the
+        // `(time, class, seq)` tie-break — insertion order wins within
+        // a class, independent of heap internals.
+        let drain = |flip: bool| -> Vec<SimEvent> {
+            let mut q = EventQueue::new();
+            // Unrelated padding at other times to shuffle heap shape.
+            q.push(t(1.0), SimEvent::ControlCycle);
+            q.push(t(9.0), SimEvent::Horizon);
+            if flip {
+                // Same scheduling order for the contested pair in both
+                // runs; only the surrounding pushes differ.
+                q.push(t(4.0), SimEvent::ActuationRetry);
+            }
+            q.push(
+                t(5.0),
+                SimEvent::JobCompletion {
+                    app: AppId::new(2),
+                    generation: 1,
+                },
+            );
+            q.push(t(5.0), SimEvent::NodeFailure(NodeId::new(0)));
+            if !flip {
+                q.push(t(4.0), SimEvent::ActuationRetry);
+            }
+            let mut out = Vec::new();
+            while let Some((_, kind)) = q.pop() {
+                out.push(kind);
+            }
+            out
+        };
+        let a = drain(false);
+        let b = drain(true);
+        assert_eq!(a, b);
+        // And the contested pair fired in insertion order.
+        let at5: Vec<&SimEvent> = a
+            .iter()
+            .filter(|k| matches!(k, SimEvent::JobCompletion { .. } | SimEvent::NodeFailure(_)))
+            .collect();
+        assert_eq!(
+            at5[0],
+            &SimEvent::JobCompletion {
+                app: AppId::new(2),
+                generation: 1
+            }
+        );
+        assert_eq!(at5[1], &SimEvent::NodeFailure(NodeId::new(0)));
     }
 
     #[test]
     fn peek_and_len() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.push(t(4.0), EventKind::Horizon);
-        q.push(t(2.0), EventKind::ControlCycle);
+        q.push(t(4.0), SimEvent::Horizon);
+        q.push(t(2.0), SimEvent::ControlCycle);
         assert_eq!(q.peek_time(), Some(t(2.0)));
         assert_eq!(q.len(), 2);
     }

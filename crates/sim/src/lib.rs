@@ -43,6 +43,7 @@
 //!     observation: dynaplace_sim::observe::ObservationConfig::default(),
 //!     trace: dynaplace_trace::TraceConfig::default(),
 //!     stall_limit: dynaplace_sim::engine::DEFAULT_STALL_LIMIT,
+//!     retention: dynaplace_sim::engine::MetricsRetention::Full,
 //! };
 //! let metrics = paper_example(ExampleScenario::S2, config).run();
 //! assert_eq!(metrics.completions.len(), 3);
@@ -58,13 +59,14 @@ pub mod events;
 pub mod metrics;
 pub mod observe;
 pub mod scenario;
+pub mod source;
 pub mod spec;
 
 pub use actuation::{ActuationConfig, ActuationState, OpOutcome};
 pub use costs::{VmCostModel, VmOperation};
 #[allow(deprecated)]
 pub use engine::SchedulerKind;
-pub use engine::{NodeOutage, SimConfig, Simulation};
+pub use engine::{MetricsRetention, NodeOutage, SimConfig, Simulation};
 pub use metrics::{
     ActuationCounters, ChangeCounters, CompletionRecord, CycleSample, ObservationCounters,
     RunMetrics,
@@ -72,6 +74,10 @@ pub use metrics::{
 pub use observe::{DegradedMode, NodeHealth, ObservationConfig, ObservationState};
 pub use scenario::{
     experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
+};
+pub use source::{
+    ArrivalProcess, GenerativeSource, GoalSubmission, JobSubmission, JobTemplate, MergedSource,
+    ScenarioSource, Submission, TxnSubmission, WorkloadSource,
 };
 pub use spec::{ScenarioError, ScenarioSpec, TraceSpec};
 

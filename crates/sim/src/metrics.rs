@@ -188,13 +188,45 @@ pub struct StarvationReport {
     pub apps: Vec<AppId>,
 }
 
+/// Streaming (constant-memory) completion aggregates: the fold of every
+/// [`CompletionRecord`] a run would otherwise have kept. Carried only by
+/// runs with [`MetricsRetention::Aggregate`], where per-job records are
+/// folded in at completion and dropped so memory stays O(live jobs)
+/// instead of O(all jobs).
+///
+/// [`MetricsRetention::Aggregate`]: crate::engine::MetricsRetention
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompletionTotals {
+    /// Jobs completed.
+    pub count: u64,
+    /// Completions that met their deadline.
+    pub met_deadlines: u64,
+    /// Sum of relative performance at completion (for the mean).
+    pub sum_rp: f64,
+}
+
+impl CompletionTotals {
+    /// Folds one completion into the totals.
+    pub fn fold(&mut self, record: &CompletionRecord) {
+        self.count += 1;
+        if record.met_deadline {
+            self.met_deadlines += 1;
+        }
+        self.sum_rp += record.rp.value();
+    }
+}
+
 /// Everything recorded over one simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Per-cycle samples in time order.
     pub samples: Vec<CycleSample>,
-    /// Completion records in completion order.
+    /// Completion records in completion order. Empty under aggregate
+    /// retention — see [`RunMetrics::totals`].
     pub completions: Vec<CompletionRecord>,
+    /// Folded completion aggregates; `Some` only under aggregate
+    /// retention, where `completions` stays empty.
+    pub totals: Option<CompletionTotals>,
     /// Placement change counters.
     pub changes: ChangeCounters,
     /// Actuation-layer counters (failures, retries, quarantines).
@@ -210,9 +242,24 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Number of jobs that completed, whichever retention mode recorded
+    /// them (per-job records or folded totals).
+    pub fn completed_jobs(&self) -> usize {
+        match &self.totals {
+            Some(t) => t.count as usize,
+            None => self.completions.len(),
+        }
+    }
+
     /// Fraction of completed jobs that met their deadline, `None` when
     /// nothing completed.
     pub fn deadline_met_ratio(&self) -> Option<f64> {
+        if let Some(t) = &self.totals {
+            if t.count == 0 {
+                return None;
+            }
+            return Some(t.met_deadlines as f64 / t.count as f64);
+        }
         if self.completions.is_empty() {
             return None;
         }
@@ -233,6 +280,12 @@ impl RunMetrics {
 
     /// Mean relative performance at completion.
     pub fn mean_completion_rp(&self) -> Option<Rp> {
+        if let Some(t) = &self.totals {
+            if t.count == 0 {
+                return None;
+            }
+            return Some(Rp::new(t.sum_rp / t.count as f64));
+        }
         if self.completions.is_empty() {
             return None;
         }
@@ -544,14 +597,41 @@ impl FromJson for StarvationReport {
     }
 }
 
+impl ToJson for CompletionTotals {
+    fn to_json(&self) -> Json {
+        obj([
+            ("count", self.count.to_json()),
+            ("met_deadlines", self.met_deadlines.to_json()),
+            ("sum_rp", self.sum_rp.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CompletionTotals {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CompletionTotals {
+            count: v.field("count")?,
+            met_deadlines: v.field("met_deadlines")?,
+            sum_rp: v.field("sum_rp")?,
+        })
+    }
+}
+
 impl ToJson for RunMetrics {
     fn to_json(&self) -> Json {
         let mut fields = vec![
             ("samples", self.samples.to_json()),
             ("completions", self.completions.to_json()),
+        ];
+        // Only aggregate-retention runs carry the field, so full-record
+        // artifacts stay byte-identical to older writers.
+        if let Some(totals) = &self.totals {
+            fields.push(("totals", totals.to_json()));
+        }
+        fields.extend([
             ("changes", self.changes.to_json()),
             ("actuation", self.actuation.to_json()),
-        ];
+        ]);
         // Only runs with an active observation layer carry the field, so
         // perfect-telemetry artifacts stay byte-identical to older
         // writers.
@@ -569,6 +649,8 @@ impl FromJson for RunMetrics {
         Ok(RunMetrics {
             samples: v.field("samples")?,
             completions: v.field("completions")?,
+            // Absent everywhere but aggregate-retention streaming runs.
+            totals: v.field_or("totals")?,
             changes: v.field("changes")?,
             // Absent in artifacts written before fallible actuation.
             actuation: v.field_or("actuation")?,

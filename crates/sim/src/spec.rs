@@ -8,14 +8,13 @@ use serde::{Deserialize, Serialize};
 
 use dynaplace_json::{obj, FromJson, Json, JsonError, ToJson};
 
-use dynaplace_batch::job::{JobProfile, JobSpec};
 use dynaplace_model::cluster::Cluster;
-use dynaplace_model::ids::NodeId;
+use dynaplace_model::ids::{AppId, NodeId};
 use dynaplace_model::node::NodeSpec;
 use dynaplace_model::resources::{ResourceDims, Resources};
-use dynaplace_model::units::{CpuSpeed, Memory, SimDuration, SimTime, Work};
-use dynaplace_rpf::goal::{CompletionGoal, ResponseTimeGoal};
-use dynaplace_txn::workload::{ConstantRate, StepPattern};
+use dynaplace_model::units::{CpuSpeed, SimDuration, SimTime};
+
+use dynaplace_txn::workload::{ConstantRate, SinusoidPattern, StepPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,6 +27,10 @@ use crate::actuation::ActuationConfig;
 use crate::costs::VmCostModel;
 use crate::engine::{NodeOutage, SimConfig, Simulation};
 use crate::observe::{DegradedMode, ObservationConfig};
+use crate::source::{
+    ArrivalProcess, GenerativeSource, GoalSubmission, JobSubmission, JobTemplate, MergedSource,
+    ScenarioSource, Submission, TxnSubmission, WorkloadSource,
+};
 
 /// A group of identical nodes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -193,6 +196,202 @@ pub enum RateSpec {
     Constant(f64),
     /// `(start_secs, rate)` steps, strictly increasing starts.
     Steps(Vec<(f64, f64)>),
+}
+
+/// The optional `"workload"` block: generative streaming workload on
+/// top of (or instead of) the classic `jobs`/`txns` lists. Streams are
+/// drawn lazily by a [`crate::source::GenerativeSource`], so a scenario
+/// can describe day-long traces with hundreds of thousands of jobs
+/// without ever materializing them.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Generated batch job streams.
+    #[serde(default)]
+    pub batch_streams: Vec<BatchStreamSpec>,
+    /// Generated transactional applications (registered at time zero).
+    #[serde(default)]
+    pub txn_streams: Vec<TxnStreamSpec>,
+}
+
+/// One generated batch stream: an arrival process plus the job template
+/// every arrival instantiates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchStreamSpec {
+    /// Optional stream name (diagnostics and duplicate detection; shares
+    /// the application namespace with jobs and txns).
+    #[serde(default)]
+    pub name: Option<String>,
+    /// The arrival process.
+    pub process: ProcessSpec,
+    /// Number of jobs to generate; `None` = unbounded, in which case the
+    /// scenario must set `horizon_secs` to bound the stream.
+    #[serde(default)]
+    pub count: Option<u64>,
+    /// Total work per job, megacycles.
+    pub work_mcycles: f64,
+    /// Maximum speed per task, MHz.
+    pub max_speed_mhz: f64,
+    /// Memory per task, MB.
+    pub memory_mb: f64,
+    /// Deadline derivation.
+    pub goal: GoalSpec,
+    /// Parallel tasks per job (1 = ordinary job).
+    #[serde(default = "one")]
+    pub tasks: u32,
+    /// Optional job class tag.
+    #[serde(default)]
+    pub class: Option<String>,
+    /// Per-task demand in each *extra* rigid dimension (beyond memory).
+    #[serde(default)]
+    pub resources: BTreeMap<String, f64>,
+}
+
+/// The stochastic arrival process of a generated batch stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ProcessSpec {
+    /// Homogeneous Poisson arrivals.
+    Poisson {
+        /// Arrival rate, jobs per second.
+        rate_per_sec: f64,
+    },
+    /// Cyclic Markov-modulated Poisson process: `(rate_per_sec,
+    /// mean_dwell_secs)` states visited in order with exponential
+    /// dwells. Two states give the classic on/off burst model.
+    Mmpp {
+        /// The states, visited cyclically.
+        states: Vec<(f64, f64)>,
+    },
+    /// Diurnal curve: rate `base + amplitude·sin(2π·t/period)`, floored
+    /// at zero (86 400 s period = one day).
+    Diurnal {
+        /// Mean rate, jobs per second.
+        base_rate_per_sec: f64,
+        /// Peak deviation from the mean, jobs per second.
+        amplitude: f64,
+        /// Period, seconds.
+        period_secs: f64,
+    },
+    /// Flash crowds: a baseline rate with a `multiplier`× spike of
+    /// `duration_secs` starting every `every_secs`.
+    FlashCrowd {
+        /// Baseline rate, jobs per second.
+        base_rate_per_sec: f64,
+        /// Rate multiplier during a spike.
+        multiplier: f64,
+        /// Spike spacing, seconds.
+        every_secs: f64,
+        /// Spike length, seconds.
+        duration_secs: f64,
+    },
+}
+
+impl ProcessSpec {
+    fn to_process(&self) -> ArrivalProcess {
+        match self {
+            ProcessSpec::Poisson { rate_per_sec } => ArrivalProcess::Poisson {
+                rate_per_sec: *rate_per_sec,
+            },
+            ProcessSpec::Mmpp { states } => ArrivalProcess::Mmpp {
+                states: states.clone(),
+            },
+            ProcessSpec::Diurnal {
+                base_rate_per_sec,
+                amplitude,
+                period_secs,
+            } => ArrivalProcess::Diurnal {
+                base_rate_per_sec: *base_rate_per_sec,
+                amplitude: *amplitude,
+                period_secs: *period_secs,
+            },
+            ProcessSpec::FlashCrowd {
+                base_rate_per_sec,
+                multiplier,
+                every_secs,
+                duration_secs,
+            } => ArrivalProcess::FlashCrowd {
+                base_rate_per_sec: *base_rate_per_sec,
+                multiplier: *multiplier,
+                every_secs: *every_secs,
+                duration_secs: *duration_secs,
+            },
+        }
+    }
+}
+
+/// One generated transactional application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TxnStreamSpec {
+    /// Optional name (shares the application namespace with jobs and
+    /// txns).
+    #[serde(default)]
+    pub name: Option<String>,
+    /// The request-rate curve.
+    pub curve: TxnCurveSpec,
+    /// Per-request CPU demand, megacycles.
+    pub demand_mcycles: f64,
+    /// Response-time floor, seconds.
+    pub floor_secs: f64,
+    /// Response-time goal, seconds.
+    pub goal_secs: f64,
+    /// Memory per instance, MB.
+    pub memory_mb: f64,
+    /// Maximum instances.
+    pub max_instances: u32,
+    /// Per-instance demand in each *extra* rigid dimension.
+    #[serde(default)]
+    pub resources: BTreeMap<String, f64>,
+}
+
+/// The request-rate curve of a generated transactional application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TxnCurveSpec {
+    /// Constant request rate.
+    Constant {
+        /// Requests per second.
+        rate_per_sec: f64,
+    },
+    /// Diurnal rate `base + amplitude·sin(2π·t/period)`, floored at
+    /// zero.
+    Diurnal {
+        /// Mean rate, requests per second.
+        base_rate_per_sec: f64,
+        /// Peak deviation from the mean, requests per second.
+        amplitude_per_sec: f64,
+        /// Period, seconds.
+        period_secs: f64,
+    },
+    /// An open-loop user population: `users` users each issuing one
+    /// request per `think_time_secs`, i.e. an offered rate of
+    /// `users / think_time_secs` independent of response times.
+    Population {
+        /// Number of users.
+        users: f64,
+        /// Mean think time between requests, seconds.
+        think_time_secs: f64,
+    },
+}
+
+impl TxnCurveSpec {
+    fn to_pattern(&self) -> Box<dyn dynaplace_txn::workload::ArrivalPattern + Send> {
+        match self {
+            TxnCurveSpec::Constant { rate_per_sec } => Box::new(ConstantRate(*rate_per_sec)),
+            TxnCurveSpec::Diurnal {
+                base_rate_per_sec,
+                amplitude_per_sec,
+                period_secs,
+            } => Box::new(SinusoidPattern {
+                base: *base_rate_per_sec,
+                amplitude: *amplitude_per_sec,
+                period_secs: *period_secs,
+            }),
+            TxnCurveSpec::Population {
+                users,
+                think_time_secs,
+            } => Box::new(ConstantRate(users / think_time_secs)),
+        }
+    }
 }
 
 /// One scripted node outage. The wire format is a 2- or 3-element array:
@@ -547,6 +746,14 @@ pub enum ScenarioError {
         /// The declared total node count.
         nodes: usize,
     },
+    /// The `workload` block is structurally invalid: a degenerate
+    /// arrival process, a parallel stream under a baseline scheduler, or
+    /// an unbounded stream in a scenario without `horizon_secs` (such a
+    /// run would generate arrivals forever).
+    InvalidWorkload {
+        /// What is wrong with it.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -620,6 +827,9 @@ impl std::fmt::Display for ScenarioError {
                     "scenario declares {nodes} nodes, more than the u32 node-id space can index"
                 )
             }
+            ScenarioError::InvalidWorkload { message } => {
+                write!(f, "invalid workload block: {message}")
+            }
         }
     }
 }
@@ -678,6 +888,11 @@ pub struct ScenarioSpec {
     pub jobs: Vec<JobGroupSpec>,
     /// Transactional applications.
     pub txns: Vec<TxnSpec>,
+    /// Generative streaming workload (see [`WorkloadSpec`]); absent =
+    /// the classic fully materialized model, bit-identical to scenarios
+    /// written before this block existed.
+    #[serde(default)]
+    pub workload: Option<WorkloadSpec>,
     /// Scripted node failures (see [`NodeFailureSpec`] for the wire
     /// format). Node indices are validated against the cluster size at
     /// load time.
@@ -710,9 +925,12 @@ impl ScenarioSpec {
         self.nodes.iter().map(|g| g.count).sum()
     }
 
-    /// Total number of batch jobs the scenario will submit: each group
-    /// spawns [`JobGroupSpec::count`] instances, except explicit
-    /// [`ArrivalSpec::At`] groups, which spawn one per listed instant.
+    /// Total number of *classic* batch jobs the scenario will submit:
+    /// each group spawns [`JobGroupSpec::count`] instances, except
+    /// explicit [`ArrivalSpec::At`] groups, which spawn one per listed
+    /// instant. Generated streams are excluded (the classic id layout
+    /// depends on this count) — see
+    /// [`ScenarioSpec::generated_job_cap`] for their contribution.
     pub fn job_count(&self) -> usize {
         self.jobs
             .iter()
@@ -721,6 +939,22 @@ impl ScenarioSpec {
                 _ => g.count,
             })
             .sum()
+    }
+
+    /// Total count cap across generated batch streams. Exact for
+    /// horizon-free scenarios (where validation forces every stream to
+    /// carry a cap); an upper bound when a horizon can cut a stream
+    /// short; zero contribution from uncapped streams.
+    pub fn generated_job_cap(&self) -> usize {
+        self.workload
+            .as_ref()
+            .map(|w| {
+                w.batch_streams
+                    .iter()
+                    .map(|s| s.count.unwrap_or(0) as usize)
+                    .sum()
+            })
+            .unwrap_or(0)
     }
 
     /// Checks the scenario's structural consistency: at least one node
@@ -795,10 +1029,177 @@ impl ScenarioSpec {
             }
         }
         self.validate_observation(is_apc)?;
+        self.validate_workload(is_apc)?;
         self.validate_names()?;
         self.validate_resources()?;
         self.validate_finite()?;
         self.validate_signs()
+    }
+
+    /// Rejects degenerate `workload` blocks: arrival processes that can
+    /// never produce (or never stop producing) arrivals, unbounded
+    /// streams without a horizon to cut them, parallel streams under a
+    /// baseline scheduler, and the usual finiteness / sign constraints
+    /// on every generator parameter.
+    fn validate_workload(&self, is_apc: bool) -> Result<(), ScenarioError> {
+        let Some(workload) = &self.workload else {
+            return Ok(());
+        };
+        let bad = |message: String| Err(ScenarioError::InvalidWorkload { message });
+        let finite_positive = |field: &str, value: f64| {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                bad(format!("{field} must be finite and > 0, got {value}"))
+            }
+        };
+        let finite_non_negative = |field: &str, value: f64| {
+            if value.is_finite() && value >= 0.0 {
+                Ok(())
+            } else {
+                bad(format!("{field} must be finite and >= 0, got {value}"))
+            }
+        };
+        let check_resources = |field: &str, block: &BTreeMap<String, f64>| {
+            for (name, &value) in block {
+                if !self.resources.contains(name) {
+                    return Err(ScenarioError::UnknownResource {
+                        field: field.to_string(),
+                        name: name.clone(),
+                    });
+                }
+                finite_non_negative(&format!("{field}.{name}"), value)?;
+            }
+            Ok(())
+        };
+        for (i, stream) in workload.batch_streams.iter().enumerate() {
+            let at = |leaf: &str| format!("workload.batch_streams[{i}].{leaf}");
+            if stream.tasks == 0 {
+                return bad(format!("{} must be at least 1", at("tasks")));
+            }
+            if stream.tasks > 1 && !is_apc {
+                return bad(format!(
+                    "{} asks for parallel tasks under a baseline scheduler",
+                    at("tasks")
+                ));
+            }
+            if stream.count.is_none() && self.horizon_secs.is_none() {
+                return bad(format!(
+                    "workload.batch_streams[{i}] is unbounded (no count) in a scenario \
+                     without horizon_secs"
+                ));
+            }
+            finite_positive(&at("work_mcycles"), stream.work_mcycles)?;
+            finite_positive(&at("max_speed_mhz"), stream.max_speed_mhz)?;
+            finite_non_negative(&at("memory_mb"), stream.memory_mb)?;
+            match stream.goal {
+                GoalSpec::Factor(f) => finite_positive(&at("goal.factor"), f)?,
+                GoalSpec::RelativeSecs(s) => finite_positive(&at("goal.relative_secs"), s)?,
+            }
+            match &stream.process {
+                ProcessSpec::Poisson { rate_per_sec } => {
+                    finite_positive(&at("process.poisson.rate_per_sec"), *rate_per_sec)?;
+                }
+                ProcessSpec::Mmpp { states } => {
+                    if states.is_empty() {
+                        return bad(format!(
+                            "{} must have at least one state",
+                            at("process.mmpp")
+                        ));
+                    }
+                    let mut any_positive = false;
+                    for (j, &(rate, dwell)) in states.iter().enumerate() {
+                        let leaf = format!("process.mmpp.states[{j}]");
+                        finite_non_negative(&at(&format!("{leaf}.rate")), rate)?;
+                        finite_positive(&at(&format!("{leaf}.mean_dwell_secs")), dwell)?;
+                        any_positive |= rate > 0.0;
+                    }
+                    if !any_positive {
+                        return bad(format!(
+                            "{} has no state with a positive rate, so the stream \
+                             never produces an arrival",
+                            at("process.mmpp")
+                        ));
+                    }
+                }
+                ProcessSpec::Diurnal {
+                    base_rate_per_sec,
+                    amplitude,
+                    period_secs,
+                } => {
+                    finite_positive(&at("process.diurnal.base_rate_per_sec"), *base_rate_per_sec)?;
+                    if !amplitude.is_finite() {
+                        return bad(format!(
+                            "{} must be finite, got {amplitude}",
+                            at("process.diurnal.amplitude")
+                        ));
+                    }
+                    finite_positive(&at("process.diurnal.period_secs"), *period_secs)?;
+                }
+                ProcessSpec::FlashCrowd {
+                    base_rate_per_sec,
+                    multiplier,
+                    every_secs,
+                    duration_secs,
+                } => {
+                    finite_positive(
+                        &at("process.flash_crowd.base_rate_per_sec"),
+                        *base_rate_per_sec,
+                    )?;
+                    finite_positive(&at("process.flash_crowd.multiplier"), *multiplier)?;
+                    finite_positive(&at("process.flash_crowd.every_secs"), *every_secs)?;
+                    finite_non_negative(&at("process.flash_crowd.duration_secs"), *duration_secs)?;
+                }
+            }
+            check_resources(
+                &format!("workload.batch_streams[{i}].resources"),
+                &stream.resources,
+            )?;
+        }
+        for (i, stream) in workload.txn_streams.iter().enumerate() {
+            let at = |leaf: &str| format!("workload.txn_streams[{i}].{leaf}");
+            if stream.max_instances == 0 {
+                return bad(format!("{} must be at least 1", at("max_instances")));
+            }
+            finite_positive(&at("demand_mcycles"), stream.demand_mcycles)?;
+            finite_non_negative(&at("floor_secs"), stream.floor_secs)?;
+            finite_positive(&at("goal_secs"), stream.goal_secs)?;
+            finite_non_negative(&at("memory_mb"), stream.memory_mb)?;
+            match &stream.curve {
+                TxnCurveSpec::Constant { rate_per_sec } => {
+                    finite_non_negative(&at("curve.constant.rate_per_sec"), *rate_per_sec)?;
+                }
+                TxnCurveSpec::Diurnal {
+                    base_rate_per_sec,
+                    amplitude_per_sec,
+                    period_secs,
+                } => {
+                    finite_non_negative(
+                        &at("curve.diurnal.base_rate_per_sec"),
+                        *base_rate_per_sec,
+                    )?;
+                    if !amplitude_per_sec.is_finite() {
+                        return bad(format!(
+                            "{} must be finite, got {amplitude_per_sec}",
+                            at("curve.diurnal.amplitude_per_sec")
+                        ));
+                    }
+                    finite_positive(&at("curve.diurnal.period_secs"), *period_secs)?;
+                }
+                TxnCurveSpec::Population {
+                    users,
+                    think_time_secs,
+                } => {
+                    finite_non_negative(&at("curve.population.users"), *users)?;
+                    finite_positive(&at("curve.population.think_time_secs"), *think_time_secs)?;
+                }
+            }
+            check_resources(
+                &format!("workload.txn_streams[{i}].resources"),
+                &stream.resources,
+            )?;
+        }
+        Ok(())
     }
 
     /// Rejects degenerate observation-layer parameters: probabilities
@@ -890,7 +1291,13 @@ impl ScenarioSpec {
             self.jobs
                 .iter()
                 .filter_map(|g| g.name.as_ref())
-                .chain(self.txns.iter().filter_map(|t| t.name.as_ref())),
+                .chain(self.txns.iter().filter_map(|t| t.name.as_ref()))
+                .chain(self.workload.iter().flat_map(|w| {
+                    w.batch_streams
+                        .iter()
+                        .filter_map(|s| s.name.as_ref())
+                        .chain(w.txn_streams.iter().filter_map(|s| s.name.as_ref()))
+                })),
         )
     }
 
@@ -1185,6 +1592,177 @@ impl ScenarioSpec {
     /// [`ScenarioSpec::validate`].
     pub fn build_checked(&self) -> Result<Simulation, ScenarioError> {
         self.validate()?;
+        let mut sim = self.empty_simulation();
+        for submission in self.classic_submissions().0 {
+            sim.admit(submission);
+        }
+        // Lock-step compatibility mode for generative workloads: drain
+        // the source streaming mode would attach, registering every
+        // generated submission up front through the same admission path
+        // (and therefore under the same application ids).
+        let mut generated = self.generative_source();
+        while let Some(submission) = generated.next() {
+            sim.admit(submission);
+        }
+        Ok(sim)
+    }
+
+    /// Materializes the scenario in streaming mode: submissions are
+    /// admitted lazily from a [`WorkloadSource`] just before they
+    /// arrive, instead of all being registered up front. Proven
+    /// bit-equal to [`ScenarioSpec::build`] for every scenario (the
+    /// `streaming_vs_lockstep` differential family); combine with
+    /// [`crate::engine::MetricsRetention::Aggregate`] for constant-memory
+    /// runs over unbounded generated traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent specifications; use
+    /// [`ScenarioSpec::build_streaming_checked`] to handle the error
+    /// instead.
+    pub fn build_streaming(&self) -> Simulation {
+        self.build_streaming_checked()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Validates and materializes the scenario in streaming mode (see
+    /// [`ScenarioSpec::build_streaming`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] found by
+    /// [`ScenarioSpec::validate`].
+    pub fn build_streaming_checked(&self) -> Result<Simulation, ScenarioError> {
+        self.validate()?;
+        let mut sim = self.empty_simulation();
+        let (mut classic, reserved) = self.classic_submissions();
+        // Stable sort: same-instant submissions keep declaration order,
+        // and the zero-time txn registrations move ahead of every job —
+        // the order the lock-step event queue fires them in.
+        classic.sort_by(|a, b| a.time().as_secs().total_cmp(&b.time().as_secs()));
+        let mut merged = MergedSource::new();
+        merged.push(Box::new(ScenarioSource::from_parts(classic, reserved)));
+        if self.workload.is_some() {
+            merged.push(Box::new(self.generative_source()));
+        }
+        sim.attach_source(Box::new(merged));
+        Ok(sim)
+    }
+
+    /// Materializes every submission the `workload` block generates, in
+    /// admission order — the order the lock-step build drains the
+    /// [`GenerativeSource`] in, which is also the order streaming mode
+    /// assigns their application ids (time order: zero-time txn
+    /// registrations first, then batch jobs by arrival). Intended for
+    /// oracles and tests that re-derive per-app expectations from the
+    /// spec alone; streaming runs themselves never materialize this
+    /// list.
+    pub fn generated_submissions(&self) -> Vec<Submission> {
+        let mut source = self.generative_source();
+        let mut out = Vec::new();
+        while let Some(submission) = source.next() {
+            out.push(submission);
+        }
+        out
+    }
+
+    /// The classic (`jobs`/`txns`) submissions with their pre-assigned
+    /// application ids, in declaration order (all jobs, then all txns —
+    /// the id layout every lock-step build has always produced), plus
+    /// the size of the id block they reserve.
+    fn classic_submissions(&self) -> (Vec<Submission>, u32) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut submissions = Vec::new();
+        let mut next = 0u32;
+        for group in &self.jobs {
+            let extra = self.extra_rigid(&group.resources);
+            for arrival in arrival_times(&mut rng, &group.arrivals, group.count) {
+                submissions.push(Submission::Job(JobSubmission {
+                    id: Some(AppId::new(next)),
+                    arrival,
+                    work_mcycles: group.work_mcycles,
+                    max_speed_mhz: group.max_speed_mhz,
+                    memory_mb: group.memory_mb,
+                    goal: goal_submission(&group.goal),
+                    tasks: group.tasks,
+                    class: group.class.clone(),
+                    extra_rigid: extra.clone(),
+                }));
+                next += 1;
+            }
+        }
+        for txn in &self.txns {
+            let pattern: Box<dyn dynaplace_txn::workload::ArrivalPattern + Send> = match &txn.rate {
+                RateSpec::Constant(rate) => Box::new(ConstantRate(*rate)),
+                RateSpec::Steps(steps) => Box::new(StepPattern::new(
+                    steps
+                        .iter()
+                        .map(|&(t, r)| (SimTime::from_secs(t), r))
+                        .collect(),
+                )),
+            };
+            submissions.push(Submission::Txn(TxnSubmission {
+                id: Some(AppId::new(next)),
+                memory_mb: txn.memory_mb,
+                max_instances: txn.max_instances,
+                demand_mcycles: txn.demand_mcycles,
+                floor_secs: txn.floor_secs,
+                goal_secs: txn.goal_secs,
+                pattern,
+                extra_rigid: self.extra_rigid(&txn.resources),
+            }));
+            next += 1;
+        }
+        (submissions, next)
+    }
+
+    /// The generative source described by the `workload` block (empty
+    /// when the scenario has none). Each stream draws from its own RNG
+    /// seeded from `(seed, stream index)`, independent of the classic
+    /// arrival RNG — so adding a workload block never perturbs the
+    /// classic jobs.
+    fn generative_source(&self) -> GenerativeSource {
+        let mut source = GenerativeSource::new();
+        let Some(workload) = &self.workload else {
+            return source;
+        };
+        for txn in &workload.txn_streams {
+            source.push_txn(TxnSubmission {
+                id: None,
+                memory_mb: txn.memory_mb,
+                max_instances: txn.max_instances,
+                demand_mcycles: txn.demand_mcycles,
+                floor_secs: txn.floor_secs,
+                goal_secs: txn.goal_secs,
+                pattern: txn.curve.to_pattern(),
+                extra_rigid: self.extra_rigid(&txn.resources),
+            });
+        }
+        let horizon = self.horizon_secs.map(SimTime::from_secs);
+        for (index, stream) in workload.batch_streams.iter().enumerate() {
+            source.push_batch(
+                stream.process.to_process(),
+                JobTemplate {
+                    work_mcycles: stream.work_mcycles,
+                    max_speed_mhz: stream.max_speed_mhz,
+                    memory_mb: stream.memory_mb,
+                    goal: goal_submission(&stream.goal),
+                    tasks: stream.tasks,
+                    class: stream.class.clone(),
+                    extra_rigid: self.extra_rigid(&stream.resources),
+                },
+                GenerativeSource::stream_seed(self.seed, index),
+                stream.count,
+                horizon,
+            );
+        }
+        source
+    }
+
+    /// An empty [`Simulation`] over the scenario's cluster and
+    /// configuration, ready for submissions — the part of `build` shared
+    /// by the lock-step and streaming modes.
+    fn empty_simulation(&self) -> Simulation {
         let mut cluster = Cluster::new();
         if !self.resources.is_empty() {
             cluster.set_dims(
@@ -1247,69 +1825,7 @@ impl ScenarioSpec {
             trace: self.trace.to_config(),
             ..SimConfig::apc_default()
         };
-        let mut sim = Simulation::new(cluster, config);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-
-        for group in &self.jobs {
-            let extra = self.extra_rigid(&group.resources);
-            let arrivals = arrival_times(&mut rng, &group.arrivals, group.count);
-            for arrival in arrivals {
-                let group = group.clone();
-                let build = move |app| {
-                    let profile = JobProfile::single_stage(
-                        Work::from_mcycles(group.work_mcycles),
-                        CpuSpeed::from_mhz(group.max_speed_mhz),
-                        Memory::from_mb(group.memory_mb),
-                    );
-                    let goal = match group.goal {
-                        // Parallel jobs: the "best execution time" the
-                        // factor multiplies is the parallel one.
-                        GoalSpec::Factor(f) => CompletionGoal::from_goal_factor(
-                            arrival,
-                            profile.min_execution_time() / f64::from(group.tasks),
-                            f,
-                        ),
-                        GoalSpec::RelativeSecs(secs) => {
-                            CompletionGoal::new(arrival, arrival + SimDuration::from_secs(secs))
-                        }
-                    };
-                    let mut spec = JobSpec::new(app, profile, arrival, goal);
-                    if let Some(class) = &group.class {
-                        spec = spec.with_class(class.clone());
-                    }
-                    spec
-                };
-                if group.tasks > 1 {
-                    sim.add_parallel_job_with_rigid(group.tasks, &extra, build);
-                } else {
-                    sim.add_job_with_rigid(&extra, build);
-                }
-            }
-        }
-
-        for txn in &self.txns {
-            let extra = self.extra_rigid(&txn.resources);
-            let pattern: Box<dyn dynaplace_txn::workload::ArrivalPattern + Send> = match &txn.rate {
-                RateSpec::Constant(rate) => Box::new(ConstantRate(*rate)),
-                RateSpec::Steps(steps) => Box::new(StepPattern::new(
-                    steps
-                        .iter()
-                        .map(|&(t, r)| (SimTime::from_secs(t), r))
-                        .collect(),
-                )),
-            };
-            sim.add_txn_with_rigid(
-                &extra,
-                Memory::from_mb(txn.memory_mb),
-                txn.max_instances,
-                txn.demand_mcycles,
-                SimDuration::from_secs(txn.floor_secs),
-                ResponseTimeGoal::new(SimDuration::from_secs(txn.goal_secs)),
-                pattern,
-                None,
-            );
-        }
-        Ok(sim)
+        Simulation::new(cluster, config)
     }
 
     /// A group's extra-rigid demand vector in registry order; empty when
@@ -1583,6 +2099,228 @@ impl FromJson for TxnSpec {
     }
 }
 
+impl ToJson for WorkloadSpec {
+    fn to_json(&self) -> Json {
+        obj([
+            ("batch_streams", self.batch_streams.to_json()),
+            ("txn_streams", self.txn_streams.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkloadSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(WorkloadSpec {
+            batch_streams: v.field_or("batch_streams")?,
+            txn_streams: v.field_or("txn_streams")?,
+        })
+    }
+}
+
+impl ToJson for BatchStreamSpec {
+    fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(name) = &self.name {
+            fields.push(("name", Json::Str(name.clone())));
+        }
+        fields.extend([
+            ("process", self.process.to_json()),
+            ("count", self.count.to_json()),
+            ("work_mcycles", self.work_mcycles.to_json()),
+            ("max_speed_mhz", self.max_speed_mhz.to_json()),
+            ("memory_mb", self.memory_mb.to_json()),
+            ("goal", self.goal.to_json()),
+            ("tasks", self.tasks.to_json()),
+            ("class", self.class.to_json()),
+        ]);
+        if !self.resources.is_empty() {
+            fields.push(("resources", resources_to_json(&self.resources)));
+        }
+        obj(fields)
+    }
+}
+
+impl FromJson for BatchStreamSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(BatchStreamSpec {
+            name: v.field_or("name")?,
+            process: v.field("process")?,
+            count: v.field_or("count")?,
+            work_mcycles: v.field("work_mcycles")?,
+            max_speed_mhz: v.field("max_speed_mhz")?,
+            memory_mb: v.field("memory_mb")?,
+            goal: v.field("goal")?,
+            tasks: match v.get("tasks") {
+                None => one(),
+                Some(t) => u32::from_json(t)?,
+            },
+            class: v.field_or("class")?,
+            resources: resources_from_json(v.get("resources"))?,
+        })
+    }
+}
+
+impl ToJson for ProcessSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            ProcessSpec::Poisson { rate_per_sec } => {
+                obj([("poisson", obj([("rate_per_sec", rate_per_sec.to_json())]))])
+            }
+            ProcessSpec::Mmpp { states } => obj([("mmpp", obj([("states", states.to_json())]))]),
+            ProcessSpec::Diurnal {
+                base_rate_per_sec,
+                amplitude,
+                period_secs,
+            } => obj([(
+                "diurnal",
+                obj([
+                    ("base_rate_per_sec", base_rate_per_sec.to_json()),
+                    ("amplitude", amplitude.to_json()),
+                    ("period_secs", period_secs.to_json()),
+                ]),
+            )]),
+            ProcessSpec::FlashCrowd {
+                base_rate_per_sec,
+                multiplier,
+                every_secs,
+                duration_secs,
+            } => obj([(
+                "flash_crowd",
+                obj([
+                    ("base_rate_per_sec", base_rate_per_sec.to_json()),
+                    ("multiplier", multiplier.to_json()),
+                    ("every_secs", every_secs.to_json()),
+                    ("duration_secs", duration_secs.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for ProcessSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(inner) = v.get("poisson") {
+            Ok(ProcessSpec::Poisson {
+                rate_per_sec: inner.field("rate_per_sec")?,
+            })
+        } else if let Some(inner) = v.get("mmpp") {
+            Ok(ProcessSpec::Mmpp {
+                states: inner.field("states")?,
+            })
+        } else if let Some(inner) = v.get("diurnal") {
+            Ok(ProcessSpec::Diurnal {
+                base_rate_per_sec: inner.field("base_rate_per_sec")?,
+                amplitude: inner.field("amplitude")?,
+                period_secs: inner.field("period_secs")?,
+            })
+        } else if let Some(inner) = v.get("flash_crowd") {
+            Ok(ProcessSpec::FlashCrowd {
+                base_rate_per_sec: inner.field("base_rate_per_sec")?,
+                multiplier: inner.field("multiplier")?,
+                every_secs: inner.field("every_secs")?,
+                duration_secs: inner.field("duration_secs")?,
+            })
+        } else {
+            Err(JsonError {
+                message: "process must be poisson|mmpp|diurnal|flash_crowd".to_string(),
+            })
+        }
+    }
+}
+
+impl ToJson for TxnStreamSpec {
+    fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(name) = &self.name {
+            fields.push(("name", Json::Str(name.clone())));
+        }
+        fields.extend([
+            ("curve", self.curve.to_json()),
+            ("demand_mcycles", self.demand_mcycles.to_json()),
+            ("floor_secs", self.floor_secs.to_json()),
+            ("goal_secs", self.goal_secs.to_json()),
+            ("memory_mb", self.memory_mb.to_json()),
+            ("max_instances", self.max_instances.to_json()),
+        ]);
+        if !self.resources.is_empty() {
+            fields.push(("resources", resources_to_json(&self.resources)));
+        }
+        obj(fields)
+    }
+}
+
+impl FromJson for TxnStreamSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TxnStreamSpec {
+            name: v.field_or("name")?,
+            curve: v.field("curve")?,
+            demand_mcycles: v.field("demand_mcycles")?,
+            floor_secs: v.field("floor_secs")?,
+            goal_secs: v.field("goal_secs")?,
+            memory_mb: v.field("memory_mb")?,
+            max_instances: v.field("max_instances")?,
+            resources: resources_from_json(v.get("resources"))?,
+        })
+    }
+}
+
+impl ToJson for TxnCurveSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            TxnCurveSpec::Constant { rate_per_sec } => {
+                obj([("constant", obj([("rate_per_sec", rate_per_sec.to_json())]))])
+            }
+            TxnCurveSpec::Diurnal {
+                base_rate_per_sec,
+                amplitude_per_sec,
+                period_secs,
+            } => obj([(
+                "diurnal",
+                obj([
+                    ("base_rate_per_sec", base_rate_per_sec.to_json()),
+                    ("amplitude_per_sec", amplitude_per_sec.to_json()),
+                    ("period_secs", period_secs.to_json()),
+                ]),
+            )]),
+            TxnCurveSpec::Population {
+                users,
+                think_time_secs,
+            } => obj([(
+                "population",
+                obj([
+                    ("users", users.to_json()),
+                    ("think_time_secs", think_time_secs.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for TxnCurveSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(inner) = v.get("constant") {
+            Ok(TxnCurveSpec::Constant {
+                rate_per_sec: inner.field("rate_per_sec")?,
+            })
+        } else if let Some(inner) = v.get("diurnal") {
+            Ok(TxnCurveSpec::Diurnal {
+                base_rate_per_sec: inner.field("base_rate_per_sec")?,
+                amplitude_per_sec: inner.field("amplitude_per_sec")?,
+                period_secs: inner.field("period_secs")?,
+            })
+        } else if let Some(inner) = v.get("population") {
+            Ok(TxnCurveSpec::Population {
+                users: inner.field("users")?,
+                think_time_secs: inner.field("think_time_secs")?,
+            })
+        } else {
+            Err(JsonError {
+                message: "curve must be constant|diurnal|population".to_string(),
+            })
+        }
+    }
+}
+
 impl ToJson for NodeFailureSpec {
     fn to_json(&self) -> Json {
         let mut parts = vec![self.at_secs.to_json(), f64::from(self.node).to_json()];
@@ -1776,6 +2514,11 @@ impl ToJson for ScenarioSpec {
             ("nodes", self.nodes.to_json()),
             ("jobs", self.jobs.to_json()),
             ("txns", self.txns.to_json()),
+        ]);
+        if let Some(workload) = &self.workload {
+            fields.push(("workload", workload.to_json()));
+        }
+        fields.extend([
             ("node_failures", self.node_failures.to_json()),
             ("actuation", self.actuation.to_json()),
             ("deadline_secs", self.deadline_secs.to_json()),
@@ -1801,6 +2544,7 @@ impl FromJson for ScenarioSpec {
             nodes: v.field("nodes")?,
             jobs: v.field("jobs")?,
             txns: v.field("txns")?,
+            workload: v.field_or("workload")?,
             node_failures: v.field_or("node_failures")?,
             actuation: v.field_or_else("actuation", ActuationSpec::default)?,
             deadline_secs: v.field_or("deadline_secs")?,
@@ -1808,6 +2552,14 @@ impl FromJson for ScenarioSpec {
             observation: v.field_or("observation")?,
             trace: v.field_or_else("trace", TraceSpec::default)?,
         })
+    }
+}
+
+/// Converts a scenario goal into its submission form.
+fn goal_submission(goal: &GoalSpec) -> GoalSubmission {
+    match goal {
+        GoalSpec::Factor(f) => GoalSubmission::Factor(*f),
+        GoalSpec::RelativeSecs(s) => GoalSubmission::RelativeSecs(*s),
     }
 }
 
@@ -1862,6 +2614,7 @@ mod tests {
                 resources: BTreeMap::new(),
             }],
             txns: vec![],
+            workload: None,
             node_failures: vec![],
             actuation: ActuationSpec::default(),
             deadline_secs: None,

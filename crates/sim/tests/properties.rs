@@ -61,6 +61,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
             nodes: vec![nodes],
             jobs,
             txns: vec![],
+            workload: None,
             node_failures: vec![],
             actuation: Default::default(),
             deadline_secs: None,

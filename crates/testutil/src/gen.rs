@@ -19,8 +19,9 @@
 //!   reconciliation loop provably converges.
 //!
 //! The shrinker is structural (the vendored proptest stub does not
-//! shrink): it deletes txns, job groups, node groups, failures, and
-//! config blocks, then reduces counts and simplifies fields, keeping
+//! shrink): it deletes txns, job groups, node groups, failures,
+//! generative workload streams, and config blocks, then reduces counts
+//! and simplifies fields, keeping
 //! only mutations that still fail the caller's oracle. Minimized specs
 //! are persisted as ready-to-bless JSON so every fuzz find can become a
 //! permanent regression scenario under `tests/repro/`.
@@ -29,8 +30,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use dynaplace_sim::spec::{
-    ActuationSpec, ArrivalSpec, GoalSpec, JobGroupSpec, NodeFailureSpec, NodeGroupSpec,
-    ObservationSpec, RateSpec, ScenarioSpec, ShardingSpec, TraceSpec, TxnSpec,
+    ActuationSpec, ArrivalSpec, BatchStreamSpec, GoalSpec, JobGroupSpec, NodeFailureSpec,
+    NodeGroupSpec, ObservationSpec, ProcessSpec, RateSpec, ScenarioSpec, ShardingSpec, TraceSpec,
+    TxnCurveSpec, TxnSpec, TxnStreamSpec, WorkloadSpec,
 };
 use proptest::{Strategy, TestCaseError, TestCaseResult, TestRng};
 
@@ -82,6 +84,14 @@ pub struct GenProfile {
     /// metamorphic relations only hold on uncontended specs, where the
     /// optimum is unique.
     pub uncontended: bool,
+    /// Draw generative `"workload"` blocks: streamed batch sources
+    /// (Poisson/MMPP/diurnal/flash-crowd) and open-loop txn curves.
+    /// Streams always carry a bounded `count` and placeable demands, so
+    /// horizon-free runs still terminate at the last completion and the
+    /// no-starvation oracle stays applicable. Never drawn on
+    /// `uncontended` profiles (the uncontended rescale covers only the
+    /// classic app lists).
+    pub workloads: bool,
 }
 
 impl GenProfile {
@@ -119,6 +129,7 @@ impl GenProfile {
             horizons: true,
             unicode_names: true,
             uncontended: false,
+            workloads: true,
         }
     }
 
@@ -142,6 +153,7 @@ impl GenProfile {
             horizons: false,
             unicode_names: true,
             uncontended: false,
+            workloads: true,
         }
     }
 
@@ -172,6 +184,7 @@ impl GenProfile {
             horizons: false,
             unicode_names: false,
             uncontended: true,
+            workloads: false,
         }
     }
 }
@@ -395,6 +408,112 @@ pub fn gen_scenario(rng: &mut TestRng, profile: &GenProfile) -> ScenarioSpec {
         });
     }
 
+    // Generative workload streams: bounded batch sources over every
+    // process family plus an optional open-loop txn curve. Counts stay
+    // small (the streams ride inside full simulations) and every
+    // template demand obeys the same placeability bound as the classic
+    // lists, so the whole-run oracles apply unchanged.
+    let workload = if profile.workloads && !profile.uncontended && chance(rng, 2) {
+        let n_streams = int(rng, 1, 2);
+        let mut batch_streams = Vec::with_capacity(n_streams);
+        for s in 0..n_streams {
+            let process = match int(rng, 0, 3) {
+                0 => ProcessSpec::Poisson {
+                    rate_per_sec: f8(rng, 0.125, 0.5),
+                },
+                1 => {
+                    // First state always productive, so the stream is
+                    // guaranteed to emit (validate requires one
+                    // positive-rate state).
+                    let mut states = vec![(f8(rng, 0.125, 0.5), f8(rng, 60.0, 600.0))];
+                    for _ in 0..int(rng, 1, 2) {
+                        states.push((f8(rng, 0.0, 0.375), f8(rng, 60.0, 600.0)));
+                    }
+                    ProcessSpec::Mmpp { states }
+                }
+                2 => {
+                    let base = f8(rng, 0.125, 0.5);
+                    ProcessSpec::Diurnal {
+                        base_rate_per_sec: base,
+                        // Amplitude may exceed nothing: troughs clamp
+                        // at zero inside the process itself.
+                        amplitude: f8(rng, 0.0, base),
+                        period_secs: f8(rng, 600.0, 3_000.0),
+                    }
+                }
+                _ => ProcessSpec::FlashCrowd {
+                    base_rate_per_sec: f8(rng, 0.125, 0.375),
+                    multiplier: f8(rng, 2.0, 8.0),
+                    every_secs: f8(rng, 200.0, 800.0),
+                    duration_secs: f8(rng, 30.0, 120.0),
+                },
+            };
+            let tasks = if profile.parallel_jobs && apc && node_count > 1 && chance(rng, 4) {
+                int(rng, 2, node_count.min(3)) as u32
+            } else {
+                1
+            };
+            batch_streams.push(BatchStreamSpec {
+                name: gen_name(rng, profile, "ws", s),
+                process,
+                // Always bounded, so horizon-free runs terminate and
+                // the no-starvation oracle covers every generated job.
+                count: Some(int(rng, 1, 4) as u64),
+                work_mcycles: f8(rng, 2_000.0, 12_000.0),
+                max_speed_mhz: f8(rng, 300.0, 1_200.0),
+                memory_mb: f8(rng, 64.0, min_mem * 0.5),
+                goal: if chance(rng, 2) {
+                    GoalSpec::Factor(f8(rng, 2.0, 8.0))
+                } else {
+                    GoalSpec::RelativeSecs(f8(rng, 600.0, 5_000.0))
+                },
+                tasks,
+                class: if chance(rng, 6) {
+                    Some(format!("stream-{s}"))
+                } else {
+                    None
+                },
+                resources: rigid_demands(rng, 0.3, 3),
+            });
+        }
+        let mut txn_streams = Vec::new();
+        if chance(rng, 2) {
+            let curve = match int(rng, 0, 2) {
+                0 => TxnCurveSpec::Constant {
+                    rate_per_sec: f8(rng, 1.0, 25.0),
+                },
+                1 => {
+                    let base = f8(rng, 5.0, 25.0);
+                    TxnCurveSpec::Diurnal {
+                        base_rate_per_sec: base,
+                        amplitude_per_sec: f8(rng, 0.0, base),
+                        period_secs: f8(rng, 600.0, 3_000.0),
+                    }
+                }
+                _ => TxnCurveSpec::Population {
+                    users: f8(rng, 10.0, 150.0),
+                    think_time_secs: f8(rng, 2.0, 10.0),
+                },
+            };
+            txn_streams.push(TxnStreamSpec {
+                name: gen_name(rng, profile, "wt", 0),
+                curve,
+                demand_mcycles: f8(rng, 5.0, 40.0),
+                floor_secs: f8(rng, 0.002, 0.01).max(0.002),
+                goal_secs: f8(rng, 0.05, 0.3),
+                memory_mb: f8(rng, 64.0, min_mem * 0.5),
+                max_instances: int(rng, 1, node_count.min(4)) as u32,
+                resources: rigid_demands(rng, 0.3, 3),
+            });
+        }
+        Some(WorkloadSpec {
+            batch_streams,
+            txn_streams,
+        })
+    } else {
+        None
+    };
+
     // Uncontended profiles: rescale rigid demands so every instance of
     // every app fits on the *smallest* node simultaneously. With no
     // packing choice to make, the optimum is unique and outcomes cannot
@@ -554,10 +673,13 @@ pub fn gen_scenario(rng: &mut TestRng, profile: &GenProfile) -> ScenarioSpec {
         None
     };
 
-    // A horizon only changes behavior when txns keep the control loop
-    // armed; horizon-free runs end at the last job completion and the
-    // no-starvation oracle requires every job to finish.
-    let horizon_secs = if profile.horizons && !txns.is_empty() && chance(rng, 4) {
+    // A horizon only changes behavior when txns (classic or streamed)
+    // keep the control loop armed; horizon-free runs end at the last
+    // job completion and the no-starvation oracle requires every job to
+    // finish.
+    let has_txn_load =
+        !txns.is_empty() || workload.as_ref().is_some_and(|w| !w.txn_streams.is_empty());
+    let horizon_secs = if profile.horizons && has_txn_load && chance(rng, 4) {
         Some(f8(rng, 1_500.0, 3_000.0))
     } else {
         None
@@ -578,6 +700,7 @@ pub fn gen_scenario(rng: &mut TestRng, profile: &GenProfile) -> ScenarioSpec {
         // Wall-clock optimizer deadlines make runs machine-dependent;
         // the fuzz harness never draws one.
         deadline_secs: None,
+        workload,
         sharding,
         observation,
         trace: TraceSpec {
@@ -675,6 +798,30 @@ fn mutations(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         s.trace = TraceSpec::default();
         out.push(s);
     }
+    // Drop the generative workload block, then its individual streams.
+    if let Some(workload) = &spec.workload {
+        let mut s = spec.clone();
+        s.workload = None;
+        out.push(s);
+        for i in 0..workload.batch_streams.len() {
+            let mut s = spec.clone();
+            let w = s.workload.as_mut().expect("cloned with a workload");
+            w.batch_streams.remove(i);
+            if w.batch_streams.is_empty() && w.txn_streams.is_empty() {
+                s.workload = None;
+            }
+            out.push(s);
+        }
+        for i in 0..workload.txn_streams.len() {
+            let mut s = spec.clone();
+            let w = s.workload.as_mut().expect("cloned with a workload");
+            w.txn_streams.remove(i);
+            if w.batch_streams.is_empty() && w.txn_streams.is_empty() {
+                s.workload = None;
+            }
+            out.push(s);
+        }
+    }
     if spec.horizon_secs.is_some() {
         let mut s = spec.clone();
         s.horizon_secs = None;
@@ -692,6 +839,14 @@ fn mutations(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         }
         for t in &mut s.txns {
             t.resources.remove(&dim);
+        }
+        if let Some(w) = &mut s.workload {
+            for b in &mut w.batch_streams {
+                b.resources.remove(&dim);
+            }
+            for t in &mut w.txn_streams {
+                t.resources.remove(&dim);
+            }
         }
         out.push(s);
     }
@@ -749,6 +904,54 @@ fn mutations(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
                 s.txns[i].rate = RateSpec::Constant(steps[0].1);
             }
             out.push(s);
+        }
+    }
+    // Simplify surviving workload streams: halve counts, collapse
+    // processes and curves to their simplest family, strip decorations.
+    if let Some(workload) = &spec.workload {
+        for i in 0..workload.batch_streams.len() {
+            let stream = &workload.batch_streams[i];
+            let with = |f: &dyn Fn(&mut BatchStreamSpec)| {
+                let mut s = spec.clone();
+                f(&mut s.workload.as_mut().expect("cloned").batch_streams[i]);
+                s
+            };
+            if stream.count.is_some_and(|c| c > 1) {
+                out.push(with(&|b| b.count = b.count.map(|c| c / 2)));
+            }
+            if !matches!(stream.process, ProcessSpec::Poisson { .. }) {
+                out.push(with(&|b| {
+                    b.process = ProcessSpec::Poisson { rate_per_sec: 0.25 }
+                }));
+            }
+            if stream.tasks > 1 {
+                out.push(with(&|b| b.tasks = 1));
+            }
+            if stream.name.is_some() {
+                out.push(with(&|b| b.name = None));
+            }
+            if stream.class.is_some() {
+                out.push(with(&|b| b.class = None));
+            }
+        }
+        for i in 0..workload.txn_streams.len() {
+            let stream = &workload.txn_streams[i];
+            let with = |f: &dyn Fn(&mut TxnStreamSpec)| {
+                let mut s = spec.clone();
+                f(&mut s.workload.as_mut().expect("cloned").txn_streams[i]);
+                s
+            };
+            if stream.max_instances > 1 {
+                out.push(with(&|t| t.max_instances = 1));
+            }
+            if !matches!(stream.curve, TxnCurveSpec::Constant { .. }) {
+                out.push(with(&|t| {
+                    t.curve = TxnCurveSpec::Constant { rate_per_sec: 10.0 }
+                }));
+            }
+            if stream.name.is_some() {
+                out.push(with(&|t| t.name = None));
+            }
         }
     }
     for i in 0..spec.nodes.len() {

@@ -18,7 +18,7 @@
 
 use dynaplace_sim::metrics::{CompletionRecord, CycleSample, RunMetrics};
 use dynaplace_sim::spec::{ActuationSpec, ArrivalSpec, ScenarioSpec};
-use dynaplace_sim::Simulation;
+use dynaplace_sim::{Simulation, Submission};
 
 use crate::render_placement_diff;
 
@@ -46,15 +46,19 @@ pub fn run_spec_with(spec: &ScenarioSpec, tweak: impl FnOnce(&mut Simulation)) -
 /// Per-app rigid demands and instance bounds, derived from the spec the
 /// same way the scenario builder assigns app ids: job groups first in
 /// declaration order (one app per arrival; `at` arrivals yield one app
-/// per listed time), then txns.
+/// per listed time), then txns, then every submission the generative
+/// `workload` block produces, in admission order.
 struct AppModel {
     label: String,
     /// Memory first, then the extra dims in registry order.
     rigid: Vec<f64>,
     max_instances: u32,
+    /// Whether this app is a batch job (completes) rather than a
+    /// transactional application (never does).
+    is_job: bool,
 }
 
-fn app_models(spec: &ScenarioSpec) -> (Vec<AppModel>, usize) {
+fn app_models(spec: &ScenarioSpec) -> Vec<AppModel> {
     let mut apps = Vec::new();
     for (j, group) in spec.jobs.iter().enumerate() {
         let arrivals = match &group.arrivals {
@@ -70,10 +74,10 @@ fn app_models(spec: &ScenarioSpec) -> (Vec<AppModel>, usize) {
                 label: format!("job group {j}"),
                 rigid: rigid.clone(),
                 max_instances: group.tasks,
+                is_job: true,
             });
         }
     }
-    let job_apps = apps.len();
     for (t, txn) in spec.txns.iter().enumerate() {
         let mut rigid = vec![txn.memory_mb];
         for dim in &spec.resources {
@@ -83,9 +87,33 @@ fn app_models(spec: &ScenarioSpec) -> (Vec<AppModel>, usize) {
             label: format!("txn {t}"),
             rigid,
             max_instances: txn.max_instances,
+            is_job: false,
         });
     }
-    (apps, job_apps)
+    // Generated apps take the ids above the classic block, in the
+    // order lock-step admission (and streaming id assignment) drains
+    // the generative source.
+    for (g, submission) in spec.generated_submissions().into_iter().enumerate() {
+        apps.push(match submission {
+            Submission::Job(job) => AppModel {
+                label: format!("generated job {g}"),
+                rigid: std::iter::once(job.memory_mb)
+                    .chain(job.extra_rigid.iter().copied())
+                    .collect(),
+                max_instances: job.tasks,
+                is_job: true,
+            },
+            Submission::Txn(txn) => AppModel {
+                label: format!("generated txn {g}"),
+                rigid: std::iter::once(txn.memory_mb)
+                    .chain(txn.extra_rigid.iter().copied())
+                    .collect(),
+                max_instances: txn.max_instances,
+                is_job: false,
+            },
+        });
+    }
+    apps
 }
 
 /// Per-node capacities: memory first, then extra dims in registry
@@ -154,7 +182,7 @@ fn convergence_grace(spec: &ScenarioSpec) -> Option<f64> {
 /// Returns all violations (not just the first) so a fuzz failure
 /// message shows the full shape of the breakage.
 pub fn check_run(spec: &ScenarioSpec, metrics: &RunMetrics) -> Result<(), Vec<String>> {
-    let (apps, job_apps) = app_models(spec);
+    let apps = app_models(spec);
     let nodes = node_capacities(spec);
     let mut violations = Vec::new();
 
@@ -224,13 +252,11 @@ pub fn check_run(spec: &ScenarioSpec, metrics: &RunMetrics) -> Result<(), Vec<St
     // Completion accounting: nondecreasing completion times, each job
     // app completes at most once, txns never complete, distances are
     // consistent, and horizon-free runs starve no job.
-    let mut completed = vec![0usize; job_apps];
+    let mut completed = vec![0usize; apps.len()];
     for (i, c) in metrics.completions.iter().enumerate() {
         let a = c.app.index();
-        if a >= job_apps {
-            violations.push(format!(
-                "completion {i}: app a{a} is not a batch job (only {job_apps} job apps)"
-            ));
+        if a >= apps.len() || !apps[a].is_job {
+            violations.push(format!("completion {i}: app a{a} is not a batch job"));
             continue;
         }
         completed[a] += 1;
@@ -279,7 +305,7 @@ pub fn check_run(spec: &ScenarioSpec, metrics: &RunMetrics) -> Result<(), Vec<St
         .unwrap_or_default();
     if spec.horizon_secs.is_none() {
         for (a, &n) in completed.iter().enumerate() {
-            if n == 0 && !starved.contains(&a) {
+            if apps[a].is_job && n == 0 && !starved.contains(&a) {
                 violations.push(format!(
                     "silent starvation: job app a{a} neither completed nor was reported \
                      starved in a horizon-free run"
@@ -296,7 +322,7 @@ pub fn check_run(spec: &ScenarioSpec, metrics: &RunMetrics) -> Result<(), Vec<St
         }
         for app in &report.apps {
             let a = app.index();
-            if a >= job_apps {
+            if a >= apps.len() || !apps[a].is_job {
                 violations.push(format!(
                     "starvation report names a{a}, which is not a batch job"
                 ));

@@ -7,7 +7,7 @@ use dynaplace::apc::optimizer::ApcConfig;
 use dynaplace::apc::PolicyHandle;
 use dynaplace::model::units::SimDuration;
 use dynaplace::sim::costs::VmCostModel;
-use dynaplace::sim::engine::{SimConfig, DEFAULT_STALL_LIMIT};
+use dynaplace::sim::engine::{MetricsRetention, SimConfig, DEFAULT_STALL_LIMIT};
 use dynaplace::sim::scenario::{
     experiment_one, experiment_three, experiment_two, paper_example, ExampleScenario, SharingConfig,
 };
@@ -174,6 +174,7 @@ fn paper_example_scenarios() {
         observation: Default::default(),
         trace: Default::default(),
         stall_limit: DEFAULT_STALL_LIMIT,
+        retention: MetricsRetention::Full,
     };
     let s1 = paper_example(ExampleScenario::S1, config()).run();
     let s2 = paper_example(ExampleScenario::S2, config()).run();

@@ -276,6 +276,74 @@ fn crosses_floor(m: &RunMetrics) -> bool {
             .any(|s| s.batch_hypothetical_rp.is_some_and(sub) || s.txn_rp.is_some_and(sub))
 }
 
+/// Guarantees a spec exercises the generative streaming path: roughly
+/// half the full-profile draws carry a `workload` block already; the
+/// rest get a small deterministic one (a bounded Poisson batch stream
+/// plus an open-loop txn curve) whose demands fit the generator's
+/// placeability floor (node memory is always ≥ 2000 MB).
+fn force_workload(mut spec: ScenarioSpec) -> ScenarioSpec {
+    use dynaplace::sim::spec::{
+        BatchStreamSpec, GoalSpec, ProcessSpec, TxnCurveSpec, TxnStreamSpec, WorkloadSpec,
+    };
+    if spec.workload.is_none() {
+        spec.workload = Some(WorkloadSpec {
+            batch_streams: vec![BatchStreamSpec {
+                name: Some("forced-stream".to_string()),
+                process: ProcessSpec::Poisson { rate_per_sec: 0.25 },
+                count: Some(3),
+                work_mcycles: 3_000.0,
+                max_speed_mhz: 600.0,
+                memory_mb: 128.0,
+                goal: GoalSpec::Factor(6.0),
+                tasks: 1,
+                class: None,
+                resources: Default::default(),
+            }],
+            txn_streams: vec![TxnStreamSpec {
+                name: Some("forced-curve".to_string()),
+                curve: TxnCurveSpec::Population {
+                    users: 50.0,
+                    think_time_secs: 5.0,
+                },
+                demand_mcycles: 10.0,
+                floor_secs: 0.002,
+                goal_secs: 0.125,
+                memory_mb: 128.0,
+                max_instances: 1,
+                resources: Default::default(),
+            }],
+        });
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole's lock-step compatibility contract: materializing a
+    /// scenario up front (`build`) and streaming it through a
+    /// `WorkloadSource` (`build_streaming`) — classic lists replayed,
+    /// `workload` blocks drawn generatively — produce bit-identical
+    /// runs under full metrics retention, for every float in every
+    /// sample, completion, and placement record. (Aggregate retention
+    /// is deliberately outside the contract: it recycles application
+    /// ids, which legitimately shifts documented ascending-id
+    /// tie-breaks; tests/memory_guard.rs pins its semantic-equality
+    /// contract instead.)
+    #[test]
+    fn streaming_equals_lockstep(spec in gen::scenarios(GenProfile::full())) {
+        let spec = force_workload(spec);
+        prop_assert_eq!(spec.validate(), Ok(()), "forced workload block must stay valid");
+        assert_equivalent("streaming_vs_lockstep", &spec, DiffOptions::default(), |s| {
+            let mut sim = s
+                .build_streaming_checked()
+                .unwrap_or_else(|e| panic!("streaming build must accept a valid spec: {e}"));
+            sim.record_placements(true);
+            sim.run()
+        })?;
+    }
+}
+
 /// Full-width profile restricted to APC (the only scheduler that
 /// accepts an `observation` block), for the telemetry fuzz families.
 fn apc_full() -> GenProfile {

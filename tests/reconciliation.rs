@@ -63,6 +63,7 @@ fn flaky_spec(
             resources: Default::default(),
         }],
         txns: vec![],
+        workload: None,
         node_failures: outage
             .map(|(at_secs, node, duration_secs)| NodeFailureSpec {
                 at_secs,
